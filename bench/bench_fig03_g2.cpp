@@ -1,0 +1,87 @@
+// Figure 3: G2 sensemaking engines against an in-memory database versus
+// HydraDB.
+//
+// Paper shape: the database's lock/statement path saturates with few
+// engines; HydraDB sustains ~4x more concurrently active engines and up to
+// an order of magnitude higher observation throughput.
+#include <cstdio>
+#include <vector>
+
+#include "apps/g2.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hydra;
+  bench::ShapeChecker shape;
+
+  const std::vector<int> engine_counts = {1, 2, 4, 8, 16, 32};
+  std::vector<double> db_tput, hydra_tput;
+
+  std::printf("Figure 3: observation throughput (obs/s) vs concurrent engines\n");
+  std::printf("%-8s %16s %16s %8s\n", "engines", "in-memory DB", "HydraDB", "ratio");
+
+  for (const int engines : engine_counts) {
+    apps::G2Config cfg;
+    cfg.engines = engines;
+    cfg.observations_per_engine = 120;
+    cfg.entity_count = 10'000;
+
+    sim::Scheduler db_sched;
+    fabric::Fabric db_fabric{db_sched};
+    const NodeId db_node = db_fabric.add_node("db").id();
+    std::vector<NodeId> engine_nodes;
+    for (int i = 0; i < 4; ++i) engine_nodes.push_back(db_fabric.add_node("engine").id());
+    apps::InMemoryDbBackend db_backend(db_sched, db_fabric, db_node, engine_nodes);
+    apps::load_entities(db_backend, cfg);
+    const double db_obs = apps::run_g2(db_sched, db_backend, cfg).observations_per_sec;
+
+    auto opts = bench::paper_cluster_options();
+    opts.server_nodes = 2;  // a small HydraDB cluster, as G2 deployed it
+    opts.client_nodes = 4;
+    opts.clients_per_node = 8;
+    db::HydraCluster cluster(opts);
+    apps::HydraDbBackend hydra_backend(cluster);
+    apps::load_entities(hydra_backend, cfg);
+    const double hydra_obs =
+        apps::run_g2(cluster.scheduler(), hydra_backend, cfg).observations_per_sec;
+
+    std::printf("%-8d %16.0f %16.0f %7.1fx\n", engines, db_obs, hydra_obs, hydra_obs / db_obs);
+    db_tput.push_back(db_obs);
+    hydra_tput.push_back(hydra_obs);
+  }
+
+  // Saturation point: first engine count whose throughput is <1.25x the
+  // previous doubling's.
+  auto saturation_engines = [&](const std::vector<double>& series) {
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      if (series[i] < series[i - 1] * 1.25) return engine_counts[i - 1];
+    }
+    return engine_counts.back();
+  };
+  const int db_sat = saturation_engines(db_tput);
+  const int hydra_sat = saturation_engines(hydra_tput);
+  std::printf("\nsaturation: in-memory DB at ~%d engines, HydraDB at ~%d engines\n", db_sat,
+              hydra_sat);
+
+  // "4x more engines effectively operate concurrently": at 4x the DB's
+  // saturation point HydraDB is still converting added engines into
+  // throughput, and it keeps growing through the largest configuration.
+  auto index_of = [&](int engines) {
+    for (std::size_t i = 0; i < engine_counts.size(); ++i) {
+      if (engine_counts[i] == engines) return i;
+    }
+    return engine_counts.size() - 1;
+  };
+  const std::size_t at_db_sat = index_of(db_sat);
+  const std::size_t at_4x = index_of(std::min(4 * db_sat, engine_counts.back()));
+  shape.expect(hydra_tput[at_4x] > 1.5 * hydra_tput[at_db_sat],
+               "HydraDB still scales at 4x the DB's saturation point (paper: 4x engines)");
+  shape.expect(hydra_tput.back() > hydra_tput[hydra_tput.size() - 2] * 0.98,
+               "HydraDB has not collapsed at the largest engine count");
+  shape.expect(hydra_sat >= db_sat, "HydraDB saturates no earlier than the DB");
+  shape.expect(hydra_tput.back() > 8.0 * db_tput.back(),
+               "peak throughput about an order of magnitude higher (paper: up to 10x)");
+  shape.expect(db_tput.back() < db_tput[static_cast<std::size_t>(2)] * 2.0,
+               "the in-memory DB's lock path saturates with few engines");
+  return shape.summarize("fig03_g2");
+}

@@ -1,0 +1,83 @@
+// Figure 10 (and section 6.2.1): incremental evaluation of the RDMA design
+// choices over the six YCSB workloads.
+//
+//   Send/Recv            -- two-sided verbs baseline
+//   RDMA Write Only      -- one-sided message passing, no pointer caching
+//   RDMA Write + Read    -- plus client-side remote pointer caching
+//   Pipeline + RDMA Write -- decoupled dispatcher/worker shard (4x cores)
+//
+// Paper shape: Write beats Send/Recv by 75-163%; +Read adds 10-30% on
+// Zipfian read-heavy mixes but little on Uniform; the single-threaded shard
+// beats the pipelined one by 27-95% despite using a quarter of the cores.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hydra;
+  bench::ShapeChecker shape;
+
+  struct Design {
+    const char* label;
+    server::ServerMode mode;
+    bool rdma_read;
+    bool pipelined;
+  };
+  const Design designs[] = {
+      {"Send/Recv", server::ServerMode::kSendRecv, false, false},
+      {"RDMA Write Only", server::ServerMode::kRdmaWritePolling, false, false},
+      {"RDMA Write + Read", server::ServerMode::kRdmaWritePolling, true, false},
+      {"Pipeline + RDMA Write", server::ServerMode::kRdmaWritePolling, false, true},
+  };
+
+  std::map<std::string, std::map<std::string, double>> mops;  // workload -> design
+  const auto workloads = ycsb::paper_workloads(20'000, 40'000);
+  for (const auto& spec : workloads) {
+    for (const auto& design : designs) {
+      auto opts = bench::paper_cluster_options();
+      opts.server_mode = design.mode;
+      opts.client_rdma_read = design.rdma_read;
+      opts.pipelined_servers = design.pipelined;  // 2 dispatchers + 2 workers per shard
+      db::HydraCluster cluster(opts);
+      ycsb::RunOptions ropts;
+      ropts.warmup_ops_per_client = 150;  // fill the pointer cache (paper: warm runs)
+      const auto r = ycsb::run_workload(cluster, spec, ropts);
+      mops[spec.name()][design.label] = r.throughput_mops;
+    }
+  }
+
+  std::printf("Figure 10: throughput (Mops) per design, six YCSB workloads\n");
+  std::printf("%-20s", "workload");
+  for (const auto& d : designs) std::printf(" %22s", d.label);
+  std::printf("\n");
+  for (const auto& [workload, per_design] : mops) {
+    std::printf("%-20s", workload.c_str());
+    for (const auto& d : designs) std::printf(" %22.3f", per_design.at(d.label));
+    std::printf("\n");
+  }
+
+  // ---- shape assertions --------------------------------------------------
+  for (const auto& [workload, d] : mops) {
+    shape.expect(d.at("RDMA Write Only") > 1.3 * d.at("Send/Recv"),
+                 workload + ": RDMA-Write messaging well above Send/Recv (paper: +75-163%)");
+    shape.expect(d.at("RDMA Write Only") > 1.2 * d.at("Pipeline + RDMA Write"),
+                 workload + ": single-threaded beats pipelined with 4x cores (paper: +27-95%)");
+  }
+  const auto& z100 = mops.at("100%GET/zipfian");
+  const auto& z50 = mops.at("50%GET/zipfian");
+  const auto& u100 = mops.at("100%GET/uniform");
+  shape.expect(z100.at("RDMA Write + Read") > 1.05 * z100.at("RDMA Write Only"),
+               "pointer caching helps Zipfian 100% GET (paper: +29.9%)");
+  const double zipf_read_gain =
+      z100.at("RDMA Write + Read") / z100.at("RDMA Write Only");
+  const double zipf50_read_gain =
+      z50.at("RDMA Write + Read") / z50.at("RDMA Write Only");
+  shape.expect(zipf_read_gain > zipf50_read_gain,
+               "read benefit shrinks as updates grow (invalidation, paper 6.2)");
+  const double unif_read_gain =
+      u100.at("RDMA Write + Read") / u100.at("RDMA Write Only");
+  shape.expect(zipf_read_gain > unif_read_gain,
+               "Zipfian benefits more than Uniform from cached pointers");
+  return shape.summarize("fig10_design");
+}

@@ -1,0 +1,101 @@
+// Figure 12: scale-out (1-7 server machines) and scale-up (1-8 shard
+// instances on one machine), 60 clients on 6 machines.
+//
+// Paper shape: Uniform 50/50 and 90/10 scale out near-linearly; Zipfian
+// workloads saturate (skew cannot be rebalanced by adding machines);
+// scale-up is linear to ~5 shards, then the NIC's QP-count penalty
+// (shards x clients connections) flattens it; 100% GET saturates the NIC
+// with few shards.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace hydra;
+  bench::ShapeChecker shape;
+
+  const std::vector<std::pair<double, Distribution>> mixes = {
+      {0.5, Distribution::kUniform},  {0.9, Distribution::kUniform},
+      {1.0, Distribution::kUniform},  {0.5, Distribution::kZipfian},
+      {0.9, Distribution::kZipfian},  {1.0, Distribution::kZipfian},
+  };
+
+  // ---------------- scale-out: 1..7 machines, 1 shard each -----------------
+  std::map<std::string, std::vector<double>> out_tput;
+  for (int nodes = 1; nodes <= 7; ++nodes) {
+    for (const auto& [get_frac, dist] : mixes) {
+      auto opts = bench::paper_cluster_options(/*shards=*/1);
+      opts.server_nodes = nodes;
+      opts.shards_per_node = 1;
+      opts.client_nodes = 6;
+      opts.clients_per_node = 10;
+      db::HydraCluster cluster(opts);
+      const auto spec = bench::scaled_spec(get_frac, dist, 20'000, 24'000);
+      const auto r = ycsb::run_workload(cluster, spec);
+      out_tput[spec.name()].push_back(r.throughput_mops);
+    }
+  }
+
+  std::printf("Figure 12(a,b): scale-out, normalized throughput vs server machines\n");
+  std::printf("%-20s", "workload");
+  for (int n = 1; n <= 7; ++n) std::printf("  n=%d  ", n);
+  std::printf("\n");
+  for (const auto& [workload, series] : out_tput) {
+    std::printf("%-20s", workload.c_str());
+    for (const double v : series) std::printf(" %5.2f ", v / series[0]);
+    std::printf("\n");
+  }
+
+  // ---------------- scale-up: 1..8 shards on one machine --------------------
+  std::map<std::string, std::vector<double>> up_tput;
+  for (int shards = 1; shards <= 8; ++shards) {
+    for (const auto& [get_frac, dist] : mixes) {
+      auto opts = bench::paper_cluster_options(shards);
+      opts.client_nodes = 6;
+      opts.clients_per_node = 10;
+      db::HydraCluster cluster(opts);
+      const auto spec = bench::scaled_spec(get_frac, dist, 20'000, 24'000);
+      const auto r = ycsb::run_workload(cluster, spec);
+      up_tput[spec.name()].push_back(r.throughput_mops);
+    }
+  }
+
+  std::printf("\nFigure 12(c,d): scale-up, normalized throughput vs shard count\n");
+  std::printf("%-20s", "workload");
+  for (int s = 1; s <= 8; ++s) std::printf("  s=%d  ", s);
+  std::printf("\n");
+  for (const auto& [workload, series] : up_tput) {
+    std::printf("%-20s", workload.c_str());
+    for (const double v : series) std::printf(" %5.2f ", v / series[0]);
+    std::printf("\n");
+  }
+
+  // ---- shape assertions -----------------------------------------------------
+  auto norm = [](const std::vector<double>& s, int i) { return s[static_cast<std::size_t>(i)] / s[0]; };
+
+  const auto& u50_out = out_tput.at("50%GET/uniform");
+  const auto& u90_out = out_tput.at("90%GET/uniform");
+  shape.expect(norm(u50_out, 6) > 4.0,
+               "scale-out: Uniform 50/50 near-linear over 7 machines (paper: linear)");
+  shape.expect(norm(u90_out, 6) > 4.0,
+               "scale-out: Uniform 90/10 near-linear over 7 machines (paper: linear)");
+  const auto& z50_out = out_tput.at("50%GET/zipfian");
+  shape.expect(norm(z50_out, 6) < norm(u50_out, 6),
+               "scale-out: Zipfian saturates below Uniform (skew resists rebalance)");
+
+  const auto& u50_up = up_tput.at("50%GET/uniform");
+  shape.expect(norm(u50_up, 4) > 3.0,
+               "scale-up: Uniform 50/50 scales well to 5 shards (paper: linear to 5)");
+  const double tail_growth = norm(u50_up, 7) / norm(u50_up, 4);
+  shape.expect(tail_growth < 1.5,
+               "scale-up: growth flattens beyond 5 shards (QP-count penalty, paper 6.3)");
+  const auto& z90_up = up_tput.at("90%GET/zipfian");
+  shape.expect(norm(z90_up, 7) < norm(u50_up, 7),
+               "scale-up: skew limits Zipfian below Uniform");
+  const auto& g100_up = up_tput.at("100%GET/zipfian");
+  shape.expect(norm(g100_up, 7) < norm(u50_up, 7),
+               "scale-up: 100% GET NIC-bound early (RDMA Reads saturate the device)");
+  return shape.summarize("fig12_scalability");
+}

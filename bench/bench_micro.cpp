@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) for the hot-path primitives: hashing,
+// key generation, framing, the compact hash table, the arena and the
+// lock-free pointer cache. These are real-time measurements of the actual
+// data structures, not simulator results.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/keygen.hpp"
+#include "core/arena.hpp"
+#include "core/hash_table.hpp"
+#include "core/lockfree_cache.hpp"
+#include "core/store.hpp"
+#include "proto/frame.hpp"
+#include "proto/messages.hpp"
+
+namespace {
+
+using namespace hydra;
+
+void BM_HashKey(benchmark::State& state) {
+  const std::string key = format_key(123456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash_key(key));
+  }
+}
+BENCHMARK(BM_HashKey);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ScrambledZipfianChooser chooser(static_cast<std::uint64_t>(state.range(0)));
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chooser.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1000)->Arg(1000000);
+
+void BM_FrameEncodePoll(benchmark::State& state) {
+  std::vector<std::byte> buf(4096);
+  std::vector<std::byte> payload(static_cast<std::size_t>(state.range(0)), std::byte{7});
+  for (auto _ : state) {
+    proto::encode_frame(buf, payload);
+    benchmark::DoNotOptimize(proto::poll_frame(buf));
+    proto::clear_frame(buf);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameEncodePoll)->Arg(64)->Arg(1024);
+
+void BM_RequestCodec(benchmark::State& state) {
+  proto::Request req;
+  req.type = proto::MsgType::kPut;
+  req.key = format_key(42);
+  req.value = synth_value(42, 32);
+  for (auto _ : state) {
+    auto bytes = proto::encode_request(req);
+    benchmark::DoNotOptimize(proto::decode_request(bytes));
+  }
+}
+BENCHMARK(BM_RequestCodec);
+
+void BM_CompactTableFind(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  core::Arena arena(256 << 20);
+  core::CompactHashTable table(arena, n / 4);  // force some overflow chains
+  std::vector<std::string> keys;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    keys.push_back(format_key(i));
+    const std::size_t size = core::item_size(16, 32);
+    const std::uint64_t off = arena.allocate(size);
+    core::ItemView(arena.at(off)).initialize(keys.back(), synth_value(i), 1, 0);
+    table.insert(hash_key(keys.back()), keys.back(), off);
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string& key = keys[i++ % n];
+    benchmark::DoNotOptimize(table.find(hash_key(key), key));
+  }
+}
+BENCHMARK(BM_CompactTableFind)->Arg(1000)->Arg(100000);
+
+void BM_ArenaAllocFree(benchmark::State& state) {
+  core::Arena arena(64 << 20);
+  for (auto _ : state) {
+    const std::uint64_t off = arena.allocate(88);
+    benchmark::DoNotOptimize(off);
+    arena.deallocate(off, 88);
+  }
+}
+BENCHMARK(BM_ArenaAllocFree);
+
+void BM_StorePutGet(benchmark::State& state) {
+  core::KVStore store;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = format_key(i % 10000);
+    store.put(key, synth_value(i, 32), i * 100);
+    benchmark::DoNotOptimize(store.get(key, i * 100));
+    ++i;
+    if (i % 4096 == 0) store.collect_garbage(i * 100 + 100 * kSecond);
+  }
+}
+BENCHMARK(BM_StorePutGet);
+
+void BM_LockFreeCacheGet(benchmark::State& state) {
+  core::LockFreeCache<proto::RemotePtr> cache(64 * 1024);
+  for (std::uint64_t k = 1; k <= 10000; ++k) {
+    proto::RemotePtr ptr;
+    ptr.offset = k;
+    ptr.total_len = 88;
+    cache.put(k, ptr);
+  }
+  std::uint64_t k = 1;
+  proto::RemotePtr out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(1 + (k++ % 10000), &out));
+  }
+}
+BENCHMARK(BM_LockFreeCacheGet);
+
+void BM_GuardianValidate(benchmark::State& state) {
+  std::vector<std::byte> buf(core::item_size(16, 32));
+  const std::string key = format_key(7);
+  core::ItemView(buf.data()).initialize(key, synth_value(7, 32), 1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::validate_item(buf.data(), buf.size(), key));
+  }
+}
+BENCHMARK(BM_GuardianValidate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

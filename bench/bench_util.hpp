@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hydradb/hydra_cluster.hpp"
+#include "ycsb/runner.hpp"
+
+namespace hydra::bench {
+
+/// Collects qualitative assertions ("who wins, by roughly what factor") and
+/// prints a PAPER-SHAPE summary the harness scripts can grep.
+class ShapeChecker {
+ public:
+  void expect(bool condition, const std::string& claim) {
+    checks_.emplace_back(condition, claim);
+    if (!condition) ok_ = false;
+  }
+
+  int summarize(const char* bench_name) const {
+    std::printf("\n");
+    for (const auto& [cond, claim] : checks_) {
+      std::printf("  [%s] %s\n", cond ? "ok" : "MISMATCH", claim.c_str());
+    }
+    std::printf("PAPER-SHAPE %s: %s (%zu/%zu checks)\n", bench_name,
+                ok_ ? "REPRODUCED" : "DIVERGED", passed(), checks_.size());
+    return ok_ ? 0 : 1;
+  }
+
+ private:
+  [[nodiscard]] std::size_t passed() const {
+    std::size_t n = 0;
+    for (const auto& [cond, _] : checks_) n += cond;
+    return n;
+  }
+  std::vector<std::pair<bool, std::string>> checks_;
+  bool ok_ = true;
+};
+
+/// The paper's default testbed: one server machine with `shards` shard
+/// instances, 50 clients on 5 machines.
+inline db::ClusterOptions paper_cluster_options(int shards = 4) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 1;
+  opts.shards_per_node = shards;
+  opts.client_nodes = 5;
+  opts.clients_per_node = 10;
+  opts.enable_swat = false;  // HA idle during throughput measurements
+  opts.shard_template.store.arena_bytes = 128ull << 20;
+  opts.shard_template.store.min_buckets = 1 << 15;
+  return opts;
+}
+
+/// Scaled-down trace sizes (documented in EXPERIMENTS.md): the paper uses
+/// 60M records / 60M requests; shapes are stable from ~10^4 per point.
+inline ycsb::WorkloadSpec scaled_spec(double get_fraction, Distribution dist,
+                                      std::uint64_t records = 20'000,
+                                      std::uint64_t operations = 40'000) {
+  ycsb::WorkloadSpec spec;
+  spec.get_fraction = get_fraction;
+  spec.distribution = dist;
+  spec.record_count = records;
+  spec.operations = operations;
+  return spec;
+}
+
+inline const char* fmt_mops(double mops) {
+  static thread_local char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", mops);
+  return buf;
+}
+
+}  // namespace hydra::bench

@@ -1,0 +1,60 @@
+// High-availability walkthrough (paper section 5).
+//
+// Writes replicated data, crashes a primary shard, and narrates SWAT's
+// reaction: session expiry at the coordinator, promotion of the secondary,
+// clients re-routing, and every key still answering.
+#include <cstdio>
+#include <string>
+
+#include "common/keygen.hpp"
+#include "common/logging.hpp"
+#include "hydradb/hydra_cluster.hpp"
+
+int main() {
+  using namespace hydra;
+  set_log_level(LogLevel::kInfo);
+
+  db::ClusterOptions opts;
+  opts.server_nodes = 3;
+  opts.shards_per_node = 1;
+  opts.client_nodes = 1;
+  opts.clients_per_node = 2;
+  opts.replicas = 1;  // every primary streams its log to one secondary
+  opts.client_template.request_timeout = 100 * kMillisecond;
+  opts.client_template.max_retries = 100;
+  db::HydraCluster cluster(opts);
+  std::printf("cluster: 3 server machines, 3 primary shards, 1 replica each, SWAT armed\n\n");
+
+  constexpr int kKeys = 100;
+  for (int i = 0; i < kKeys; ++i) {
+    cluster.put(format_key(static_cast<std::uint64_t>(i)), synth_value(static_cast<std::uint64_t>(i)));
+  }
+  cluster.run_for(50 * kMillisecond);  // drain the replication streams
+  std::printf("wrote %d keys through the RDMA logging replication path\n", kKeys);
+
+  const ShardId victim = 0;
+  std::printf("\n>>> crash-injecting the primary of shard %u <<<\n\n", victim);
+  cluster.crash_primary(victim);
+
+  // The dead shard's heartbeats stop; its coordinator session expires; the
+  // SWAT leader sees the ephemeral znode vanish and promotes the secondary.
+  cluster.run_for(5 * kSecond);
+  std::printf("\nfailovers performed: %llu\n",
+              static_cast<unsigned long long>(cluster.failovers()));
+
+  int alive = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = format_key(static_cast<std::uint64_t>(i));
+    auto v = cluster.get(key);
+    if (v.has_value() && *v == synth_value(static_cast<std::uint64_t>(i))) ++alive;
+  }
+  std::printf("post-failover integrity: %d/%d keys intact\n", alive, kKeys);
+
+  cluster.put("written-after-failover", "still-writable");
+  auto v = cluster.get("written-after-failover");
+  std::printf("write availability restored: %s\n", v ? "yes" : "no");
+
+  std::printf("\n%s\n", alive == kKeys ? "zero data loss -- HA design held up."
+                                       : "DATA LOSS DETECTED");
+  return alive == kKeys ? 0 : 1;
+}

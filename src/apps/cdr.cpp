@@ -1,0 +1,98 @@
+#include "apps/cdr.hpp"
+
+#include <functional>
+#include <memory>
+
+#include "common/keygen.hpp"
+#include "common/rng.hpp"
+
+namespace hydra::apps {
+namespace {
+std::string subscriber_key(std::uint64_t id) { return "msisdn/" + format_key(id, 12); }
+}  // namespace
+
+void load_subscribers(db::HydraCluster& cluster, const CdrConfig& cfg) {
+  for (std::uint64_t s = 0; s < cfg.subscriber_count; ++s) {
+    cluster.direct_load(subscriber_key(s), synth_value(s, cfg.subscriber_record_len));
+  }
+}
+
+CdrResult run_cdr(db::HydraCluster& cluster, const CdrConfig& cfg) {
+  sim::Scheduler& sched = cluster.scheduler();
+  auto& clients = cluster.clients();
+  const Time start = sched.now();
+  int remaining = cfg.processing_elements;
+  LatencyHistogram record_latency;
+
+  struct Pe {
+    int records_left;
+    int phase = 0;
+    Time record_start = 0;
+    std::uint64_t caller = 0;
+    std::uint64_t callee = 0;
+    Xoshiro256 rng{0};
+    client::Client* client;
+  };
+  auto pes = std::make_shared<std::vector<Pe>>();
+  for (int p = 0; p < cfg.processing_elements; ++p) {
+    Pe pe;
+    pe.records_left = cfg.records_per_pe;
+    pe.rng = Xoshiro256(cfg.seed * 104729 + static_cast<std::uint64_t>(p));
+    pe.client = clients[static_cast<std::size_t>(p) % clients.size()];
+    pes->push_back(pe);
+  }
+
+  std::function<void(int)> step = [&, pes](int p) {
+    Pe& pe = (*pes)[static_cast<std::size_t>(p)];
+    switch (pe.phase) {
+      case 0: {  // new record: pick parties, look up the caller
+        if (pe.records_left == 0) {
+          --remaining;
+          return;
+        }
+        pe.record_start = sched.now();
+        pe.caller = pe.rng.below(cfg.subscriber_count);
+        pe.callee = pe.rng.below(cfg.subscriber_count);
+        pe.phase = 1;
+        pe.client->get(subscriber_key(pe.caller),
+                       [&, p](Status, std::string_view) { step(p); });
+        return;
+      }
+      case 1:  // look up the callee
+        pe.phase = 2;
+        pe.client->get(subscriber_key(pe.callee),
+                       [&, p](Status, std::string_view) { step(p); });
+        return;
+      case 2:  // update the caller's usage counters
+        pe.phase = 3;
+        pe.client->update(subscriber_key(pe.caller),
+                          synth_value(pe.caller ^ sched.now(), cfg.subscriber_record_len),
+                          [&, p](Status) { step(p); });
+        return;
+      default:  // rating/mediation compute, then the next record
+        record_latency.record(sched.now() - pe.record_start);
+        --pe.records_left;
+        pe.phase = 0;
+        sched.after(cfg.pe_compute, [&, p] { step(p); });
+        return;
+    }
+  };
+  for (int p = 0; p < cfg.processing_elements; ++p) step(p);
+
+  while (remaining > 0 && sched.step()) {
+  }
+
+  CdrResult result;
+  result.records = record_latency.count();
+  const Duration elapsed = sched.now() - start;
+  if (elapsed > 0) {
+    result.records_per_sec =
+        static_cast<double>(result.records) * 1e9 / static_cast<double>(elapsed);
+    result.accesses_per_sec = result.records_per_sec * 3.0;
+  }
+  result.avg_record_latency_us = record_latency.mean() / 1000.0;
+  result.p99_record_latency = record_latency.percentile(99);
+  return result;
+}
+
+}  // namespace hydra::apps

@@ -1,0 +1,112 @@
+#include "apps/g2.hpp"
+
+#include "common/keygen.hpp"
+#include "common/rng.hpp"
+
+namespace hydra::apps {
+namespace {
+std::string entity_key(std::uint64_t id) { return "entity/" + format_key(id, 12); }
+}  // namespace
+
+InMemoryDbBackend::InMemoryDbBackend(sim::Scheduler& sched, fabric::Fabric& fabric,
+                                     NodeId db_node, std::vector<NodeId> engine_nodes)
+    : sched_(sched),
+      fabric_(fabric),
+      db_node_(db_node),
+      engine_nodes_(std::move(engine_nodes)),
+      actor_(sched, "inmem-db"),
+      lock_manager_(sched, /*handoff_cost=*/150) {}
+
+void InMemoryDbBackend::load(const std::string& key, const std::string& value) {
+  table_[key] = value;
+}
+
+void InMemoryDbBackend::statement(int engine, Duration hold, Done done) {
+  (void)engine;
+  // Statement path: client library + kernel TCP there and back, plus the
+  // lock-serialized execution inside the database engine.
+  const Duration network_rtt =
+      2 * (fabric_.cost().tcp_kernel_cost + fabric_.cost().tcp_latency);
+  lock_manager_.lock(actor_.guard([this, hold, network_rtt, done = std::move(done)] {
+    actor_.schedule_after(hold, [this, network_rtt, done = std::move(done)] {
+      lock_manager_.unlock();
+      sched_.after(network_rtt, std::move(done));
+    });
+  }));
+}
+
+void InMemoryDbBackend::read_entity(int engine, const std::string& key, Done done) {
+  (void)table_[key];  // content itself is not the bottleneck
+  // SELECT: SQL parse + plan + index + row fetch inside the engine.
+  statement(engine, /*hold=*/25 * kMicrosecond, std::move(done));
+}
+
+void InMemoryDbBackend::write_assertion(int engine, const std::string& key,
+                                        const std::string& value, Done done) {
+  table_[key] = value;
+  // INSERT: parse + lock upgrade + write-ahead log on the commit path.
+  statement(engine, /*hold=*/40 * kMicrosecond, std::move(done));
+}
+
+void load_entities(G2Backend& backend, const G2Config& cfg) {
+  for (std::uint64_t e = 0; e < cfg.entity_count; ++e) {
+    backend.load(entity_key(e), synth_value(e, cfg.value_len));
+  }
+}
+
+G2Result run_g2(sim::Scheduler& sched, G2Backend& backend, const G2Config& cfg) {
+  const Time start = sched.now();
+  int remaining = cfg.engines;
+
+  struct Engine {
+    int observations_left;
+    int phase = 0;  // reads issued within the current observation
+    Xoshiro256 rng{0};
+  };
+  auto engines = std::make_shared<std::vector<Engine>>();
+  for (int e = 0; e < cfg.engines; ++e) {
+    Engine eng;
+    eng.observations_left = cfg.observations_per_engine;
+    eng.rng = Xoshiro256(cfg.seed * 7919 + static_cast<std::uint64_t>(e));
+    engines->push_back(eng);
+  }
+
+  // Observation state machine: R reads -> W writes -> compute -> next.
+  std::function<void(int)> step = [&, engines](int e) {
+    Engine& eng = (*engines)[static_cast<std::size_t>(e)];
+    if (eng.observations_left == 0) {
+      --remaining;
+      return;
+    }
+    if (eng.phase < cfg.reads_per_observation) {
+      ++eng.phase;
+      backend.read_entity(e, entity_key(eng.rng.below(cfg.entity_count)), [&, e] { step(e); });
+      return;
+    }
+    if (eng.phase < cfg.reads_per_observation + cfg.writes_per_observation) {
+      ++eng.phase;
+      const std::uint64_t id = eng.rng.below(cfg.entity_count);
+      backend.write_assertion(e, entity_key(id), synth_value(id ^ 0xA5, cfg.value_len),
+                              [&, e] { step(e); });
+      return;
+    }
+    eng.phase = 0;
+    --eng.observations_left;
+    sched.after(cfg.engine_compute, [&, e] { step(e); });
+  };
+  for (int e = 0; e < cfg.engines; ++e) step(e);
+
+  while (remaining > 0 && sched.step()) {
+  }
+
+  G2Result result;
+  result.elapsed = sched.now() - start;
+  const double total_obs =
+      static_cast<double>(cfg.engines) * static_cast<double>(cfg.observations_per_engine);
+  if (result.elapsed > 0) {
+    result.observations_per_sec = total_obs * 1e9 / static_cast<double>(result.elapsed);
+  }
+  return result;
+}
+
+}  // namespace hydra::apps

@@ -1,0 +1,98 @@
+// G2 Sensemaking driver (paper section 2.2 / Figure 3).
+//
+// Engines ingest observations; resolving one observation issues a burst of
+// entity reads plus an assertion write against the backing store. The
+// experiment compares how many engines each backend sustains: a
+// transactional in-memory database serializes statements through its lock
+// and the TCP stack, while HydraDB serves the same access pattern over
+// RDMA with per-shard parallelism.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "hydradb/hydra_cluster.hpp"
+#include "sim/mutex.hpp"
+
+namespace hydra::apps {
+
+struct G2Config {
+  int engines = 4;
+  int observations_per_engine = 300;
+  int reads_per_observation = 3;
+  int writes_per_observation = 1;
+  std::uint64_t entity_count = 20'000;
+  std::size_t value_len = 64;
+  Duration engine_compute = 3 * kMicrosecond;  ///< assertion-making CPU
+  std::uint64_t seed = 11;
+};
+
+/// Abstract entity store so the same driver runs against both backends.
+class G2Backend {
+ public:
+  using Done = std::function<void()>;
+  virtual ~G2Backend() = default;
+  virtual void load(const std::string& key, const std::string& value) = 0;
+  virtual void read_entity(int engine, const std::string& key, Done done) = 0;
+  virtual void write_assertion(int engine, const std::string& key, const std::string& value,
+                               Done done) = 0;
+};
+
+/// Transactional in-memory database model (the paper's DB2-style baseline):
+/// every statement crosses kernel TCP and serializes through the engine's
+/// lock manager.
+class InMemoryDbBackend final : public G2Backend {
+ public:
+  InMemoryDbBackend(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId db_node,
+                    std::vector<NodeId> engine_nodes);
+  void load(const std::string& key, const std::string& value) override;
+  void read_entity(int engine, const std::string& key, Done done) override;
+  void write_assertion(int engine, const std::string& key, const std::string& value,
+                       Done done) override;
+
+ private:
+  void statement(int engine, Duration hold, Done done);
+
+  sim::Scheduler& sched_;
+  fabric::Fabric& fabric_;
+  NodeId db_node_;
+  std::vector<NodeId> engine_nodes_;
+  sim::Actor actor_;
+  sim::SimMutex lock_manager_;
+  std::map<std::string, std::string> table_;
+};
+
+/// HydraDB as the complementary real-time store.
+class HydraDbBackend final : public G2Backend {
+ public:
+  explicit HydraDbBackend(db::HydraCluster& cluster) : cluster_(cluster) {}
+  void load(const std::string& key, const std::string& value) override {
+    cluster_.direct_load(key, value);
+  }
+  void read_entity(int engine, const std::string& key, Done done) override {
+    auto* c = cluster_.clients()[static_cast<std::size_t>(engine) % cluster_.clients().size()];
+    c->get(key, [done = std::move(done)](Status, std::string_view) { done(); });
+  }
+  void write_assertion(int engine, const std::string& key, const std::string& value,
+                       Done done) override {
+    auto* c = cluster_.clients()[static_cast<std::size_t>(engine) % cluster_.clients().size()];
+    c->put(key, value, [done = std::move(done)](Status) { done(); });
+  }
+
+ private:
+  db::HydraCluster& cluster_;
+};
+
+struct G2Result {
+  double observations_per_sec = 0.0;
+  Duration elapsed = 0;
+};
+
+/// Runs all engines to completion; returns aggregate observation throughput.
+G2Result run_g2(sim::Scheduler& sched, G2Backend& backend, const G2Config& cfg);
+
+/// Preloads the entity table.
+void load_entities(G2Backend& backend, const G2Config& cfg);
+
+}  // namespace hydra::apps

@@ -1,0 +1,54 @@
+#include "apps/hdfs_lite.hpp"
+
+#include <algorithm>
+
+namespace hydra::apps {
+
+HdfsLite::HdfsLite(sim::Scheduler& sched, fabric::Fabric& fabric, HdfsConfig cfg)
+    : sched_(sched), fabric_(fabric), cfg_(cfg), datanode_(sched, "hdfs-datanode") {}
+
+HdfsLite::Channel& HdfsLite::channel_for(NodeId reader) {
+  auto it = channels_.find(reader);
+  if (it != channels_.end()) return it->second;
+  auto [client_end, server_end] = fabric_.tcp_connect(reader, cfg_.datanode);
+  auto& ch = channels_[reader];
+  ch.to_server = client_end;
+  ch.from_server = server_end;
+  Channel* raw = &ch;
+  // Completion = the block's last byte crossing the reader's stack: the
+  // client end's receive handler fires exactly then.
+  client_end->set_handler(datanode_.guard([raw](std::vector<std::byte> msg) {
+    if (raw->pending.empty()) return;
+    ReadCb cb = std::move(raw->pending.front());
+    raw->pending.pop_front();
+    cb(static_cast<std::uint32_t>(msg.size()));
+  }));
+  return ch;
+}
+
+void HdfsLite::read_block(NodeId reader_node, std::uint64_t block_id, ReadCb cb) {
+  Channel& ch = channel_for(reader_node);
+  auto it = blocks_.find(block_id);
+  const std::uint32_t bytes = it == blocks_.end() ? 0 : it->second;
+  ch.pending.push_back(std::move(cb));
+
+  // Request travels reader -> datanode over TCP (tiny message).
+  const Time request_arrives =
+      sched_.now() + fabric_.cost().tcp_kernel_cost + fabric_.cost().tcp_latency;
+  // Datanode CPU (namenode lookup, checksums, buffer copies) serializes
+  // across concurrent readers; the response then streams back over the
+  // datanode's shared port at TCP bandwidth.
+  const Duration serve_cpu =
+      cfg_.request_cpu + static_cast<Duration>(cfg_.per_byte_cpu * static_cast<double>(bytes));
+  const Time serve_start = std::max(request_arrives, server_busy_until_);
+  server_busy_until_ = serve_start + serve_cpu;
+  ++reads_;
+
+  fabric::TcpConn* reply = ch.from_server;
+  sched_.at(server_busy_until_, datanode_.guard([reply, bytes] {
+    std::vector<std::byte> block(bytes);
+    reply->send(block);
+  }));
+}
+
+}  // namespace hydra::apps

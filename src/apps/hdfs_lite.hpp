@@ -1,0 +1,63 @@
+// Mini-HDFS: an in-memory block store served over kernel TCP.
+//
+// Figure 2's baseline is *in-memory* HDFS -- disks are out of the picture;
+// what remains is the TCP/IP stack and the datanode's per-request CPU,
+// which is exactly what the HydraDB cache layer removes. Blocks are served
+// as single framed messages whose size rides the TCP bandwidth model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::apps {
+
+struct HdfsConfig {
+  NodeId datanode = 0;
+  Duration request_cpu = 15 * kMicrosecond;  ///< namenode lookup + datanode setup
+  double per_byte_cpu = 0.3;                 ///< checksums, JVM buffer copies
+};
+
+class HdfsLite {
+ public:
+  using ReadCb = std::function<void(std::uint32_t block_bytes)>;
+
+  HdfsLite(sim::Scheduler& sched, fabric::Fabric& fabric, HdfsConfig cfg);
+
+  /// Registers a block (content is synthetic; only the size matters).
+  void put_block(std::uint64_t block_id, std::uint32_t bytes) { blocks_[block_id] = bytes; }
+  [[nodiscard]] bool has_block(std::uint64_t block_id) const { return blocks_.contains(block_id); }
+
+  /// Reads a block from `reader_node`; the callback fires when the last
+  /// byte has crossed the (TCP) wire.
+  void read_block(NodeId reader_node, std::uint64_t block_id, ReadCb cb);
+
+  [[nodiscard]] std::uint64_t reads_served() const noexcept { return reads_; }
+
+ private:
+  struct Channel {
+    fabric::TcpConn* to_server = nullptr;
+    fabric::TcpConn* from_server = nullptr;
+    /// Outstanding reads on this stream; TCP ordering makes FIFO matching
+    /// correct.
+    std::deque<ReadCb> pending;
+  };
+
+  Channel& channel_for(NodeId reader);
+
+  sim::Scheduler& sched_;
+  fabric::Fabric& fabric_;
+  HdfsConfig cfg_;
+  sim::Actor datanode_;
+  Time server_busy_until_ = 0;  ///< datanode CPU serialization
+  std::map<std::uint64_t, std::uint32_t> blocks_;
+  std::map<NodeId, Channel> channels_;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace hydra::apps

@@ -1,0 +1,158 @@
+#include "apps/mapreduce.hpp"
+
+#include <cstdio>
+
+#include "common/keygen.hpp"
+
+namespace hydra::apps {
+
+std::vector<JobSpec> paper_job_mix() {
+  std::vector<JobSpec> jobs;
+  // Hadoop, I/O-dominated: the cache layer's best case (paper: up to 17.9x).
+  jobs.push_back(JobSpec{"TestDFSIO-read", 8, 4, 4u << 20, 0.0, 100 * kMicrosecond, 1});
+  jobs.push_back(JobSpec{"DataLoading", 8, 4, 4u << 20, 0.005, 100 * kMicrosecond, 1});
+  // Hadoop with moderate compute.
+  jobs.push_back(JobSpec{"WordCount", 8, 3, 4u << 20, 0.5, 200 * kMicrosecond, 1});
+  jobs.push_back(JobSpec{"Grep", 8, 3, 4u << 20, 0.35, 200 * kMicrosecond, 1});
+  // Spark-style: compute dominates and the working set is small, so the
+  // I/O path is a minor fraction (paper: 4-41% gains).
+  jobs.push_back(JobSpec{"Spark-PageRank", 4, 1, 4u << 20, 4.0, 500 * kMicrosecond, 1});
+  jobs.push_back(JobSpec{"Spark-KMeans", 4, 1, 4u << 20, 5.0, 500 * kMicrosecond, 1});
+  return jobs;
+}
+
+std::string chunk_key(std::uint64_t block_id, std::uint32_t chunk) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "blk%08llx.%04x",
+                static_cast<unsigned long long>(block_id), chunk);
+  return buf;
+}
+
+void load_blocks_into_hdfs(HdfsLite& hdfs, const JobSpec& job) {
+  const std::uint64_t blocks =
+      static_cast<std::uint64_t>(job.tasks) * static_cast<std::uint64_t>(job.blocks_per_task);
+  for (std::uint64_t b = 0; b < blocks; ++b) hdfs.put_block(b, job.block_bytes);
+}
+
+void load_blocks_into_hydradb(db::HydraCluster& cluster, const JobSpec& job,
+                              std::uint32_t chunk_bytes) {
+  const std::uint64_t blocks =
+      static_cast<std::uint64_t>(job.tasks) * static_cast<std::uint64_t>(job.blocks_per_task);
+  const std::uint32_t chunks = (job.block_bytes + chunk_bytes - 1) / chunk_bytes;
+  const std::string chunk_value(chunk_bytes, 'd');
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      cluster.direct_load(chunk_key(b, c), chunk_value);
+    }
+  }
+}
+
+Duration run_job_on_hdfs(sim::Scheduler& sched, HdfsLite& hdfs,
+                         const std::vector<NodeId>& task_nodes, const JobSpec& job) {
+  const Time start = sched.now();
+  int remaining = job.tasks;
+
+  // Each task is a little state machine: read block -> compute -> repeat.
+  struct Task {
+    int blocks_left;
+    int passes_left;
+    std::uint64_t next_block;
+    std::uint64_t first_block;
+    NodeId node;
+  };
+  auto tasks = std::make_shared<std::vector<Task>>();
+  for (int t = 0; t < job.tasks; ++t) {
+    Task task;
+    task.blocks_left = job.blocks_per_task;
+    task.passes_left = job.passes;
+    task.first_block = static_cast<std::uint64_t>(t) * static_cast<std::uint64_t>(job.blocks_per_task);
+    task.next_block = task.first_block;
+    task.node = task_nodes[static_cast<std::size_t>(t) % task_nodes.size()];
+    tasks->push_back(task);
+  }
+
+  std::function<void(int)> step = [&, tasks](int t) {
+    Task& task = (*tasks)[static_cast<std::size_t>(t)];
+    if (task.blocks_left == 0) {
+      if (--task.passes_left == 0) {
+        --remaining;
+        return;
+      }
+      task.blocks_left = job.blocks_per_task;
+      task.next_block = task.first_block;
+    }
+    const std::uint64_t block = task.next_block++;
+    --task.blocks_left;
+    hdfs.read_block(task.node, block, [&, t](std::uint32_t bytes) {
+      const auto compute = static_cast<Duration>(job.compute_per_byte * static_cast<double>(bytes)) +
+                           job.task_overhead / std::max(1, job.blocks_per_task);
+      sched.after(compute, [&, t] { step(t); });
+    });
+  };
+  for (int t = 0; t < job.tasks; ++t) step(t);
+
+  while (remaining > 0 && sched.step()) {
+  }
+  return sched.now() - start;
+}
+
+Duration run_job_on_hydradb(db::HydraCluster& cluster, const JobSpec& job,
+                            std::uint32_t chunk_bytes) {
+  sim::Scheduler& sched = cluster.scheduler();
+  auto& clients = cluster.clients();
+  const Time start = sched.now();
+  int remaining = job.tasks;
+  const std::uint32_t chunks_per_block = (job.block_bytes + chunk_bytes - 1) / chunk_bytes;
+
+  struct Task {
+    int blocks_left;
+    int passes_left;
+    std::uint64_t next_block;
+    std::uint64_t first_block;
+    std::uint32_t next_chunk = 0;
+    client::Client* client;
+  };
+  auto tasks = std::make_shared<std::vector<Task>>();
+  for (int t = 0; t < job.tasks; ++t) {
+    Task task;
+    task.blocks_left = job.blocks_per_task;
+    task.passes_left = job.passes;
+    task.first_block = static_cast<std::uint64_t>(t) * static_cast<std::uint64_t>(job.blocks_per_task);
+    task.next_block = task.first_block;
+    task.client = clients[static_cast<std::size_t>(t) % clients.size()];
+    tasks->push_back(task);
+  }
+
+  std::function<void(int)> step = [&, tasks, chunks_per_block](int t) {
+    Task& task = (*tasks)[static_cast<std::size_t>(t)];
+    if (task.next_chunk == chunks_per_block) {
+      // Block finished: charge the task's compute over it.
+      task.next_chunk = 0;
+      ++task.next_block;
+      if (--task.blocks_left == 0) {
+        if (--task.passes_left == 0) {
+          const auto compute =
+              static_cast<Duration>(job.compute_per_byte * static_cast<double>(job.block_bytes));
+          sched.after(compute, [&] { --remaining; });
+          return;
+        }
+        task.blocks_left = job.blocks_per_task;
+        task.next_block = task.first_block;
+      }
+      const auto compute =
+          static_cast<Duration>(job.compute_per_byte * static_cast<double>(job.block_bytes)) +
+          job.task_overhead / std::max(1, job.blocks_per_task);
+      sched.after(compute, [&, t] { step(t); });
+      return;
+    }
+    const std::string key = chunk_key(task.next_block, task.next_chunk++);
+    task.client->get(key, [&, t](Status, std::string_view) { step(t); });
+  };
+  for (int t = 0; t < job.tasks; ++t) step(t);
+
+  while (remaining > 0 && sched.step()) {
+  }
+  return sched.now() - start;
+}
+
+}  // namespace hydra::apps

@@ -1,0 +1,53 @@
+// MapReduce-style job driver for the Figure 2 experiment.
+//
+// A job is a set of tasks, each reading input blocks and spending CPU per
+// byte. Input comes either from mini-HDFS over TCP (the in-memory-HDFS
+// baseline) or from a HydraDB cluster acting as the cache layer, where each
+// HDFS block was pre-chunked into 4 MB key-value pairs (section 2.1 / 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/hdfs_lite.hpp"
+#include "hydradb/hydra_cluster.hpp"
+
+namespace hydra::apps {
+
+struct JobSpec {
+  std::string name;
+  int tasks = 8;
+  int blocks_per_task = 4;
+  std::uint32_t block_bytes = 4 * 1024 * 1024;
+  /// CPU time a task spends per input byte (0 for pure-I/O jobs like
+  /// TestDFSIO; larger for compute-heavy Spark-style jobs).
+  double compute_per_byte = 0.0;
+  /// Fixed per-task compute (job setup, sort buffers, ...).
+  Duration task_overhead = 200 * kMicrosecond;
+  /// How many times the input set is re-read (iterative Spark jobs read
+  /// hot data repeatedly -- where the cache layer shines most).
+  int passes = 1;
+};
+
+/// Paper-motivated job mix: I/O-dominated Hadoop jobs through
+/// compute-dominated Spark analytics.
+std::vector<JobSpec> paper_job_mix();
+
+/// Runs the job against mini-HDFS; returns the virtual makespan.
+Duration run_job_on_hdfs(sim::Scheduler& sched, HdfsLite& hdfs,
+                         const std::vector<NodeId>& task_nodes, const JobSpec& job);
+
+/// Runs the job against a HydraDB cache cluster pre-loaded with the same
+/// blocks chunked into `chunk_bytes` values; returns the virtual makespan.
+Duration run_job_on_hydradb(db::HydraCluster& cluster, const JobSpec& job,
+                            std::uint32_t chunk_bytes = 4 * 1024 * 1024);
+
+/// Pre-loads the job's input blocks.
+void load_blocks_into_hdfs(HdfsLite& hdfs, const JobSpec& job);
+void load_blocks_into_hydradb(db::HydraCluster& cluster, const JobSpec& job,
+                              std::uint32_t chunk_bytes = 4 * 1024 * 1024);
+
+/// Key for chunk `c` of block `b` in the cache layer.
+std::string chunk_key(std::uint64_t block_id, std::uint32_t chunk);
+
+}  // namespace hydra::apps

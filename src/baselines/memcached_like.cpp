@@ -1,0 +1,188 @@
+// Memcached-architecture baseline: multi-threaded server sharing one
+// lock-protected hash table + LRU, speaking kernel TCP (IPoIB in the
+// paper's setup). Its bottlenecks under load are the kernel stack's
+// per-message latency/CPU and lock contention between worker threads.
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "proto/messages.hpp"
+#include "sim/actor.hpp"
+#include "sim/mutex.hpp"
+
+namespace hydra::baselines {
+namespace {
+
+class MemcachedLike final : public BaselineStore {
+ public:
+  MemcachedLike(sim::Scheduler& sched, fabric::Fabric& fabric, BaselineConfig cfg)
+      : sched_(sched),
+        fabric_(fabric),
+        cfg_(cfg),
+        server_(sched, "memcached-server"),
+        lock_(sched, /*handoff_cost=*/80),
+        workers_(static_cast<std::size_t>(cfg.parallelism)) {}
+
+  const char* name() const override { return "memcached-like"; }
+
+  void load(const std::string& key, const std::string& value) override {
+    table_[key] = value;
+  }
+
+  void get(int client_idx, std::string key, GetCb cb) override {
+    submit(client_idx, proto::MsgType::kGet, std::move(key), {}, std::move(cb), nullptr);
+  }
+
+  void update(int client_idx, std::string key, std::string value, PutCb cb) override {
+    submit(client_idx, proto::MsgType::kUpdate, std::move(key), std::move(value), nullptr,
+           std::move(cb));
+  }
+
+ private:
+  struct ClientSide {
+    fabric::TcpConn* conn = nullptr;  // client endpoint
+    GetCb get_cb;
+    PutCb put_cb;
+  };
+  struct Job {
+    proto::Request req;
+    int conn_idx;
+  };
+  struct Worker {
+    bool busy = false;
+    std::deque<Job> queue;
+  };
+
+  ClientSide& conn_for(int client_idx) {
+    if (static_cast<std::size_t>(client_idx) >= clients_.size()) {
+      clients_.resize(static_cast<std::size_t>(client_idx) + 1);
+    }
+    ClientSide& c = clients_[static_cast<std::size_t>(client_idx)];
+    if (c.conn == nullptr) {
+      const NodeId cnode =
+          cfg_.client_nodes[static_cast<std::size_t>(client_idx) % cfg_.client_nodes.size()];
+      auto [client_end, server_end] = fabric_.tcp_connect(cnode, cfg_.server_node);
+      c.conn = client_end;
+      server_conns_.push_back(server_end);
+      const int conn_idx = static_cast<int>(server_conns_.size()) - 1;
+      server_end->set_handler(server_.guard([this, conn_idx](std::vector<std::byte> msg) {
+        on_server_message(conn_idx, std::move(msg));
+      }));
+      client_end->set_handler(server_.guard([this, client_idx](std::vector<std::byte> msg) {
+        on_client_response(client_idx, std::move(msg));
+      }));
+    }
+    return c;
+  }
+
+  void submit(int client_idx, proto::MsgType type, std::string key, std::string value,
+              GetCb gcb, PutCb pcb) {
+    ClientSide& c = conn_for(client_idx);
+    c.get_cb = std::move(gcb);
+    c.put_cb = std::move(pcb);
+    proto::Request req;
+    req.type = type;
+    req.client = static_cast<ClientId>(client_idx);
+    req.key = std::move(key);
+    req.value = std::move(value);
+    // Client burns its own syscall cost, then the message rides the stack.
+    sched_.after(cfg_.client_cost, server_.guard([this, client_idx] {
+      clients_[static_cast<std::size_t>(client_idx)].conn->send(pending_frames_[static_cast<std::size_t>(client_idx)]);
+    }));
+    if (pending_frames_.size() <= static_cast<std::size_t>(client_idx)) {
+      pending_frames_.resize(static_cast<std::size_t>(client_idx) + 1);
+    }
+    pending_frames_[static_cast<std::size_t>(client_idx)] = proto::encode_request(req);
+  }
+
+  void on_server_message(int conn_idx, std::vector<std::byte> msg) {
+    auto req = proto::decode_request(msg);
+    if (!req.has_value()) return;
+    Worker& w = workers_[static_cast<std::size_t>(conn_idx) % workers_.size()];
+    w.queue.push_back(Job{std::move(*req), conn_idx});
+    if (!w.busy) {
+      w.busy = true;
+      worker_run(w);
+    }
+  }
+
+  void worker_run(Worker& w) {
+    if (w.queue.empty()) {
+      w.busy = false;
+      return;
+    }
+    Job job = std::move(w.queue.front());
+    w.queue.pop_front();
+    // Kernel receive path + parse, then the global lock serializes the
+    // actual table access across all workers.
+    const Duration pre = fabric_.cost().tcp_kernel_cost + cfg_.parse_cost;
+    server_.schedule_after(pre, [this, &w, job = std::move(job)]() mutable {
+      lock_.lock(server_.guard([this, &w, job = std::move(job)]() mutable {
+        const Duration hold =
+            cfg_.store_op_cost + cfg_.lock_hold_extra +
+            static_cast<Duration>(cfg_.per_value_byte *
+                                  static_cast<double>(job.req.value.size()));
+        server_.schedule_after(hold, [this, &w, job = std::move(job)]() mutable {
+          proto::Response resp;
+          resp.req_id = job.req.req_id;
+          if (job.req.type == proto::MsgType::kGet) {
+            auto it = table_.find(job.req.key);
+            if (it == table_.end()) {
+              resp.status = Status::kNotFound;
+            } else {
+              resp.value = it->second;
+            }
+          } else {
+            table_[job.req.key] = job.req.value;
+          }
+          lock_.unlock();
+          server_.schedule_after(cfg_.respond_cost, [this, &w, job, resp = std::move(resp)] {
+            server_conns_[static_cast<std::size_t>(job.conn_idx)]->send(
+                proto::encode_response(resp));
+            worker_run(w);
+          });
+        });
+      }));
+    });
+  }
+
+  void on_client_response(int client_idx, std::vector<std::byte> msg) {
+    auto resp = proto::decode_response(msg);
+    if (!resp.has_value()) return;
+    sched_.after(cfg_.client_cost, server_.guard([this, client_idx, resp = std::move(*resp)] {
+      ClientSide& c = clients_[static_cast<std::size_t>(client_idx)];
+      if (c.get_cb) {
+        auto cb = std::move(c.get_cb);
+        c.get_cb = nullptr;
+        cb(resp.status, resp.value);
+      } else if (c.put_cb) {
+        auto cb = std::move(c.put_cb);
+        c.put_cb = nullptr;
+        cb(resp.status);
+      }
+    }));
+  }
+
+  sim::Scheduler& sched_;
+  fabric::Fabric& fabric_;
+  BaselineConfig cfg_;
+  sim::Actor server_;
+  sim::SimMutex lock_;
+  std::vector<Worker> workers_;
+  std::unordered_map<std::string, std::string> table_;
+  std::vector<ClientSide> clients_;
+  std::vector<fabric::TcpConn*> server_conns_;
+  std::vector<std::vector<std::byte>> pending_frames_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineStore> make_memcached_like(sim::Scheduler& sched,
+                                                   fabric::Fabric& fabric,
+                                                   BaselineConfig cfg) {
+  return std::make_unique<MemcachedLike>(sched, fabric, cfg);
+}
+
+}  // namespace hydra::baselines

@@ -1,0 +1,181 @@
+// Redis-architecture baseline: N single-threaded instances over kernel TCP,
+// sharded on the client side (the paper runs 8 instances with fine-grained
+// client-side sharding). No locks -- each instance's event loop serializes
+// its own requests; skew concentrates load on few instances.
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "common/hash.hpp"
+#include "proto/messages.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::baselines {
+namespace {
+
+class RedisLike final : public BaselineStore {
+ public:
+  RedisLike(sim::Scheduler& sched, fabric::Fabric& fabric, BaselineConfig cfg)
+      : sched_(sched),
+        fabric_(fabric),
+        cfg_(cfg),
+        actor_(sched, "redis-server"),
+        instances_(static_cast<std::size_t>(cfg.parallelism)) {}
+
+  const char* name() const override { return "redis-like"; }
+
+  void load(const std::string& key, const std::string& value) override {
+    instance_for(key).table[key] = value;
+  }
+
+  void get(int client_idx, std::string key, GetCb cb) override {
+    submit(client_idx, proto::MsgType::kGet, std::move(key), {}, std::move(cb), nullptr);
+  }
+
+  void update(int client_idx, std::string key, std::string value, PutCb cb) override {
+    submit(client_idx, proto::MsgType::kUpdate, std::move(key), std::move(value), nullptr,
+           std::move(cb));
+  }
+
+ private:
+  struct Instance {
+    std::unordered_map<std::string, std::string> table;
+    bool busy = false;
+    std::deque<std::pair<proto::Request, int>> queue;  // (request, conn id)
+  };
+  struct ClientSide {
+    std::vector<fabric::TcpConn*> conns;  // one per instance, lazily built
+    GetCb get_cb;
+    PutCb put_cb;
+  };
+  struct ServerConn {
+    fabric::TcpConn* conn = nullptr;
+  };
+
+  Instance& instance_for(const std::string& key) {
+    return instances_[hash_key(key) % instances_.size()];
+  }
+  std::size_t instance_index(const std::string& key) {
+    return hash_key(key) % instances_.size();
+  }
+
+  fabric::TcpConn* conn_for(int client_idx, std::size_t instance) {
+    if (static_cast<std::size_t>(client_idx) >= clients_.size()) {
+      clients_.resize(static_cast<std::size_t>(client_idx) + 1);
+    }
+    ClientSide& c = clients_[static_cast<std::size_t>(client_idx)];
+    if (c.conns.size() < instances_.size()) c.conns.resize(instances_.size(), nullptr);
+    if (c.conns[instance] == nullptr) {
+      const NodeId cnode =
+          cfg_.client_nodes[static_cast<std::size_t>(client_idx) % cfg_.client_nodes.size()];
+      auto [client_end, server_end] = fabric_.tcp_connect(cnode, cfg_.server_node);
+      c.conns[instance] = client_end;
+      server_conns_.push_back(ServerConn{server_end});
+      const int conn_id = static_cast<int>(server_conns_.size()) - 1;
+      server_end->set_handler(
+          actor_.guard([this, instance, conn_id](std::vector<std::byte> msg) {
+            on_server_message(instance, conn_id, std::move(msg));
+          }));
+      client_end->set_handler(actor_.guard([this, client_idx](std::vector<std::byte> msg) {
+        on_client_response(client_idx, std::move(msg));
+      }));
+    }
+    return c.conns[instance];
+  }
+
+  void submit(int client_idx, proto::MsgType type, std::string key, std::string value,
+              GetCb gcb, PutCb pcb) {
+    const std::size_t inst = instance_index(key);
+    fabric::TcpConn* conn = conn_for(client_idx, inst);
+    ClientSide& c = clients_[static_cast<std::size_t>(client_idx)];
+    c.get_cb = std::move(gcb);
+    c.put_cb = std::move(pcb);
+    proto::Request req;
+    req.type = type;
+    req.client = static_cast<ClientId>(client_idx);
+    req.key = std::move(key);
+    req.value = std::move(value);
+    auto frame = proto::encode_request(req);
+    sched_.after(cfg_.client_cost, actor_.guard([conn, frame = std::move(frame)] {
+      conn->send(frame);
+    }));
+  }
+
+  void on_server_message(std::size_t instance, int conn_id, std::vector<std::byte> msg) {
+    auto req = proto::decode_request(msg);
+    if (!req.has_value()) return;
+    Instance& inst = instances_[instance];
+    inst.queue.emplace_back(std::move(*req), conn_id);
+    if (!inst.busy) {
+      inst.busy = true;
+      event_loop(instance);
+    }
+  }
+
+  void event_loop(std::size_t instance) {
+    Instance& inst = instances_[instance];
+    if (inst.queue.empty()) {
+      inst.busy = false;
+      return;
+    }
+    auto [req, conn_id] = std::move(inst.queue.front());
+    inst.queue.pop_front();
+    const Duration cost =
+        fabric_.cost().tcp_kernel_cost + cfg_.parse_cost + cfg_.store_op_cost +
+        cfg_.respond_cost +
+        static_cast<Duration>(cfg_.per_value_byte * static_cast<double>(req.value.size()));
+    actor_.schedule_after(cost, [this, instance, conn_id, req = std::move(req)] {
+      Instance& i2 = instances_[instance];
+      proto::Response resp;
+      resp.req_id = req.req_id;
+      if (req.type == proto::MsgType::kGet) {
+        auto it = i2.table.find(req.key);
+        if (it == i2.table.end()) {
+          resp.status = Status::kNotFound;
+        } else {
+          resp.value = it->second;
+        }
+      } else {
+        i2.table[req.key] = req.value;
+      }
+      server_conns_[static_cast<std::size_t>(conn_id)].conn->send(proto::encode_response(resp));
+      event_loop(instance);
+    });
+  }
+
+  void on_client_response(int client_idx, std::vector<std::byte> msg) {
+    auto resp = proto::decode_response(msg);
+    if (!resp.has_value()) return;
+    sched_.after(cfg_.client_cost, actor_.guard([this, client_idx, resp = std::move(*resp)] {
+      ClientSide& c = clients_[static_cast<std::size_t>(client_idx)];
+      if (c.get_cb) {
+        auto cb = std::move(c.get_cb);
+        c.get_cb = nullptr;
+        cb(resp.status, resp.value);
+      } else if (c.put_cb) {
+        auto cb = std::move(c.put_cb);
+        c.put_cb = nullptr;
+        cb(resp.status);
+      }
+    }));
+  }
+
+  sim::Scheduler& sched_;
+  fabric::Fabric& fabric_;
+  BaselineConfig cfg_;
+  sim::Actor actor_;
+  std::vector<Instance> instances_;
+  std::vector<ClientSide> clients_;
+  std::vector<ServerConn> server_conns_;
+};
+
+}  // namespace
+
+std::unique_ptr<BaselineStore> make_redis_like(sim::Scheduler& sched,
+                                               fabric::Fabric& fabric, BaselineConfig cfg) {
+  return std::make_unique<RedisLike>(sched, fabric, cfg);
+}
+
+}  // namespace hydra::baselines

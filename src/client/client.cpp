@@ -1,0 +1,361 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+#include "core/item.hpp"
+
+namespace hydra::client {
+
+Client::Client(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
+               ClientConfig cfg, std::shared_ptr<RemotePtrCache> pointer_cache)
+    : sim::Actor(sched, "client-" + std::to_string(cfg.id)),
+      fabric_(fabric),
+      node_(node),
+      cfg_(cfg),
+      cache_(pointer_cache ? std::move(pointer_cache)
+                           : std::make_shared<RemotePtrCache>(64 * 1024)),
+      resp_region_(static_cast<std::size_t>(cfg.max_shard_connections) *
+                   cfg.resp_slot_bytes) {
+  resp_mr_ = fabric_.node(node_).register_memory(resp_region_);
+  resp_mr_->set_write_hook(
+      guard([this](std::uint64_t offset, std::uint32_t) { on_response_write(offset); }));
+  for (std::uint32_t i = 0; i < cfg_.max_shard_connections; ++i) free_slots_.push_back(i);
+}
+
+// ---------------------------------------------------------------- public ops
+
+void Client::get(std::string key, GetCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kGet;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(key);
+  op.get_cb = std::move(cb);
+  op.issued = now();
+
+  if (cfg_.use_rdma_read) {
+    const std::uint64_t h = hash_key(op.req.key);
+    proto::RemotePtr ptr;
+    if (cache_->get(h, &ptr) &&
+        ptr.lease_expiry > now() + cfg_.lease_safety_margin) {
+      try_rdma_read(h, ptr, std::move(op));
+      return;
+    }
+    ++stats_.ptr_misses;
+  }
+  submit(std::move(op));
+}
+
+void Client::put(std::string key, std::string value, OpCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kPut;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(key);
+  op.req.value = std::move(value);
+  op.op_cb = std::move(cb);
+  op.issued = now();
+  submit(std::move(op));
+}
+
+void Client::insert(std::string key, std::string value, OpCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kInsert;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(key);
+  op.req.value = std::move(value);
+  op.op_cb = std::move(cb);
+  op.issued = now();
+  submit(std::move(op));
+}
+
+void Client::update(std::string key, std::string value, OpCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kUpdate;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(key);
+  op.req.value = std::move(value);
+  op.op_cb = std::move(cb);
+  op.issued = now();
+  submit(std::move(op));
+}
+
+void Client::remove(std::string key, OpCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kRemove;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(key);
+  op.op_cb = std::move(cb);
+  op.issued = now();
+  submit(std::move(op));
+}
+
+void Client::renew_lease(std::string key, OpCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kRenewLease;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(key);
+  op.op_cb = std::move(cb);
+  op.issued = now();
+  submit(std::move(op));
+}
+
+// ---------------------------------------------------------------- RDMA read
+
+void Client::try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr,
+                           PendingOp op) {
+  Conn* conn = connection_to(ptr.shard);
+  if (conn == nullptr) {
+    ++stats_.ptr_misses;
+    submit(std::move(op));
+    return;
+  }
+  // The read buffer lives in the completion closure; items are fetched
+  // whole (header + key + value + guardian) and validated locally.
+  auto buf = std::make_shared<std::vector<std::byte>>(ptr.total_len);
+  auto op_holder = std::make_shared<PendingOp>(std::move(op));
+  conn->wire.qp->post_read(
+      *buf, fabric::RemoteAddr{ptr.rkey, ptr.offset}, next_req_id_++,
+      guard([this, buf, op_holder, key_hash, ptr](const fabric::Completion& wc) {
+        if (wc.status != fabric::WcStatus::kSuccess) {
+          // Shard unreachable: treat like a miss; the message path will
+          // retry/re-route through the failover machinery.
+          cache_->erase(key_hash);
+          ++stats_.ptr_misses;
+          submit(std::move(*op_holder));
+          return;
+        }
+        schedule_after(cfg_.decode_cost, [this, buf, op_holder, key_hash, ptr] {
+          const core::ItemValidity validity =
+              core::validate_item(buf->data(), buf->size(), op_holder->req.key);
+          if (validity == core::ItemValidity::kValid) {
+            ++stats_.ptr_hits;
+            ++stats_.gets;
+            core::ItemView item(buf->data());
+            stats_.get_latency.record(now() - op_holder->issued);
+            maybe_auto_renew(op_holder->req.key, ptr);
+            if (op_holder->get_cb) op_holder->get_cb(Status::kOk, item.value());
+            return;
+          }
+          // Outdated or reclaimed: invalidate and fall back to a GET
+          // message to fetch the latest version (paper section 4.2.3).
+          ++stats_.invalid_hits;
+          cache_->erase(key_hash);
+          submit(std::move(*op_holder));
+        });
+      }));
+}
+
+void Client::maybe_auto_renew(const std::string& key, const proto::RemotePtr& ptr) {
+  if (!cfg_.auto_renew) return;
+  // Renew when less than a quarter of the lease term remains, so pointers
+  // for keys this client keeps reading stay valid (C-Hint-style renewal).
+  const Duration remaining = ptr.lease_expiry > now() ? ptr.lease_expiry - now() : 0;
+  if (remaining > kSecond / 4) return;
+  ++stats_.renews_sent;
+  renew_lease(key, nullptr);
+}
+
+// ---------------------------------------------------------------- messaging
+
+Client::Conn* Client::connection_to(ShardId shard) {
+  auto it = conns_.find(shard);
+  if (it != conns_.end()) return it->second.get();
+  if (!connector_ || free_slots_.empty()) return nullptr;
+
+  auto conn = std::make_unique<Conn>();
+  conn->resp_slot_idx = free_slots_.back();
+  const fabric::RemoteAddr resp_addr =
+      resp_mr_->addr(static_cast<std::uint64_t>(conn->resp_slot_idx) * cfg_.resp_slot_bytes);
+  if (!connector_(shard, *this, resp_addr, cfg_.resp_slot_bytes, &conn->wire)) {
+    return nullptr;
+  }
+  free_slots_.pop_back();
+  slot_to_shard_[conn->resp_slot_idx] = shard;
+
+  if (conn->wire.send_recv) {
+    conn->recv_bufs.resize(8, std::vector<std::byte>(cfg_.resp_slot_bytes));
+    for (std::size_t i = 0; i < conn->recv_bufs.size(); ++i) {
+      conn->wire.qp->post_recv(conn->recv_bufs[i], i);
+    }
+    Conn* raw = conn.get();
+    conn->wire.qp->set_recv_handler(
+        guard([this, shard, raw](const fabric::Completion& wc, std::span<std::byte> data) {
+          auto resp = proto::decode_response(data.subspan(0, wc.byte_len));
+          raw->wire.qp->post_recv(raw->recv_bufs[wc.wr_id], wc.wr_id);
+          if (resp.has_value()) handle_response(shard, *raw, *resp);
+        }));
+  }
+  Conn* raw = conn.get();
+  conns_[shard] = std::move(conn);
+  return raw;
+}
+
+void Client::drop_connection(ShardId shard) {
+  auto it = conns_.find(shard);
+  if (it == conns_.end()) return;
+  scheduler().cancel(it->second->timeout);
+  free_slots_.push_back(it->second->resp_slot_idx);
+  slot_to_shard_.erase(it->second->resp_slot_idx);
+  conns_.erase(it);
+}
+
+void Client::submit(PendingOp op) {
+  if (!resolver_) {
+    complete(op, Status::kDisconnected, {});
+    return;
+  }
+  const ShardId shard = resolver_(hash_key(op.req.key));
+  if (shard == kInvalidShard) {
+    complete(op, Status::kDisconnected, {});
+    return;
+  }
+  Conn* conn = connection_to(shard);
+  if (conn == nullptr) {
+    // No route right now (mid-failover): retry shortly rather than fail.
+    if (++op.retries > cfg_.max_retries) {
+      complete(op, Status::kTimeout, {});
+      return;
+    }
+    ++stats_.retries;
+    schedule_after(cfg_.request_timeout / 4,
+                   [this, op = std::move(op)]() mutable { submit(std::move(op)); });
+    return;
+  }
+  if (conn->busy) {
+    conn->queue.push_back(std::move(op));
+    return;
+  }
+  conn->busy = true;
+  conn->current = std::move(op);
+  issue(shard, *conn);
+}
+
+void Client::issue(ShardId shard, Conn& conn) {
+  conn.current.req.req_id = next_req_id_++;
+  const auto payload = proto::encode_request(conn.current.req);
+
+  if (conn.wire.send_recv) {
+    schedule_after(cfg_.issue_cost, [this, shard, payload] {
+      auto it = conns_.find(shard);  // connection may have been torn down
+      if (it == conns_.end()) return;
+      it->second->wire.qp->post_send(payload);
+      it->second->timeout =
+          schedule_after(cfg_.request_timeout, [this, shard] { on_timeout(shard); });
+    });
+    return;
+  }
+
+  const std::size_t framed_size = proto::frame_size(payload.size());
+  if (framed_size > conn.wire.req_slot_bytes) {
+    PendingOp op = std::move(conn.current);
+    conn.busy = false;
+    complete(op, Status::kInvalidArgument, {});
+    return;
+  }
+  std::vector<std::byte> frame(framed_size);
+  proto::encode_frame(frame, payload);
+  schedule_after(cfg_.issue_cost, [this, shard, frame = std::move(frame)] {
+    auto it = conns_.find(shard);
+    if (it == conns_.end()) return;
+    it->second->wire.qp->post_write(frame, it->second->wire.req_slot);
+    it->second->timeout =
+        schedule_after(cfg_.request_timeout, [this, shard] { on_timeout(shard); });
+  });
+}
+
+void Client::on_response_write(std::uint64_t offset) {
+  const auto slot_idx = static_cast<std::uint32_t>(offset / cfg_.resp_slot_bytes);
+  auto sit = slot_to_shard_.find(slot_idx);
+  if (sit == slot_to_shard_.end()) return;
+  const ShardId shard = sit->second;
+  auto cit = conns_.find(shard);
+  if (cit == conns_.end()) return;
+  Conn& conn = *cit->second;
+
+  const auto slot = resp_slot(conn.resp_slot_idx);
+  if (!proto::poll_frame(slot).has_value()) return;  // frame still landing
+  auto resp = proto::decode_response(proto::frame_payload(slot));
+  proto::clear_frame(slot);
+  if (!resp.has_value()) return;
+  handle_response(shard, conn, *resp);
+}
+
+void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& resp) {
+  if (!conn.busy || resp.req_id != conn.current.req.req_id) return;  // stale
+  scheduler().cancel(conn.timeout);
+  PendingOp op = std::move(conn.current);
+  conn.busy = false;
+
+  // Cache/refresh the granted remote pointer (GET and lease-renew paths).
+  if (cfg_.use_rdma_read && resp.remote_ptr.valid()) {
+    cache_->put(hash_key(op.req.key), resp.remote_ptr);
+  }
+
+  // Issue the next queued op for this shard before running the callback.
+  if (!conn.queue.empty()) {
+    conn.busy = true;
+    conn.current = std::move(conn.queue.front());
+    conn.queue.pop_front();
+    issue(shard, conn);
+  }
+
+  schedule_after(cfg_.decode_cost,
+                 [this, op = std::move(op), resp = std::move(resp)]() mutable {
+                   complete(op, resp.status, resp.value);
+                 });
+}
+
+void Client::on_timeout(ShardId shard) {
+  auto it = conns_.find(shard);
+  if (it == conns_.end() || !it->second->busy) return;
+  ++stats_.timeouts;
+
+  // Salvage everything queued on this connection, tear it down, and
+  // re-resolve: after a failover the shard's primary lives elsewhere.
+  std::vector<PendingOp> to_retry;
+  to_retry.push_back(std::move(it->second->current));
+  for (auto& queued : it->second->queue) to_retry.push_back(std::move(queued));
+  drop_connection(shard);
+
+  for (auto& op : to_retry) {
+    if (++op.retries > cfg_.max_retries) {
+      complete(op, Status::kTimeout, {});
+      continue;
+    }
+    ++stats_.retries;
+    schedule_after(cfg_.request_timeout / 4,
+                   [this, op = std::move(op)]() mutable { submit(std::move(op)); });
+  }
+}
+
+void Client::complete(PendingOp& op, Status status, std::string_view value) {
+  const Duration latency = now() - op.issued;
+  if (status != Status::kOk && status != Status::kNotFound &&
+      status != Status::kExists) {
+    ++stats_.failures;
+  }
+  switch (op.req.type) {
+    case proto::MsgType::kGet:
+      ++stats_.gets;
+      stats_.get_latency.record(latency);
+      if (op.get_cb) op.get_cb(status, value);
+      return;
+    case proto::MsgType::kInsert:
+    case proto::MsgType::kUpdate:
+    case proto::MsgType::kPut:
+      ++stats_.puts;
+      stats_.put_latency.record(latency);
+      break;
+    case proto::MsgType::kRemove:
+      ++stats_.removes;
+      stats_.put_latency.record(latency);
+      break;
+    default:
+      break;
+  }
+  if (op.op_cb) op.op_cb(status);
+}
+
+}  // namespace hydra::client

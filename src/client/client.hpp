@@ -1,0 +1,158 @@
+// HydraDB client library (paper sections 4.2.1, 4.2.2, 4.2.3, 4.2.4).
+//
+// The client routes keys with consistent hashing, passes messages over
+// RDMA-Write-driven request/response buffers (one outstanding request per
+// shard connection, closed loop), and accelerates repeat GETs with cached
+// remote pointers: while the lease holds, the value is fetched by one-sided
+// RDMA Read and validated locally via the guardian word; a dead guardian
+// falls back to the message path and invalidates the cached pointer.
+// Co-located clients may share one lock-free pointer cache.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "core/lockfree_cache.hpp"
+#include "fabric/fabric.hpp"
+#include "proto/frame.hpp"
+#include "proto/messages.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::client {
+
+struct ClientConfig {
+  ClientId id = 0;
+  /// Remote-pointer caching + RDMA Read GETs (off = "RDMA Write Only").
+  bool use_rdma_read = true;
+  /// Two-sided Send/Recv transport instead of RDMA-Write message passing.
+  bool use_send_recv = false;
+  /// Fire-and-forget lease renewals when a hit's remaining lease runs low.
+  bool auto_renew = true;
+  std::uint32_t resp_slot_bytes = 16 * 1024;
+  std::uint32_t max_shard_connections = 128;
+  Duration issue_cost = 150;    ///< building + posting a request
+  Duration decode_cost = 120;   ///< parsing a response / validating a read
+  Duration request_timeout = 5 * kMillisecond;
+  int max_retries = 8;
+  /// Do not RDMA-read when the lease has less than this margin remaining.
+  Duration lease_safety_margin = 50 * kMicrosecond;
+};
+
+struct ClientStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t ptr_hits = 0;      ///< GETs served by a valid RDMA Read
+  std::uint64_t invalid_hits = 0;  ///< RDMA Read found dead/mismatched item
+  std::uint64_t ptr_misses = 0;    ///< GET without a usable cached pointer
+  std::uint64_t renews_sent = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+  LatencyHistogram get_latency;
+  LatencyHistogram put_latency;
+};
+
+/// Everything the harness hands back when a client connects to a shard.
+struct ShardConnection {
+  fabric::QueuePair* qp = nullptr;      ///< client-side endpoint
+  fabric::RemoteAddr req_slot{};        ///< where to write framed requests
+  std::uint32_t req_slot_bytes = 0;
+  std::uint32_t arena_rkey = 0;
+  bool send_recv = false;
+};
+
+class Client : public sim::Actor {
+ public:
+  using RemotePtrCache = core::LockFreeCache<proto::RemotePtr>;
+  /// key hash -> owning shard (consistent-hash ring lookup).
+  using Resolver = std::function<ShardId(std::uint64_t key_hash)>;
+  /// Builds a fresh connection to a shard's *current* primary. The client
+  /// passes where responses should land; returns false if the shard is
+  /// (currently) unreachable.
+  using Connector = std::function<bool(ShardId shard, Client& self,
+                                       fabric::RemoteAddr resp_slot,
+                                       std::uint32_t resp_slot_bytes,
+                                       ShardConnection* out)>;
+
+  using GetCallback = std::function<void(Status, std::string_view value)>;
+  using OpCallback = std::function<void(Status)>;
+
+  Client(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node, ClientConfig cfg,
+         std::shared_ptr<RemotePtrCache> pointer_cache = nullptr);
+
+  void set_resolver(Resolver r) { resolver_ = std::move(r); }
+  void set_connector(Connector c) { connector_ = std::move(c); }
+
+  // --- data-plane operations (asynchronous, callbacks in virtual time) ----
+  void get(std::string key, GetCallback cb);
+  void put(std::string key, std::string value, OpCallback cb);      ///< upsert
+  void insert(std::string key, std::string value, OpCallback cb);
+  void update(std::string key, std::string value, OpCallback cb);
+  void remove(std::string key, OpCallback cb);
+  void renew_lease(std::string key, OpCallback cb);
+
+  [[nodiscard]] ClientId id() const noexcept { return cfg_.id; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ClientStats& mutable_stats() noexcept { return stats_; }
+  [[nodiscard]] RemotePtrCache& pointer_cache() noexcept { return *cache_; }
+
+ private:
+  struct PendingOp {
+    proto::Request req;
+    GetCallback get_cb;
+    OpCallback op_cb;
+    Time issued = 0;
+    int retries = 0;
+  };
+
+  struct Conn {
+    ShardConnection wire;
+    std::uint32_t resp_slot_idx = 0;
+    bool busy = false;
+    PendingOp current;
+    std::deque<PendingOp> queue;
+    sim::EventId timeout{};
+    std::vector<std::vector<std::byte>> recv_bufs;  // send/recv mode
+  };
+
+  [[nodiscard]] std::span<std::byte> resp_slot(std::uint32_t idx) noexcept {
+    return {resp_region_.data() + static_cast<std::size_t>(idx) * cfg_.resp_slot_bytes,
+            cfg_.resp_slot_bytes};
+  }
+
+  Conn* connection_to(ShardId shard);
+  void drop_connection(ShardId shard);
+  void submit(PendingOp op);
+  void issue(ShardId shard, Conn& conn);
+  void on_response_write(std::uint64_t offset);
+  void handle_response(ShardId shard, Conn& conn, const proto::Response& resp);
+  void on_timeout(ShardId shard);
+  void complete(PendingOp& op, Status status, std::string_view value);
+  void try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr, PendingOp op);
+  void maybe_auto_renew(const std::string& key, const proto::RemotePtr& ptr);
+
+  fabric::Fabric& fabric_;
+  NodeId node_;
+  ClientConfig cfg_;
+  std::shared_ptr<RemotePtrCache> cache_;
+  Resolver resolver_;
+  Connector connector_;
+
+  std::vector<std::byte> resp_region_;
+  fabric::MemoryRegion* resp_mr_;
+  std::vector<std::uint32_t> free_slots_;
+  std::map<ShardId, std::unique_ptr<Conn>> conns_;
+  std::map<std::uint32_t, ShardId> slot_to_shard_;
+  std::uint64_t next_req_id_ = 1;
+  ClientStats stats_;
+};
+
+}  // namespace hydra::client

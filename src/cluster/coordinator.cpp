@@ -1,0 +1,141 @@
+#include "cluster/coordinator.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace hydra::cluster {
+
+Coordinator::Coordinator(sim::Scheduler& sched, Config cfg)
+    : sim::Actor(sched, "coordinator"), cfg_(cfg) {
+  schedule_after(cfg_.sweep_interval, [this] { sweep(); });
+}
+
+SessionId Coordinator::open_session(std::string owner) {
+  const SessionId id = next_session_++;
+  sessions_[id] = Session{std::move(owner), now(), true};
+  return id;
+}
+
+void Coordinator::heartbeat(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it != sessions_.end() && it->second.alive) it->second.last_heartbeat = now();
+}
+
+void Coordinator::close_session(SessionId session) { expire_session(session); }
+
+bool Coordinator::session_alive(SessionId session) const {
+  auto it = sessions_.find(session);
+  return it != sessions_.end() && it->second.alive;
+}
+
+void Coordinator::create(const std::string& path, std::string data, SessionId session,
+                         DoneFn done) {
+  schedule_after(cfg_.op_latency, [this, path, data = std::move(data), session,
+                                   done = std::move(done)]() mutable {
+    const bool ok = !tree_.contains(path) && (session == 0 || session_alive(session));
+    if (ok) {
+      tree_[path] = Znode{std::move(data), session};
+      fire_watches(path, WatchEvent::kCreated);
+    }
+    if (done) done(ok);
+  });
+}
+
+void Coordinator::set_data(const std::string& path, std::string data, DoneFn done) {
+  schedule_after(cfg_.op_latency, [this, path, data = std::move(data),
+                                   done = std::move(done)]() mutable {
+    auto it = tree_.find(path);
+    const bool ok = it != tree_.end();
+    if (ok) {
+      it->second.data = std::move(data);
+      fire_watches(path, WatchEvent::kChanged);
+    }
+    if (done) done(ok);
+  });
+}
+
+void Coordinator::get_data(const std::string& path, GetFn done) {
+  schedule_after(cfg_.op_latency, [this, path, done = std::move(done)] {
+    auto it = tree_.find(path);
+    if (it == tree_.end()) {
+      done(false, {});
+    } else {
+      done(true, it->second.data);
+    }
+  });
+}
+
+void Coordinator::remove(const std::string& path, DoneFn done) {
+  schedule_after(cfg_.op_latency, [this, path, done = std::move(done)] {
+    const bool ok = tree_.erase(path) > 0;
+    if (ok) fire_watches(path, WatchEvent::kDeleted);
+    if (done) done(ok);
+  });
+}
+
+bool Coordinator::exists(const std::string& path) const { return tree_.contains(path); }
+
+std::string Coordinator::data(const std::string& path) const {
+  auto it = tree_.find(path);
+  return it == tree_.end() ? std::string{} : it->second.data;
+}
+
+std::vector<std::string> Coordinator::children(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = tree_.lower_bound(prefix); it != tree_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void Coordinator::watch(const std::string& path, Watch w) {
+  watches_.emplace(path, std::move(w));
+}
+
+void Coordinator::watch_prefix(const std::string& prefix, Watch w) {
+  prefix_watches_.emplace(prefix, std::move(w));
+}
+
+void Coordinator::fire_watches(const std::string& path, WatchEvent event) {
+  // Notifications reach watchers one op-latency later, like ZK callbacks.
+  auto [lo, hi] = watches_.equal_range(path);
+  for (auto it = lo; it != hi; ++it) {
+    schedule_after(cfg_.op_latency, [w = it->second, path, event] { w(path, event); });
+  }
+  for (const auto& [prefix, w] : prefix_watches_) {
+    if (path.compare(0, prefix.size(), prefix) == 0) {
+      schedule_after(cfg_.op_latency, [w, path, event] { w(path, event); });
+    }
+  }
+}
+
+void Coordinator::expire_session(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second.alive) return;
+  it->second.alive = false;
+  HYDRA_INFO("coordinator: session %llu (%s) expired",
+             static_cast<unsigned long long>(id), it->second.owner.c_str());
+  // Reap this session's ephemeral nodes; each deletion fires watches, which
+  // is how SWAT learns about process death.
+  std::vector<std::string> doomed;
+  for (const auto& [path, znode] : tree_) {
+    if (znode.owner == id) doomed.push_back(path);
+  }
+  for (const auto& path : doomed) {
+    tree_.erase(path);
+    fire_watches(path, WatchEvent::kDeleted);
+  }
+}
+
+void Coordinator::sweep() {
+  std::vector<SessionId> expired;
+  for (const auto& [id, s] : sessions_) {
+    if (s.alive && now() - s.last_heartbeat > cfg_.session_timeout) expired.push_back(id);
+  }
+  for (const SessionId id : expired) expire_session(id);
+  schedule_after(cfg_.sweep_interval, [this] { sweep(); });
+}
+
+}  // namespace hydra::cluster

@@ -1,0 +1,101 @@
+// ZooKeeper-lite coordination service (paper section 5.1).
+//
+// HydraDB's HA plane needs exactly the ZooKeeper semantics the paper relies
+// on: a consistent view of process status, ephemeral nodes that vanish when
+// their owner's session stops heartbeating, and watches that notify the
+// SWAT group of status changes. We model the ensemble at the service level
+// (a single always-available actor with request latency) rather than
+// reimplementing ZAB -- the paper treats the ensemble as a given substrate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/actor.hpp"
+
+namespace hydra::cluster {
+
+using SessionId = std::uint64_t;
+
+enum class WatchEvent : std::uint8_t { kCreated, kChanged, kDeleted };
+
+constexpr const char* to_string(WatchEvent e) noexcept {
+  switch (e) {
+    case WatchEvent::kCreated: return "CREATED";
+    case WatchEvent::kChanged: return "CHANGED";
+    case WatchEvent::kDeleted: return "DELETED";
+  }
+  return "?";
+}
+
+class Coordinator : public sim::Actor {
+ public:
+  struct Config {
+    Duration op_latency = 150 * kMicrosecond;    ///< ensemble round trip
+    Duration session_timeout = 2 * kSecond;
+    Duration sweep_interval = 500 * kMillisecond;
+  };
+
+  /// Persistent watch: fires on every event for the registered path (or,
+  /// for prefix watches, any path under the prefix).
+  using Watch = std::function<void(const std::string& path, WatchEvent event)>;
+  using DoneFn = std::function<void(bool ok)>;
+  using GetFn = std::function<void(bool exists, std::string data)>;
+
+  explicit Coordinator(sim::Scheduler& sched) : Coordinator(sched, Config{}) {}
+  Coordinator(sim::Scheduler& sched, Config cfg);
+
+  // --- sessions ----------------------------------------------------------
+  /// Opens a heartbeat session. The caller must heartbeat at least every
+  /// session_timeout or its ephemeral znodes are reaped.
+  SessionId open_session(std::string owner);
+  void heartbeat(SessionId session);
+  void close_session(SessionId session);
+  [[nodiscard]] bool session_alive(SessionId session) const;
+
+  // --- znodes ------------------------------------------------------------
+  /// Creates a znode; `session` != 0 makes it ephemeral (dies with the
+  /// session). Fails if the path exists.
+  void create(const std::string& path, std::string data, SessionId session = 0,
+              DoneFn done = nullptr);
+  /// Sets data on an existing znode (fails if absent).
+  void set_data(const std::string& path, std::string data, DoneFn done = nullptr);
+  void get_data(const std::string& path, GetFn done);
+  void remove(const std::string& path, DoneFn done = nullptr);
+
+  /// Synchronous introspection (tests and same-process consumers).
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] std::string data(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> children(const std::string& prefix) const;
+
+  // --- watches -----------------------------------------------------------
+  void watch(const std::string& path, Watch w);
+  void watch_prefix(const std::string& prefix, Watch w);
+
+ private:
+  struct Znode {
+    std::string data;
+    SessionId owner = 0;  // 0 = persistent
+  };
+  struct Session {
+    std::string owner;
+    Time last_heartbeat = 0;
+    bool alive = true;
+  };
+
+  void fire_watches(const std::string& path, WatchEvent event);
+  void expire_session(SessionId id);
+  void sweep();
+
+  Config cfg_;
+  std::map<std::string, Znode> tree_;
+  std::map<SessionId, Session> sessions_;
+  std::multimap<std::string, Watch> watches_;
+  std::multimap<std::string, Watch> prefix_watches_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace hydra::cluster

@@ -1,0 +1,49 @@
+#include "cluster/ring.hpp"
+
+#include "common/hash.hpp"
+
+namespace hydra::cluster {
+namespace {
+
+std::uint64_t vnode_point(ShardId shard, int replica) noexcept {
+  return mix64((static_cast<std::uint64_t>(shard) << 32) ^
+               static_cast<std::uint64_t>(replica) ^ 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+void ConsistentHashRing::add_shard(ShardId shard) {
+  if (shards_.contains(shard)) return;
+  shards_[shard] = vnodes_;
+  for (int i = 0; i < vnodes_; ++i) points_.emplace(vnode_point(shard, i), shard);
+  ++version_;
+}
+
+void ConsistentHashRing::remove_shard(ShardId shard) {
+  if (shards_.erase(shard) == 0) return;
+  for (int i = 0; i < vnodes_; ++i) {
+    auto it = points_.find(vnode_point(shard, i));
+    if (it != points_.end() && it->second == shard) points_.erase(it);
+  }
+  ++version_;
+}
+
+ShardId ConsistentHashRing::owner(std::uint64_t key_hash) const noexcept {
+  if (points_.empty()) return kInvalidShard;
+  auto it = points_.lower_bound(key_hash);
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+bool ConsistentHashRing::contains(ShardId shard) const noexcept {
+  return shards_.contains(shard);
+}
+
+std::vector<ShardId> ConsistentHashRing::shards() const {
+  std::vector<ShardId> out;
+  out.reserve(shards_.size());
+  for (const auto& [id, _] : shards_) out.push_back(id);
+  return out;
+}
+
+}  // namespace hydra::cluster

@@ -1,0 +1,39 @@
+// Consistent-hash ring (Karger et al.), the client-side routing structure.
+//
+// Clients locate the shard owning a key from the 64-bit hash of the key
+// (paper section 4). Virtual nodes smooth the load distribution; the ring
+// carries a version so clients can detect stale routing after failover.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::cluster {
+
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes_per_shard = 64)
+      : vnodes_(vnodes_per_shard) {}
+
+  void add_shard(ShardId shard);
+  void remove_shard(ShardId shard);
+
+  /// Shard owning this key hash; kInvalidShard when the ring is empty.
+  [[nodiscard]] ShardId owner(std::uint64_t key_hash) const noexcept;
+
+  [[nodiscard]] bool contains(ShardId shard) const noexcept;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] std::vector<ShardId> shards() const;
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, ShardId> points_;
+  std::map<ShardId, int> shards_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace hydra::cluster

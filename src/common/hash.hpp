@@ -1,0 +1,52 @@
+// 64-bit hashing used for key routing, bucket indexing and slot signatures.
+//
+// HydraDB routes a key-value item to a shard by the 64-bit hashcode of its
+// key (paper section 4.1.1) and stores a 16-bit signature of the same hash in
+// each hash-table slot (section 4.1.3).  All consumers derive from this one
+// function so that routing, indexing and signatures always agree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hydra {
+
+/// xxHash64-style avalanche mix of a single 64-bit value.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hashes an arbitrary byte string to 64 bits (xx64-inspired, unseeded).
+std::uint64_t hash_bytes(const void* data, std::size_t len) noexcept;
+
+inline std::uint64_t hash_key(std::string_view key) noexcept {
+  return hash_bytes(key.data(), key.size());
+}
+
+/// The 16-bit slot signature: the *top* bits of the hash, which are not the
+/// ones used for bucket selection (low bits), so signature collisions are
+/// independent of bucket collisions.
+constexpr std::uint16_t key_signature(std::uint64_t hash) noexcept {
+  return static_cast<std::uint16_t>(hash >> 48);
+}
+
+/// FNV-1a, used by the YCSB scrambled-Zipfian generator (matches YCSB's
+/// FNVhash64 so generated key popularity ranks line up with the original).
+constexpr std::uint64_t fnv1a64(std::uint64_t v) noexcept {
+  constexpr std::uint64_t kOffset = 0xCBF29CE484222325ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = kOffset;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace hydra

@@ -1,0 +1,66 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace hydra {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::bucket_for(Duration ns) noexcept {
+  if (ns < kSubBuckets) return static_cast<int>(ns);
+  const int exponent = 63 - std::countl_zero(ns);
+  const int sub = static_cast<int>((ns >> (exponent - kSubBits)) & (kSubBuckets - 1));
+  return (exponent - kSubBits + 1) * kSubBuckets + sub;
+}
+
+Duration LatencyHistogram::bucket_upper(int bucket) noexcept {
+  if (bucket < kSubBuckets) return static_cast<Duration>(bucket);
+  const int exponent = bucket / kSubBuckets + kSubBits - 1;
+  const int sub = bucket % kSubBuckets;
+  return ((static_cast<Duration>(kSubBuckets + sub) << (exponent - kSubBits)) |
+          ((Duration{1} << (exponent - kSubBits)) - 1));
+}
+
+void LatencyHistogram::record(Duration ns) noexcept {
+  ++buckets_[static_cast<std::size_t>(bucket_for(ns))];
+  ++count_;
+  sum_ += static_cast<double>(ns);
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = ~Duration{0};
+  max_ = 0;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Duration LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace hydra

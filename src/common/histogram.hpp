@@ -1,0 +1,45 @@
+// Log-bucketed latency histogram (HDR-style) for virtual-time measurements.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra {
+
+/// Records durations with ~1.5% relative precision using logarithmic
+/// buckets; supports mean, percentile and merge. All values in nanoseconds.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(Duration ns) noexcept;
+  void merge(const LatencyHistogram& other) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] Duration min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] Duration max() const noexcept { return max_; }
+  /// p in [0,100]; returns an upper bound of the bucket containing the
+  /// requested percentile.
+  [[nodiscard]] Duration percentile(double p) const noexcept;
+
+ private:
+  // 64 exponents x 16 linear sub-buckets covers [1ns, 2^64ns).
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  static int bucket_for(Duration ns) noexcept;
+  static Duration bucket_upper(int bucket) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  Duration min_ = ~Duration{0};
+  Duration max_ = 0;
+};
+
+}  // namespace hydra

@@ -1,0 +1,79 @@
+#include "common/keygen.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.hpp"
+
+namespace hydra {
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianChooser::ZipfianChooser(std::uint64_t count, double theta)
+    : count_(count), theta_(theta) {
+  assert(count_ > 0);
+  zeta2theta_ = zeta(2, theta_);
+  zetan_ = zeta(count_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(count_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianChooser::next(Xoshiro256& rng) {
+  // Gray et al. rejection-free inversion, identical to YCSB's ZipfianGenerator.
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto r = static_cast<std::uint64_t>(
+      static_cast<double>(count_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return r >= count_ ? count_ - 1 : r;
+}
+
+ScrambledZipfianChooser::ScrambledZipfianChooser(std::uint64_t count, double theta)
+    : inner_(count, theta), count_(count) {}
+
+std::uint64_t ScrambledZipfianChooser::next(Xoshiro256& rng) {
+  const std::uint64_t rank = inner_.next(rng);
+  return fnv1a64(rank) % count_;
+}
+
+std::string format_key(std::uint64_t index, std::size_t key_len) {
+  // "user" prefix plus zero-padded digits, like YCSB's keys, padded/truncated
+  // to exactly key_len bytes so the wire format sees fixed-size keys.
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "user%012llu",
+                              static_cast<unsigned long long>(index));
+  std::string key(buf, static_cast<std::size_t>(n));
+  key.resize(key_len, 'x');
+  return key;
+}
+
+std::string synth_value(std::uint64_t index, std::size_t value_len) {
+  std::string value(value_len, '\0');
+  SplitMix64 sm(index ^ 0x5A5A5A5A5A5A5A5AULL);
+  for (std::size_t i = 0; i < value_len; ++i) {
+    value[i] = static_cast<char>('a' + (sm.next() % 26));
+  }
+  return value;
+}
+
+std::unique_ptr<KeyChooser> make_chooser(Distribution d, std::uint64_t count,
+                                         double theta) {
+  if (d == Distribution::kUniform) {
+    return std::make_unique<UniformChooser>(count);
+  }
+  return std::make_unique<ScrambledZipfianChooser>(count, theta);
+}
+
+}  // namespace hydra

@@ -1,0 +1,89 @@
+// YCSB-style request key generators (paper section 6: Zipfian and Uniform).
+//
+// The Zipfian generator follows Gray et al. ("Quickly generating
+// billion-record synthetic databases"), the same construction YCSB uses,
+// including the "scrambled" variant that spreads the popular items across
+// the key space via FNV hashing so popularity is uncorrelated with insertion
+// order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace hydra {
+
+/// Interface for drawing record indices in [0, count).
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  /// Draws the next record index.
+  virtual std::uint64_t next(Xoshiro256& rng) = 0;
+  /// Number of distinct records this chooser draws from.
+  [[nodiscard]] virtual std::uint64_t record_count() const noexcept = 0;
+};
+
+/// Uniform choice over [0, count).
+class UniformChooser final : public KeyChooser {
+ public:
+  explicit UniformChooser(std::uint64_t count) : count_(count) {}
+  std::uint64_t next(Xoshiro256& rng) override { return rng.below(count_); }
+  [[nodiscard]] std::uint64_t record_count() const noexcept override { return count_; }
+
+ private:
+  std::uint64_t count_;
+};
+
+/// Zipfian choice over [0, count) with exponent theta (YCSB default 0.99).
+/// Rank 0 is the most popular item.
+class ZipfianChooser : public KeyChooser {
+ public:
+  explicit ZipfianChooser(std::uint64_t count, double theta = kDefaultTheta);
+  std::uint64_t next(Xoshiro256& rng) override;
+  [[nodiscard]] std::uint64_t record_count() const noexcept override { return count_; }
+
+  static constexpr double kDefaultTheta = 0.99;
+
+ private:
+  std::uint64_t count_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Scrambled Zipfian: Zipfian ranks pushed through FNV so that the popular
+/// records are scattered uniformly over the record id space (YCSB semantics).
+class ScrambledZipfianChooser final : public KeyChooser {
+ public:
+  explicit ScrambledZipfianChooser(std::uint64_t count,
+                                   double theta = ZipfianChooser::kDefaultTheta);
+  std::uint64_t next(Xoshiro256& rng) override;
+  [[nodiscard]] std::uint64_t record_count() const noexcept override { return count_; }
+
+ private:
+  ZipfianChooser inner_;
+  std::uint64_t count_;
+};
+
+/// Formats record index `i` as the fixed-width YCSB-style key used throughout
+/// the evaluation (16-byte keys, paper section 6).
+std::string format_key(std::uint64_t index, std::size_t key_len = 16);
+
+/// Deterministically synthesizes the value payload for record `i`.
+std::string synth_value(std::uint64_t index, std::size_t value_len = 32);
+
+enum class Distribution : std::uint8_t { kUniform, kZipfian };
+
+constexpr const char* to_string(Distribution d) noexcept {
+  return d == Distribution::kUniform ? "uniform" : "zipfian";
+}
+
+/// Factory matching the paper's two request distributions.
+std::unique_ptr<KeyChooser> make_chooser(Distribution d, std::uint64_t count,
+                                         double theta = ZipfianChooser::kDefaultTheta);
+
+}  // namespace hydra

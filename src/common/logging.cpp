@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstring>
+
+namespace hydra {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+void set_log_level(LogLevel level) noexcept { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+namespace detail {
+
+std::string format_args(const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+void log_line(LogLevel level, const char* file, int line, const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::fprintf(stderr, "[%-5s] %s:%d: %s\n", level_name(level), base, line, msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace hydra

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Defaults to WARN so tests and benches stay quiet;
+// examples raise the level to narrate what the cluster is doing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace hydra {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const char* file, int line, const std::string& msg);
+std::string format_args(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define HYDRA_LOG(level, ...)                                              \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::hydra::log_level())) \
+      ::hydra::detail::log_line(level, __FILE__, __LINE__,                 \
+                                ::hydra::detail::format_args(__VA_ARGS__)); \
+  } while (0)
+
+#define HYDRA_DEBUG(...) HYDRA_LOG(::hydra::LogLevel::kDebug, __VA_ARGS__)
+#define HYDRA_INFO(...) HYDRA_LOG(::hydra::LogLevel::kInfo, __VA_ARGS__)
+#define HYDRA_WARN(...) HYDRA_LOG(::hydra::LogLevel::kWarn, __VA_ARGS__)
+#define HYDRA_ERROR(...) HYDRA_LOG(::hydra::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace hydra

@@ -1,0 +1,69 @@
+// Single-producer single-consumer ring buffer.
+//
+// Used by the pipelined-shard comparator (Fig 5a) for dispatcher->worker
+// handoff, and unit-tested with real threads since it is a genuine
+// concurrent structure independent of the simulator.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hydra {
+
+/// Destructive interference distance on the x86_64 targets we model; fixed
+/// rather than std::hardware_destructive_interference_size so the layout is
+/// stable across compiler versions (it also matches the paper's 64-byte
+/// cache-line bucket design).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Bounded lock-free SPSC queue; capacity rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace hydra

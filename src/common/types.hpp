@@ -1,0 +1,81 @@
+// Fundamental value types shared by every HydraDB module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hydra {
+
+/// Virtual-time instant in nanoseconds since simulation start.
+using Time = std::uint64_t;
+/// Virtual-time duration in nanoseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Identifies a simulated machine in the cluster.
+using NodeId = std::uint32_t;
+/// Identifies a shard (primary or secondary) cluster-wide.
+using ShardId = std::uint32_t;
+/// Identifies a client process cluster-wide.
+using ClientId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+inline constexpr ShardId kInvalidShard = ~ShardId{0};
+
+/// Operation outcome codes used across the client/server protocol.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound,        ///< key does not exist
+  kExists,          ///< INSERT of a key that already exists
+  kStale,           ///< RDMA Read observed a flipped guardian word
+  kNoLease,         ///< remote pointer lease expired, message path required
+  kWrongShard,      ///< request routed to a shard that does not own the key
+  kOutOfMemory,     ///< shard arena exhausted
+  kTimeout,         ///< peer did not answer (crash suspected)
+  kDisconnected,    ///< queue pair to the peer is in error state
+  kInvalidArgument, ///< malformed request (e.g. oversized key)
+  kRetry,           ///< transient condition, caller should re-issue
+};
+
+constexpr std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kExists: return "EXISTS";
+    case Status::kStale: return "STALE";
+    case Status::kNoLease: return "NO_LEASE";
+    case Status::kWrongShard: return "WRONG_SHARD";
+    case Status::kOutOfMemory: return "OUT_OF_MEMORY";
+    case Status::kTimeout: return "TIMEOUT";
+    case Status::kDisconnected: return "DISCONNECTED";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kRetry: return "RETRY";
+  }
+  return "UNKNOWN";
+}
+
+/// A minimal value-or-status carrier for APIs that return data.
+template <typename T>
+class Result {
+ public:
+  Result(Status s) : status_(s) {}  // NOLINT(google-explicit-constructor)
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return status_ == Status::kOk; }
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  [[nodiscard]] const T& value() const& noexcept { return value_; }
+  [[nodiscard]] T& value() & noexcept { return value_; }
+  [[nodiscard]] T&& value() && noexcept { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace hydra

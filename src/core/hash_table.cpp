@@ -1,0 +1,171 @@
+#include "core/hash_table.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/hash.hpp"
+#include "core/item.hpp"
+
+namespace hydra::core {
+
+CompactHashTable::CompactHashTable(Arena& arena, std::size_t min_buckets)
+    : arena_(arena) {
+  std::size_t n = 1;
+  while (n < min_buckets) n <<= 1;
+  buckets_.resize(n);
+  mask_ = n - 1;
+}
+
+std::string_view CompactHashTable::key_at(std::uint64_t item_offset) const noexcept {
+  ++full_key_compares_;
+  return ItemView(const_cast<std::byte*>(arena_.at(item_offset))).key();
+}
+
+bool CompactHashTable::locate(std::uint64_t hash, std::string_view key,
+                              Bucket** bucket, int* slot) const {
+  const std::uint16_t sig = key_signature(hash);
+  const Bucket* b = root_for(hash);
+  while (true) {
+    ++cacheline_reads_;
+    const std::uint8_t occ = occupancy(*b);
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      if ((occ & (1u << i)) == 0) continue;
+      const std::uint64_t s = b->slots[i];
+      if (slot_sig(s) != sig) continue;
+      if (key_at(slot_offset(s)) == key) {
+        *bucket = const_cast<Bucket*>(b);
+        *slot = i;
+        return true;
+      }
+    }
+    const std::uint64_t next = overflow_of(*b);
+    if (next == kNoOverflow) return false;
+    b = overflow_bucket(next);
+  }
+}
+
+std::uint64_t CompactHashTable::find(std::uint64_t hash, std::string_view key) const {
+  ++lookups_;
+  Bucket* b = nullptr;
+  int slot = 0;
+  if (!locate(hash, key, &b, &slot)) return kNullOffset;
+  return slot_offset(b->slots[slot]);
+}
+
+CompactHashTable::InsertResult CompactHashTable::insert(std::uint64_t hash,
+                                                        std::string_view key,
+                                                        std::uint64_t item_offset) {
+  ++lookups_;
+  const std::uint16_t sig = key_signature(hash);
+  Bucket* b = root_for(hash);
+  Bucket* free_bucket = nullptr;
+  int free_slot = -1;
+  Bucket* last = b;
+  while (true) {
+    ++cacheline_reads_;
+    const std::uint8_t occ = occupancy(*b);
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      if ((occ & (1u << i)) == 0) {
+        if (free_bucket == nullptr) {
+          free_bucket = b;
+          free_slot = i;
+        }
+        continue;
+      }
+      const std::uint64_t s = b->slots[i];
+      if (slot_sig(s) == sig && key_at(slot_offset(s)) == key) {
+        return InsertResult::kDuplicate;
+      }
+    }
+    const std::uint64_t next = overflow_of(*b);
+    if (next == kNoOverflow) break;
+    last = b = overflow_bucket(next);
+  }
+
+  if (free_bucket == nullptr) {
+    const std::uint64_t off = arena_.allocate(sizeof(Bucket));
+    if (off == kNullOffset) return InsertResult::kNoMemory;
+    Bucket* fresh = overflow_bucket(off);
+    fresh->header = kEmptyHeader;
+    std::memset(fresh->slots, 0, sizeof(fresh->slots));
+    set_overflow(*last, off);
+    ++overflow_buckets_;
+    free_bucket = fresh;
+    free_slot = 0;
+  }
+  free_bucket->slots[free_slot] = encode_slot(sig, item_offset);
+  set_occupancy_bit(*free_bucket, free_slot, true);
+  ++size_;
+  return InsertResult::kInserted;
+}
+
+std::uint64_t CompactHashTable::replace(std::uint64_t hash, std::string_view key,
+                                        std::uint64_t new_offset) {
+  ++lookups_;
+  Bucket* b = nullptr;
+  int slot = 0;
+  if (!locate(hash, key, &b, &slot)) return kNullOffset;
+  const std::uint64_t old = slot_offset(b->slots[slot]);
+  b->slots[slot] = encode_slot(key_signature(hash), new_offset);
+  return old;
+}
+
+std::uint64_t CompactHashTable::erase(std::uint64_t hash, std::string_view key) {
+  ++lookups_;
+  Bucket* b = nullptr;
+  int slot = 0;
+  if (!locate(hash, key, &b, &slot)) return kNullOffset;
+  const std::uint64_t old = slot_offset(b->slots[slot]);
+  set_occupancy_bit(*b, slot, false);
+  b->slots[slot] = 0;
+  --size_;
+  compact_chain(root_for(hash));
+  return old;
+}
+
+void CompactHashTable::compact_chain(Bucket* root) {
+  // Collect the chain (root + overflow buckets with their arena offsets).
+  std::vector<Bucket*> chain{root};
+  std::vector<std::uint64_t> offsets{kNoOverflow};
+  for (std::uint64_t off = overflow_of(*root); off != kNoOverflow;) {
+    Bucket* b = overflow_bucket(off);
+    chain.push_back(b);
+    offsets.push_back(off);
+    off = overflow_of(*b);
+  }
+  if (chain.size() == 1) return;
+
+  // Pull entries from the tail of the chain into free slots closer to the
+  // root, so lookups touch fewer cache lines.
+  for (std::size_t tail = chain.size() - 1; tail >= 1; --tail) {
+    Bucket& src = *chain[tail];
+    for (int i = 0; i < kSlotsPerBucket; ++i) {
+      if ((occupancy(src) & (1u << i)) == 0) continue;
+      bool moved = false;
+      for (std::size_t dst = 0; dst < tail && !moved; ++dst) {
+        Bucket& d = *chain[dst];
+        for (int j = 0; j < kSlotsPerBucket; ++j) {
+          if ((occupancy(d) & (1u << j)) != 0) continue;
+          d.slots[j] = src.slots[i];
+          set_occupancy_bit(d, j, true);
+          set_occupancy_bit(src, i, false);
+          src.slots[i] = 0;
+          moved = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Free empty overflow buckets from the tail; they merge back into the
+  // arena ("merges multiple buckets together after the remove operations").
+  while (chain.size() > 1 && occupancy(*chain.back()) == 0) {
+    arena_.deallocate(offsets.back(), sizeof(Bucket));
+    chain.pop_back();
+    offsets.pop_back();
+    set_overflow(*chain.back(), kNoOverflow);
+    --overflow_buckets_;
+  }
+}
+
+}  // namespace hydra::core

@@ -1,0 +1,118 @@
+// The cache-friendly compact hash table (paper section 4.1.3, Figure 6).
+//
+// The main branch is a contiguous array of 64-byte buckets, one cache line
+// each. A bucket holds an 8-byte header (7 occupancy bits + 56-bit link to a
+// dynamically generated overflow bucket) and 7 slots of 8 bytes: a 16-bit
+// key signature plus a 48-bit arena offset of the actual item. A lookup
+// resolves in a single cache-line read unless the signature matches (then
+// one item dereference for the full-key compare) or the bucket overflowed.
+// After removes, overflow chains are compacted and empty overflow buckets
+// are merged back into the arena.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/arena.hpp"
+
+namespace hydra::core {
+
+class CompactHashTable {
+ public:
+  static constexpr int kSlotsPerBucket = 7;
+
+  /// `min_buckets` rounds up to a power of two. Overflow buckets are
+  /// allocated from `arena` (64-byte blocks), which must outlive the table.
+  CompactHashTable(Arena& arena, std::size_t min_buckets);
+
+  CompactHashTable(const CompactHashTable&) = delete;
+  CompactHashTable& operator=(const CompactHashTable&) = delete;
+
+  /// Returns the item offset for `key`, or kNullOffset.
+  [[nodiscard]] std::uint64_t find(std::uint64_t hash, std::string_view key) const;
+
+  enum class InsertResult : std::uint8_t { kInserted, kDuplicate, kNoMemory };
+
+  /// Inserts key->offset; kDuplicate/kNoMemory leave the table unchanged
+  /// (kNoMemory means the arena could not supply an overflow bucket).
+  InsertResult insert(std::uint64_t hash, std::string_view key, std::uint64_t item_offset);
+
+  /// Swaps the offset stored for `key` (out-of-place update); returns the
+  /// previous offset, or kNullOffset if the key is absent (nothing stored).
+  std::uint64_t replace(std::uint64_t hash, std::string_view key, std::uint64_t new_offset);
+
+  /// Removes the entry; returns the previous offset or kNullOffset.
+  std::uint64_t erase(std::uint64_t hash, std::string_view key);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t overflow_buckets() const noexcept { return overflow_buckets_; }
+
+  // Probe-cost telemetry for the cache-friendliness benches.
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::uint64_t cacheline_reads() const noexcept { return cacheline_reads_; }
+  [[nodiscard]] std::uint64_t full_key_compares() const noexcept { return full_key_compares_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t header = kEmptyHeader;
+    std::uint64_t slots[kSlotsPerBucket] = {};
+  };
+  static_assert(sizeof(Bucket) == 64, "bucket must fill one cache line");
+
+  static constexpr std::uint64_t kNoOverflow = (1ULL << 56) - 1;
+  static constexpr std::uint64_t kEmptyHeader = kNoOverflow << 8;
+
+  static std::uint8_t occupancy(const Bucket& b) noexcept {
+    return static_cast<std::uint8_t>(b.header & 0x7F);
+  }
+  static std::uint64_t overflow_of(const Bucket& b) noexcept { return b.header >> 8; }
+  static void set_occupancy_bit(Bucket& b, int slot, bool on) noexcept {
+    if (on) {
+      b.header |= (1ULL << slot);
+    } else {
+      b.header &= ~(1ULL << slot);
+    }
+  }
+  static void set_overflow(Bucket& b, std::uint64_t off) noexcept {
+    b.header = (b.header & 0xFFULL) | (off << 8);
+  }
+  static std::uint64_t encode_slot(std::uint16_t sig, std::uint64_t offset) noexcept {
+    return (offset << 16) | sig;
+  }
+  static std::uint16_t slot_sig(std::uint64_t slot) noexcept {
+    return static_cast<std::uint16_t>(slot & 0xFFFF);
+  }
+  static std::uint64_t slot_offset(std::uint64_t slot) noexcept { return slot >> 16; }
+
+  [[nodiscard]] Bucket* root_for(std::uint64_t hash) noexcept {
+    return &buckets_[hash & mask_];
+  }
+  [[nodiscard]] const Bucket* root_for(std::uint64_t hash) const noexcept {
+    return &buckets_[hash & mask_];
+  }
+  [[nodiscard]] Bucket* overflow_bucket(std::uint64_t off) const noexcept {
+    return reinterpret_cast<Bucket*>(arena_.at(off));
+  }
+
+  [[nodiscard]] std::string_view key_at(std::uint64_t item_offset) const noexcept;
+
+  /// Locates key; on hit sets *bucket/*slot. Returns false on miss.
+  bool locate(std::uint64_t hash, std::string_view key, Bucket** bucket, int* slot) const;
+
+  /// Re-packs a chain after a remove: pulls entries forward into free slots
+  /// and returns empty overflow buckets to the arena.
+  void compact_chain(Bucket* root);
+
+  Arena& arena_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t mask_;
+  std::size_t size_ = 0;
+  std::uint64_t overflow_buckets_ = 0;
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t cacheline_reads_ = 0;
+  mutable std::uint64_t full_key_compares_ = 0;
+};
+
+}  // namespace hydra::core

@@ -1,0 +1,130 @@
+// On-arena key-value item layout.
+//
+// Items are the unit of RDMA Read: a client that holds a remote pointer
+// fetches the *entire* item (header + key + value + guardian word) in one
+// read and validates it locally (paper sections 4.2.2/4.2.3). The layout is
+// therefore fully self-describing:
+//
+//   [ItemHeader][key bytes][value bytes][pad to 8][guardian u64]
+//
+// The guardian word is flipped from LIVE to DEAD -- never modified in place
+// otherwise -- when the item is superseded by an out-of-place update or
+// removed. Because RDMA adapters commit a read atomically relative to our
+// event granularity, a fetched guardian==LIVE proves the bytes belong to a
+// current version.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace hydra::core {
+
+inline constexpr std::uint64_t kGuardianLive = 0x4C49564544415441ULL;  // "LIVEDATA"
+inline constexpr std::uint64_t kGuardianDead = 0xDEADDEADDEADDEADULL;
+
+/// 48-bit arena offsets; this sentinel means "no item".
+inline constexpr std::uint64_t kNullOffset = (1ULL << 48) - 1;
+
+struct ItemHeader {
+  std::uint32_t key_len = 0;
+  std::uint32_t val_len = 0;
+  std::uint64_t version = 0;       ///< bumped on every out-of-place update
+  std::uint64_t lease_expiry = 0;  ///< virtual-time ns; RDMA Read valid until
+  std::uint32_t access_count = 0;  ///< popularity proxy feeding the lease term
+  std::uint32_t flags = 0;
+};
+static_assert(sizeof(ItemHeader) == 32);
+
+constexpr std::size_t align8(std::size_t n) noexcept { return (n + 7) & ~std::size_t{7}; }
+
+/// Total on-arena footprint of an item with the given key/value sizes.
+constexpr std::size_t item_size(std::size_t key_len, std::size_t val_len) noexcept {
+  return align8(sizeof(ItemHeader) + key_len + val_len) + sizeof(std::uint64_t);
+}
+
+/// Accessor over raw item bytes (in the arena, or in a client's read buffer).
+class ItemView {
+ public:
+  explicit ItemView(std::byte* bytes) noexcept : bytes_(bytes) {}
+
+  [[nodiscard]] ItemHeader& header() const noexcept {
+    return *reinterpret_cast<ItemHeader*>(bytes_);
+  }
+  [[nodiscard]] std::string_view key() const noexcept {
+    return {reinterpret_cast<const char*>(bytes_ + sizeof(ItemHeader)), header().key_len};
+  }
+  [[nodiscard]] std::string_view value() const noexcept {
+    return {reinterpret_cast<const char*>(bytes_ + sizeof(ItemHeader) + header().key_len),
+            header().val_len};
+  }
+  [[nodiscard]] std::size_t total_size() const noexcept {
+    return item_size(header().key_len, header().val_len);
+  }
+  [[nodiscard]] std::size_t guardian_offset() const noexcept {
+    return total_size() - sizeof(std::uint64_t);
+  }
+
+  [[nodiscard]] std::uint64_t guardian() const noexcept {
+    // Acquire pairs with the release in set_guardian: on real hardware the
+    // NIC may DMA-read concurrently with the flip.
+    return std::atomic_ref<std::uint64_t>(
+               *reinterpret_cast<std::uint64_t*>(bytes_ + guardian_offset()))
+        .load(std::memory_order_acquire);
+  }
+  void set_guardian(std::uint64_t g) const noexcept {
+    std::atomic_ref<std::uint64_t>(
+        *reinterpret_cast<std::uint64_t*>(bytes_ + guardian_offset()))
+        .store(g, std::memory_order_release);
+  }
+  [[nodiscard]] bool live() const noexcept { return guardian() == kGuardianLive; }
+
+  /// Writes a fresh item into `bytes_`. Caller guarantees capacity.
+  void initialize(std::string_view key, std::string_view value,
+                  std::uint64_t version, std::uint64_t lease_expiry) const noexcept {
+    ItemHeader& h = header();
+    h.key_len = static_cast<std::uint32_t>(key.size());
+    h.val_len = static_cast<std::uint32_t>(value.size());
+    h.version = version;
+    h.lease_expiry = lease_expiry;
+    h.access_count = 1;
+    h.flags = 0;
+    std::memcpy(bytes_ + sizeof(ItemHeader), key.data(), key.size());
+    std::memcpy(bytes_ + sizeof(ItemHeader) + key.size(), value.data(), value.size());
+    // Zero the alignment pad so item images compare deterministically.
+    const std::size_t payload_end = sizeof(ItemHeader) + key.size() + value.size();
+    const std::size_t pad = guardian_offset() - payload_end;
+    if (pad != 0) std::memset(bytes_ + payload_end, 0, pad);
+    set_guardian(kGuardianLive);
+  }
+
+  [[nodiscard]] std::byte* raw() const noexcept { return bytes_; }
+
+ private:
+  std::byte* bytes_;
+};
+
+/// Validation of an item image fetched via RDMA Read, performed client-side.
+enum class ItemValidity : std::uint8_t {
+  kValid,
+  kDead,         ///< guardian flipped: item was updated or removed
+  kKeyMismatch,  ///< memory was reclaimed and reused for another key
+  kCorrupt,      ///< lengths inconsistent with the fetched size
+};
+
+inline ItemValidity validate_item(std::byte* bytes, std::size_t fetched_len,
+                                  std::string_view expected_key) noexcept {
+  if (fetched_len < sizeof(ItemHeader) + sizeof(std::uint64_t)) return ItemValidity::kCorrupt;
+  ItemView view(bytes);
+  const ItemHeader& h = view.header();
+  if (item_size(h.key_len, h.val_len) != fetched_len) return ItemValidity::kCorrupt;
+  if (view.guardian() != kGuardianLive) return ItemValidity::kDead;
+  if (view.key() != expected_key) return ItemValidity::kKeyMismatch;
+  return ItemValidity::kValid;
+}
+
+}  // namespace hydra::core

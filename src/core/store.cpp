@@ -1,0 +1,157 @@
+#include "core/store.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hash.hpp"
+
+namespace hydra::core {
+
+KVStore::KVStore(StoreConfig cfg)
+    : config_(cfg), arena_(cfg.arena_bytes), table_(arena_, cfg.min_buckets) {}
+
+Duration KVStore::lease_term(std::uint32_t access_count) const noexcept {
+  // Doubling schedule: count 1 -> min, 2..3 -> 2*min, 4..7 -> 4*min, ...
+  const unsigned log2c = access_count == 0 ? 0u : static_cast<unsigned>(std::bit_width(access_count) - 1);
+  const Duration term = config_.min_lease << std::min(log2c, 6u);
+  return std::min(term, config_.max_lease);
+}
+
+std::uint64_t KVStore::make_item(std::string_view key, std::string_view value,
+                                 std::uint64_t version, Time now) {
+  const std::size_t size = item_size(key.size(), value.size());
+  const std::uint64_t offset = arena_.allocate(size);
+  if (offset == kNullOffset) {
+    ++stats_.oom_failures;
+    return kNullOffset;
+  }
+  ItemView item(arena_.at(offset));
+  item.initialize(key, value, version, now + lease_term(1));
+  return offset;
+}
+
+void KVStore::retire(std::uint64_t offset, Time now) {
+  ItemView old(arena_.at(offset));
+  old.set_guardian(kGuardianDead);
+  // The memory stays intact until every lease that may cover a cached
+  // remote pointer has lapsed; only then is reuse safe.
+  const Time free_after = std::max<Time>(old.header().lease_expiry, now);
+  deferred_.push(Deferred{free_after, offset, static_cast<std::uint32_t>(old.total_size())});
+}
+
+Result<GetView> KVStore::get(std::string_view key, Time now, bool grant_lease) {
+  ++stats_.gets;
+  const std::uint64_t hash = hash_key(key);
+  const std::uint64_t offset = table_.find(hash, key);
+  if (offset == kNullOffset) {
+    ++stats_.get_misses;
+    return Status::kNotFound;
+  }
+  ItemView item(arena_.at(offset));
+  ItemHeader& h = item.header();
+  if (grant_lease) {
+    if (h.access_count != ~std::uint32_t{0}) ++h.access_count;
+    h.lease_expiry = std::max<Time>(h.lease_expiry, now + lease_term(h.access_count));
+  }
+  GetView view;
+  view.offset = offset;
+  view.total_len = static_cast<std::uint32_t>(item.total_size());
+  view.version = h.version;
+  view.lease_expiry = h.lease_expiry;
+  view.value = item.value();
+  return view;
+}
+
+Status KVStore::insert(std::string_view key, std::string_view value, Time now) {
+  if (key.empty() || key.size() > config_.max_key_len || value.size() > config_.max_val_len) {
+    return Status::kInvalidArgument;
+  }
+  const std::uint64_t hash = hash_key(key);
+  if (table_.find(hash, key) != kNullOffset) return Status::kExists;
+  const std::uint64_t offset = make_item(key, value, /*version=*/1, now);
+  if (offset == kNullOffset) return Status::kOutOfMemory;
+  switch (table_.insert(hash, key, offset)) {
+    case CompactHashTable::InsertResult::kInserted:
+      ++stats_.inserts;
+      return Status::kOk;
+    case CompactHashTable::InsertResult::kDuplicate:
+      arena_.deallocate(offset, item_size(key.size(), value.size()));
+      return Status::kExists;
+    case CompactHashTable::InsertResult::kNoMemory:
+      arena_.deallocate(offset, item_size(key.size(), value.size()));
+      ++stats_.oom_failures;
+      return Status::kOutOfMemory;
+  }
+  return Status::kInvalidArgument;  // unreachable
+}
+
+Status KVStore::update(std::string_view key, std::string_view value, Time now) {
+  if (key.empty() || key.size() > config_.max_key_len || value.size() > config_.max_val_len) {
+    return Status::kInvalidArgument;
+  }
+  const std::uint64_t hash = hash_key(key);
+  const std::uint64_t old_offset = table_.find(hash, key);
+  if (old_offset == kNullOffset) return Status::kNotFound;
+
+  ItemView old(arena_.at(old_offset));
+  const std::uint64_t new_version = old.header().version + 1;
+  const std::uint32_t popularity = old.header().access_count;
+
+  // Out-of-place: build the new item first, then flip the old guardian and
+  // swing the index. A concurrent RDMA Read sees either the old live item,
+  // the old dead item, or (via a fresh pointer) the new one -- never a
+  // half-written value.
+  const std::uint64_t new_offset = make_item(key, value, new_version, now);
+  if (new_offset == kNullOffset) return Status::kOutOfMemory;
+  ItemView fresh(arena_.at(new_offset));
+  fresh.header().access_count = popularity;  // popularity survives updates
+  fresh.header().lease_expiry = now + lease_term(popularity);
+
+  retire(old_offset, now);
+  table_.replace(hash, key, new_offset);
+  ++stats_.updates;
+  return Status::kOk;
+}
+
+Status KVStore::put(std::string_view key, std::string_view value, Time now) {
+  const Status up = update(key, value, now);
+  if (up == Status::kNotFound) return insert(key, value, now);
+  return up;
+}
+
+Status KVStore::remove(std::string_view key, Time now) {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint64_t offset = table_.erase(hash, key);
+  if (offset == kNullOffset) return Status::kNotFound;
+  retire(offset, now);
+  ++stats_.removes;
+  return Status::kOk;
+}
+
+Status KVStore::renew_lease(std::string_view key, Time now) {
+  const std::uint64_t hash = hash_key(key);
+  const std::uint64_t offset = table_.find(hash, key);
+  if (offset == kNullOffset) return Status::kNotFound;
+  ItemView item(arena_.at(offset));
+  ItemHeader& h = item.header();
+  h.lease_expiry = std::max<Time>(h.lease_expiry, now + lease_term(h.access_count));
+  return Status::kOk;
+}
+
+std::size_t KVStore::collect_garbage(Time now) {
+  std::size_t freed = 0;
+  while (!deferred_.empty() && deferred_.top().free_after <= now) {
+    const Deferred d = deferred_.top();
+    deferred_.pop();
+    arena_.deallocate(d.offset, d.size);
+    ++freed;
+    ++stats_.reclaimed_items;
+  }
+  return freed;
+}
+
+Time KVStore::next_reclaim_due() const noexcept {
+  return deferred_.empty() ? 0 : deferred_.top().free_after;
+}
+
+}  // namespace hydra::core

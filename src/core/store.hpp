@@ -1,0 +1,115 @@
+// The per-shard storage engine: compact hash table + slab arena + guardian
+// words + lease-based deferred reclamation (paper sections 4.1.3 and 4.2.3).
+//
+// The store is deliberately single-threaded: HydraDB's exclusive-partition
+// model means one shard thread owns one store outright, so there is no
+// internal locking. Virtual time flows in from the caller (the shard actor)
+// so lease arithmetic is simulator-driven and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/arena.hpp"
+#include "core/hash_table.hpp"
+#include "core/item.hpp"
+
+namespace hydra::core {
+
+struct StoreConfig {
+  std::size_t arena_bytes = 64ull << 20;
+  std::size_t min_buckets = 1 << 16;
+  /// Lease term bounds (paper: "varies from 1 second to 64 seconds
+  /// according to the approximate popularity of such key").
+  Duration min_lease = 1 * kSecond;
+  Duration max_lease = 64 * kSecond;
+  std::size_t max_key_len = 64 * 1024;
+  std::size_t max_val_len = 4ull << 20;
+};
+
+struct StoreStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t oom_failures = 0;
+  std::uint64_t reclaimed_items = 0;
+};
+
+/// What a server-handled GET returns: enough for the response message *and*
+/// for minting a remote pointer (offset/len within the registered arena).
+struct GetView {
+  std::uint64_t offset = kNullOffset;
+  std::uint32_t total_len = 0;
+  std::uint64_t version = 0;
+  std::uint64_t lease_expiry = 0;
+  std::string_view value;
+};
+
+class KVStore {
+ public:
+  explicit KVStore(StoreConfig cfg = {});
+
+  KVStore(const KVStore&) = delete;
+  KVStore& operator=(const KVStore&) = delete;
+
+  /// Looks up `key`. When `grant_lease`, bumps popularity and extends the
+  /// item's lease from `now` (the server-aware GET path, section 4.2.3).
+  Result<GetView> get(std::string_view key, Time now, bool grant_lease = true);
+
+  /// Fails with kExists when the key is present.
+  Status insert(std::string_view key, std::string_view value, Time now);
+  /// Fails with kNotFound when absent; otherwise an out-of-place update.
+  Status update(std::string_view key, std::string_view value, Time now);
+  /// Upsert: insert or out-of-place update.
+  Status put(std::string_view key, std::string_view value, Time now);
+  /// Flips the guardian and defers reclamation until the lease expires.
+  Status remove(std::string_view key, Time now);
+
+  /// Extends the lease of `key` from `now` (client renewal messages).
+  Status renew_lease(std::string_view key, Time now);
+
+  /// Frees dead items whose lease has expired. Called by the shard's
+  /// background reclaimer actor. Returns the number of items freed.
+  std::size_t collect_garbage(Time now);
+
+  /// Earliest virtual time at which collect_garbage will free something,
+  /// or 0 when the deferred queue is empty (lets the reclaimer sleep).
+  [[nodiscard]] Time next_reclaim_due() const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t deferred_count() const noexcept { return deferred_.size(); }
+  [[nodiscard]] Arena& arena() noexcept { return arena_; }
+  [[nodiscard]] CompactHashTable& table() noexcept { return table_; }
+  [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
+
+  /// Popularity-scaled lease term: 1s for cold keys doubling up to 64s.
+  [[nodiscard]] Duration lease_term(std::uint32_t access_count) const noexcept;
+
+ private:
+  struct Deferred {
+    Time free_after;
+    std::uint64_t offset;
+    std::uint32_t size;
+    bool operator>(const Deferred& o) const noexcept { return free_after > o.free_after; }
+  };
+
+  /// Allocates + initializes a fresh item; kNullOffset on OOM.
+  std::uint64_t make_item(std::string_view key, std::string_view value,
+                          std::uint64_t version, Time now);
+  void retire(std::uint64_t offset, Time now);
+
+  StoreConfig config_;
+  Arena arena_;
+  CompactHashTable table_;
+  StoreStats stats_;
+  std::priority_queue<Deferred, std::vector<Deferred>, std::greater<>> deferred_;
+};
+
+}  // namespace hydra::core

@@ -1,0 +1,50 @@
+#include "fabric/fabric.hpp"
+
+namespace hydra::fabric {
+
+MemoryRegion* Node::register_memory(std::span<std::byte> bytes) {
+  regions_.push_back(std::make_unique<MemoryRegion>(id_, next_rkey_++, bytes));
+  return regions_.back().get();
+}
+
+MemoryRegion* Node::find_region(std::uint32_t rkey) noexcept {
+  // Linear scan: nodes register a handful of large regions (arena, message
+  // buffers, replication ring), so this is not on any hot path that matters
+  // and keeps rkeys dense and debuggable.
+  for (const auto& mr : regions_) {
+    if (mr->rkey() == rkey) return mr.get();
+  }
+  return nullptr;
+}
+
+Node& Fabric::add_node(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, std::move(name)));
+  return *nodes_.back();
+}
+
+std::pair<QueuePair*, QueuePair*> Fabric::connect(NodeId a, NodeId b) {
+  const auto id = static_cast<std::uint32_t>(qps_.size());
+  qps_.push_back(std::make_unique<QueuePair>(*this, id, a, b));
+  QueuePair* qa = qps_.back().get();
+  qps_.push_back(std::make_unique<QueuePair>(*this, id + 1, b, a));
+  QueuePair* qb = qps_.back().get();
+  qa->peer_ = qb;
+  qb->peer_ = qa;
+  ++nodes_[a]->nic().qp_count;
+  ++nodes_[b]->nic().qp_count;
+  return {qa, qb};
+}
+
+std::pair<TcpConn*, TcpConn*> Fabric::tcp_connect(NodeId a, NodeId b) {
+  const auto id = static_cast<std::uint32_t>(tcp_conns_.size());
+  tcp_conns_.push_back(std::make_unique<TcpConn>(*this, id, a, b));
+  TcpConn* ca = tcp_conns_.back().get();
+  tcp_conns_.push_back(std::make_unique<TcpConn>(*this, id + 1, b, a));
+  TcpConn* cb = tcp_conns_.back().get();
+  ca->peer_ = cb;
+  cb->peer_ = ca;
+  return {ca, cb};
+}
+
+}  // namespace hydra::fabric

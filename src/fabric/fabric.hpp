@@ -1,0 +1,110 @@
+// The simulated cluster interconnect: nodes, NICs, QPs and TCP channels.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fabric/cost_model.hpp"
+#include "fabric/memory_region.hpp"
+#include "fabric/queue_pair.hpp"
+#include "fabric/tcp.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydra::fabric {
+
+/// Per-node NIC state: independent tx/rx serialization and QP census.
+struct Nic {
+  Time tx_free = 0;  ///< earliest time the send engine is idle
+  Time rx_free = 0;  ///< earliest time the receive/DMA engine is idle
+  /// Kernel-TCP (IPoIB) streams share the same physical port but run at the
+  /// stack's effective bandwidth; serialized separately from verbs traffic.
+  Time tcp_tx_free = 0;
+  std::uint32_t qp_count = 0;
+  std::uint64_t tx_ops = 0;
+  std::uint64_t rx_ops = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] Nic& nic() noexcept { return nic_; }
+  [[nodiscard]] const Nic& nic() const noexcept { return nic_; }
+
+  /// Registers caller-owned bytes for remote access; the region handle
+  /// stays valid for the node's lifetime.
+  MemoryRegion* register_memory(std::span<std::byte> bytes);
+  [[nodiscard]] MemoryRegion* find_region(std::uint32_t rkey) noexcept;
+
+ private:
+  friend class Fabric;
+  NodeId id_;
+  std::string name_;
+  bool alive_ = true;
+  Nic nic_;
+  std::uint32_t next_rkey_ = 1;
+  std::vector<std::unique_ptr<MemoryRegion>> regions_;
+};
+
+/// Aggregate traffic counters, useful for asserting e.g. "RDMA Read GETs
+/// issue zero requests to the server CPU".
+struct FabricStats {
+  std::uint64_t rdma_writes = 0;
+  std::uint64_t rdma_reads = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t tcp_messages = 0;
+  std::uint64_t protection_errors = 0;
+  std::uint64_t dead_peer_errors = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Scheduler& sched, CostModel cost = {})
+      : sched_(sched), cost_(cost) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] CostModel& cost() noexcept { return cost_; }
+
+  Node& add_node(std::string name);
+  [[nodiscard]] Node& node(NodeId id) noexcept { return *nodes_[id]; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Creates a connected RC queue-pair pair between two (possibly equal)
+  /// nodes. Both endpoints stay owned by the fabric.
+  std::pair<QueuePair*, QueuePair*> connect(NodeId a, NodeId b);
+
+  /// Creates a connected TCP channel pair between two nodes.
+  std::pair<TcpConn*, TcpConn*> tcp_connect(NodeId a, NodeId b);
+
+  /// Crash injection: the node stops committing inbound ops; initiators
+  /// talking to it start completing with kRemoteDead after peer_timeout.
+  void kill_node(NodeId id) { nodes_[id]->alive_ = false; }
+  void revive_node(NodeId id) { nodes_[id]->alive_ = true; }
+
+  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class QueuePair;
+  friend class TcpConn;
+
+  sim::Scheduler& sched_;
+  CostModel cost_;
+  FabricStats stats_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<QueuePair>> qps_;
+  std::vector<std::unique_ptr<TcpConn>> tcp_conns_;
+};
+
+}  // namespace hydra::fabric

@@ -1,0 +1,69 @@
+// Registered memory regions -- the unit of RDMA addressability.
+//
+// A region wraps caller-owned bytes; remote peers address it by (rkey,
+// offset) and the fabric validates every access against the registered
+// bounds, the way an HCA enforces protection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace hydra::fabric {
+
+/// Remote address: rkey selects the region on the QP's remote node.
+struct RemoteAddr {
+  std::uint32_t rkey = 0;
+  std::uint64_t offset = 0;
+};
+
+class MemoryRegion {
+ public:
+  MemoryRegion(NodeId node, std::uint32_t rkey, std::span<std::byte> bytes)
+      : node_(node), rkey_(rkey), bytes_(bytes) {}
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint32_t rkey() const noexcept { return rkey_; }
+  [[nodiscard]] std::byte* base() const noexcept { return bytes_.data(); }
+  [[nodiscard]] std::size_t length() const noexcept { return bytes_.size(); }
+
+  [[nodiscard]] bool contains(std::uint64_t offset, std::size_t len) const noexcept {
+    return !revoked_ && offset <= bytes_.size() && len <= bytes_.size() - offset;
+  }
+
+  /// Deregisters the region, as a dying process would: in-flight remote
+  /// accesses complete with protection errors instead of touching memory
+  /// the owner may have freed.
+  void revoke() noexcept {
+    revoked_ = true;
+    write_hook_ = nullptr;
+  }
+  [[nodiscard]] bool revoked() const noexcept { return revoked_; }
+
+  [[nodiscard]] std::span<std::byte> slice(std::uint64_t offset, std::size_t len) const noexcept {
+    return bytes_.subspan(offset, len);
+  }
+
+  [[nodiscard]] RemoteAddr addr(std::uint64_t offset = 0) const noexcept {
+    return RemoteAddr{rkey_, offset};
+  }
+
+  /// Invoked (at commit time) whenever a remote RDMA Write lands in this
+  /// region. Server shards use it to model their polling loops without a
+  /// literal 100ns busy-poll event storm (see server/shard.cpp).
+  using WriteHook = std::function<void(std::uint64_t offset, std::uint32_t len)>;
+  void set_write_hook(WriteHook hook) { write_hook_ = std::move(hook); }
+  [[nodiscard]] const WriteHook& write_hook() const noexcept { return write_hook_; }
+
+ private:
+  NodeId node_;
+  std::uint32_t rkey_;
+  std::span<std::byte> bytes_;
+  WriteHook write_hook_;
+  bool revoked_ = false;
+};
+
+}  // namespace hydra::fabric

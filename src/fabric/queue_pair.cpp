@@ -1,0 +1,243 @@
+#include "fabric/queue_pair.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "fabric/fabric.hpp"
+
+namespace hydra::fabric {
+namespace {
+
+Duration scaled(Duration base, double penalty) noexcept {
+  return static_cast<Duration>(static_cast<double>(base) * penalty);
+}
+
+}  // namespace
+
+void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
+                           std::uint64_t wr_id, CompletionFn on_done) {
+  Fabric& f = *fabric_;
+  sim::Scheduler& sched = f.sched_;
+  const CostModel& cm = f.cost_;
+  ++f.stats_.rdma_writes;
+
+  // Snapshot the source: as-if the NIC DMA-read the buffer at post time.
+  std::vector<std::byte> data(src.begin(), src.end());
+  const auto size = static_cast<std::uint32_t>(data.size());
+
+  // Initiator NIC send engine: WQE processing plus wire serialization.
+  Nic& tx = f.node(local_).nic();
+  const double pen_tx = cm.qp_penalty(tx.qp_count);
+  const Time tx_start = std::max(sched.now(), tx.tx_free);
+  tx.tx_free = tx_start + scaled(cm.nic_tx_overhead, pen_tx) + cm.rdma_wire_time(size);
+  ++tx.tx_ops;
+  tx.tx_bytes += size;
+
+  const Time arrival = tx.tx_free + cm.rdma_propagation;
+
+  // Target NIC receive/DMA engine.
+  Nic& rx = f.node(remote_).nic();
+  const double pen_rx = cm.qp_penalty(rx.qp_count);
+  Time commit = std::max(arrival, rx.rx_free) + scaled(cm.nic_rx_overhead, pen_rx);
+  rx.rx_free = commit;
+  ++rx.rx_ops;
+  rx.rx_bytes += size;
+
+  // RC ordering: writes on one QP become visible in posted order.
+  commit = std::max(commit, last_commit_);
+  last_commit_ = commit;
+
+  sched.at(commit, [this, &f, &sched, data = std::move(data), dst, wr_id,
+                    on_done = std::move(on_done), size]() mutable {
+    const CostModel& cost = f.cost_;
+    Node& rem = f.node(remote_);
+    if (!rem.alive()) {
+      ++f.stats_.dead_peer_errors;
+      if (on_done) {
+        sched.after(cost.peer_timeout, [on_done = std::move(on_done), wr_id, size] {
+          on_done(Completion{WcOp::kWrite, WcStatus::kRemoteDead, wr_id, size});
+        });
+      }
+      return;
+    }
+    MemoryRegion* mr = rem.find_region(dst.rkey);
+    if (mr == nullptr || !mr->contains(dst.offset, size)) {
+      ++f.stats_.protection_errors;
+      if (on_done) {
+        sched.after(cost.rdma_propagation, [on_done = std::move(on_done), wr_id, size] {
+          on_done(Completion{WcOp::kWrite, WcStatus::kProtectionError, wr_id, size});
+        });
+      }
+      return;
+    }
+    std::memcpy(mr->base() + dst.offset, data.data(), size);
+    if (mr->write_hook()) mr->write_hook()(dst.offset, size);
+    if (on_done) {
+      sched.after(cost.rdma_propagation, [on_done = std::move(on_done), wr_id, size] {
+        on_done(Completion{WcOp::kWrite, WcStatus::kSuccess, wr_id, size});
+      });
+    }
+  });
+}
+
+void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
+                          std::uint64_t wr_id, CompletionFn on_done) {
+  Fabric& f = *fabric_;
+  sim::Scheduler& sched = f.sched_;
+  const CostModel& cm = f.cost_;
+  ++f.stats_.rdma_reads;
+
+  const auto size = static_cast<std::uint32_t>(dst.size());
+  constexpr std::uint32_t kReadRequestBytes = 16;
+
+  // Request WQE leaves through the initiator's send engine.
+  Nic& tx = f.node(local_).nic();
+  const double pen_tx = cm.qp_penalty(tx.qp_count);
+  const Time tx_start = std::max(sched.now(), tx.tx_free);
+  tx.tx_free = tx_start + scaled(cm.nic_tx_overhead, pen_tx) + cm.rdma_wire_time(kReadRequestBytes);
+  ++tx.tx_ops;
+  tx.tx_bytes += kReadRequestBytes;
+
+  const Time req_arrival = tx.tx_free + cm.rdma_propagation;
+
+  // Target NIC serves the read entirely in hardware: it DMA-reads the
+  // registered memory and streams the response without touching the CPU.
+  Nic& rnic = f.node(remote_).nic();
+  const double pen_r = cm.qp_penalty(rnic.qp_count);
+  const Time serve_start =
+      std::max(req_arrival + scaled(cm.nic_rx_overhead, pen_r), rnic.tx_free);
+  rnic.tx_free = serve_start + scaled(cm.nic_tx_overhead, pen_r) + cm.rdma_wire_time(size);
+  ++rnic.tx_ops;
+  rnic.tx_bytes += size;
+
+  const Time resp_arrival = rnic.tx_free + cm.rdma_propagation;
+
+  Nic& lrx = f.node(local_).nic();
+  const Time done = std::max(resp_arrival, lrx.rx_free) + scaled(cm.nic_rx_overhead, pen_tx);
+  lrx.rx_free = done;
+  ++lrx.rx_ops;
+  lrx.rx_bytes += size;
+
+  // Two-phase: target memory is observed at serve time, the initiator's
+  // buffer is filled at completion time.
+  auto snapshot = std::make_shared<std::vector<std::byte>>();
+  auto failure = std::make_shared<WcStatus>(WcStatus::kSuccess);
+
+  sched.at(serve_start, [this, &f, src, size, snapshot, failure] {
+    Node& rem = f.node(remote_);
+    if (!rem.alive()) {
+      ++f.stats_.dead_peer_errors;
+      *failure = WcStatus::kRemoteDead;
+      return;
+    }
+    MemoryRegion* mr = rem.find_region(src.rkey);
+    if (mr == nullptr || !mr->contains(src.offset, size)) {
+      ++f.stats_.protection_errors;
+      *failure = WcStatus::kProtectionError;
+      return;
+    }
+    snapshot->assign(mr->base() + src.offset, mr->base() + src.offset + size);
+  });
+
+  const Time completion_time =
+      done;  // success path; errors surface after the retransmit timeout
+  sched.at(completion_time, [&sched, &f, dst, wr_id, size, snapshot, failure,
+                             on_done = std::move(on_done)]() mutable {
+    if (*failure != WcStatus::kSuccess) {
+      if (on_done) {
+        sched.after(f.cost_.peer_timeout,
+                    [on_done = std::move(on_done), wr_id, size, st = *failure] {
+                      on_done(Completion{WcOp::kRead, st, wr_id, size});
+                    });
+      }
+      return;
+    }
+    std::memcpy(dst.data(), snapshot->data(), size);
+    if (on_done) on_done(Completion{WcOp::kRead, WcStatus::kSuccess, wr_id, size});
+  });
+}
+
+void QueuePair::post_send(std::span<const std::byte> msg,
+                          std::uint64_t wr_id, CompletionFn on_done) {
+  Fabric& f = *fabric_;
+  sim::Scheduler& sched = f.sched_;
+  const CostModel& cm = f.cost_;
+  ++f.stats_.sends;
+
+  std::vector<std::byte> data(msg.begin(), msg.end());
+  const auto size = static_cast<std::uint32_t>(data.size());
+
+  Nic& tx = f.node(local_).nic();
+  const double pen_tx = cm.qp_penalty(tx.qp_count);
+  const Time tx_start = std::max(sched.now(), tx.tx_free);
+  tx.tx_free = tx_start + scaled(cm.nic_tx_overhead, pen_tx) + cm.two_sided_extra +
+               cm.rdma_wire_time(size);
+  ++tx.tx_ops;
+  tx.tx_bytes += size;
+
+  const Time arrival = tx.tx_free + cm.rdma_propagation;
+
+  Nic& rx = f.node(remote_).nic();
+  const double pen_rx = cm.qp_penalty(rx.qp_count);
+  Time commit = std::max(arrival, rx.rx_free) + scaled(cm.nic_rx_overhead, pen_rx) +
+                cm.two_sided_extra;
+  rx.rx_free = commit;
+  ++rx.rx_ops;
+  rx.rx_bytes += size;
+
+  commit = std::max(commit, last_commit_);
+  last_commit_ = commit;
+
+  sched.at(commit, [this, &f, &sched, data = std::move(data), wr_id,
+                    on_done = std::move(on_done), size, commit]() mutable {
+    const CostModel& cost = f.cost_;
+    if (!f.node(remote_).alive()) {
+      ++f.stats_.dead_peer_errors;
+      if (on_done) {
+        sched.after(cost.peer_timeout, [on_done = std::move(on_done), wr_id, size] {
+          on_done(Completion{WcOp::kSend, WcStatus::kRemoteDead, wr_id, size});
+        });
+      }
+      return;
+    }
+    peer_->deliver_send(std::move(data), commit);
+    if (on_done) {
+      sched.after(cost.rdma_propagation, [on_done = std::move(on_done), wr_id, size] {
+        on_done(Completion{WcOp::kSend, WcStatus::kSuccess, wr_id, size});
+      });
+    }
+  });
+}
+
+void QueuePair::deliver_send(std::vector<std::byte> data, Time commit_time) {
+  if (recv_queue_.empty()) {
+    // Receiver-not-ready: hold the message until a receive is posted,
+    // modelling RNR retry without loss.
+    pending_sends_.push_back(PendingSend{std::move(data), commit_time});
+    return;
+  }
+  RecvBuf rb = recv_queue_.front();
+  recv_queue_.pop_front();
+  const auto len = static_cast<std::uint32_t>(std::min(data.size(), rb.buf.size()));
+  std::memcpy(rb.buf.data(), data.data(), len);
+  if (recv_handler_) {
+    recv_handler_(Completion{WcOp::kRecv, WcStatus::kSuccess, rb.wr_id, len},
+                  rb.buf.subspan(0, len));
+  }
+}
+
+void QueuePair::post_recv(std::span<std::byte> buf, std::uint64_t wr_id) {
+  recv_queue_.push_back(RecvBuf{buf, wr_id});
+  if (!pending_sends_.empty()) {
+    PendingSend ps = std::move(pending_sends_.front());
+    pending_sends_.pop_front();
+    // Deliver in a fresh event to avoid reentrancy surprises for callers.
+    fabric_->sched_.after(0, [this, data = std::move(ps.data), t = ps.commit_time]() mutable {
+      deliver_send(std::move(data), t);
+    });
+  }
+}
+
+}  // namespace hydra::fabric

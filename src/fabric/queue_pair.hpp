@@ -1,0 +1,123 @@
+// Reliable-connected queue pairs: the verbs-like data-plane API.
+//
+// Semantics reproduced from RC verbs:
+//  * one-sided RDMA Write / Read move real bytes to/from registered remote
+//    memory with zero involvement of the remote CPU;
+//  * writes on one QP commit to remote memory **in posted order** (the
+//    property the indicator-encapsulated message format depends on);
+//  * two-sided Send consumes a posted Receive at the responder;
+//  * ops toward a dead peer complete with kRemoteDead after a timeout.
+//
+// Divergence from hardware, documented in DESIGN.md: source buffers are
+// snapshotted at post time (as if the NIC DMA-read them instantly), and an
+// RDMA Read observes target memory atomically at the moment the target NIC
+// serves it. Read-write races across ops still occur and are what the
+// guardian-word machinery handles.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fabric/memory_region.hpp"
+
+namespace hydra::fabric {
+
+class Fabric;
+
+enum class WcOp : std::uint8_t { kWrite, kRead, kSend, kRecv };
+
+enum class WcStatus : std::uint8_t {
+  kSuccess = 0,
+  kProtectionError,  ///< rkey unknown or access outside registered bounds
+  kRemoteDead,       ///< retransmit exhaustion talking to a crashed peer
+  kFlushed,          ///< QP torn down with the op still outstanding
+};
+
+constexpr const char* to_string(WcStatus s) noexcept {
+  switch (s) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kProtectionError: return "PROTECTION_ERROR";
+    case WcStatus::kRemoteDead: return "REMOTE_DEAD";
+    case WcStatus::kFlushed: return "FLUSHED";
+  }
+  return "?";
+}
+
+/// Work completion, delivered to the initiator's callback.
+struct Completion {
+  WcOp op = WcOp::kWrite;
+  WcStatus status = WcStatus::kSuccess;
+  std::uint64_t wr_id = 0;
+  std::uint32_t byte_len = 0;
+};
+
+using CompletionFn = std::function<void(const Completion&)>;
+/// Responder-side delivery of a Send into a posted Receive buffer.
+using RecvHandler = std::function<void(const Completion&, std::span<std::byte> data)>;
+
+class QueuePair {
+ public:
+  QueuePair(Fabric& fabric, std::uint32_t id, NodeId local, NodeId remote)
+      : fabric_(&fabric), id_(id), local_(local), remote_(remote) {}
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] NodeId local_node() const noexcept { return local_; }
+  [[nodiscard]] NodeId remote_node() const noexcept { return remote_; }
+  [[nodiscard]] QueuePair* peer() const noexcept { return peer_; }
+
+  /// One-sided write of `src` into the peer's (rkey, offset). `on_done` is
+  /// optional (pass nullptr for unsignalled writes, the common case for
+  /// message passing where the response buffer is the acknowledgement).
+  void post_write(std::span<const std::byte> src, RemoteAddr dst,
+                  std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
+
+  /// One-sided read of `dst.size()` bytes from the peer's (rkey, offset).
+  void post_read(std::span<std::byte> dst, RemoteAddr src,
+                 std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
+
+  /// Two-sided send; consumes a Receive posted on the peer QP.
+  void post_send(std::span<const std::byte> msg,
+                 std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
+
+  /// Posts a receive buffer for inbound Sends.
+  void post_recv(std::span<std::byte> buf, std::uint64_t wr_id = 0);
+
+  /// Handler invoked when a Send lands in one of our posted Receives.
+  void set_recv_handler(RecvHandler handler) { recv_handler_ = std::move(handler); }
+
+  [[nodiscard]] std::size_t posted_recvs() const noexcept { return recv_queue_.size(); }
+
+ private:
+  friend class Fabric;
+
+  struct RecvBuf {
+    std::span<std::byte> buf;
+    std::uint64_t wr_id;
+  };
+  struct PendingSend {
+    std::vector<std::byte> data;
+    Time commit_time;
+  };
+
+  void deliver_send(std::vector<std::byte> data, Time commit_time);
+
+  Fabric* fabric_;
+  std::uint32_t id_;
+  NodeId local_;
+  NodeId remote_;
+  QueuePair* peer_ = nullptr;
+  /// Commit time of the last in-order operation targeting the peer.
+  Time last_commit_ = 0;
+  std::deque<RecvBuf> recv_queue_;
+  std::deque<PendingSend> pending_sends_;  // RNR: sends waiting for a recv
+  RecvHandler recv_handler_;
+};
+
+}  // namespace hydra::fabric

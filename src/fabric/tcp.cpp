@@ -1,0 +1,34 @@
+#include "fabric/tcp.hpp"
+
+#include <algorithm>
+
+#include "fabric/fabric.hpp"
+
+namespace hydra::fabric {
+
+Time TcpConn::send(std::span<const std::byte> message) {
+  Fabric& f = *fabric_;
+  sim::Scheduler& sched = f.sched_;
+  const CostModel& cm = f.cost_;
+  ++f.stats_.tcp_messages;
+
+  std::vector<std::byte> data(message.begin(), message.end());
+
+  // Sender burns kernel CPU for the syscall/stack path, then the bytes
+  // serialize through the node's shared port at the stack's bandwidth.
+  const Time sent_done = sched.now() + cm.tcp_kernel_cost;
+  Nic& tx = f.node(local_).nic();
+  const Time wire_start = std::max(sent_done, tx.tcp_tx_free);
+  tx.tcp_tx_free = wire_start + cm.tcp_wire_time(data.size());
+  Time deliver = tx.tcp_tx_free + cm.tcp_latency;
+  deliver = std::max(deliver, last_delivery_);  // stream ordering
+  last_delivery_ = deliver;
+
+  sched.at(deliver, [this, &f, data = std::move(data)]() mutable {
+    if (!f.node(remote_).alive()) return;  // receiver crashed: bytes vanish
+    if (peer_->handler_) peer_->handler_(std::move(data));
+  });
+  return sent_done;
+}
+
+}  // namespace hydra::fabric

@@ -1,0 +1,57 @@
+// Kernel-TCP / IPoIB transport model, used by the baseline systems
+// (memcached-like, redis-like, mini-HDFS) and by HydraDB's own TCP fallback.
+//
+// Compared to the RDMA path it adds tens of microseconds of stack latency
+// and burns tcp_kernel_cost of CPU per message on each endpoint -- the two
+// effects the paper identifies as the reason TCP key-value stores cannot
+// exploit fast interconnects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::fabric {
+
+class Fabric;
+
+class TcpConn {
+ public:
+  using Handler = std::function<void(std::vector<std::byte> message)>;
+
+  TcpConn(Fabric& fabric, std::uint32_t id, NodeId local, NodeId remote)
+      : fabric_(&fabric), id_(id), local_(local), remote_(remote) {}
+
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] NodeId local_node() const noexcept { return local_; }
+  [[nodiscard]] NodeId remote_node() const noexcept { return remote_; }
+  [[nodiscard]] TcpConn* peer() const noexcept { return peer_; }
+
+  /// Sends one framed message; the peer's handler runs at delivery time.
+  /// Messages on one connection arrive in order. Returns the virtual time
+  /// at which the sender's syscall path is done (callers charging CPU for
+  /// the kernel send path should busy themselves until then).
+  Time send(std::span<const std::byte> message);
+
+  /// Installs the receive callback (the "application read loop").
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+ private:
+  friend class Fabric;
+
+  Fabric* fabric_;
+  std::uint32_t id_;
+  NodeId local_;
+  NodeId remote_;
+  TcpConn* peer_ = nullptr;
+  Time last_delivery_ = 0;
+  Handler handler_;
+};
+
+}  // namespace hydra::fabric

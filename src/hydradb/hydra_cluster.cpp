@@ -1,0 +1,297 @@
+#include "hydradb/hydra_cluster.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+#include "hydradb/swat.hpp"
+
+namespace hydra::db {
+namespace {
+constexpr std::uint64_t kSyncStepLimit = 50'000'000;  // safety net for sync helpers
+}
+
+HydraCluster::HydraCluster(ClusterOptions opts)
+    : opts_(std::move(opts)), fabric_(sched_, opts_.cost) {
+  // --- machines -------------------------------------------------------------
+  for (int n = 0; n < opts_.server_nodes; ++n) {
+    server_node_ids_.push_back(fabric_.add_node("server-" + std::to_string(n)).id());
+  }
+  if (opts_.colocate_clients) {
+    client_node_ids_ = server_node_ids_;
+  } else {
+    for (int n = 0; n < opts_.client_nodes; ++n) {
+      client_node_ids_.push_back(fabric_.add_node("client-" + std::to_string(n)).id());
+    }
+  }
+  fabric_.add_node("coordination");  // the ZooKeeper/SWAT machines
+  coordinator_ = std::make_unique<cluster::Coordinator>(sched_, opts_.coordinator);
+
+  // --- shards ---------------------------------------------------------------
+  const int total_shards = opts_.total_shards > 0
+                               ? opts_.total_shards
+                               : opts_.server_nodes * opts_.shards_per_node;
+  primaries_.resize(static_cast<std::size_t>(total_shards));
+  for (int s = 0; s < total_shards; ++s) {
+    const auto id = static_cast<ShardId>(s);
+    const NodeId node = server_node_ids_[static_cast<std::size_t>(s) % server_node_ids_.size()];
+    primaries_[id].node = node;
+    spawn_primary(id, node, nullptr);
+    ring_.add_shard(id);
+
+    // Secondaries live on *other* server nodes when possible (a replica on
+    // the same machine would not survive a machine loss).
+    for (int r = 0; r < opts_.replicas; ++r) {
+      NodeId sec_node = node;
+      if (server_node_ids_.size() > 1) {
+        sec_node = server_node_ids_[(static_cast<std::size_t>(s) + 1 + static_cast<std::size_t>(r)) %
+                                    server_node_ids_.size()];
+      }
+      replication::SecondaryConfig sec_cfg;
+      sec_cfg.primary_shard = id;
+      sec_cfg.store = opts_.shard_template.store;
+      auto secondary = std::make_unique<replication::SecondaryShard>(sched_, fabric_, sec_node, sec_cfg);
+      primaries_[id].primary->replicator()->add_secondary(*secondary);
+      primaries_[id].secondaries.push_back(std::move(secondary));
+    }
+  }
+
+  // --- SWAT -----------------------------------------------------------------
+  if (opts_.enable_swat) swat_ = std::make_unique<SwatTeam>(*this, opts_.swat_members);
+
+  // --- clients ---------------------------------------------------------------
+  const int total_clients =
+      static_cast<int>(client_node_ids_.size()) * opts_.clients_per_node;
+  for (int c = 0; c < total_clients; ++c) {
+    const NodeId node =
+        client_node_ids_[static_cast<std::size_t>(c) % client_node_ids_.size()];
+    client::ClientConfig ccfg = opts_.client_template;
+    ccfg.id = static_cast<ClientId>(c);
+    ccfg.use_rdma_read = opts_.client_rdma_read;
+    ccfg.use_send_recv = opts_.server_mode == server::ServerMode::kSendRecv;
+
+    std::shared_ptr<client::Client::RemotePtrCache> cache;
+    if (opts_.share_pointer_cache) {
+      auto& slot = node_caches_[node];
+      if (!slot) slot = std::make_shared<client::Client::RemotePtrCache>(64 * 1024);
+      cache = slot;
+    }
+    clients_.push_back(
+        std::make_unique<client::Client>(sched_, fabric_, node, ccfg, std::move(cache)));
+    wire_client(*clients_.back());
+    client_ptrs_.push_back(clients_.back().get());
+  }
+}
+
+HydraCluster::~HydraCluster() {
+  // Drain nothing: pending events hold references into members that are
+  // about to die, but they are only destroyed, never executed, once the
+  // scheduler goes away with us.
+}
+
+void HydraCluster::spawn_primary(ShardId id, NodeId node,
+                                 std::unique_ptr<core::KVStore> store) {
+  ShardSlot& slot = primaries_[id];
+  server::ShardConfig cfg = opts_.shard_template;
+  cfg.id = id;
+  cfg.mode = opts_.server_mode;
+  if (opts_.pipelined_servers) {
+    slot.pipelined = std::make_unique<server::PipelinedShard>(
+        sched_, fabric_, node, cfg, opts_.pipeline_dispatchers, opts_.pipeline_workers);
+  } else {
+    slot.primary =
+        std::make_unique<server::Shard>(sched_, fabric_, node, cfg, std::move(store));
+    slot.primary->enable_replication(opts_.replication);
+  }
+  slot.node = node;
+  ++slot.generation;
+  start_heartbeat(id);
+}
+
+void HydraCluster::start_heartbeat(ShardId id) {
+  ShardSlot& slot = primaries_[id];
+  if (slot.primary == nullptr) return;  // pipelined comparator runs without HA
+  slot.session = coordinator_->open_session("shard-" + std::to_string(id));
+  const std::string path = "/shards/" + std::to_string(id) + "/primary";
+  if (coordinator_->exists(path)) {
+    // Stale znode from the crashed predecessor: take it over.
+    coordinator_->remove(path);
+  }
+  coordinator_->create(path, std::to_string(slot.node), slot.session);
+
+  // Heartbeats are scheduled through the shard actor, so they stop the
+  // instant the process "crashes" -- exactly how a real ZK session dies.
+  server::Shard* shard = slot.primary.get();
+  const cluster::SessionId session = slot.session;
+  auto beat = std::make_shared<std::function<void()>>();
+  *beat = [this, shard, session, beat] {
+    coordinator_->heartbeat(session);
+    shard->schedule_after(opts_.coordinator.session_timeout / 4, *beat);
+  };
+  shard->schedule_after(opts_.coordinator.session_timeout / 4, *beat);
+}
+
+void HydraCluster::wire_client(client::Client& c) {
+  c.set_resolver([this](std::uint64_t key_hash) { return ring_.owner(key_hash); });
+  c.set_connector([this](ShardId shard, client::Client& self, fabric::RemoteAddr resp_slot,
+                         std::uint32_t resp_bytes, client::ShardConnection* out) {
+    return connect_client(shard, self, resp_slot, resp_bytes, out);
+  });
+}
+
+bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
+                                  fabric::RemoteAddr resp_slot, std::uint32_t resp_bytes,
+                                  client::ShardConnection* out) {
+  if (shard_id >= primaries_.size()) return false;
+  ShardSlot& slot = primaries_[shard_id];
+
+  if (slot.pipelined != nullptr) {
+    auto [cq, sq] = fabric_.connect(c.node(), slot.node);
+    auto res = slot.pipelined->accept(sq, resp_slot, resp_bytes, c.id());
+    if (!res.ok) return false;
+    out->qp = cq;
+    out->req_slot = res.req_slot;
+    out->req_slot_bytes = res.slot_bytes;
+    out->arena_rkey = res.arena_rkey;
+    out->send_recv = false;
+    return true;
+  }
+  if (slot.primary == nullptr || !slot.primary->alive()) return false;
+  auto [cq, sq] = fabric_.connect(c.node(), slot.node);
+  if (opts_.server_mode == server::ServerMode::kSendRecv) {
+    auto res = slot.primary->accept_send_recv(sq, c.id());
+    if (!res.ok) return false;
+    out->qp = cq;
+    out->arena_rkey = res.arena_rkey;
+    out->send_recv = true;
+    return true;
+  }
+  auto res = slot.primary->accept(sq, resp_slot, resp_bytes, c.id());
+  if (!res.ok) return false;
+  out->qp = cq;
+  out->req_slot = res.req_slot;
+  out->req_slot_bytes = res.slot_bytes;
+  out->arena_rkey = res.arena_rkey;
+  out->send_recv = false;
+  return true;
+}
+
+server::Shard* HydraCluster::shard(ShardId id) noexcept {
+  return id < primaries_.size() ? primaries_[id].primary.get() : nullptr;
+}
+
+std::vector<replication::SecondaryShard*> HydraCluster::secondaries_of(ShardId id) {
+  std::vector<replication::SecondaryShard*> out;
+  for (auto& s : primaries_[id].secondaries) out.push_back(s.get());
+  return out;
+}
+
+ShardId HydraCluster::owner_of(std::string_view key) const {
+  return ring_.owner(hash_key(key));
+}
+
+// ---------------------------------------------------------------- sync ops
+
+namespace {
+template <typename Pred>
+bool drive_until(sim::Scheduler& sched, const Pred& done) {
+  std::uint64_t steps = 0;
+  while (!done()) {
+    if (!sched.step() || ++steps > kSyncStepLimit) return false;
+  }
+  return true;
+}
+}  // namespace
+
+Status HydraCluster::put(std::string key, std::string value, int client_idx) {
+  std::optional<Status> result;
+  client_ptrs_[static_cast<std::size_t>(client_idx)]->put(
+      std::move(key), std::move(value), [&](Status s) { result = s; });
+  drive_until(sched_, [&] { return result.has_value(); });
+  return result.value_or(Status::kTimeout);
+}
+
+Status HydraCluster::insert(std::string key, std::string value, int client_idx) {
+  std::optional<Status> result;
+  client_ptrs_[static_cast<std::size_t>(client_idx)]->insert(
+      std::move(key), std::move(value), [&](Status s) { result = s; });
+  drive_until(sched_, [&] { return result.has_value(); });
+  return result.value_or(Status::kTimeout);
+}
+
+Status HydraCluster::remove(std::string key, int client_idx) {
+  std::optional<Status> result;
+  client_ptrs_[static_cast<std::size_t>(client_idx)]->remove(
+      std::move(key), [&](Status s) { result = s; });
+  drive_until(sched_, [&] { return result.has_value(); });
+  return result.value_or(Status::kTimeout);
+}
+
+std::optional<std::string> HydraCluster::get(std::string key, int client_idx,
+                                             Status* status_out) {
+  std::optional<Status> status;
+  std::string value;
+  client_ptrs_[static_cast<std::size_t>(client_idx)]->get(
+      std::move(key), [&](Status s, std::string_view v) {
+        status = s;
+        value.assign(v);
+      });
+  drive_until(sched_, [&] { return status.has_value(); });
+  if (status_out != nullptr) *status_out = status.value_or(Status::kTimeout);
+  if (!status.has_value() || *status != Status::kOk) return std::nullopt;
+  return value;
+}
+
+void HydraCluster::direct_load(std::string_view key, std::string_view value) {
+  const ShardId id = owner_of(key);
+  ShardSlot& slot = primaries_[id];
+  if (slot.pipelined != nullptr) {
+    slot.pipelined->store().put(key, value, sched_.now());
+    return;
+  }
+  slot.primary->store().put(key, value, sched_.now());
+  for (auto& sec : slot.secondaries) sec->store().put(key, value, sched_.now());
+}
+
+// ---------------------------------------------------------------- failover
+
+void HydraCluster::crash_primary(ShardId id) {
+  ShardSlot& slot = primaries_[id];
+  if (slot.primary == nullptr) return;
+  HYDRA_INFO("crash injection: killing primary of shard %u", id);
+  slot.primary->kill();  // heartbeats stop; session expires; SWAT reacts
+}
+
+std::uint64_t HydraCluster::failovers() const noexcept {
+  return swat_ ? swat_->failovers() : 0;
+}
+
+void HydraCluster::promote_secondary(ShardId id) {
+  ShardSlot& slot = primaries_[id];
+  if (slot.secondaries.empty()) {
+    HYDRA_WARN("shard %u lost its primary and has no secondary to promote", id);
+    return;
+  }
+  auto secondary = std::move(slot.secondaries.front());
+  slot.secondaries.erase(slot.secondaries.begin());
+  const NodeId new_node = secondary->node();
+  auto store = secondary->release_store();
+  secondary->kill();
+  graveyard_.push_back(std::move(secondary));  // its ring MR stays mapped
+
+  HYDRA_INFO("SWAT: promoting secondary on node %u to primary of shard %u", new_node, id);
+  // The dead primary's buffers stay allocated (its regions are revoked, so
+  // in-flight remote ops fail cleanly instead of scribbling on a corpse).
+  graveyard_.push_back(std::move(slot.primary));
+  spawn_primary(id, new_node, std::move(store));
+
+  // Remaining secondaries re-attach to the new primary's log stream.
+  for (auto& sec : slot.secondaries) {
+    slot.primary->replicator()->add_secondary(*sec);
+  }
+  // Publish new routing metadata; clients re-resolve lazily via timeouts.
+  coordinator_->set_data("/routing/version", std::to_string(ring_.version() + id));
+}
+
+}  // namespace hydra::db

@@ -1,0 +1,148 @@
+// HydraCluster: the top-level public API.
+//
+// Composes the whole middleware -- fabric, shards (with replication),
+// clients, coordinator and SWAT -- into one simulated deployment, mirroring
+// the paper's testbed layout (dedicated server machines, client machines,
+// coordination machines). This is the entry point examples, tests and
+// benches build on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "cluster/coordinator.hpp"
+#include "cluster/ring.hpp"
+#include "fabric/fabric.hpp"
+#include "replication/primary.hpp"
+#include "replication/secondary.hpp"
+#include "server/pipelined_shard.hpp"
+#include "server/shard.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydra::db {
+
+struct ClusterOptions {
+  // Topology (paper defaults: 1 server machine with 4 shards, 50 clients
+  // on 5 machines, coordination on separate machines).
+  int server_nodes = 1;
+  int shards_per_node = 4;
+  /// Overrides server_nodes * shards_per_node when positive (e.g. one shard
+  /// whose secondaries live on otherwise idle machines, as in Fig 13).
+  int total_shards = -1;
+  int client_nodes = 5;
+  int clients_per_node = 10;
+  /// Place client processes on the server nodes instead of dedicated ones
+  /// (the colocated setup of the Fig 12 scale-out experiment).
+  bool colocate_clients = false;
+
+  // Replication / HA.
+  int replicas = 0;  ///< secondaries per primary shard
+  replication::PrimaryConfig replication;
+  bool enable_swat = true;
+  int swat_members = 2;
+
+  // Execution-model variants (Fig 10).
+  server::ServerMode server_mode = server::ServerMode::kRdmaWritePolling;
+  bool pipelined_servers = false;
+  int pipeline_dispatchers = 2;
+  int pipeline_workers = 2;
+  bool client_rdma_read = true;
+  /// One shared pointer cache per client node (section 4.2.4) versus an
+  /// exclusive cache per client (the secure-isolation configuration).
+  bool share_pointer_cache = true;
+
+  server::ShardConfig shard_template;
+  client::ClientConfig client_template;
+  fabric::CostModel cost;
+  cluster::Coordinator::Config coordinator;
+};
+
+class SwatTeam;
+
+class HydraCluster {
+ public:
+  explicit HydraCluster(ClusterOptions opts);
+  ~HydraCluster();
+
+  HydraCluster(const HydraCluster&) = delete;
+  HydraCluster& operator=(const HydraCluster&) = delete;
+
+  // --- access --------------------------------------------------------------
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] fabric::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] cluster::Coordinator& coordinator() noexcept { return *coordinator_; }
+  [[nodiscard]] const ClusterOptions& options() const noexcept { return opts_; }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return primaries_.size(); }
+  [[nodiscard]] server::Shard* shard(ShardId id) noexcept;
+  [[nodiscard]] std::vector<client::Client*>& clients() noexcept { return client_ptrs_; }
+  [[nodiscard]] std::vector<replication::SecondaryShard*> secondaries_of(ShardId id);
+  [[nodiscard]] const cluster::ConsistentHashRing& ring() const noexcept { return ring_; }
+
+  /// The shard a key routes to (what clients resolve through the ring).
+  [[nodiscard]] ShardId owner_of(std::string_view key) const;
+
+  // --- synchronous convenience (examples / tests) --------------------------
+  // Each helper drives the simulator until the operation's callback fires.
+  Status put(std::string key, std::string value, int client_idx = 0);
+  Status insert(std::string key, std::string value, int client_idx = 0);
+  Status remove(std::string key, int client_idx = 0);
+  std::optional<std::string> get(std::string key, int client_idx = 0,
+                                 Status* status_out = nullptr);
+
+  /// Preloads records directly into the owning shards' stores (and their
+  /// secondaries), bypassing the network -- the paper pre-generates and
+  /// pre-loads its YCSB datasets the same way before measuring.
+  void direct_load(std::string_view key, std::string_view value);
+
+  // --- failure injection ----------------------------------------------------
+  /// Crashes a primary shard process (actor + its heartbeats). With SWAT
+  /// enabled, a secondary is promoted automatically.
+  void crash_primary(ShardId id);
+  [[nodiscard]] std::uint64_t failovers() const noexcept;
+
+  /// Runs the simulator for `d` of virtual time.
+  void run_for(Duration d) { sched_.run_for(d); }
+
+ private:
+  friend class SwatTeam;
+
+  struct ShardSlot {
+    std::unique_ptr<server::Shard> primary;
+    std::unique_ptr<server::PipelinedShard> pipelined;
+    NodeId node = kInvalidNode;
+    std::vector<std::unique_ptr<replication::SecondaryShard>> secondaries;
+    cluster::SessionId session = 0;
+    std::uint32_t generation = 0;
+  };
+
+  void spawn_primary(ShardId id, NodeId node, std::unique_ptr<core::KVStore> store);
+  void start_heartbeat(ShardId id);
+  void wire_client(client::Client& c);
+  bool connect_client(ShardId shard, client::Client& c, fabric::RemoteAddr resp_slot,
+                      std::uint32_t resp_bytes, client::ShardConnection* out);
+  void promote_secondary(ShardId id);  // invoked by SWAT
+
+  ClusterOptions opts_;
+  sim::Scheduler sched_;
+  fabric::Fabric fabric_;
+  std::vector<NodeId> server_node_ids_;
+  std::vector<NodeId> client_node_ids_;
+  std::unique_ptr<cluster::Coordinator> coordinator_;
+  std::unique_ptr<SwatTeam> swat_;
+  cluster::ConsistentHashRing ring_;
+  std::vector<ShardSlot> primaries_;
+  std::vector<std::unique_ptr<client::Client>> clients_;
+  std::vector<client::Client*> client_ptrs_;
+  std::map<NodeId, std::shared_ptr<client::Client::RemotePtrCache>> node_caches_;
+  /// Crashed actors: kept allocated so in-flight fabric ops referencing
+  /// their (revoked) regions never touch freed memory.
+  std::vector<std::unique_ptr<sim::Actor>> graveyard_;
+};
+
+}  // namespace hydra::db

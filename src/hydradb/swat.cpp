@@ -1,0 +1,70 @@
+#include "hydradb/swat.hpp"
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "hydradb/hydra_cluster.hpp"
+
+namespace hydra::db {
+
+SwatTeam::SwatTeam(HydraCluster& cluster, int members) : cluster_(cluster) {
+  for (int i = 0; i < members; ++i) {
+    members_.push_back(std::make_unique<Member>(*this, i));
+  }
+}
+
+void SwatTeam::kill_member(int idx) {
+  if (idx >= 0 && idx < static_cast<int>(members_.size())) members_[idx]->kill();
+}
+
+int SwatTeam::leader() const {
+  // Leadership = lowest-index member whose ephemeral znode still exists.
+  for (const auto& m : members_) {
+    if (cluster_.coordinator().exists("/swat/" + std::to_string(m->index()))) {
+      return m->index();
+    }
+  }
+  return -1;
+}
+
+void SwatTeam::handle_primary_death(const std::string& path) {
+  // Extract the shard id from "/shards/<id>/primary".
+  const std::size_t start = std::string("/shards/").size();
+  const std::size_t end = path.find('/', start);
+  const ShardId id = static_cast<ShardId>(std::stoul(path.substr(start, end - start)));
+  ++failovers_;
+  HYDRA_INFO("SWAT: detected death of shard %u primary, reacting", id);
+  cluster_.promote_secondary(id);
+}
+
+SwatTeam::Member::Member(SwatTeam& team, int idx)
+    : sim::Actor(team.cluster_.scheduler(), "swat-" + std::to_string(idx)),
+      team_(team),
+      idx_(idx) {
+  cluster::Coordinator& coord = team_.cluster_.coordinator();
+  session_ = coord.open_session(name());
+  coord.create("/swat/" + std::to_string(idx_), "member", session_);
+  coord.watch_prefix("/shards/",
+                     [this](const std::string& path, cluster::WatchEvent event) {
+                       if (alive()) on_shard_event(path, event);
+                     });
+  heartbeat_loop();
+}
+
+void SwatTeam::Member::heartbeat_loop() {
+  team_.cluster_.coordinator().heartbeat(session_);
+  schedule_after(team_.cluster_.options().coordinator.session_timeout / 4,
+                 [this] { heartbeat_loop(); });
+}
+
+void SwatTeam::Member::on_shard_event(const std::string& path,
+                                      cluster::WatchEvent event) {
+  if (event != cluster::WatchEvent::kDeleted) return;
+  if (path.find("/primary") == std::string::npos) return;
+  // Only the current leader reacts; followers observe the same event but
+  // defer (split-brain is prevented by the coordinator's single view).
+  if (team_.leader() != idx_) return;
+  team_.handle_primary_death(path);
+}
+
+}  // namespace hydra::db

@@ -1,0 +1,54 @@
+// SWAT -- the Status Watcher and reAct Team (paper section 5.1).
+//
+// SWAT members watch the coordinator's /shards/ subtree. When a primary's
+// ephemeral znode disappears (its heartbeat session expired after a crash),
+// the current SWAT leader selects a secondary, promotes it to primary,
+// updates the routing metadata, and re-wires replication. SWAT leadership
+// itself is ephemeral: members hold /swat/<idx> znodes and the lowest
+// surviving index acts; killing the leader hands the role to the next one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::db {
+
+class HydraCluster;
+
+class SwatTeam {
+ public:
+  SwatTeam(HydraCluster& cluster, int members);
+
+  /// Crash-injects a SWAT member; the remaining members keep reacting.
+  void kill_member(int idx);
+
+  [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+  [[nodiscard]] int leader() const;
+
+ private:
+  class Member : public sim::Actor {
+   public:
+    Member(SwatTeam& team, int idx);
+    void on_shard_event(const std::string& path, cluster::WatchEvent event);
+    [[nodiscard]] int index() const noexcept { return idx_; }
+
+   private:
+    void heartbeat_loop();
+    SwatTeam& team_;
+    int idx_;
+    cluster::SessionId session_;
+  };
+
+  void handle_primary_death(const std::string& path);
+
+  HydraCluster& cluster_;
+  std::vector<std::unique_ptr<Member>> members_;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace hydra::db

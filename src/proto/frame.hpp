@@ -1,0 +1,67 @@
+// Indicator-encapsulated message framing (paper section 4.2.1, Figure 7).
+//
+// Messages travel by one-sided RDMA Write into a buffer that the receiver
+// polls. Because RC adapters commit writes of one QP in increasing memory
+// order, a frame can announce itself without any completion event:
+//
+//   word 0 : [16-bit magic | 16-bit flags | 32-bit payload size]   (head)
+//   ...    : payload, padded to 8 bytes
+//   last   : tail indicator word                                   (tail)
+//
+// The receiver polls word 0; a set head guarantees the size field is
+// consistent, so it skips payload-size bytes and polls the tail word. Only
+// when the tail is also set is the whole frame known to have landed. After
+// processing, the receiver zeroes the frame region so the buffer can signal
+// the next arrival.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace hydra::proto {
+
+inline constexpr std::uint16_t kHeadMagic = 0x4DB1;
+inline constexpr std::uint64_t kTailIndicator = 0x7A11F1A6'7A11F1A6ULL;
+
+/// Flags carried in the head word; the replication stream uses kAckRequest
+/// to ask the secondary for a cumulative acknowledgement (section 5.2).
+enum FrameFlags : std::uint16_t {
+  kFlagNone = 0,
+  kFlagAckRequest = 1 << 0,
+};
+
+constexpr std::size_t align8_sz(std::size_t n) noexcept { return (n + 7) & ~std::size_t{7}; }
+
+/// Bytes a frame with `payload_size` bytes of payload occupies on the wire.
+constexpr std::size_t frame_size(std::size_t payload_size) noexcept {
+  return 8 + align8_sz(payload_size) + 8;
+}
+
+/// Largest payload that fits a buffer of `buffer_size` bytes.
+constexpr std::size_t max_payload(std::size_t buffer_size) noexcept {
+  return buffer_size < 16 ? 0 : buffer_size - 16;
+}
+
+/// Writes a complete frame into `dst` (dst.size() >= frame_size(payload)).
+/// Returns the framed size actually written.
+std::size_t encode_frame(std::span<std::byte> dst, std::span<const std::byte> payload,
+                         std::uint16_t flags = kFlagNone);
+
+/// Polls `buf` for a complete frame. Returns the payload size when both
+/// indicators are set and consistent; nullopt while the frame is absent or
+/// still streaming in.
+std::optional<std::uint32_t> poll_frame(std::span<const std::byte> buf);
+
+/// Flags of a frame whose head indicator is set.
+std::uint16_t frame_flags(std::span<const std::byte> buf);
+
+/// Payload view of a complete frame.
+std::span<const std::byte> frame_payload(std::span<const std::byte> buf);
+
+/// Zeroes the frame region (head word through tail word) so the buffer is
+/// ready to detect the next message.
+void clear_frame(std::span<std::byte> buf);
+
+}  // namespace hydra::proto

@@ -1,0 +1,142 @@
+#include "proto/messages.hpp"
+
+#include <cstring>
+
+namespace hydra::proto {
+namespace {
+
+// Minimal append/consume codec helpers. All integers little-endian (we
+// target x86_64; a production codec would byte-swap on big-endian hosts).
+
+template <typename T>
+void append(std::vector<std::byte>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+void append_str(std::vector<std::byte>& out, const std::string& s) {
+  append(out, static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  bool read(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool read_str(std::string* s) {
+    std::uint32_t len = 0;
+    if (!read(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> encode_request(const Request& req) {
+  std::vector<std::byte> out;
+  out.reserve(32 + req.key.size() + req.value.size());
+  append(out, req.type);
+  append(out, req.req_id);
+  append(out, req.client);
+  append_str(out, req.key);
+  append_str(out, req.value);
+  return out;
+}
+
+std::optional<Request> decode_request(std::span<const std::byte> payload) {
+  Request req;
+  Reader r(payload);
+  if (!r.read(&req.type) || !r.read(&req.req_id) || !r.read(&req.client) ||
+      !r.read_str(&req.key) || !r.read_str(&req.value) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+std::vector<std::byte> encode_response(const Response& resp) {
+  std::vector<std::byte> out;
+  out.reserve(64 + resp.value.size());
+  append(out, resp.req_id);
+  append(out, resp.status);
+  append(out, resp.version);
+  append(out, resp.remote_ptr.rkey);
+  append(out, resp.remote_ptr.offset);
+  append(out, resp.remote_ptr.total_len);
+  append(out, resp.remote_ptr.lease_expiry);
+  append(out, resp.remote_ptr.version);
+  append(out, resp.remote_ptr.shard);
+  append_str(out, resp.value);
+  return out;
+}
+
+std::optional<Response> decode_response(std::span<const std::byte> payload) {
+  Response resp;
+  Reader r(payload);
+  if (!r.read(&resp.req_id) || !r.read(&resp.status) || !r.read(&resp.version) ||
+      !r.read(&resp.remote_ptr.rkey) || !r.read(&resp.remote_ptr.offset) ||
+      !r.read(&resp.remote_ptr.total_len) || !r.read(&resp.remote_ptr.lease_expiry) ||
+      !r.read(&resp.remote_ptr.version) || !r.read(&resp.remote_ptr.shard) ||
+      !r.read_str(&resp.value) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return resp;
+}
+
+std::vector<std::byte> encode_rep_record(const RepRecord& rec) {
+  std::vector<std::byte> out;
+  out.reserve(40 + rec.key.size() + rec.value.size());
+  append(out, rec.seq);
+  append(out, rec.op);
+  append(out, rec.op_time);
+  append_str(out, rec.key);
+  append_str(out, rec.value);
+  return out;
+}
+
+std::optional<RepRecord> decode_rep_record(std::span<const std::byte> payload) {
+  RepRecord rec;
+  Reader r(payload);
+  if (!r.read(&rec.seq) || !r.read(&rec.op) || !r.read(&rec.op_time) ||
+      !r.read_str(&rec.key) || !r.read_str(&rec.value) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+std::vector<std::byte> encode_rep_ack(const RepAck& ack) {
+  std::vector<std::byte> out;
+  append(out, ack.acked_seq);
+  append(out, ack.first_failed_seq);
+  return out;
+}
+
+std::optional<RepAck> decode_rep_ack(std::span<const std::byte> payload) {
+  RepAck ack;
+  Reader r(payload);
+  if (!r.read(&ack.acked_seq) || !r.read(&ack.first_failed_seq) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return ack;
+}
+
+}  // namespace hydra::proto

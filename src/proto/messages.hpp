@@ -1,0 +1,107 @@
+// Request/response/replication message encodings.
+//
+// All messages travel as frame payloads (see frame.hpp). Encoding is a
+// simple explicit little-endian binary layout -- no varints, no reflection
+// -- so the codec cost on the shard's critical path stays negligible and
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::proto {
+
+enum class MsgType : std::uint8_t {
+  kGet = 1,
+  kInsert,
+  kUpdate,
+  kPut,       ///< upsert
+  kRemove,
+  kRenewLease,
+  kResponse,
+  kRepRecord,  ///< replication log record (primary -> secondary)
+  kRepAck,     ///< cumulative acknowledgement (secondary -> primary)
+};
+
+/// A remote pointer: everything a client needs to RDMA-Read an item
+/// directly from server memory and to know until when that is permitted
+/// (paper sections 4.2.2/4.2.3).
+struct RemotePtr {
+  std::uint32_t rkey = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t total_len = 0;
+  std::uint64_t lease_expiry = 0;
+  std::uint64_t version = 0;
+  ShardId shard = kInvalidShard;
+
+  [[nodiscard]] bool valid() const noexcept { return total_len != 0; }
+};
+
+struct Request {
+  MsgType type = MsgType::kGet;
+  std::uint64_t req_id = 0;
+  ClientId client = 0;
+  std::string key;
+  std::string value;
+};
+
+struct Response {
+  std::uint64_t req_id = 0;
+  Status status = Status::kOk;
+  std::uint64_t version = 0;
+  RemotePtr remote_ptr;  ///< granted on successful GETs
+  std::string value;
+};
+
+/// One record in the replication log stream (section 5.2). `op` is kPut or
+/// kRemove; the sequence number is assigned by the primary and echoed back
+/// in acknowledgements.
+struct RepRecord {
+  std::uint64_t seq = 0;
+  MsgType op = MsgType::kPut;
+  Time op_time = 0;  ///< primary's virtual time, so leases replay identically
+  std::string key;
+  std::string value;
+};
+
+/// Cumulative ack: "I have applied everything through `acked_seq`". When
+/// the secondary hit a malformed/failed record it reports that record in
+/// `first_failed_seq` (0 = none) so the primary can roll back and resend.
+struct RepAck {
+  std::uint64_t acked_seq = 0;
+  std::uint64_t first_failed_seq = 0;
+};
+
+std::vector<std::byte> encode_request(const Request& req);
+std::optional<Request> decode_request(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_response(const Response& resp);
+std::optional<Response> decode_response(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_rep_record(const RepRecord& rec);
+std::optional<RepRecord> decode_rep_record(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_rep_ack(const RepAck& ack);
+std::optional<RepAck> decode_rep_ack(std::span<const std::byte> payload);
+
+constexpr const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kGet: return "GET";
+    case MsgType::kInsert: return "INSERT";
+    case MsgType::kUpdate: return "UPDATE";
+    case MsgType::kPut: return "PUT";
+    case MsgType::kRemove: return "REMOVE";
+    case MsgType::kRenewLease: return "RENEW_LEASE";
+    case MsgType::kResponse: return "RESPONSE";
+    case MsgType::kRepRecord: return "REP_RECORD";
+    case MsgType::kRepAck: return "REP_ACK";
+  }
+  return "?";
+}
+
+}  // namespace hydra::proto

@@ -1,0 +1,176 @@
+#include "replication/primary.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace hydra::replication {
+
+ReplicationPrimary::ReplicationPrimary(sim::Actor& owner, fabric::Fabric& fabric,
+                                       NodeId node, PrimaryConfig cfg)
+    : owner_(owner), fabric_(fabric), node_(node), cfg_(cfg) {}
+
+void ReplicationPrimary::add_secondary(SecondaryShard& secondary) {
+  // Align the secondary's consumption state with this (possibly new)
+  // primary's sequence numbering and ring cursor.
+  secondary.reset_stream();
+  auto link = std::make_unique<Link>();
+  link->secondary = &secondary;
+  auto [primary_qp, secondary_qp] = fabric_.connect(node_, secondary.node());
+  link->qp = primary_qp;
+  link->ring_rkey = secondary.ring_mr()->rkey();
+  link->cursor = RingCursor{secondary.ring_mr()->length(), 0};
+  link->ack_buf.resize(256);
+  link->ack_mr = fabric_.node(node_).register_memory(link->ack_buf);
+
+  Link* raw = link.get();
+  link->ack_mr->set_write_hook(
+      owner_.guard([this, raw](std::uint64_t, std::uint32_t) { on_ack(*raw); }));
+  secondary.attach_primary(secondary_qp, link->ack_mr->addr(0));
+  links_.push_back(std::move(link));
+}
+
+void ReplicationPrimary::replicate(proto::RepRecord rec, std::function<void()> done) {
+  if (links_.empty() || cfg_.mode == ReplicationMode::kNone) {
+    if (done) done();
+    return;
+  }
+  rec.seq = assign_seq();
+
+  if (cfg_.mode == ReplicationMode::kStrictAck) {
+    strict_waiters_.emplace(rec.seq, std::move(done));
+    done = nullptr;
+  }
+
+  // Relaxed mode: the callback fires once the RDMA Write to every
+  // secondary's ring has completed (one NIC-level round trip, no
+  // secondary CPU on the critical path).
+  auto remaining = std::make_shared<std::size_t>(links_.size());
+  auto on_write = [remaining, done = std::move(done)]() {
+    if (--*remaining == 0 && done) done();
+  };
+
+  for (auto& link : links_) {
+    link->pending.push_back(PendingRecord{rec, 0});
+    if (!link->backlog.empty() || !write_record(*link, rec, on_write)) {
+      link->backlog.push_back(rec);
+      ++backlogged_;
+      // on_write stays owed; flush_backlog settles it when space frees.
+      link->backlog_completions.push_back(on_write);
+    }
+  }
+}
+
+bool ReplicationPrimary::write_record(Link& link, const proto::RepRecord& rec,
+                                      std::function<void()> on_write_complete) {
+  const auto payload = proto::encode_rep_record(rec);
+  const std::uint64_t framed_size = proto::frame_size(payload.size());
+  std::uint64_t waste = 0;
+
+  if (link.cursor.needs_wrap(framed_size)) {
+    waste = link.cursor.wrap_waste();
+    if (link.used_bytes + framed_size + waste > link.cursor.ring_size) {
+      link.awaiting_space = true;
+      return false;
+    }
+    // Wrap marker tells the consumer to jump to offset 0.
+    std::vector<std::byte> marker(kWrapMarkerBytes);
+    proto::encode_frame(marker, {}, kFlagWrap);
+    link.qp->post_write(marker, fabric::RemoteAddr{link.ring_rkey, link.cursor.offset});
+    link.cursor.wrap();
+  } else if (link.used_bytes + framed_size > link.cursor.ring_size) {
+    link.awaiting_space = true;
+    return false;
+  }
+
+  ++link.since_ack_request;
+  std::uint16_t flags = proto::kFlagNone;
+  const bool pressure = link.used_bytes + framed_size > link.cursor.ring_size / 2;
+  if (cfg_.mode == ReplicationMode::kStrictAck ||
+      link.since_ack_request >= cfg_.ack_interval || pressure) {
+    flags |= proto::kFlagAckRequest;
+    link.since_ack_request = 0;
+  }
+
+  const std::uint64_t at = link.cursor.place(framed_size);
+  link.used_bytes += framed_size + waste;
+  // Record the ring footprint on the pending entry so the ack can free it.
+  for (auto it = link.pending.rbegin(); it != link.pending.rend(); ++it) {
+    if (it->rec.seq == rec.seq) {
+      it->footprint += framed_size + waste;
+      break;
+    }
+  }
+
+  std::vector<std::byte> frame(framed_size);
+  proto::encode_frame(frame, payload, flags);
+  fabric::CompletionFn completion;
+  if (on_write_complete) {
+    // Even a dead-peer completion settles the caller: a crashed secondary
+    // must not wedge the primary (SWAT reconfigures it out of the group).
+    completion = [g = owner_.guard(std::move(on_write_complete))](
+                     const fabric::Completion&) mutable { g(); };
+  }
+  link.qp->post_write(frame, fabric::RemoteAddr{link.ring_rkey, at}, rec.seq,
+                      std::move(completion));
+  return true;
+}
+
+void ReplicationPrimary::flush_backlog(Link& link) {
+  link.awaiting_space = false;
+  while (!link.backlog.empty()) {
+    const proto::RepRecord rec = link.backlog.front();
+    auto cb = link.backlog_completions.empty() ? std::function<void()>{}
+                                               : link.backlog_completions.front();
+    if (!write_record(link, rec, cb)) return;  // still no space
+    link.backlog.pop_front();
+    if (!link.backlog_completions.empty()) link.backlog_completions.pop_front();
+  }
+}
+
+void ReplicationPrimary::on_ack(Link& link) {
+  const auto size = proto::poll_frame(link.ack_buf);
+  if (!size.has_value()) return;  // partial write; hook fires again? (single write => complete)
+  const auto ack = proto::decode_rep_ack(proto::frame_payload(link.ack_buf));
+  proto::clear_frame(link.ack_buf);
+  if (!ack.has_value()) return;
+  ++acks_received_;
+
+  link.acked_seq = std::max(link.acked_seq, ack->acked_seq);
+  while (!link.pending.empty() && link.pending.front().rec.seq <= link.acked_seq) {
+    link.used_bytes -= std::min(link.used_bytes, link.pending.front().footprint);
+    link.pending.pop_front();
+  }
+
+  if (ack->first_failed_seq != 0 && ack->first_failed_seq > link.acked_seq) {
+    resend_from(link, ack->first_failed_seq);
+  }
+  if (!link.backlog.empty()) flush_backlog(link);
+  if (cfg_.mode == ReplicationMode::kStrictAck) fire_strict_waiters();
+}
+
+void ReplicationPrimary::resend_from(Link& link, std::uint64_t first_failed_seq) {
+  HYDRA_DEBUG("replication: rolling back to seq %llu and resending %zu records",
+              static_cast<unsigned long long>(first_failed_seq), link.pending.size());
+  for (auto& p : link.pending) {
+    if (p.rec.seq < first_failed_seq) continue;
+    ++resends_;
+    if (!write_record(link, p.rec, {})) {
+      link.backlog.push_back(p.rec);
+      link.backlog_completions.push_back({});
+    }
+  }
+}
+
+void ReplicationPrimary::fire_strict_waiters() {
+  if (links_.empty()) return;
+  std::uint64_t min_acked = ~std::uint64_t{0};
+  for (const auto& link : links_) min_acked = std::min(min_acked, link->acked_seq);
+  while (!strict_waiters_.empty() && strict_waiters_.begin()->first <= min_acked) {
+    auto done = std::move(strict_waiters_.begin()->second);
+    strict_waiters_.erase(strict_waiters_.begin());
+    if (done) done();
+  }
+}
+
+}  // namespace hydra::replication

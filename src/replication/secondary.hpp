@@ -1,0 +1,91 @@
+// Secondary shard: the replication consumer (paper section 5.2).
+//
+// A secondary is dedicated to one primary: it serves no client requests
+// ("single-writer zero-reader"), exposes a large ring-buffer memory region
+// into which the primary RDMA-Writes log records, and runs a dedicated
+// polling loop that merges records into its own KVStore replica. It
+// acknowledges cumulatively when the primary asks, reports the first failed
+// record so the primary can roll back and resend, and discards every record
+// after a failure until the resend arrives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/store.hpp"
+#include "fabric/fabric.hpp"
+#include "proto/messages.hpp"
+#include "replication/ring_log.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::replication {
+
+struct SecondaryConfig {
+  ShardId primary_shard = 0;
+  std::uint32_t ring_bytes = 1 << 20;
+  core::StoreConfig store;
+  /// CPU per record merge: decode, allocate, index swing on the replica --
+  /// comparable to the primary's write path.
+  Duration apply_base = 1200;
+  double per_value_byte = 0.12;
+  Duration poll_backoff = 100;   ///< idle sleep, like the primary's loop
+  Duration ack_post_cost = 300;  ///< building + posting the ack write
+};
+
+class SecondaryShard : public sim::Actor {
+ public:
+  SecondaryShard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
+                 SecondaryConfig cfg);
+
+  /// Wire-up performed by the primary side: the QP this secondary uses to
+  /// RDMA-Write acknowledgements back, and where they should land.
+  void attach_primary(fabric::QueuePair* qp_to_primary, fabric::RemoteAddr ack_slot);
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] fabric::MemoryRegion* ring_mr() noexcept { return ring_mr_; }
+  [[nodiscard]] std::uint64_t applied_seq() const noexcept { return applied_seq_; }
+  [[nodiscard]] std::uint64_t applied_records() const noexcept { return applied_records_; }
+  [[nodiscard]] std::uint64_t discarded_records() const noexcept { return discarded_; }
+  [[nodiscard]] core::KVStore& store() noexcept { return *store_; }
+
+  /// Failure injection: the next `n` records fail to apply (tests the
+  /// stop-acking / discard / rollback-resend protocol).
+  void fail_next(int n) { fail_budget_ += n; }
+
+  /// Promotion support: hands the replica store to a new primary shard.
+  std::unique_ptr<core::KVStore> release_store();
+
+  /// Re-attachment to a *new* primary after failover: the fresh primary
+  /// numbers records from 1 and writes the ring from offset 0 again.
+  void reset_stream();
+
+  void kill() override;
+
+ private:
+  void on_ring_write();
+  void poll_loop();
+  /// Processes one complete frame at the cursor; returns CPU charged.
+  Duration consume_frame(std::span<std::byte> frame);
+  void send_ack();
+
+  fabric::Fabric& fabric_;
+  NodeId node_;
+  SecondaryConfig cfg_;
+  std::unique_ptr<core::KVStore> store_;
+  std::vector<std::byte> ring_;
+  fabric::MemoryRegion* ring_mr_;
+  RingCursor cursor_;
+
+  fabric::QueuePair* qp_to_primary_ = nullptr;
+  fabric::RemoteAddr ack_slot_{};
+
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t first_failed_seq_ = 0;  // 0 = healthy
+  std::uint64_t applied_records_ = 0;
+  std::uint64_t discarded_ = 0;
+  int fail_budget_ = 0;
+  bool polling_ = false;
+};
+
+}  // namespace hydra::replication

@@ -1,0 +1,60 @@
+// Server-side configuration: execution mode and CPU cost model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/store.hpp"
+
+namespace hydra::server {
+
+/// How the shard detects and answers requests (Fig 5 / Fig 10 variants).
+enum class ServerMode : std::uint8_t {
+  /// Paper design: one thread polls per-connection request buffers written
+  /// by client RDMA Writes and answers with RDMA Writes.
+  kRdmaWritePolling,
+  /// Baseline: two-sided verbs Send/Recv for both directions.
+  kSendRecv,
+};
+
+/// CPU time the shard charges per operation, calibrated so a server-handled
+/// small-item GET costs ~0.5-1 us of host work (the regime in which 4 shards
+/// saturate around a few Mops like the paper's testbed).
+struct CpuModel {
+  Duration poll_scan = 40;          ///< checking one connection's buffer
+  Duration idle_backoff = 100;      ///< the paper's 100 ns sleep when idle
+  Duration base_get = 420;          ///< decode + index lookup + lease update
+  /// Writes are markedly heavier than reads (the "asymmetric read/write
+  /// performance" of section 6.1): allocate, copy, swing the index, retire
+  /// the old version and queue it for reclamation.
+  Duration base_put = 950;
+  Duration base_remove = 550;
+  Duration base_renew = 250;
+  double per_value_byte = 0.12;     ///< memcpy-ish cost per payload byte
+  Duration post_response = 150;     ///< WQE build + doorbell for the answer
+  /// Pipelined comparator: per-request dispatcher work (decode + locked
+  /// enqueue) and the dispatcher->worker handoff. The handoff is the killer:
+  /// a mutex/condvar (futex-wake) round plus the request's cache lines
+  /// migrating between cores costs microseconds -- the synchronization
+  /// overhead section 4.1.1 blames for the pipelined model's loss.
+  Duration dispatch_cost = 400;
+  Duration handoff_sync = 2600;
+};
+
+struct ShardConfig {
+  ShardId id = 0;
+  ServerMode mode = ServerMode::kRdmaWritePolling;
+  core::StoreConfig store;
+  CpuModel cpu;
+  /// Per-connection message slot; bounds the largest framed request and
+  /// response (raise it for big-value workloads like the MapReduce cache).
+  std::uint32_t msg_slot_bytes = 16 * 1024;
+  std::uint32_t max_connections = 256;
+  /// Whether GET responses mint remote pointers (disabled to measure the
+  /// "RDMA Write only" rows of Fig 10).
+  bool grant_remote_pointers = true;
+  /// Reclaimer cadence: how often the background GC actor wakes at most.
+  Duration gc_min_interval = 100 * kMillisecond;
+};
+
+}  // namespace hydra::server

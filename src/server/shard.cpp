@@ -1,0 +1,297 @@
+#include "server/shard.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace hydra::server {
+
+Shard::Shard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
+             ShardConfig cfg, std::unique_ptr<core::KVStore> existing_store)
+    : sim::Actor(sched, "shard-" + std::to_string(cfg.id)),
+      fabric_(fabric),
+      node_(node),
+      cfg_(cfg),
+      store_(existing_store ? std::move(existing_store)
+                            : std::make_unique<core::KVStore>(cfg.store)),
+      msg_region_(static_cast<std::size_t>(cfg.max_connections) * cfg.msg_slot_bytes) {
+  // One region spans every item: this is what remote pointers point into.
+  arena_mr_ = fabric_.node(node_).register_memory(store_->arena().bytes());
+  msg_mr_ = fabric_.node(node_).register_memory(msg_region_);
+  msg_mr_->set_write_hook(
+      guard([this](std::uint64_t offset, std::uint32_t) { on_request_write(offset); }));
+}
+
+void Shard::kill() {
+  // Process death deregisters its regions: in-flight client writes and
+  // RDMA reads fail with protection errors rather than touching a corpse.
+  msg_mr_->revoke();
+  arena_mr_->revoke();
+  sim::Actor::kill();
+}
+
+Shard::AcceptResult Shard::accept(fabric::QueuePair* server_qp,
+                                  fabric::RemoteAddr client_resp_slot,
+                                  std::uint32_t client_resp_bytes, ClientId client) {
+  if (conns_.size() >= cfg_.max_connections) return {};
+  const auto idx = static_cast<std::uint32_t>(conns_.size());
+  Connection conn;
+  conn.qp = server_qp;
+  conn.resp_addr = client_resp_slot;
+  conn.resp_bytes = client_resp_bytes;
+  conn.client = client;
+  conns_.push_back(std::move(conn));
+  dirty_flag_.push_back(false);
+  AcceptResult res;
+  res.req_slot = fabric::RemoteAddr{msg_mr_->rkey(),
+                                    static_cast<std::uint64_t>(idx) * cfg_.msg_slot_bytes};
+  res.slot_bytes = cfg_.msg_slot_bytes;
+  res.arena_rkey = arena_mr_->rkey();
+  res.ok = true;
+  return res;
+}
+
+Shard::AcceptResult Shard::accept_send_recv(fabric::QueuePair* server_qp, ClientId client) {
+  if (conns_.size() >= cfg_.max_connections) return {};
+  const auto idx = static_cast<std::uint32_t>(conns_.size());
+  Connection conn;
+  conn.qp = server_qp;
+  conn.client = client;
+  conn.send_recv = true;
+  conn.recv_bufs.resize(8, std::vector<std::byte>(cfg_.msg_slot_bytes));
+  conns_.push_back(std::move(conn));
+  dirty_flag_.push_back(false);
+  Connection& c = conns_.back();
+  for (std::size_t i = 0; i < c.recv_bufs.size(); ++i) c.qp->post_recv(c.recv_bufs[i], i);
+  c.qp->set_recv_handler(guard([this, idx](const fabric::Completion& wc,
+                                           std::span<std::byte> data) {
+    auto req = proto::decode_request(data.subspan(0, wc.byte_len));
+    // Hand the buffer back to the QP immediately (flow control like real
+    // verbs apps that repost inside the completion handler).
+    Connection& conn = conns_[idx];
+    conn.qp->post_recv(conn.recv_bufs[wc.wr_id], wc.wr_id);
+    if (!req.has_value()) {
+      ++stats_.malformed;
+      return;
+    }
+    sr_pending_.emplace_back(std::move(*req), idx);
+    wake();
+  }));
+  AcceptResult res;
+  res.arena_rkey = arena_mr_->rkey();
+  res.slot_bytes = cfg_.msg_slot_bytes;
+  res.ok = true;
+  return res;
+}
+
+void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
+  replicator_ = std::make_unique<replication::ReplicationPrimary>(*this, fabric_, node_, rep_cfg);
+}
+
+void Shard::on_request_write(std::uint64_t offset) {
+  const auto idx = static_cast<std::uint32_t>(offset / cfg_.msg_slot_bytes);
+  if (idx >= conns_.size() || dirty_flag_[idx]) return;
+  dirty_flag_[idx] = true;
+  dirty_.push_back(idx);
+  wake();
+}
+
+void Shard::wake() {
+  if (busy_) return;
+  busy_ = true;
+  // The paper's loop sleeps 100ns between empty scans; a fresh arrival is
+  // therefore noticed after at most one backoff.
+  schedule_after(cfg_.cpu.idle_backoff, [this] { process_loop(); });
+}
+
+void Shard::process_loop() {
+  Duration scan_cost = 0;
+  // Send/Recv mode: decoded requests queue up from completion handlers.
+  if (!sr_pending_.empty()) {
+    auto [req, idx] = std::move(sr_pending_.front());
+    sr_pending_.pop_front();
+    handle(std::move(req), idx, cfg_.cpu.poll_scan);
+    return;
+  }
+  // Polling mode: round-robin over connections whose buffers saw a write.
+  while (!dirty_.empty()) {
+    const std::uint32_t idx = dirty_.front();
+    dirty_.pop_front();
+    dirty_flag_[idx] = false;
+    scan_cost += cfg_.cpu.poll_scan;
+    const auto slot = slot_span(idx);
+    if (!proto::poll_frame(slot).has_value()) continue;  // frame still landing
+    auto req = proto::decode_request(proto::frame_payload(slot));
+    proto::clear_frame(slot);
+    if (!req.has_value()) {
+      ++stats_.malformed;
+      continue;
+    }
+    handle(std::move(*req), idx, scan_cost);
+    return;
+  }
+  charge(scan_cost);
+  busy_ = false;  // idle; the write hook re-arms us
+}
+
+void Shard::handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_far) {
+  const CpuModel& cpu = cfg_.cpu;
+  proto::Response resp;
+  resp.req_id = req.req_id;
+  Duration cost = cost_so_far;
+  bool replicate = false;
+
+  switch (req.type) {
+    case proto::MsgType::kGet: {
+      cost += cpu.base_get;
+      auto r = store_->get(req.key, now());
+      resp.status = r.status();
+      if (r.ok()) {
+        const core::GetView& view = r.value();
+        resp.value.assign(view.value);
+        resp.version = view.version;
+        cost += static_cast<Duration>(cpu.per_value_byte * static_cast<double>(view.value.size()));
+        if (cfg_.grant_remote_pointers) {
+          resp.remote_ptr.rkey = arena_mr_->rkey();
+          resp.remote_ptr.offset = view.offset;
+          resp.remote_ptr.total_len = view.total_len;
+          resp.remote_ptr.lease_expiry = view.lease_expiry;
+          resp.remote_ptr.version = view.version;
+          resp.remote_ptr.shard = cfg_.id;
+        }
+      }
+      ++stats_.gets;
+      break;
+    }
+    case proto::MsgType::kInsert:
+    case proto::MsgType::kUpdate:
+    case proto::MsgType::kPut: {
+      cost += cpu.base_put +
+              static_cast<Duration>(cpu.per_value_byte * static_cast<double>(req.value.size()));
+      if (req.type == proto::MsgType::kInsert) {
+        resp.status = store_->insert(req.key, req.value, now());
+      } else if (req.type == proto::MsgType::kUpdate) {
+        resp.status = store_->update(req.key, req.value, now());
+      } else {
+        resp.status = store_->put(req.key, req.value, now());
+      }
+      replicate = resp.status == Status::kOk;
+      ++stats_.puts;
+      break;
+    }
+    case proto::MsgType::kRemove: {
+      cost += cpu.base_remove;
+      resp.status = store_->remove(req.key, now());
+      replicate = resp.status == Status::kOk;
+      ++stats_.removes;
+      break;
+    }
+    case proto::MsgType::kRenewLease: {
+      cost += cpu.base_renew;
+      resp.status = store_->renew_lease(req.key, now());
+      if (resp.status == Status::kOk && cfg_.grant_remote_pointers) {
+        // Return the refreshed pointer so the client's cache entry reflects
+        // the extended lease term.
+        auto r = store_->get(req.key, now(), /*grant_lease=*/false);
+        if (r.ok()) {
+          resp.remote_ptr.rkey = arena_mr_->rkey();
+          resp.remote_ptr.offset = r.value().offset;
+          resp.remote_ptr.total_len = r.value().total_len;
+          resp.remote_ptr.lease_expiry = r.value().lease_expiry;
+          resp.remote_ptr.version = r.value().version;
+          resp.remote_ptr.shard = cfg_.id;
+        }
+      }
+      ++stats_.renews;
+      break;
+    }
+    default:
+      ++stats_.malformed;
+      resp.status = Status::kInvalidArgument;
+      break;
+  }
+
+  cost += cpu.post_response;
+  schedule_gc();
+
+  if (replicate && replicator_ != nullptr && replicator_->secondary_count() > 0) {
+    cost += replicator_->post_cost();
+    proto::RepRecord rec;
+    rec.op = req.type == proto::MsgType::kRemove ? proto::MsgType::kRemove : proto::MsgType::kPut;
+    rec.op_time = now();
+    rec.key = std::move(req.key);
+    rec.value = std::move(req.value);
+
+    // The response leaves once BOTH the shard's CPU work is done and the
+    // replication policy is satisfied. Under the relaxed log protocol the
+    // shard polls the next request as soon as the records are posted (the
+    // overlap Fig 13 credits); the conventional strict protocol serializes:
+    // the shard cannot move on until the secondary acknowledged.
+    const bool blocking =
+        replicator_->config().mode == replication::ReplicationMode::kStrictAck;
+    auto barrier = std::make_shared<int>(2);
+    std::function<void()> arm = guard([this, resp, conn_idx, barrier, blocking] {
+      if (--*barrier > 0) return;
+      send_response(resp, conn_idx);
+      if (blocking) process_loop();
+    });
+    replicator_->replicate(std::move(rec), arm);
+    charge(cost);
+    schedule_after(cost, [this, arm, blocking] {
+      arm();
+      if (!blocking) process_loop();
+    });
+    return;
+  }
+
+  charge(cost);
+  schedule_after(cost, [this, resp = std::move(resp), conn_idx] {
+    send_response(resp, conn_idx);
+    process_loop();
+  });
+}
+
+void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx) {
+  Connection& conn = conns_[conn_idx];
+  const auto payload = proto::encode_response(resp);
+  if (conn.send_recv) {
+    conn.qp->post_send(payload);
+    ++stats_.responses;
+    return;
+  }
+  const std::size_t framed = proto::frame_size(payload.size());
+  if (framed > conn.resp_bytes) {
+    // Response exceeds the client's slot (value too large for the
+    // configured slot size): degrade to an error the client can act on.
+    proto::Response err;
+    err.req_id = resp.req_id;
+    err.status = Status::kInvalidArgument;
+    const auto err_payload = proto::encode_response(err);
+    std::vector<std::byte> frame(proto::frame_size(err_payload.size()));
+    proto::encode_frame(frame, err_payload);
+    conn.qp->post_write(frame, conn.resp_addr);
+    ++stats_.responses;
+    return;
+  }
+  std::vector<std::byte> frame(framed);
+  proto::encode_frame(frame, payload);
+  conn.qp->post_write(frame, conn.resp_addr);
+  ++stats_.responses;
+}
+
+void Shard::schedule_gc() {
+  if (gc_scheduled_ || store_->deferred_count() == 0) return;
+  gc_scheduled_ = true;
+  const Time due = std::max<Time>(store_->next_reclaim_due(), now() + cfg_.gc_min_interval);
+  schedule_at(due, [this] {
+    // Background reclamation: on real hardware this is a helper thread;
+    // here it costs the shard nothing on the request path (paper 4.2.3).
+    store_->collect_garbage(now());
+    gc_scheduled_ = false;
+    schedule_gc();
+  });
+}
+
+}  // namespace hydra::server

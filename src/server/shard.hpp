@@ -1,0 +1,122 @@
+// The shard: HydraDB's server-side unit of execution (paper section 4.1.1).
+//
+// One shard == one core == one partition. A single logical thread detects
+// requests by polling per-connection request buffers (filled by client RDMA
+// Writes), executes them against its exclusively-owned KVStore, and answers
+// with an RDMA Write into the client's response buffer. There are no locks
+// anywhere on this path. The same class also supports the two-sided
+// Send/Recv mode used as the Figure 10 baseline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/store.hpp"
+#include "fabric/fabric.hpp"
+#include "proto/frame.hpp"
+#include "proto/messages.hpp"
+#include "replication/primary.hpp"
+#include "server/config.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::server {
+
+struct ShardStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;  ///< insert + update + upsert
+  std::uint64_t removes = 0;
+  std::uint64_t renews = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t responses = 0;
+  Duration busy_time = 0;  ///< virtual CPU time charged to this core
+};
+
+class Shard : public sim::Actor {
+ public:
+  /// `existing_store` supports failover promotion: a secondary's replica
+  /// store becomes this primary's store. Pass nullptr to start empty.
+  Shard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node, ShardConfig cfg,
+        std::unique_ptr<core::KVStore> existing_store = nullptr);
+
+  // --- connection management ---------------------------------------------
+  struct AcceptResult {
+    fabric::RemoteAddr req_slot;  ///< where the client RDMA-Writes requests
+    std::uint32_t slot_bytes = 0;
+    std::uint32_t arena_rkey = 0;  ///< region containing RDMA-readable items
+    bool ok = false;
+  };
+
+  /// Polling-mode accept: the shard dedicates a request-buffer slot to this
+  /// connection and remembers where responses go.
+  AcceptResult accept(fabric::QueuePair* server_qp, fabric::RemoteAddr client_resp_slot,
+                      std::uint32_t client_resp_bytes, ClientId client);
+
+  /// Send/Recv-mode accept (Fig 10 baseline): posts receive buffers and
+  /// answers via post_send.
+  AcceptResult accept_send_recv(fabric::QueuePair* server_qp, ClientId client);
+
+  // --- replication ---------------------------------------------------------
+  void enable_replication(replication::PrimaryConfig cfg);
+  [[nodiscard]] replication::ReplicationPrimary* replicator() noexcept {
+    return replicator_.get();
+  }
+
+  // --- accessors -----------------------------------------------------------
+  [[nodiscard]] ShardId id() const noexcept { return cfg_.id; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] core::KVStore& store() noexcept { return *store_; }
+  [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ShardConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t connection_count() const noexcept { return conns_.size(); }
+
+  void kill() override;
+
+ private:
+  struct Connection {
+    fabric::QueuePair* qp = nullptr;
+    fabric::RemoteAddr resp_addr{};
+    std::uint32_t resp_bytes = 0;
+    ClientId client = 0;
+    bool send_recv = false;
+    /// Send/Recv mode owns its receive buffers (re-posted after use).
+    std::vector<std::vector<std::byte>> recv_bufs;
+  };
+
+  [[nodiscard]] std::span<std::byte> slot_span(std::uint32_t idx) noexcept {
+    return {msg_region_.data() + static_cast<std::size_t>(idx) * cfg_.msg_slot_bytes,
+            cfg_.msg_slot_bytes};
+  }
+
+  void on_request_write(std::uint64_t offset);
+  void wake();
+  void process_loop();
+  void handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_far);
+  void send_response(const proto::Response& resp, std::uint32_t conn_idx);
+  void charge(Duration cost) noexcept { stats_.busy_time += cost; }
+  void schedule_gc();
+
+  fabric::Fabric& fabric_;
+  NodeId node_;
+  ShardConfig cfg_;
+  std::unique_ptr<core::KVStore> store_;
+  fabric::MemoryRegion* arena_mr_;
+
+  std::vector<std::byte> msg_region_;
+  fabric::MemoryRegion* msg_mr_;
+
+  std::vector<Connection> conns_;
+  std::vector<bool> dirty_flag_;
+  std::deque<std::uint32_t> dirty_;
+  /// Send/Recv mode: decoded requests waiting for the shard thread.
+  std::deque<std::pair<proto::Request, std::uint32_t>> sr_pending_;
+  bool busy_ = false;
+  bool gc_scheduled_ = false;
+
+  std::unique_ptr<replication::ReplicationPrimary> replicator_;
+  ShardStats stats_;
+};
+
+}  // namespace hydra::server

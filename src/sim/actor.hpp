@@ -1,0 +1,57 @@
+// Actor base: a simulated process whose pending callbacks die with it.
+//
+// Killing an actor (crash injection, failover tests) atomically invalidates
+// everything it scheduled, mirroring a real process whose threads stop
+// executing at crash time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace hydra::sim {
+
+class Actor {
+ public:
+  Actor(Scheduler& sched, std::string name)
+      : sched_(sched), name_(std::move(name)) {}
+  virtual ~Actor() { *alive_ = false; }
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool alive() const noexcept { return *alive_; }
+  [[nodiscard]] Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] Time now() const noexcept { return sched_.now(); }
+
+  /// Simulates a process crash: pending and future callbacks are dropped.
+  virtual void kill() { *alive_ = false; }
+
+  /// Wraps any callable so it only runs while this actor is alive. Useful
+  /// when handing callbacks to other components (NIC completion handlers,
+  /// memory-region write hooks, coordinator watches).
+  template <typename F>
+  [[nodiscard]] auto guard(F fn) const {
+    return [alive = std::weak_ptr<bool>(alive_), fn = std::move(fn)](auto&&... args) mutable {
+      if (const auto a = alive.lock(); a && *a) fn(std::forward<decltype(args)>(args)...);
+    };
+  }
+
+  /// Schedules `fn` after `delay`, skipped if this actor has died meanwhile.
+  EventId schedule_after(Duration delay, EventFn fn) {
+    return sched_.after(delay, guard(std::move(fn)));
+  }
+  EventId schedule_at(Time when, EventFn fn) {
+    return sched_.at(when, guard(std::move(fn)));
+  }
+
+ private:
+  Scheduler& sched_;
+  std::string name_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace hydra::sim

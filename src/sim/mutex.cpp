@@ -1,0 +1,29 @@
+#include "sim/mutex.hpp"
+
+#include <utility>
+
+namespace hydra::sim {
+
+void SimMutex::lock(EventFn on_acquired) {
+  if (!locked_) {
+    locked_ = true;
+    sched_.at(sched_.now(), std::move(on_acquired));
+    return;
+  }
+  ++contended_;
+  waiters_.push_back(Waiter{std::move(on_acquired), sched_.now()});
+}
+
+void SimMutex::unlock() {
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  Waiter next = std::move(waiters_.front());
+  waiters_.pop_front();
+  total_wait_ += sched_.now() - next.enqueued;
+  // Lock stays held; ownership transfers to the waiter after arbitration.
+  sched_.after(handoff_cost_, std::move(next.fn));
+}
+
+}  // namespace hydra::sim

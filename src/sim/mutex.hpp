@@ -1,0 +1,48 @@
+// Simulated mutex with FIFO handoff.
+//
+// The baseline systems (memcached-like store, the "in-memory DB" of the G2
+// experiment) are throttled by lock contention on real hardware; SimMutex
+// reproduces that serialization in virtual time: an acquire either succeeds
+// immediately or queues behind the current owner, and each handoff charges a
+// configurable arbitration cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/scheduler.hpp"
+
+namespace hydra::sim {
+
+class SimMutex {
+ public:
+  explicit SimMutex(Scheduler& sched, Duration handoff_cost = 80)
+      : sched_(sched), handoff_cost_(handoff_cost) {}
+
+  /// Requests the lock; `on_acquired` runs (possibly immediately via an
+  /// event at the current time) once this requester owns the lock.
+  void lock(EventFn on_acquired);
+
+  /// Releases the lock, waking the next FIFO waiter after the handoff cost.
+  void unlock();
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+  [[nodiscard]] std::size_t waiters() const noexcept { return waiters_.size(); }
+  [[nodiscard]] std::uint64_t contended_acquires() const noexcept { return contended_; }
+  [[nodiscard]] Duration total_wait() const noexcept { return total_wait_; }
+
+ private:
+  struct Waiter {
+    EventFn fn;
+    Time enqueued;
+  };
+
+  Scheduler& sched_;
+  Duration handoff_cost_;
+  bool locked_ = false;
+  std::deque<Waiter> waiters_;
+  std::uint64_t contended_ = 0;
+  Duration total_wait_ = 0;
+};
+
+}  // namespace hydra::sim

@@ -1,0 +1,84 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace hydra::sim {
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+EventId Scheduler::at(Time when, EventFn fn) {
+  if (when < now_) when = now_;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  heap_.push(HeapEntry{when, next_seq_++, slot});
+  ++live_events_;
+  return EventId{slot, s.generation};
+}
+
+void Scheduler::cancel(EventId id) noexcept {
+  if (!id.valid() || id.slot >= slots_.size()) return;
+  Slot& s = slots_[id.slot];
+  if (s.armed && s.generation == id.generation) {
+    s.armed = false;
+    s.fn = nullptr;
+    --live_events_;
+    // The heap entry stays and is skipped when popped.
+  }
+}
+
+bool Scheduler::step() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    Slot& s = slots_[top.slot];
+    if (!s.armed) {  // cancelled
+      ++s.generation;
+      free_slots_.push_back(top.slot);
+      continue;
+    }
+    now_ = top.when;
+    EventFn fn = std::move(s.fn);
+    s.fn = nullptr;
+    s.armed = false;
+    ++s.generation;
+    free_slots_.push_back(top.slot);
+    --live_events_;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without executing anything late.
+    const HeapEntry top = heap_.top();
+    if (!slots_[top.slot].armed) {
+      heap_.pop();
+      ++slots_[top.slot].generation;
+      free_slots_.push_back(top.slot);
+      continue;
+    }
+    if (top.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace hydra::sim

@@ -1,0 +1,83 @@
+// Discrete-event scheduler with a virtual nanosecond clock.
+//
+// Every component of the simulated cluster (shards, clients, NICs,
+// coordinators, background reclaimers) advances by scheduling callbacks
+// here. Events with equal timestamps execute in scheduling order (stable
+// (time, seq) ordering), which together with seeded RNGs makes entire runs
+// deterministic (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint32_t slot = ~std::uint32_t{0};
+  std::uint32_t generation = 0;
+  [[nodiscard]] bool valid() const noexcept { return slot != ~std::uint32_t{0}; }
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (clamped to now()).
+  EventId at(Time when, EventFn fn);
+  /// Schedules `fn` after `delay` nanoseconds of virtual time.
+  EventId after(Duration delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id) noexcept;
+
+  /// Executes the next event. Returns false when the queue is empty.
+  bool step();
+  /// Runs until the event queue drains.
+  void run();
+  /// Runs events with timestamp <= deadline; the clock ends at `deadline`
+  /// even if the queue drains earlier.
+  void run_until(Time deadline);
+  /// Convenience: run_until(now() + d).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_events_; }
+
+ private:
+  struct HeapEntry {
+    Time when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const HeapEntry& o) const noexcept {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
+    bool armed = false;
+  };
+
+  std::uint32_t acquire_slot();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+};
+
+}  // namespace hydra::sim

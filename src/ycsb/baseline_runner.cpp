@@ -1,0 +1,74 @@
+#include "ycsb/baseline_runner.hpp"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace hydra::ycsb {
+
+BaselineRunResult run_baseline(sim::Scheduler& sched, baselines::BaselineStore& store,
+                               const WorkloadSpec& spec, int num_clients) {
+  for (std::uint64_t r = 0; r < spec.record_count; ++r) {
+    store.load(format_key(r, spec.key_len), synth_value(r, spec.value_len));
+  }
+
+  struct ClientState {
+    std::vector<TraceOp> trace;
+    std::size_t pos = 0;
+    Time op_start = 0;
+  };
+  auto states = std::make_shared<std::vector<ClientState>>();
+  const std::uint64_t ops_per_client = spec.operations / static_cast<std::uint64_t>(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    ClientState st;
+    st.trace = generate_trace(spec, c, ops_per_client);
+    states->push_back(std::move(st));
+  }
+
+  auto get_hist = std::make_shared<LatencyHistogram>();
+  auto put_hist = std::make_shared<LatencyHistogram>();
+  int remaining = num_clients;
+
+  std::function<void(int)> step = [&, states, get_hist, put_hist](int c) {
+    ClientState& st = (*states)[static_cast<std::size_t>(c)];
+    if (st.pos > 0) {
+      const Duration lat = sched.now() - st.op_start;
+      if (st.trace[st.pos - 1].is_get) {
+        get_hist->record(lat);
+      } else {
+        put_hist->record(lat);
+      }
+    }
+    if (st.pos == st.trace.size()) {
+      --remaining;
+      return;
+    }
+    const TraceOp& op = st.trace[st.pos++];
+    st.op_start = sched.now();
+    std::string key = format_key(op.record, spec.key_len);
+    if (op.is_get) {
+      store.get(c, std::move(key), [&, c](Status, std::string_view) { step(c); });
+    } else {
+      store.update(c, std::move(key), synth_value(op.record ^ st.pos, spec.value_len),
+                   [&, c](Status) { step(c); });
+    }
+  };
+
+  const Time start = sched.now();
+  for (int c = 0; c < num_clients; ++c) step(c);
+  while (remaining > 0 && sched.step()) {
+  }
+
+  BaselineRunResult result;
+  result.operations = get_hist->count() + put_hist->count();
+  result.elapsed = sched.now() - start;
+  if (result.elapsed > 0) {
+    result.throughput_mops =
+        static_cast<double>(result.operations) * 1000.0 / static_cast<double>(result.elapsed);
+  }
+  result.avg_get_us = get_hist->mean() / 1000.0;
+  result.avg_update_us = put_hist->mean() / 1000.0;
+  return result;
+}
+
+}  // namespace hydra::ycsb

@@ -1,0 +1,24 @@
+// Closed-loop YCSB driver for the baseline stores (Figure 9 comparison).
+#pragma once
+
+#include "baselines/baseline.hpp"
+#include "common/histogram.hpp"
+#include "sim/scheduler.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hydra::ycsb {
+
+struct BaselineRunResult {
+  std::uint64_t operations = 0;
+  Duration elapsed = 0;
+  double throughput_mops = 0.0;
+  double avg_get_us = 0.0;
+  double avg_update_us = 0.0;
+};
+
+/// Preloads the records and replays the workload with `num_clients`
+/// closed-loop clients against a baseline store.
+BaselineRunResult run_baseline(sim::Scheduler& sched, baselines::BaselineStore& store,
+                               const WorkloadSpec& spec, int num_clients);
+
+}  // namespace hydra::ycsb

@@ -1,0 +1,123 @@
+#include "ycsb/runner.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/logging.hpp"
+
+namespace hydra::ycsb {
+namespace {
+
+/// Per-client closed-loop driver: completion of one op issues the next.
+class Driver {
+ public:
+  Driver(client::Client& c, const WorkloadSpec& spec, std::vector<TraceOp> trace,
+         int* remaining)
+      : client_(c), spec_(spec), trace_(std::move(trace)), remaining_(remaining) {}
+
+  void start() { next(); }
+
+ private:
+  void next() {
+    if (pos_ == trace_.size()) {
+      --*remaining_;
+      return;
+    }
+    const TraceOp& op = trace_[pos_++];
+    std::string key = format_key(op.record, spec_.key_len);
+    if (op.is_get) {
+      client_.get(std::move(key), [this](Status, std::string_view) { next(); });
+    } else {
+      client_.update(std::move(key), synth_value(op.record ^ pos_, spec_.value_len),
+                     [this](Status) { next(); });
+    }
+  }
+
+  client::Client& client_;
+  const WorkloadSpec& spec_;
+  std::vector<TraceOp> trace_;
+  std::size_t pos_ = 0;
+  int* remaining_;
+};
+
+void run_phase(db::HydraCluster& cluster, const WorkloadSpec& spec,
+               std::uint64_t ops_per_client, int trace_salt) {
+  auto& clients = cluster.clients();
+  int remaining = static_cast<int>(clients.size());
+  std::vector<std::unique_ptr<Driver>> drivers;
+  drivers.reserve(clients.size());
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    drivers.push_back(std::make_unique<Driver>(
+        *clients[c], spec,
+        generate_trace(spec, static_cast<int>(c) + trace_salt, ops_per_client),
+        &remaining));
+  }
+  for (auto& d : drivers) d->start();
+  std::uint64_t guard = 0;
+  while (remaining > 0) {
+    if (!cluster.scheduler().step() || ++guard > 2'000'000'000ULL) {
+      HYDRA_ERROR("ycsb runner: simulation drained before all clients finished");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_workload(db::HydraCluster& cluster, const WorkloadSpec& spec,
+                       const RunOptions& opts) {
+  auto& clients = cluster.clients();
+
+  // ---- load phase ----------------------------------------------------------
+  if (opts.direct_load) {
+    for (std::uint64_t r = 0; r < spec.record_count; ++r) {
+      cluster.direct_load(format_key(r, spec.key_len), synth_value(r, spec.value_len));
+    }
+  } else {
+    for (std::uint64_t r = 0; r < spec.record_count; ++r) {
+      cluster.put(format_key(r, spec.key_len), synth_value(r, spec.value_len),
+                  static_cast<int>(r % clients.size()));
+    }
+  }
+
+  // ---- warm-up --------------------------------------------------------------
+  if (opts.warmup_ops_per_client > 0) {
+    run_phase(cluster, spec, opts.warmup_ops_per_client, /*trace_salt=*/7777);
+  }
+
+  // ---- measured phase --------------------------------------------------------
+  for (auto* c : clients) c->mutable_stats() = client::ClientStats{};
+  const Time start = cluster.scheduler().now();
+  const std::uint64_t ops_per_client = spec.operations / clients.size();
+  run_phase(cluster, spec, ops_per_client, /*trace_salt=*/0);
+  const Time end = cluster.scheduler().now();
+
+  // ---- aggregate --------------------------------------------------------------
+  RunResult result;
+  result.workload = spec.name();
+  result.elapsed = end - start;
+  LatencyHistogram get_hist;
+  LatencyHistogram put_hist;
+  for (auto* c : clients) {
+    const auto& s = c->stats();
+    result.operations += s.gets + s.puts + s.removes;
+    result.ptr_hits += s.ptr_hits;
+    result.invalid_hits += s.invalid_hits;
+    result.ptr_misses += s.ptr_misses;
+    result.timeouts += s.timeouts;
+    result.failures += s.failures;
+    get_hist.merge(s.get_latency);
+    put_hist.merge(s.put_latency);
+  }
+  if (result.elapsed > 0) {
+    result.throughput_mops =
+        static_cast<double>(result.operations) * 1000.0 / static_cast<double>(result.elapsed);
+  }
+  result.avg_get_us = get_hist.mean() / 1000.0;
+  result.avg_update_us = put_hist.mean() / 1000.0;
+  result.p99_get = get_hist.percentile(99);
+  return result;
+}
+
+}  // namespace hydra::ycsb

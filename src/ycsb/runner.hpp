@@ -1,0 +1,44 @@
+// Closed-loop YCSB runner: drives every client through its pre-generated
+// trace and aggregates virtual-time throughput/latency, the numbers all
+// figure benches report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hydradb/hydra_cluster.hpp"
+#include "ycsb/workload.hpp"
+
+namespace hydra::ycsb {
+
+struct RunResult {
+  std::string workload;
+  std::uint64_t operations = 0;
+  Duration elapsed = 0;          ///< virtual ns from first issue to last completion
+  double throughput_mops = 0.0;  ///< million ops per virtual second
+  double avg_get_us = 0.0;
+  double avg_update_us = 0.0;
+  Duration p99_get = 0;
+  std::uint64_t ptr_hits = 0;
+  std::uint64_t invalid_hits = 0;
+  std::uint64_t ptr_misses = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t failures = 0;
+};
+
+struct RunOptions {
+  /// Load records straight into the stores (fast, the default) instead of
+  /// through the network.
+  bool direct_load = true;
+  /// Warm-up operations per client executed before stats reset (gives the
+  /// pointer cache its steady-state fill, like the paper's warm runs).
+  std::uint64_t warmup_ops_per_client = 0;
+};
+
+/// Runs `spec` against the cluster and returns aggregate results. The
+/// cluster's virtual clock advances; clients' stats are reset at the start
+/// of the measured phase.
+RunResult run_workload(db::HydraCluster& cluster, const WorkloadSpec& spec,
+                       const RunOptions& opts = {});
+
+}  // namespace hydra::ycsb

@@ -1,0 +1,49 @@
+#include "ycsb/workload.hpp"
+
+#include <cstdio>
+
+#include "common/hash.hpp"
+
+namespace hydra::ycsb {
+
+std::string WorkloadSpec::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%d%%GET/%s", static_cast<int>(get_fraction * 100),
+                to_string(distribution));
+  return buf;
+}
+
+std::vector<WorkloadSpec> paper_workloads(std::uint64_t record_count,
+                                          std::uint64_t operations) {
+  std::vector<WorkloadSpec> out;
+  int seed = 100;
+  for (const Distribution dist : {Distribution::kZipfian, Distribution::kUniform}) {
+    for (const double get_frac : {0.5, 0.9, 1.0}) {
+      WorkloadSpec spec;
+      spec.get_fraction = get_frac;
+      spec.distribution = dist;
+      spec.record_count = record_count;
+      spec.operations = operations;
+      spec.seed = static_cast<std::uint64_t>(seed++);
+      out.push_back(spec);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceOp> generate_trace(const WorkloadSpec& spec, int client_index,
+                                    std::uint64_t ops_for_client) {
+  Xoshiro256 rng(mix64(spec.seed * 1000003ULL + static_cast<std::uint64_t>(client_index)));
+  auto chooser = make_chooser(spec.distribution, spec.record_count, spec.zipf_theta);
+  std::vector<TraceOp> trace;
+  trace.reserve(ops_for_client);
+  for (std::uint64_t i = 0; i < ops_for_client; ++i) {
+    TraceOp op;
+    op.record = chooser->next(rng);
+    op.is_get = rng.uniform() < spec.get_fraction;
+    trace.push_back(op);
+  }
+  return trace;
+}
+
+}  // namespace hydra::ycsb

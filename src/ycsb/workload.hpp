@@ -1,0 +1,45 @@
+// YCSB-style workload specification and trace pre-generation (paper §6).
+//
+// "Considering that YCSB workload generation can be highly CPU-intensive
+// and time-consuming, all the workloads are pre-generated" -- we do the
+// same: traces are materialized up front and replayed by the clients, so
+// generation cost never pollutes the measurement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/keygen.hpp"
+
+namespace hydra::ycsb {
+
+struct WorkloadSpec {
+  /// Fraction of operations that are GETs; the remainder are UPDATEs.
+  double get_fraction = 1.0;
+  Distribution distribution = Distribution::kZipfian;
+  std::uint64_t record_count = 60'000;
+  std::uint64_t operations = 120'000;  ///< total, split across clients
+  std::size_t key_len = 16;            ///< paper: 16-byte keys
+  std::size_t value_len = 32;          ///< paper: 32-byte values
+  double zipf_theta = ZipfianChooser::kDefaultTheta;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// The paper's six workloads: {50, 90, 100}% GET x {Zipfian, Uniform}.
+std::vector<WorkloadSpec> paper_workloads(std::uint64_t record_count,
+                                          std::uint64_t operations);
+
+struct TraceOp {
+  std::uint64_t record;
+  bool is_get;
+};
+
+/// Pre-generates the request trace for one client (deterministic in
+/// (spec.seed, client_index)).
+std::vector<TraceOp> generate_trace(const WorkloadSpec& spec, int client_index,
+                                    std::uint64_t ops_for_client);
+
+}  // namespace hydra::ycsb

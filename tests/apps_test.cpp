@@ -1,0 +1,206 @@
+// Tests for the application substrates: mini-HDFS, the MapReduce cache
+// layer, the G2 engine driver and CDR processing.
+#include <gtest/gtest.h>
+
+#include "apps/cdr.hpp"
+#include "apps/g2.hpp"
+#include "apps/hdfs_lite.hpp"
+#include "apps/mapreduce.hpp"
+
+namespace hydra::apps {
+namespace {
+
+// ---------------------------------------------------------------- hdfs
+
+TEST(HdfsLite, BlockReadDeliversAfterTcpAndServeCosts) {
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  const NodeId dn = fabric.add_node("datanode").id();
+  const NodeId reader = fabric.add_node("reader").id();
+  HdfsLite hdfs(sched, fabric, HdfsConfig{dn});
+  hdfs.put_block(1, 4 << 20);
+  EXPECT_TRUE(hdfs.has_block(1));
+
+  Time done = 0;
+  std::uint32_t got_bytes = 0;
+  hdfs.read_block(reader, 1, [&](std::uint32_t bytes) {
+    done = sched.now();
+    got_bytes = bytes;
+  });
+  sched.run();
+  EXPECT_EQ(got_bytes, 4u << 20);
+  // At least: request one way + serve CPU + response wire time.
+  const auto& cm = fabric.cost();
+  EXPECT_GE(done, cm.tcp_latency + cm.tcp_wire_time(4 << 20));
+  EXPECT_EQ(hdfs.reads_served(), 1u);
+}
+
+TEST(HdfsLite, ConcurrentReadersSerializeOnDatanodeCpu) {
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  const NodeId dn = fabric.add_node("datanode").id();
+  const NodeId r1 = fabric.add_node("r1").id();
+  const NodeId r2 = fabric.add_node("r2").id();
+  HdfsLite hdfs(sched, fabric, HdfsConfig{dn});
+  hdfs.put_block(1, 1 << 20);
+  hdfs.put_block(2, 1 << 20);
+
+  Time t1 = 0, t2 = 0;
+  hdfs.read_block(r1, 1, [&](std::uint32_t) { t1 = sched.now(); });
+  hdfs.read_block(r2, 2, [&](std::uint32_t) { t2 = sched.now(); });
+  sched.run();
+  EXPECT_GT(t2, t1);  // second reader waited behind the first's serve CPU
+}
+
+// ---------------------------------------------------------------- mapreduce
+
+db::ClusterOptions cache_cluster_options() {
+  db::ClusterOptions opts;
+  opts.server_nodes = 1;
+  opts.shards_per_node = 4;
+  opts.client_nodes = 2;
+  opts.clients_per_node = 4;
+  opts.enable_swat = false;
+  // 4 MB chunks need large arenas and message slots.
+  opts.shard_template.store.arena_bytes = 512ull << 20;
+  opts.shard_template.msg_slot_bytes = 5 << 20;
+  opts.shard_template.max_connections = 16;
+  opts.client_template.resp_slot_bytes = 5 << 20;
+  opts.client_template.max_shard_connections = 8;
+  return opts;
+}
+
+TEST(MapReduce, CacheLayerBeatsHdfsForIoBoundJobs) {
+  JobSpec job{"TestDFSIO", 4, 2, 4u << 20, 0.0, 100 * kMicrosecond, 1};
+
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  const NodeId dn = fabric.add_node("datanode").id();
+  std::vector<NodeId> task_nodes{fabric.add_node("w1").id(), fabric.add_node("w2").id()};
+  HdfsLite hdfs(sched, fabric, HdfsConfig{dn});
+  load_blocks_into_hdfs(hdfs, job);
+  const Duration hdfs_time = run_job_on_hdfs(sched, hdfs, task_nodes, job);
+
+  db::HydraCluster cluster(cache_cluster_options());
+  load_blocks_into_hydradb(cluster, job);
+  const Duration hydra_time = run_job_on_hydradb(cluster, job);
+
+  ASSERT_GT(hdfs_time, 0u);
+  ASSERT_GT(hydra_time, 0u);
+  EXPECT_GT(static_cast<double>(hdfs_time) / static_cast<double>(hydra_time), 2.0)
+      << "I/O-bound jobs should speed up severalfold on the cache layer";
+}
+
+TEST(MapReduce, ComputeBoundJobsGainLess) {
+  JobSpec io_job{"io", 2, 2, 2u << 20, 0.0, 50 * kMicrosecond, 1};
+  JobSpec cpu_job{"cpu", 2, 2, 2u << 20, 0.6, 50 * kMicrosecond, 1};
+
+  auto speedup = [&](const JobSpec& job) {
+    sim::Scheduler sched;
+    fabric::Fabric fabric{sched};
+    const NodeId dn = fabric.add_node("datanode").id();
+    std::vector<NodeId> nodes{fabric.add_node("w").id()};
+    HdfsLite hdfs(sched, fabric, HdfsConfig{dn});
+    load_blocks_into_hdfs(hdfs, job);
+    const Duration hdfs_time = run_job_on_hdfs(sched, hdfs, nodes, job);
+
+    db::HydraCluster cluster(cache_cluster_options());
+    load_blocks_into_hydradb(cluster, job);
+    const Duration hydra_time = run_job_on_hydradb(cluster, job);
+    return static_cast<double>(hdfs_time) / static_cast<double>(hydra_time);
+  };
+
+  const double io_speedup = speedup(io_job);
+  const double cpu_speedup = speedup(cpu_job);
+  EXPECT_GT(io_speedup, cpu_speedup)
+      << "Amdahl: the cache layer helps I/O-bound jobs more";
+  EXPECT_GT(cpu_speedup, 1.0);
+}
+
+TEST(MapReduce, PaperJobMixIsWellFormed) {
+  const auto jobs = paper_job_mix();
+  ASSERT_GE(jobs.size(), 6u);
+  for (const auto& job : jobs) {
+    EXPECT_FALSE(job.name.empty());
+    EXPECT_GT(job.tasks, 0);
+    EXPECT_GT(job.block_bytes, 0u);
+  }
+}
+
+// ---------------------------------------------------------------- g2
+
+db::ClusterOptions g2_cluster_options() {
+  db::ClusterOptions opts;
+  opts.server_nodes = 1;
+  opts.shards_per_node = 4;
+  opts.client_nodes = 2;
+  opts.clients_per_node = 8;
+  opts.enable_swat = false;
+  opts.shard_template.store.arena_bytes = 64 << 20;
+  return opts;
+}
+
+TEST(G2, HydraDbSustainsHigherObservationThroughput) {
+  G2Config cfg;
+  cfg.engines = 8;
+  cfg.observations_per_engine = 100;
+  cfg.entity_count = 2000;
+
+  sim::Scheduler db_sched;
+  fabric::Fabric db_fabric{db_sched};
+  const NodeId db_node = db_fabric.add_node("db").id();
+  std::vector<NodeId> engine_nodes{db_fabric.add_node("e1").id(), db_fabric.add_node("e2").id()};
+  InMemoryDbBackend db_backend(db_sched, db_fabric, db_node, engine_nodes);
+  load_entities(db_backend, cfg);
+  const auto db_result = run_g2(db_sched, db_backend, cfg);
+
+  db::HydraCluster cluster(g2_cluster_options());
+  HydraDbBackend hydra_backend(cluster);
+  load_entities(hydra_backend, cfg);
+  const auto hydra_result = run_g2(cluster.scheduler(), hydra_backend, cfg);
+
+  EXPECT_GT(hydra_result.observations_per_sec, db_result.observations_per_sec * 3.0)
+      << "HydraDB should deliver several times the in-memory DB's throughput";
+}
+
+TEST(G2, InMemoryDbSaturatesWithMoreEngines) {
+  auto throughput_with = [](int engines) {
+    G2Config cfg;
+    cfg.engines = engines;
+    cfg.observations_per_engine = 60;
+    cfg.entity_count = 1000;
+    sim::Scheduler sched;
+    fabric::Fabric fabric{sched};
+    const NodeId db_node = fabric.add_node("db").id();
+    std::vector<NodeId> nodes{fabric.add_node("e").id()};
+    InMemoryDbBackend backend(sched, fabric, db_node, nodes);
+    load_entities(backend, cfg);
+    return run_g2(sched, backend, cfg).observations_per_sec;
+  };
+  const double t4 = throughput_with(4);
+  const double t16 = throughput_with(16);
+  // The lock manager caps it: 4x engines must give far less than 4x.
+  EXPECT_LT(t16, t4 * 2.0);
+}
+
+// ---------------------------------------------------------------- cdr
+
+TEST(Cdr, MeetsThroughputAndLatencyEnvelope) {
+  db::ClusterOptions opts = g2_cluster_options();
+  db::HydraCluster cluster(opts);
+  CdrConfig cfg;
+  cfg.processing_elements = 8;
+  cfg.records_per_pe = 100;
+  cfg.subscriber_count = 5000;
+  load_subscribers(cluster, cfg);
+  const auto result = run_cdr(cluster, cfg);
+
+  EXPECT_EQ(result.records, 800u);
+  EXPECT_GT(result.accesses_per_sec, 100'000.0);
+  // Section 2.3's requirement: latency at hundreds of microseconds or less.
+  EXPECT_LT(result.avg_record_latency_us, 200.0);
+  EXPECT_LT(result.p99_record_latency, 500 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace hydra::apps

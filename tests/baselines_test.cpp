@@ -1,0 +1,170 @@
+// Tests for the Figure 9 baseline stores: functional correctness and the
+// architectural performance orderings the comparison depends on.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.hpp"
+#include "common/keygen.hpp"
+#include "ycsb/baseline_runner.hpp"
+
+namespace hydra::baselines {
+namespace {
+
+struct Rig {
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  BaselineConfig cfg;
+
+  Rig() {
+    cfg.server_node = fabric.add_node("server").id();
+    for (int i = 0; i < 2; ++i) {
+      cfg.client_nodes.push_back(fabric.add_node("client").id());
+    }
+  }
+
+  void check_functional(BaselineStore& store) {
+    store.load("k1", "v1");
+
+    Status get_status = Status::kTimeout;
+    std::string value;
+    store.get(0, "k1", [&](Status s, std::string_view v) {
+      get_status = s;
+      value.assign(v);
+    });
+    sched.run();
+    EXPECT_EQ(get_status, Status::kOk);
+    EXPECT_EQ(value, "v1");
+
+    Status put_status = Status::kTimeout;
+    store.update(0, "k1", "v2", [&](Status s) { put_status = s; });
+    sched.run();
+    EXPECT_EQ(put_status, Status::kOk);
+
+    store.get(0, "k1", [&](Status, std::string_view v) { value.assign(v); });
+    sched.run();
+    EXPECT_EQ(value, "v2");
+
+    Status missing = Status::kOk;
+    store.get(1, "nope", [&](Status s, std::string_view) { missing = s; });
+    sched.run();
+    EXPECT_EQ(missing, Status::kNotFound);
+  }
+};
+
+TEST(Baselines, MemcachedLikeFunctional) {
+  Rig rig;
+  auto store = make_memcached_like(rig.sched, rig.fabric, rig.cfg);
+  EXPECT_STREQ(store->name(), "memcached-like");
+  rig.check_functional(*store);
+}
+
+TEST(Baselines, RedisLikeFunctional) {
+  Rig rig;
+  auto store = make_redis_like(rig.sched, rig.fabric, rig.cfg);
+  EXPECT_STREQ(store->name(), "redis-like");
+  rig.check_functional(*store);
+}
+
+TEST(Baselines, RamcloudLikeFunctional) {
+  Rig rig;
+  auto store = make_ramcloud_like(rig.sched, rig.fabric, rig.cfg);
+  EXPECT_STREQ(store->name(), "ramcloud-like");
+  rig.check_functional(*store);
+}
+
+TEST(Baselines, ManyKeysSurviveChurn) {
+  Rig rig;
+  auto store = make_redis_like(rig.sched, rig.fabric, rig.cfg);
+  for (int i = 0; i < 200; ++i) {
+    store->load(format_key(static_cast<std::uint64_t>(i)), synth_value(static_cast<std::uint64_t>(i)));
+  }
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    store->get(i % 4, format_key(static_cast<std::uint64_t>(i)),
+               [&, i](Status s, std::string_view v) {
+                 if (s == Status::kOk && v == synth_value(static_cast<std::uint64_t>(i))) ++correct;
+               });
+    rig.sched.run();
+  }
+  EXPECT_EQ(correct, 200);
+}
+
+ycsb::WorkloadSpec tiny_spec() {
+  ycsb::WorkloadSpec spec;
+  spec.get_fraction = 0.9;
+  spec.distribution = Distribution::kUniform;
+  spec.record_count = 500;
+  spec.operations = 4000;
+  return spec;
+}
+
+TEST(Baselines, RunnerCompletesAllOperations) {
+  Rig rig;
+  auto store = make_memcached_like(rig.sched, rig.fabric, rig.cfg);
+  const auto result = ycsb::run_baseline(rig.sched, *store, tiny_spec(), 8);
+  EXPECT_EQ(result.operations, 4000u);
+  EXPECT_GT(result.throughput_mops, 0.0);
+  EXPECT_GT(result.avg_get_us, 0.0);
+}
+
+TEST(Baselines, VerbsBeatsKernelTcpOnLatency) {
+  // RAMCloud (native IB) must show far lower latency than the TCP systems:
+  // this ordering is the backbone of Figure 9.
+  Rig tcp_rig;
+  auto memcached = make_memcached_like(tcp_rig.sched, tcp_rig.fabric, tcp_rig.cfg);
+  const auto tcp = ycsb::run_baseline(tcp_rig.sched, *memcached, tiny_spec(), 8);
+
+  Rig ib_rig;
+  auto ramcloud = make_ramcloud_like(ib_rig.sched, ib_rig.fabric, ib_rig.cfg);
+  const auto verbs = ycsb::run_baseline(ib_rig.sched, *ramcloud, tiny_spec(), 8);
+
+  EXPECT_LT(verbs.avg_get_us, tcp.avg_get_us / 3.0)
+      << "verbs transport should cut latency by the stack round trips";
+  EXPECT_GT(verbs.throughput_mops, tcp.throughput_mops);
+}
+
+TEST(Baselines, LockContentionHurtsMemcachedUnderManyClients) {
+  // Enough offered load to hit the global lock's capacity: 4 vs 64 clients
+  // with transaction-weight critical sections must scale far below 16x.
+  auto spec = tiny_spec();
+  spec.operations = 16000;
+  Rig small_rig;
+  small_rig.cfg.store_op_cost = 2000;
+  small_rig.cfg.lock_hold_extra = 2000;
+  auto a = make_memcached_like(small_rig.sched, small_rig.fabric, small_rig.cfg);
+  const auto with4 = ycsb::run_baseline(small_rig.sched, *a, spec, 4);
+
+  Rig big_rig;
+  big_rig.cfg.store_op_cost = 2000;
+  big_rig.cfg.lock_hold_extra = 2000;
+  auto b = make_memcached_like(big_rig.sched, big_rig.fabric, big_rig.cfg);
+  const auto with64 = ycsb::run_baseline(big_rig.sched, *b, spec, 64);
+
+  const double scaling = with64.throughput_mops / with4.throughput_mops;
+  EXPECT_LT(scaling, 10.0) << "global lock should prevent linear scaling";
+  EXPECT_GT(scaling, 1.0);
+}
+
+TEST(Baselines, RedisShardingHelpsUniformLoadUnderSaturation) {
+  // 64 closed-loop clients saturate a single event loop (~0.28 Mops) while
+  // 8 instances absorb the same demand.
+  auto spec = tiny_spec();
+  spec.operations = 16000;
+  Rig one_rig;
+  auto one_cfg = one_rig.cfg;
+  one_cfg.parallelism = 1;
+  auto single = make_redis_like(one_rig.sched, one_rig.fabric, one_cfg);
+  const auto r1 = ycsb::run_baseline(one_rig.sched, *single, spec, 64);
+
+  Rig eight_rig;
+  auto eight = make_redis_like(eight_rig.sched, eight_rig.fabric, eight_rig.cfg);  // 8 instances
+  const auto r8 = ycsb::run_baseline(eight_rig.sched, *eight, spec, 64);
+
+  EXPECT_GT(r8.throughput_mops, r1.throughput_mops * 1.5)
+      << "client-side sharding should spread uniform load over instances";
+}
+
+}  // namespace
+}  // namespace hydra::baselines

@@ -1,0 +1,243 @@
+// Tests for the consistent-hash ring and the ZooKeeper-lite coordinator.
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/ring.hpp"
+#include "common/hash.hpp"
+#include "common/keygen.hpp"
+
+namespace hydra::cluster {
+namespace {
+
+// ---------------------------------------------------------------- ring
+
+TEST(Ring, EmptyRingOwnsNothing) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.owner(123), kInvalidShard);
+  EXPECT_EQ(ring.shard_count(), 0u);
+}
+
+TEST(Ring, SingleShardOwnsEverything) {
+  ConsistentHashRing ring;
+  ring.add_shard(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.owner(hash_key(format_key(static_cast<std::uint64_t>(i)))), 5u);
+  }
+}
+
+TEST(Ring, OwnershipIsDeterministic) {
+  ConsistentHashRing a, b;
+  for (ShardId s = 0; s < 8; ++s) {
+    a.add_shard(s);
+    b.add_shard(s);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = hash_key(format_key(static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(a.owner(h), b.owner(h));
+  }
+}
+
+TEST(Ring, LoadSpreadsAcrossShards) {
+  ConsistentHashRing ring(/*vnodes=*/64);
+  constexpr int kShards = 8;
+  for (ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
+  std::map<ShardId, int> counts;
+  constexpr int kKeys = 40000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ring.owner(hash_key(format_key(static_cast<std::uint64_t>(i))))];
+  }
+  EXPECT_EQ(counts.size(), static_cast<std::size_t>(kShards));
+  for (const auto& [shard, n] : counts) {
+    EXPECT_GT(n, kKeys / kShards / 3) << "shard " << shard << " starved";
+    EXPECT_LT(n, kKeys / kShards * 3) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(Ring, RemovalOnlyMovesTheRemovedShardsKeys) {
+  ConsistentHashRing ring;
+  for (ShardId s = 0; s < 8; ++s) ring.add_shard(s);
+  std::map<int, ShardId> before;
+  for (int i = 0; i < 5000; ++i) {
+    before[i] = ring.owner(hash_key(format_key(static_cast<std::uint64_t>(i))));
+  }
+  ring.remove_shard(3);
+  for (const auto& [i, owner] : before) {
+    const ShardId now = ring.owner(hash_key(format_key(static_cast<std::uint64_t>(i))));
+    if (owner == 3) {
+      EXPECT_NE(now, 3u);
+    } else {
+      EXPECT_EQ(now, owner) << "key " << i << " moved although its shard survived";
+    }
+  }
+}
+
+TEST(Ring, VersionBumpsOnMembershipChange) {
+  ConsistentHashRing ring;
+  const std::uint64_t v0 = ring.version();
+  ring.add_shard(1);
+  EXPECT_GT(ring.version(), v0);
+  const std::uint64_t v1 = ring.version();
+  ring.add_shard(1);  // duplicate: no change
+  EXPECT_EQ(ring.version(), v1);
+  ring.remove_shard(1);
+  EXPECT_GT(ring.version(), v1);
+  ring.remove_shard(1);  // already gone: no change
+}
+
+TEST(Ring, ShardsListsMembers) {
+  ConsistentHashRing ring;
+  ring.add_shard(2);
+  ring.add_shard(0);
+  EXPECT_TRUE(ring.contains(0));
+  EXPECT_TRUE(ring.contains(2));
+  EXPECT_FALSE(ring.contains(1));
+  EXPECT_EQ(ring.shards(), (std::vector<ShardId>{0, 2}));
+}
+
+// ---------------------------------------------------------------- coordinator
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched;
+  Coordinator coord{sched};
+};
+
+TEST_F(CoordinatorTest, CreateGetSetRemove) {
+  bool created = false;
+  coord.create("/a", "v1", 0, [&](bool ok) { created = ok; });
+  sched.run_for(kSecond);
+  EXPECT_TRUE(created);
+  EXPECT_TRUE(coord.exists("/a"));
+  EXPECT_EQ(coord.data("/a"), "v1");
+
+  bool duplicate_ok = true;
+  coord.create("/a", "v2", 0, [&](bool ok) { duplicate_ok = ok; });
+  sched.run_for(kSecond);
+  EXPECT_FALSE(duplicate_ok) << "duplicate create must fail";
+
+  coord.set_data("/a", "v3");
+  sched.run_for(kSecond);
+  EXPECT_EQ(coord.data("/a"), "v3");
+
+  bool got = false;
+  std::string data;
+  coord.get_data("/a", [&](bool ok, std::string d) {
+    got = ok;
+    data = std::move(d);
+  });
+  sched.run_for(kSecond);
+  EXPECT_TRUE(got);
+  EXPECT_EQ(data, "v3");
+
+  coord.remove("/a");
+  sched.run_for(kSecond);
+  EXPECT_FALSE(coord.exists("/a"));
+}
+
+TEST_F(CoordinatorTest, SetOnMissingNodeFails) {
+  bool ok = true;
+  coord.set_data("/ghost", "x", [&](bool r) { ok = r; });
+  sched.run_for(kSecond);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(CoordinatorTest, ChildrenListsByPrefix) {
+  coord.create("/shards/0/primary", "n0");
+  coord.create("/shards/1/primary", "n1");
+  coord.create("/swat/0", "m");
+  sched.run_for(kSecond);
+  EXPECT_EQ(coord.children("/shards/").size(), 2u);
+  EXPECT_EQ(coord.children("/swat/").size(), 1u);
+  EXPECT_TRUE(coord.children("/none/").empty());
+}
+
+TEST_F(CoordinatorTest, WatchesFireOnEachEventType) {
+  std::vector<std::pair<std::string, WatchEvent>> events;
+  coord.watch("/w", [&](const std::string& p, WatchEvent e) { events.emplace_back(p, e); });
+  coord.create("/w", "1");
+  sched.run_for(kSecond);
+  coord.set_data("/w", "2");
+  sched.run_for(kSecond);
+  coord.remove("/w");
+  sched.run_for(kSecond);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].second, WatchEvent::kCreated);
+  EXPECT_EQ(events[1].second, WatchEvent::kChanged);
+  EXPECT_EQ(events[2].second, WatchEvent::kDeleted);
+}
+
+TEST_F(CoordinatorTest, PrefixWatchSeesAllChildren) {
+  int fired = 0;
+  coord.watch_prefix("/shards/", [&](const std::string&, WatchEvent) { ++fired; });
+  coord.create("/shards/3/primary", "x");
+  coord.create("/other", "y");
+  sched.run_for(kSecond);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(CoordinatorTest, EphemeralNodesDieWithExpiredSession) {
+  const SessionId s = coord.open_session("proc");
+  coord.create("/eph", "x", s);
+  sched.run_for(kSecond);
+  ASSERT_TRUE(coord.exists("/eph"));
+  ASSERT_TRUE(coord.session_alive(s));
+
+  bool deleted = false;
+  coord.watch("/eph", [&](const std::string&, WatchEvent e) {
+    if (e == WatchEvent::kDeleted) deleted = true;
+  });
+  // No heartbeats: the sweep expires the session and reaps the znode.
+  sched.run_for(5 * kSecond);
+  EXPECT_FALSE(coord.session_alive(s));
+  EXPECT_FALSE(coord.exists("/eph"));
+  EXPECT_TRUE(deleted);
+}
+
+TEST_F(CoordinatorTest, HeartbeatsKeepSessionAlive) {
+  const SessionId s = coord.open_session("proc");
+  coord.create("/eph", "x", s);
+  // Heartbeat every 500ms against a 2s timeout.
+  for (int i = 1; i <= 20; ++i) {
+    sched.at(static_cast<Time>(i) * 500 * kMillisecond, [&] { coord.heartbeat(s); });
+  }
+  sched.run_for(10 * kSecond);
+  EXPECT_TRUE(coord.session_alive(s));
+  EXPECT_TRUE(coord.exists("/eph"));
+  // Stop heartbeating: it must now expire.
+  sched.run_for(5 * kSecond);
+  EXPECT_FALSE(coord.exists("/eph"));
+}
+
+TEST_F(CoordinatorTest, CloseSessionReapsImmediately) {
+  const SessionId s = coord.open_session("proc");
+  coord.create("/eph", "x", s);
+  sched.run_for(kSecond);
+  coord.close_session(s);
+  EXPECT_FALSE(coord.exists("/eph"));
+  EXPECT_FALSE(coord.session_alive(s));
+}
+
+TEST_F(CoordinatorTest, PersistentNodesSurviveSessionDeath) {
+  const SessionId s = coord.open_session("proc");
+  coord.create("/persistent", "x", 0);
+  coord.create("/eph", "y", s);
+  sched.run_for(5 * kSecond);
+  EXPECT_TRUE(coord.exists("/persistent"));
+  EXPECT_FALSE(coord.exists("/eph"));
+}
+
+TEST_F(CoordinatorTest, CreateWithDeadSessionFails) {
+  const SessionId s = coord.open_session("proc");
+  coord.close_session(s);
+  bool ok = true;
+  coord.create("/eph", "x", s, [&](bool r) { ok = r; });
+  sched.run_for(kSecond);
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace hydra::cluster

@@ -1,0 +1,347 @@
+// Unit tests for hydra_common: hashing, RNG, key generators, histogram, ring.
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/keygen.hpp"
+#include "common/rng.hpp"
+#include "common/spsc_ring.hpp"
+#include "common/types.hpp"
+
+namespace hydra {
+namespace {
+
+// ---------------------------------------------------------------- hashing
+
+TEST(Hash, DeterministicAndInputSensitive) {
+  const std::string a = "user000000000001";
+  const std::string b = "user000000000002";
+  EXPECT_EQ(hash_key(a), hash_key(a));
+  EXPECT_NE(hash_key(a), hash_key(b));
+  EXPECT_NE(hash_key(""), hash_key(std::string_view("\0", 1)));
+}
+
+TEST(Hash, CoversAllLengthBranches) {
+  // Exercise <4, <8, 8..31 and >=32 byte paths and verify no collisions in
+  // a small corpus of related strings.
+  std::set<std::uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 100; ++len) {
+    s.push_back(static_cast<char>('a' + len % 26));
+    ASSERT_TRUE(seen.insert(hash_bytes(s.data(), s.size())).second)
+        << "collision at length " << len;
+  }
+}
+
+TEST(Hash, BucketDistributionIsRoughlyUniform) {
+  constexpr int kBuckets = 64;
+  constexpr int kKeys = 64000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[hash_key(format_key(static_cast<std::uint64_t>(i))) % kBuckets];
+  }
+  const int expected = kKeys / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected / 2);
+    EXPECT_LT(c, expected * 2);
+  }
+}
+
+TEST(Hash, SignatureUsesHighBitsIndependentOfBucketBits) {
+  // Two hashes agreeing in the low 16 bits should usually have different
+  // signatures; construct a couple and check the extraction logic itself.
+  EXPECT_EQ(key_signature(0xABCD000000000000ULL), 0xABCD);
+  EXPECT_EQ(key_signature(0x0000FFFFFFFFFFFFULL), 0x0000);
+}
+
+TEST(Hash, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t h0 = mix64(0x123456789ABCDEFULL);
+  const std::uint64_t h1 = mix64(0x123456789ABCDEFULL ^ 1);
+  const int flipped = __builtin_popcountll(h0 ^ h1);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, SameSeedSameStream) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformIsInUnitIntervalAndCentred) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------- keygen
+
+TEST(Keygen, FormatKeyIsFixedWidthAndUnique) {
+  std::set<std::string> keys;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    std::string k = format_key(i);
+    EXPECT_EQ(k.size(), 16u);
+    EXPECT_TRUE(keys.insert(std::move(k)).second);
+  }
+  EXPECT_EQ(format_key(5, 32).size(), 32u);
+}
+
+TEST(Keygen, SynthValueDeterministic) {
+  EXPECT_EQ(synth_value(77), synth_value(77));
+  EXPECT_NE(synth_value(77), synth_value(78));
+  EXPECT_EQ(synth_value(1, 100).size(), 100u);
+}
+
+TEST(Keygen, UniformChooserCoversRange) {
+  UniformChooser chooser(100);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[chooser.next(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 250);
+    EXPECT_LT(c, 1000);
+  }
+}
+
+TEST(Keygen, ZipfianRankZeroIsMostPopular) {
+  ZipfianChooser chooser(10000);
+  Xoshiro256 rng(11);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[chooser.next(rng)];
+  const auto most = std::max_element(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  EXPECT_EQ(most->first, 0u);
+  // Theoretical P(rank 0) for theta=0.99, N=10000 is ~1/zeta ~ 9.5%.
+  EXPECT_GT(most->second, 60000 * 0.095 * 0.8);
+}
+
+TEST(Keygen, ZipfianIsHeavilySkewed) {
+  ScrambledZipfianChooser chooser(100000);
+  Xoshiro256 rng(13);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[chooser.next(rng)];
+  std::vector<int> freq;
+  freq.reserve(counts.size());
+  for (const auto& [k, c] : counts) freq.push_back(c);
+  std::sort(freq.rbegin(), freq.rend());
+  // Top 1% of *touched* records should absorb a large share of requests.
+  const std::size_t top = std::max<std::size_t>(1, freq.size() / 100);
+  const long top_sum = std::accumulate(freq.begin(), freq.begin() + static_cast<long>(top), 0L);
+  EXPECT_GT(static_cast<double>(top_sum) / kDraws, 0.30);
+}
+
+TEST(Keygen, ScrambledSpreadsHotKeysAcrossSpace) {
+  ScrambledZipfianChooser chooser(100000);
+  Xoshiro256 rng(17);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[chooser.next(rng)];
+  // The two hottest records should NOT be adjacent small indices.
+  std::vector<std::pair<int, std::uint64_t>> by_freq;
+  for (const auto& [k, c] : counts) by_freq.emplace_back(c, k);
+  std::sort(by_freq.rbegin(), by_freq.rend());
+  ASSERT_GE(by_freq.size(), 2u);
+  EXPECT_GT(by_freq[0].second + by_freq[1].second, 1000u);
+}
+
+class ZipfThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfThetaSweep, HigherThetaMeansMoreSkew) {
+  const double theta = GetParam();
+  ZipfianChooser chooser(10000, theta);
+  Xoshiro256 rng(19);
+  int rank0 = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) rank0 += (chooser.next(rng) == 0);
+  const double p0 = static_cast<double>(rank0) / kDraws;
+  if (theta >= 0.99) {
+    EXPECT_GT(p0, 0.05);
+  } else {
+    EXPECT_GT(p0, 0.001);
+    EXPECT_LT(p0, 0.20);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfThetaSweep, ::testing::Values(0.5, 0.8, 0.99));
+
+TEST(Keygen, FactoryMatchesDistributionEnum) {
+  auto u = make_chooser(Distribution::kUniform, 10);
+  auto z = make_chooser(Distribution::kZipfian, 10);
+  EXPECT_EQ(u->record_count(), 10u);
+  EXPECT_EQ(z->record_count(), 10u);
+  EXPECT_STREQ(to_string(Distribution::kUniform), "uniform");
+  EXPECT_STREQ(to_string(Distribution::kZipfian), "zipfian");
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BasicStats) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+}
+
+TEST(Histogram, PercentilePrecision) {
+  LatencyHistogram h;
+  for (Duration v = 1; v <= 10000; ++v) h.record(v);
+  // Log-bucketed: ~6% relative error tolerated.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 5000.0, 350.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 9900.0, 700.0);
+  EXPECT_EQ(h.percentile(100), 10000u);
+}
+
+TEST(Histogram, PercentileMonotonic) {
+  LatencyHistogram h;
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) h.record(rng.below(1'000'000) + 1);
+  Duration prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const Duration v = h.percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, MergeEqualsUnion) {
+  LatencyHistogram a, b, u;
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 5000; ++i) {
+    const Duration v = rng.below(100000) + 1;
+    if (i % 2 == 0) a.record(v); else b.record(v);
+    u.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), u.count());
+  EXPECT_DOUBLE_EQ(a.mean(), u.mean());
+  EXPECT_EQ(a.min(), u.min());
+  EXPECT_EQ(a.max(), u.max());
+  EXPECT_EQ(a.percentile(50), u.percentile(50));
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, ExtremeValues) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(~Duration{0} / 2);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_GE(h.percentile(100), ~Duration{0} / 4);
+}
+
+// ---------------------------------------------------------------- spsc ring
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> ring(2);
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(ring.try_push(round));
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, round);
+  }
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kN = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kN;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  std::uint64_t expected = 0;
+  while (expected < kN) {
+    if (auto v = ring.try_pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// ---------------------------------------------------------------- status
+
+TEST(Status, ToStringCoversAllCodes) {
+  EXPECT_EQ(to_string(Status::kOk), "OK");
+  EXPECT_EQ(to_string(Status::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(to_string(Status::kStale), "STALE");
+  EXPECT_EQ(to_string(Status::kTimeout), "TIMEOUT");
+}
+
+TEST(Result, CarriesValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::kNotFound);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status(), Status::kNotFound);
+}
+
+}  // namespace
+}  // namespace hydra

@@ -1,0 +1,519 @@
+// Unit tests for the simulated RDMA fabric: memory registration, one-sided
+// Write/Read semantics, in-order delivery, Send/Recv, protection, failures
+// and the TCP model.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fabric/fabric.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydra::fabric {
+namespace {
+
+std::span<const std::byte> bytes_of(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::string string_of(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched;
+  Fabric fabric{sched};
+
+  struct Endpoint {
+    Node* node;
+    std::vector<std::byte> memory;
+    MemoryRegion* mr;
+  };
+
+  Endpoint make_endpoint(const std::string& name, std::size_t mem = 4096) {
+    Endpoint ep;
+    ep.node = &fabric.add_node(name);
+    ep.memory.resize(mem);
+    ep.mr = ep.node->register_memory(ep.memory);
+    return ep;
+  }
+};
+
+// ------------------------------------------------------------ registration
+
+TEST_F(FabricTest, RegionsHaveUniqueRkeysAndBounds) {
+  auto a = make_endpoint("a");
+  std::vector<std::byte> more(128);
+  MemoryRegion* mr2 = a.node->register_memory(more);
+  EXPECT_NE(a.mr->rkey(), mr2->rkey());
+  EXPECT_EQ(a.node->find_region(a.mr->rkey()), a.mr);
+  EXPECT_EQ(a.node->find_region(mr2->rkey()), mr2);
+  EXPECT_EQ(a.node->find_region(9999), nullptr);
+  EXPECT_TRUE(a.mr->contains(0, 4096));
+  EXPECT_TRUE(a.mr->contains(4096, 0));
+  EXPECT_FALSE(a.mr->contains(4090, 7));
+  EXPECT_FALSE(a.mr->contains(5000, 1));
+}
+
+// ------------------------------------------------------------ RDMA write
+
+TEST_F(FabricTest, WriteDeliversBytesToRemoteMemory) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+
+  const std::string msg = "hello, rdma";
+  bool completed = false;
+  Time complete_time = 0;
+  qa->post_write(bytes_of(msg), b.mr->addr(100), 7,
+                 [&](const Completion& wc) {
+                   completed = true;
+                   complete_time = sched.now();
+                   EXPECT_EQ(wc.status, WcStatus::kSuccess);
+                   EXPECT_EQ(wc.wr_id, 7u);
+                   EXPECT_EQ(wc.byte_len, msg.size());
+                 });
+  sched.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(std::memcmp(b.memory.data() + 100, msg.data(), msg.size()), 0);
+  // Completion needs a full round trip: at least 2x propagation.
+  EXPECT_GE(complete_time, 2 * fabric.cost().rdma_propagation);
+  EXPECT_EQ(fabric.stats().rdma_writes, 1u);
+}
+
+TEST_F(FabricTest, WriteHookFiresAtCommitTime) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+
+  std::uint64_t hook_offset = 0;
+  std::uint32_t hook_len = 0;
+  Time hook_time = 0;
+  b.mr->set_write_hook([&](std::uint64_t off, std::uint32_t len) {
+    hook_offset = off;
+    hook_len = len;
+    hook_time = sched.now();
+  });
+  const std::string msg = "ping";
+  qa->post_write(bytes_of(msg), b.mr->addr(64));
+  sched.run();
+  EXPECT_EQ(hook_offset, 64u);
+  EXPECT_EQ(hook_len, 4u);
+  EXPECT_GE(hook_time, fabric.cost().rdma_propagation);
+}
+
+TEST_F(FabricTest, WritesOnOneQpCommitInPostedOrder) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b", 1 << 20);
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+
+  std::vector<int> commits;
+  b.mr->set_write_hook([&](std::uint64_t off, std::uint32_t) {
+    commits.push_back(static_cast<int>(off >> 16));
+  });
+  // A large write followed by a tiny write: without RC ordering the tiny
+  // one could land first.
+  std::vector<std::byte> big(512 * 1024, std::byte{1});
+  std::vector<std::byte> tiny(8, std::byte{2});
+  qa->post_write(big, b.mr->addr(0));
+  qa->post_write(tiny, b.mr->addr(1 << 16));
+  sched.run();
+  ASSERT_EQ(commits.size(), 2u);
+  EXPECT_EQ(commits[0], 0);
+  EXPECT_EQ(commits[1], 1);
+}
+
+TEST_F(FabricTest, ConcurrentBigWritesSerializeOnTheWire) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b", 1 << 21);
+  auto [q1, u1] = fabric.connect(a.node->id(), b.node->id());
+  auto [q2, u2] = fabric.connect(a.node->id(), b.node->id());
+  (void)u1;
+  (void)u2;
+  std::vector<Time> commit_times;
+  b.mr->set_write_hook([&](std::uint64_t, std::uint32_t) {
+    commit_times.push_back(sched.now());
+  });
+  std::vector<std::byte> big(1 << 20, std::byte{3});
+  q1->post_write(big, b.mr->addr(0));
+  q2->post_write(big, b.mr->addr(0));
+  sched.run();
+  ASSERT_EQ(commit_times.size(), 2u);
+  const auto wire = fabric.cost().rdma_wire_time(1 << 20);
+  EXPECT_GE(commit_times[1] - commit_times[0], wire / 2);
+}
+
+TEST_F(FabricTest, WriteWithBadRkeyFailsWithProtectionError) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  WcStatus status = WcStatus::kSuccess;
+  const std::string msg = "x";
+  qa->post_write(bytes_of(msg), RemoteAddr{424242, 0}, 0,
+                 [&](const Completion& wc) { status = wc.status; });
+  sched.run();
+  EXPECT_EQ(status, WcStatus::kProtectionError);
+  EXPECT_EQ(fabric.stats().protection_errors, 1u);
+}
+
+TEST_F(FabricTest, WriteOutOfBoundsFailsWithProtectionError) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b", 64);
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  WcStatus status = WcStatus::kSuccess;
+  const std::string msg = "0123456789";
+  qa->post_write(bytes_of(msg), b.mr->addr(60), 0,
+                 [&](const Completion& wc) { status = wc.status; });
+  sched.run();
+  EXPECT_EQ(status, WcStatus::kProtectionError);
+}
+
+TEST_F(FabricTest, WriteToDeadNodeTimesOut) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  fabric.kill_node(b.node->id());
+  WcStatus status = WcStatus::kSuccess;
+  Time done = 0;
+  const std::string msg = "x";
+  qa->post_write(bytes_of(msg), b.mr->addr(0), 0, [&](const Completion& wc) {
+    status = wc.status;
+    done = sched.now();
+  });
+  sched.run();
+  EXPECT_EQ(status, WcStatus::kRemoteDead);
+  EXPECT_GE(done, fabric.cost().peer_timeout);
+  // The dead node's memory is untouched.
+  EXPECT_EQ(b.memory[0], std::byte{0});
+}
+
+TEST_F(FabricTest, SourceBufferSnapshotAtPostTime) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  std::string msg = "original";
+  qa->post_write(bytes_of(msg), b.mr->addr(0));
+  msg = "clobberd";  // modified after post: must not affect delivery
+  sched.run();
+  EXPECT_EQ(std::memcmp(b.memory.data(), "original", 8), 0);
+}
+
+// ------------------------------------------------------------ RDMA read
+
+TEST_F(FabricTest, ReadFetchesRemoteBytes) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  const std::string payload = "server-side-value";
+  std::memcpy(b.memory.data() + 256, payload.data(), payload.size());
+
+  std::vector<std::byte> dst(payload.size());
+  bool done = false;
+  qa->post_read(dst, b.mr->addr(256), 5, [&](const Completion& wc) {
+    done = true;
+    EXPECT_EQ(wc.status, WcStatus::kSuccess);
+    EXPECT_EQ(wc.op, WcOp::kRead);
+  });
+  sched.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(string_of(dst), payload);
+  EXPECT_EQ(fabric.stats().rdma_reads, 1u);
+}
+
+TEST_F(FabricTest, ReadObservesMemoryAtServeTimeNotCompletionTime) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  std::memcpy(b.memory.data(), "AAAA", 4);
+  std::vector<std::byte> dst(4);
+  std::string got;
+  qa->post_read(dst, b.mr->addr(0), 0,
+                [&](const Completion&) { got = string_of(dst); });
+  // Server overwrites the memory long after the read was served but before
+  // events drain; the read must have snapshotted the old value.
+  sched.at(1, [&] { /* read still in flight */ });
+  sched.run_until(sched.now());
+  std::memcpy(b.memory.data(), "BBBB", 4);
+  sched.run();
+  // Depending on serve time this sees AAAA (snapshot before overwrite at
+  // t~0) -- the overwrite happened at t=0 too, so accept either, but the
+  // value must be consistent (all As or all Bs, never torn).
+  EXPECT_TRUE(got == "AAAA" || got == "BBBB") << got;
+}
+
+TEST_F(FabricTest, ReadBadRkeyFails) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  std::vector<std::byte> dst(8);
+  WcStatus status = WcStatus::kSuccess;
+  qa->post_read(dst, RemoteAddr{777, 0}, 0,
+                [&](const Completion& wc) { status = wc.status; });
+  sched.run();
+  EXPECT_EQ(status, WcStatus::kProtectionError);
+}
+
+TEST_F(FabricTest, ReadFromDeadNodeTimesOut) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  fabric.kill_node(b.node->id());
+  std::vector<std::byte> dst(8);
+  WcStatus status = WcStatus::kSuccess;
+  qa->post_read(dst, b.mr->addr(0), 0,
+                [&](const Completion& wc) { status = wc.status; });
+  sched.run();
+  EXPECT_EQ(status, WcStatus::kRemoteDead);
+}
+
+TEST_F(FabricTest, ReadConsumesZeroTargetCpuButUsesTargetNic) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  std::vector<std::byte> dst(1024);
+  qa->post_read(dst, b.mr->addr(0));
+  sched.run();
+  EXPECT_GT(b.node->nic().tx_bytes, 1000u);  // response streamed by target NIC
+  EXPECT_GT(b.node->nic().tx_ops, 0u);
+}
+
+// ------------------------------------------------------------ send / recv
+
+TEST_F(FabricTest, SendLandsInPostedRecv) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+
+  std::vector<std::byte> recv_buf(64);
+  std::string received;
+  std::uint64_t recv_wr = 0;
+  qb->set_recv_handler([&](const Completion& wc, std::span<std::byte> data) {
+    received = string_of(data);
+    recv_wr = wc.wr_id;
+  });
+  qb->post_recv(recv_buf, 11);
+
+  const std::string msg = "two-sided";
+  bool send_done = false;
+  qa->post_send(bytes_of(msg), 3, [&](const Completion& wc) {
+    send_done = true;
+    EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  });
+  sched.run();
+  EXPECT_TRUE(send_done);
+  EXPECT_EQ(received, msg);
+  EXPECT_EQ(recv_wr, 11u);
+  EXPECT_EQ(fabric.stats().sends, 1u);
+}
+
+TEST_F(FabricTest, SendWaitsForRecvWhenNoneIsPosted) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+
+  std::string received;
+  qb->set_recv_handler([&](const Completion&, std::span<std::byte> data) {
+    received = string_of(data);
+  });
+  const std::string msg = "rnr";
+  qa->post_send(bytes_of(msg));
+  sched.run();
+  EXPECT_TRUE(received.empty());  // held: receiver not ready
+
+  std::vector<std::byte> recv_buf(16);
+  qb->post_recv(recv_buf);
+  sched.run();
+  EXPECT_EQ(received, msg);
+}
+
+TEST_F(FabricTest, SendsArriveInOrder) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+
+  std::vector<std::string> received;
+  qb->set_recv_handler([&](const Completion&, std::span<std::byte> data) {
+    received.push_back(string_of(data));
+  });
+  std::vector<std::vector<std::byte>> bufs(5, std::vector<std::byte>(16));
+  for (auto& buf : bufs) qb->post_recv(buf);
+  for (int i = 0; i < 5; ++i) {
+    const std::string m = "msg" + std::to_string(i);
+    qa->post_send(bytes_of(m));
+  }
+  sched.run();
+  ASSERT_EQ(received.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], "msg" + std::to_string(i));
+}
+
+TEST_F(FabricTest, TwoSidedIsSlowerThanOneSidedWrite) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+
+  // Measure write commit time.
+  Time write_commit = 0;
+  b.mr->set_write_hook([&](std::uint64_t, std::uint32_t) { write_commit = sched.now(); });
+  const std::string msg(32, 'w');
+  qa->post_write(bytes_of(msg), b.mr->addr(0));
+  sched.run();
+
+  // Fresh pair for the send measurement so NIC state matches.
+  sim::Scheduler sched2;
+  Fabric fabric2{sched2};
+  Node& a2 = fabric2.add_node("a2");
+  Node& b2 = fabric2.add_node("b2");
+  std::vector<std::byte> mem2(4096);
+  b2.register_memory(mem2);
+  auto [qa2, qb2] = fabric2.connect(a2.id(), b2.id());
+  Time send_commit = 0;
+  qb2->set_recv_handler([&](const Completion&, std::span<std::byte>) {
+    send_commit = sched2.now();
+  });
+  std::vector<std::byte> rb(64);
+  qb2->post_recv(rb);
+  qa2->post_send(bytes_of(msg));
+  sched2.run();
+
+  EXPECT_GT(send_commit, write_commit);
+  EXPECT_GE(send_commit - write_commit, fabric.cost().two_sided_extra);
+}
+
+// ------------------------------------------------------------ QP penalty
+
+TEST(CostModel, QpPenaltyShape) {
+  CostModel cm;
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_penalty_threshold), 1.0);
+  EXPECT_GT(cm.qp_penalty(cm.qp_penalty_threshold + 50), 1.0);
+  EXPECT_LT(cm.qp_penalty(cm.qp_penalty_threshold + 50),
+            cm.qp_penalty(cm.qp_penalty_threshold + 100));
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(100000), cm.qp_penalty_cap);
+}
+
+TEST_F(FabricTest, ConnectionCountRaisesPerOpCost) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+
+  const std::string msg(16, 'x');
+  Time first_commit = 0;
+  b.mr->set_write_hook([&](std::uint64_t, std::uint32_t) { first_commit = sched.now(); });
+  qa->post_write(bytes_of(msg), b.mr->addr(0));
+  sched.run();
+
+  // Blow up the QP count past the threshold, then measure again.
+  for (std::uint32_t i = 0; i < fabric.cost().qp_penalty_threshold + 200; ++i) {
+    fabric.connect(a.node->id(), b.node->id());
+  }
+  const Time start = sched.now();
+  Time second_commit = 0;
+  b.mr->set_write_hook([&](std::uint64_t, std::uint32_t) { second_commit = sched.now(); });
+  qa->post_write(bytes_of(msg), b.mr->addr(0));
+  sched.run();
+  EXPECT_GT(second_commit - start, first_commit);
+}
+
+// ------------------------------------------------------------ TCP model
+
+TEST_F(FabricTest, TcpDeliversWithKernelLatency) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [ca, cb] = fabric.tcp_connect(a.node->id(), b.node->id());
+
+  std::string received;
+  Time delivered = 0;
+  cb->set_handler([&](std::vector<std::byte> data) {
+    received = string_of(data);
+    delivered = sched.now();
+  });
+  const std::string msg = "over tcp";
+  const Time sent_done = ca->send(bytes_of(msg));
+  EXPECT_EQ(sent_done, fabric.cost().tcp_kernel_cost);
+  sched.run();
+  EXPECT_EQ(received, msg);
+  EXPECT_GE(delivered, fabric.cost().tcp_latency);
+  EXPECT_EQ(fabric.stats().tcp_messages, 1u);
+}
+
+TEST_F(FabricTest, TcpPreservesMessageOrder) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [ca, cb] = fabric.tcp_connect(a.node->id(), b.node->id());
+  std::vector<std::string> received;
+  cb->set_handler([&](std::vector<std::byte> data) { received.push_back(string_of(data)); });
+  // Big message then small: stream semantics forbid reordering.
+  const std::string big(1 << 20, 'B');
+  const std::string small = "s";
+  ca->send(bytes_of(big));
+  ca->send(bytes_of(small));
+  sched.run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].size(), big.size());
+  EXPECT_EQ(received[1], small);
+}
+
+TEST_F(FabricTest, TcpToDeadNodeDropsSilently) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [ca, cb] = fabric.tcp_connect(a.node->id(), b.node->id());
+  bool got = false;
+  cb->set_handler([&](std::vector<std::byte>) { got = true; });
+  fabric.kill_node(b.node->id());
+  const std::string msg = "lost";
+  ca->send(bytes_of(msg));
+  sched.run();
+  EXPECT_FALSE(got);
+}
+
+TEST_F(FabricTest, TcpIsMuchSlowerThanRdmaWriteForSmallMessages) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  auto [ca, cb] = fabric.tcp_connect(a.node->id(), b.node->id());
+
+  Time rdma_commit = 0;
+  b.mr->set_write_hook([&](std::uint64_t, std::uint32_t) { rdma_commit = sched.now(); });
+  Time tcp_commit = 0;
+  cb->set_handler([&](std::vector<std::byte>) { tcp_commit = sched.now(); });
+
+  const std::string msg(48, 'm');
+  qa->post_write(bytes_of(msg), b.mr->addr(0));
+  ca->send(bytes_of(msg));
+  sched.run();
+  EXPECT_GT(tcp_commit, rdma_commit * 10) << "TCP should be >10x slower";
+}
+
+// ------------------------------------------------------------ loopback
+
+TEST_F(FabricTest, SameNodeLoopbackWorks) {
+  auto a = make_endpoint("a");
+  auto [q1, q2] = fabric.connect(a.node->id(), a.node->id());
+  (void)q2;
+  const std::string msg = "loop";
+  q1->post_write(bytes_of(msg), a.mr->addr(8));
+  sched.run();
+  EXPECT_EQ(std::memcmp(a.memory.data() + 8, msg.data(), msg.size()), 0);
+  // Loopback still burns the shared NIC: both tx and rx engines were used.
+  EXPECT_GT(a.node->nic().tx_ops, 0u);
+  EXPECT_GT(a.node->nic().rx_ops, 0u);
+}
+
+}  // namespace
+}  // namespace hydra::fabric

@@ -1,0 +1,200 @@
+// Tests for indicator-encapsulated framing and message codecs.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proto/frame.hpp"
+#include "proto/messages.hpp"
+
+namespace hydra::proto {
+namespace {
+
+std::vector<std::byte> to_bytes(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+// ---------------------------------------------------------------- frames
+
+TEST(Frame, SizeArithmetic) {
+  EXPECT_EQ(frame_size(0), 16u);
+  EXPECT_EQ(frame_size(1), 24u);
+  EXPECT_EQ(frame_size(8), 24u);
+  EXPECT_EQ(frame_size(9), 32u);
+  EXPECT_EQ(max_payload(16), 0u);
+  EXPECT_EQ(max_payload(1024), 1008u);
+}
+
+TEST(Frame, EncodePollRoundTrip) {
+  std::vector<std::byte> buf(256);
+  const auto payload = to_bytes("hello frame");
+  const std::size_t framed = encode_frame(buf, payload);
+  EXPECT_EQ(framed, frame_size(payload.size()));
+
+  const auto size = poll_frame(buf);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, payload.size());
+  const auto got = frame_payload(buf);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+  EXPECT_EQ(frame_flags(buf), kFlagNone);
+}
+
+TEST(Frame, EmptyBufferIsNotAFrame) {
+  std::vector<std::byte> buf(64);
+  EXPECT_FALSE(poll_frame(buf).has_value());
+}
+
+TEST(Frame, HeadWithoutTailIsIncomplete) {
+  // Simulates polling mid-delivery: head word landed, tail not yet.
+  std::vector<std::byte> buf(64);
+  const auto payload = to_bytes("partial");
+  encode_frame(buf, payload);
+  // Knock out the tail indicator.
+  std::memset(buf.data() + 8 + align8_sz(payload.size()), 0, 8);
+  EXPECT_FALSE(poll_frame(buf).has_value());
+}
+
+TEST(Frame, TailWithoutHeadIsIncomplete) {
+  std::vector<std::byte> buf(64);
+  const auto payload = to_bytes("partial");
+  encode_frame(buf, payload);
+  std::memset(buf.data(), 0, 8);  // knock out the head
+  EXPECT_FALSE(poll_frame(buf).has_value());
+}
+
+TEST(Frame, OversizedLengthFieldRejected) {
+  std::vector<std::byte> buf(32);
+  // Hand-craft a head claiming a payload larger than the buffer.
+  const std::uint64_t head = (static_cast<std::uint64_t>(kHeadMagic) << 48) | 1000u;
+  std::memcpy(buf.data(), &head, 8);
+  EXPECT_FALSE(poll_frame(buf).has_value());
+}
+
+TEST(Frame, ClearMakesBufferReusable) {
+  std::vector<std::byte> buf(128);
+  encode_frame(buf, to_bytes("first"));
+  ASSERT_TRUE(poll_frame(buf).has_value());
+  clear_frame(buf);
+  EXPECT_FALSE(poll_frame(buf).has_value());
+  encode_frame(buf, to_bytes("second message"));
+  ASSERT_TRUE(poll_frame(buf).has_value());
+  const auto got = frame_payload(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(got.data()), got.size()),
+            "second message");
+}
+
+TEST(Frame, FlagsCarryThrough) {
+  std::vector<std::byte> buf(64);
+  encode_frame(buf, to_bytes("x"), kFlagAckRequest);
+  ASSERT_TRUE(poll_frame(buf).has_value());
+  EXPECT_EQ(frame_flags(buf) & kFlagAckRequest, kFlagAckRequest);
+}
+
+TEST(Frame, ZeroPayloadFrameWorks) {
+  std::vector<std::byte> buf(32);
+  encode_frame(buf, {}, kFlagAckRequest);
+  const auto size = poll_frame(buf);
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 0u);
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(Messages, RequestRoundTrip) {
+  Request req;
+  req.type = MsgType::kPut;
+  req.req_id = 12345;
+  req.client = 7;
+  req.key = "user000000000042";
+  req.value = std::string(32, 'v');
+  const auto payload = encode_request(req);
+  const auto back = decode_request(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, req.type);
+  EXPECT_EQ(back->req_id, req.req_id);
+  EXPECT_EQ(back->client, req.client);
+  EXPECT_EQ(back->key, req.key);
+  EXPECT_EQ(back->value, req.value);
+}
+
+TEST(Messages, ResponseRoundTripWithRemotePtr) {
+  Response resp;
+  resp.req_id = 99;
+  resp.status = Status::kOk;
+  resp.version = 3;
+  resp.remote_ptr.rkey = 11;
+  resp.remote_ptr.offset = 0x123456;
+  resp.remote_ptr.total_len = 88;
+  resp.remote_ptr.lease_expiry = 5'000'000'000ULL;
+  resp.remote_ptr.version = 3;
+  resp.remote_ptr.shard = 2;
+  resp.value = "the-value";
+  const auto payload = encode_response(resp);
+  const auto back = decode_response(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, Status::kOk);
+  EXPECT_EQ(back->remote_ptr.offset, 0x123456u);
+  EXPECT_EQ(back->remote_ptr.total_len, 88u);
+  EXPECT_TRUE(back->remote_ptr.valid());
+  EXPECT_EQ(back->value, "the-value");
+}
+
+TEST(Messages, InvalidRemotePtrIsNotValid) {
+  RemotePtr ptr;
+  EXPECT_FALSE(ptr.valid());
+}
+
+TEST(Messages, RepRecordRoundTrip) {
+  RepRecord rec;
+  rec.seq = 777;
+  rec.op = MsgType::kRemove;
+  rec.op_time = 123456789;
+  rec.key = "k";
+  rec.value = "";
+  const auto payload = encode_rep_record(rec);
+  const auto back = decode_rep_record(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 777u);
+  EXPECT_EQ(back->op, MsgType::kRemove);
+  EXPECT_EQ(back->op_time, 123456789u);
+  EXPECT_EQ(back->key, "k");
+}
+
+TEST(Messages, RepAckRoundTrip) {
+  RepAck ack{42, 43};
+  const auto back = decode_rep_ack(encode_rep_ack(ack));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->acked_seq, 42u);
+  EXPECT_EQ(back->first_failed_seq, 43u);
+}
+
+TEST(Messages, TruncatedPayloadsRejected) {
+  Request req;
+  req.key = "some-key";
+  req.value = "some-value";
+  auto payload = encode_request(req);
+  for (std::size_t cut = 0; cut < payload.size(); cut += 3) {
+    auto truncated = payload;
+    truncated.resize(cut);
+    EXPECT_FALSE(decode_request(truncated).has_value()) << "cut=" << cut;
+  }
+  // Trailing garbage is rejected too (exhaustion check).
+  payload.push_back(std::byte{1});
+  EXPECT_FALSE(decode_request(payload).has_value());
+}
+
+TEST(Messages, LengthFieldLyingAboutSizeRejected) {
+  Request req;
+  req.key = "abcdefgh";
+  auto payload = encode_request(req);
+  // Corrupt the key length to exceed the buffer.
+  const std::uint32_t huge = 1 << 30;
+  std::memcpy(payload.data() + 1 + 8 + 4, &huge, 4);
+  EXPECT_FALSE(decode_request(payload).has_value());
+}
+
+}  // namespace
+}  // namespace hydra::proto

@@ -1,0 +1,257 @@
+// Unit tests for the discrete-event scheduler, actors and simulated mutex.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/actor.hpp"
+#include "sim/mutex.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hydra::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Scheduler, TiesBreakInSchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.at(100, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, PastTimestampsClampToNow) {
+  Scheduler s;
+  Time fired = ~Time{0};
+  s.at(100, [&] {
+    s.at(50, [&] { fired = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) s.after(5, chain);
+  };
+  s.after(5, chain);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.events_executed(), 0u);
+}
+
+TEST(Scheduler, CancelAfterFireIsSafe) {
+  Scheduler s;
+  const EventId id = s.at(10, [] {});
+  s.run();
+  s.cancel(id);  // must not crash or corrupt
+  bool fired = false;
+  s.at(20, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, SlotReuseDoesNotResurrectCancelledEvents) {
+  Scheduler s;
+  const EventId first = s.at(10, [] { FAIL() << "cancelled event fired"; });
+  s.cancel(first);
+  // New events may reuse the slot; cancelling the stale id must not hit them.
+  bool fired = false;
+  s.at(5, [&] { fired = true; });
+  s.cancel(first);  // stale handle, different generation
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<Time> fired;
+  s.at(10, [&] { fired.push_back(s.now()); });
+  s.at(20, [&] { fired.push_back(s.now()); });
+  s.at(30, [&] { fired.push_back(s.now()); });
+  s.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(s.now(), 20u);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.run_until(5000);
+  EXPECT_EQ(s.now(), 5000u);
+}
+
+TEST(Scheduler, PendingCountsLiveEventsOnly) {
+  Scheduler s;
+  const EventId a = s.at(10, [] {});
+  s.at(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  auto trace = [] {
+    Scheduler s;
+    std::vector<std::pair<Time, int>> t;
+    for (int i = 0; i < 50; ++i) {
+      s.at(static_cast<Time>((i * 37) % 100), [&t, &s, i] { t.emplace_back(s.now(), i); });
+    }
+    s.run();
+    return t;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+// ---------------------------------------------------------------- actor
+
+TEST(Actor, ScheduledCallbackRunsWhileAlive) {
+  Scheduler s;
+  Actor a(s, "a");
+  bool fired = false;
+  a.schedule_after(10, [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(a.name(), "a");
+}
+
+TEST(Actor, KillDropsPendingCallbacks) {
+  Scheduler s;
+  Actor a(s, "victim");
+  bool fired = false;
+  a.schedule_after(10, [&] { fired = true; });
+  s.at(5, [&] { a.kill(); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(a.alive());
+}
+
+TEST(Actor, DestructionDropsPendingCallbacks) {
+  Scheduler s;
+  bool fired = false;
+  {
+    Actor a(s, "scoped");
+    a.schedule_after(10, [&] { fired = true; });
+  }
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Actor, GuardWrapsForeignCallbacks) {
+  Scheduler s;
+  Actor a(s, "guarded");
+  bool fired = false;
+  auto guarded = a.guard([&] { fired = true; });
+  a.kill();
+  s.at(1, guarded);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Actor, SelfReschedulingLoopStopsOnKill) {
+  Scheduler s;
+  Actor a(s, "looper");
+  int ticks = 0;
+  std::function<void()> loop = [&] {
+    ++ticks;
+    a.schedule_after(10, loop);
+  };
+  a.schedule_after(10, loop);
+  s.at(55, [&] { a.kill(); });
+  s.run();
+  EXPECT_EQ(ticks, 5);  // t=10..50
+}
+
+// ---------------------------------------------------------------- mutex
+
+TEST(SimMutex, UncontendedAcquireIsImmediate) {
+  Scheduler s;
+  SimMutex m(s);
+  Time acquired = ~Time{0};
+  s.at(100, [&] { m.lock([&] { acquired = s.now(); }); });
+  s.run();
+  EXPECT_EQ(acquired, 100u);
+  EXPECT_TRUE(m.locked());
+  EXPECT_EQ(m.contended_acquires(), 0u);
+}
+
+TEST(SimMutex, ContendedAcquiresQueueFifoWithHandoffCost) {
+  Scheduler s;
+  SimMutex m(s, /*handoff_cost=*/80);
+  std::vector<int> order;
+  std::vector<Time> times;
+  auto worker = [&](int id, Duration hold) {
+    m.lock([&, id, hold] {
+      order.push_back(id);
+      times.push_back(s.now());
+      s.after(hold, [&] { m.unlock(); });
+    });
+  };
+  s.at(0, [&] { worker(0, 1000); });
+  s.at(1, [&] { worker(1, 1000); });
+  s.at(2, [&] { worker(2, 1000); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times[1], 1000u + 80u);
+  EXPECT_EQ(times[2], 1000u + 80u + 1000u + 80u);
+  EXPECT_EQ(m.contended_acquires(), 2u);
+  EXPECT_GT(m.total_wait(), 0u);
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(SimMutex, UnlockWithNoWaitersReleases) {
+  Scheduler s;
+  SimMutex m(s);
+  s.at(0, [&] { m.lock([&] { m.unlock(); }); });
+  s.run();
+  EXPECT_FALSE(m.locked());
+  Time second = 0;
+  s.at(10, [&] { m.lock([&] { second = s.now(); }); });
+  s.run();
+  EXPECT_EQ(second, 10u);
+}
+
+TEST(SimMutex, SerializationThroughputMatchesHoldTime) {
+  // N workers each holding the lock for H ns finish in ~N*(H+handoff).
+  Scheduler s;
+  SimMutex m(s, 50);
+  constexpr int kWorkers = 20;
+  constexpr Duration kHold = 500;
+  int done = 0;
+  for (int i = 0; i < kWorkers; ++i) {
+    s.at(0, [&] {
+      m.lock([&] { s.after(kHold, [&] { m.unlock(); ++done; }); });
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, kWorkers);
+  EXPECT_NEAR(static_cast<double>(s.now()), kWorkers * (500.0 + 50.0), 100.0);
+}
+
+}  // namespace
+}  // namespace hydra::sim
