@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_mapreduce.dir/bench_fig02_mapreduce.cpp.o"
+  "CMakeFiles/bench_fig02_mapreduce.dir/bench_fig02_mapreduce.cpp.o.d"
+  "bench_fig02_mapreduce"
+  "bench_fig02_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

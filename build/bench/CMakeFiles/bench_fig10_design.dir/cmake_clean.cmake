@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_design.dir/bench_fig10_design.cpp.o"
+  "CMakeFiles/bench_fig10_design.dir/bench_fig10_design.cpp.o.d"
+  "bench_fig10_design"
+  "bench_fig10_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

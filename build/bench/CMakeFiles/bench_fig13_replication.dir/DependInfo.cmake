@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_replication.cpp" "bench/CMakeFiles/bench_fig13_replication.dir/bench_fig13_replication.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_replication.dir/bench_fig13_replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ycsb/CMakeFiles/hydra_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/hydradb/CMakeFiles/hydra_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/hydra_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/hydra_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/hydra_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hydra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hydra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hydra_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hydra_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/hydra_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/call_records.dir/call_records.cpp.o"
+  "CMakeFiles/call_records.dir/call_records.cpp.o.d"
+  "call_records"
+  "call_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/call_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

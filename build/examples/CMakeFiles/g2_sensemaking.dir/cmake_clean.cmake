@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g2_sensemaking.dir/g2_sensemaking.cpp.o"
+  "CMakeFiles/g2_sensemaking.dir/g2_sensemaking.cpp.o.d"
+  "g2_sensemaking"
+  "g2_sensemaking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g2_sensemaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

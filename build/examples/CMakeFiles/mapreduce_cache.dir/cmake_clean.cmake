@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_cache.dir/mapreduce_cache.cpp.o"
+  "CMakeFiles/mapreduce_cache.dir/mapreduce_cache.cpp.o.d"
+  "mapreduce_cache"
+  "mapreduce_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

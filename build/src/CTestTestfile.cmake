@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("fabric")
+subdirs("core")
+subdirs("proto")
+subdirs("replication")
+subdirs("server")
+subdirs("client")
+subdirs("cluster")
+subdirs("hydradb")
+subdirs("ycsb")
+subdirs("baselines")
+subdirs("apps")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_apps.dir/cdr.cpp.o"
+  "CMakeFiles/hydra_apps.dir/cdr.cpp.o.d"
+  "CMakeFiles/hydra_apps.dir/g2.cpp.o"
+  "CMakeFiles/hydra_apps.dir/g2.cpp.o.d"
+  "CMakeFiles/hydra_apps.dir/hdfs_lite.cpp.o"
+  "CMakeFiles/hydra_apps.dir/hdfs_lite.cpp.o.d"
+  "CMakeFiles/hydra_apps.dir/mapreduce.cpp.o"
+  "CMakeFiles/hydra_apps.dir/mapreduce.cpp.o.d"
+  "libhydra_apps.a"
+  "libhydra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

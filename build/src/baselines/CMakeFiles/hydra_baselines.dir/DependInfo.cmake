@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/memcached_like.cpp" "src/baselines/CMakeFiles/hydra_baselines.dir/memcached_like.cpp.o" "gcc" "src/baselines/CMakeFiles/hydra_baselines.dir/memcached_like.cpp.o.d"
+  "/root/repo/src/baselines/ramcloud_like.cpp" "src/baselines/CMakeFiles/hydra_baselines.dir/ramcloud_like.cpp.o" "gcc" "src/baselines/CMakeFiles/hydra_baselines.dir/ramcloud_like.cpp.o.d"
+  "/root/repo/src/baselines/redis_like.cpp" "src/baselines/CMakeFiles/hydra_baselines.dir/redis_like.cpp.o" "gcc" "src/baselines/CMakeFiles/hydra_baselines.dir/redis_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/hydra_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/hydra_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hydra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_baselines.dir/memcached_like.cpp.o"
+  "CMakeFiles/hydra_baselines.dir/memcached_like.cpp.o.d"
+  "CMakeFiles/hydra_baselines.dir/ramcloud_like.cpp.o"
+  "CMakeFiles/hydra_baselines.dir/ramcloud_like.cpp.o.d"
+  "CMakeFiles/hydra_baselines.dir/redis_like.cpp.o"
+  "CMakeFiles/hydra_baselines.dir/redis_like.cpp.o.d"
+  "libhydra_baselines.a"
+  "libhydra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

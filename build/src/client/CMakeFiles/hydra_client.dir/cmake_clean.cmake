@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_client.dir/client.cpp.o"
+  "CMakeFiles/hydra_client.dir/client.cpp.o.d"
+  "libhydra_client.a"
+  "libhydra_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_cluster.dir/coordinator.cpp.o"
+  "CMakeFiles/hydra_cluster.dir/coordinator.cpp.o.d"
+  "CMakeFiles/hydra_cluster.dir/ring.cpp.o"
+  "CMakeFiles/hydra_cluster.dir/ring.cpp.o.d"
+  "libhydra_cluster.a"
+  "libhydra_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

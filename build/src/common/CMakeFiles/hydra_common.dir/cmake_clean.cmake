@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_common.dir/hash.cpp.o"
+  "CMakeFiles/hydra_common.dir/hash.cpp.o.d"
+  "CMakeFiles/hydra_common.dir/histogram.cpp.o"
+  "CMakeFiles/hydra_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/hydra_common.dir/keygen.cpp.o"
+  "CMakeFiles/hydra_common.dir/keygen.cpp.o.d"
+  "CMakeFiles/hydra_common.dir/logging.cpp.o"
+  "CMakeFiles/hydra_common.dir/logging.cpp.o.d"
+  "libhydra_common.a"
+  "libhydra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arena.cpp" "src/core/CMakeFiles/hydra_core.dir/arena.cpp.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/arena.cpp.o.d"
+  "/root/repo/src/core/hash_table.cpp" "src/core/CMakeFiles/hydra_core.dir/hash_table.cpp.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/hash_table.cpp.o.d"
+  "/root/repo/src/core/store.cpp" "src/core/CMakeFiles/hydra_core.dir/store.cpp.o" "gcc" "src/core/CMakeFiles/hydra_core.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hydra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

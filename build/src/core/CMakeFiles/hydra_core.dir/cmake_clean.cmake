@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_core.dir/arena.cpp.o"
+  "CMakeFiles/hydra_core.dir/arena.cpp.o.d"
+  "CMakeFiles/hydra_core.dir/hash_table.cpp.o"
+  "CMakeFiles/hydra_core.dir/hash_table.cpp.o.d"
+  "CMakeFiles/hydra_core.dir/store.cpp.o"
+  "CMakeFiles/hydra_core.dir/store.cpp.o.d"
+  "libhydra_core.a"
+  "libhydra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

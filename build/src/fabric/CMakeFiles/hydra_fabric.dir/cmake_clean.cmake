@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/hydra_fabric.dir/fabric.cpp.o.d"
+  "CMakeFiles/hydra_fabric.dir/queue_pair.cpp.o"
+  "CMakeFiles/hydra_fabric.dir/queue_pair.cpp.o.d"
+  "CMakeFiles/hydra_fabric.dir/tcp.cpp.o"
+  "CMakeFiles/hydra_fabric.dir/tcp.cpp.o.d"
+  "libhydra_fabric.a"
+  "libhydra_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

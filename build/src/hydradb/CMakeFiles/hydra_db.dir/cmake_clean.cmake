@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_db.dir/hydra_cluster.cpp.o"
+  "CMakeFiles/hydra_db.dir/hydra_cluster.cpp.o.d"
+  "CMakeFiles/hydra_db.dir/swat.cpp.o"
+  "CMakeFiles/hydra_db.dir/swat.cpp.o.d"
+  "libhydra_db.a"
+  "libhydra_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_proto.dir/frame.cpp.o"
+  "CMakeFiles/hydra_proto.dir/frame.cpp.o.d"
+  "CMakeFiles/hydra_proto.dir/messages.cpp.o"
+  "CMakeFiles/hydra_proto.dir/messages.cpp.o.d"
+  "libhydra_proto.a"
+  "libhydra_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_replication.dir/primary.cpp.o"
+  "CMakeFiles/hydra_replication.dir/primary.cpp.o.d"
+  "CMakeFiles/hydra_replication.dir/secondary.cpp.o"
+  "CMakeFiles/hydra_replication.dir/secondary.cpp.o.d"
+  "libhydra_replication.a"
+  "libhydra_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

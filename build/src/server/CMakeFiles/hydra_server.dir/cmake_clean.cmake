@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_server.dir/pipelined_shard.cpp.o"
+  "CMakeFiles/hydra_server.dir/pipelined_shard.cpp.o.d"
+  "CMakeFiles/hydra_server.dir/shard.cpp.o"
+  "CMakeFiles/hydra_server.dir/shard.cpp.o.d"
+  "libhydra_server.a"
+  "libhydra_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

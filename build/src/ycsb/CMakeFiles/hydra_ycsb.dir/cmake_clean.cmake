@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydra_ycsb.dir/baseline_runner.cpp.o"
+  "CMakeFiles/hydra_ycsb.dir/baseline_runner.cpp.o.d"
+  "CMakeFiles/hydra_ycsb.dir/runner.cpp.o"
+  "CMakeFiles/hydra_ycsb.dir/runner.cpp.o.d"
+  "CMakeFiles/hydra_ycsb.dir/workload.cpp.o"
+  "CMakeFiles/hydra_ycsb.dir/workload.cpp.o.d"
+  "libhydra_ycsb.a"
+  "libhydra_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydra_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
