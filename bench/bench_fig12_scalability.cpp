@@ -7,14 +7,31 @@
 // (shards x clients connections) flattens it; 100% GET saturates the NIC
 // with few shards.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <vector>
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
   bench::ShapeChecker shape;
+
+  // --window N re-runs the whole sweep with N-deep request rings and
+  // N-outstanding drivers (default 1 = the paper's closed-loop setup).
+  std::uint32_t window = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      window = static_cast<std::uint32_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+  if (window == 0) window = 1;
+  if (window > 1) std::printf("request-ring window: %u\n", window);
+  ycsb::RunOptions ropts;
+  ropts.outstanding = window;
 
   const std::vector<std::pair<double, Distribution>> mixes = {
       {0.5, Distribution::kUniform},  {0.9, Distribution::kUniform},
@@ -31,9 +48,10 @@ int main() {
       opts.shards_per_node = 1;
       opts.client_nodes = 6;
       opts.clients_per_node = 10;
+      opts.client_template.window = window;
       db::HydraCluster cluster(opts);
       const auto spec = bench::scaled_spec(get_frac, dist, 20'000, 24'000);
-      const auto r = ycsb::run_workload(cluster, spec);
+      const auto r = ycsb::run_workload(cluster, spec, ropts);
       out_tput[spec.name()].push_back(r.throughput_mops);
     }
   }
@@ -55,9 +73,10 @@ int main() {
       auto opts = bench::paper_cluster_options(shards);
       opts.client_nodes = 6;
       opts.clients_per_node = 10;
+      opts.client_template.window = window;
       db::HydraCluster cluster(opts);
       const auto spec = bench::scaled_spec(get_frac, dist, 20'000, 24'000);
-      const auto r = ycsb::run_workload(cluster, spec);
+      const auto r = ycsb::run_workload(cluster, spec, ropts);
       up_tput[spec.name()].push_back(r.throughput_mops);
     }
   }

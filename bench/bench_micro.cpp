@@ -1,9 +1,17 @@
-// Microbenchmarks (google-benchmark) for the hot-path primitives: hashing,
-// key generation, framing, the compact hash table, the arena and the
-// lock-free pointer cache. These are real-time measurements of the actual
-// data structures, not simulator results.
+// Microbenchmarks in two parts:
+//
+//  1. google-benchmark real-time measurements of the hot-path primitives:
+//     hashing, key generation, framing, the compact hash table, the arena
+//     and the lock-free pointer cache.
+//  2. A simulated closed-loop message-path GET run per request-ring window
+//     (`--window 1,2,4,8`), demonstrating the pipelining win of multi-slot
+//     request rings. Results (ops/s, p50/p99 GET latency per config) land in
+//     BENCH_micro.json (override with `--json PATH`).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,8 +21,10 @@
 #include "core/hash_table.hpp"
 #include "core/lockfree_cache.hpp"
 #include "core/store.hpp"
+#include "hydradb/hydra_cluster.hpp"
 #include "proto/frame.hpp"
 #include "proto/messages.hpp"
+#include "ycsb/runner.hpp"
 
 namespace {
 
@@ -130,6 +140,152 @@ void BM_GuardianValidate(benchmark::State& state) {
 }
 BENCHMARK(BM_GuardianValidate);
 
+// ------------------------------------------------------------------ windows
+
+struct WindowResult {
+  std::uint32_t window = 0;
+  std::uint64_t operations = 0;
+  double ops_per_sec = 0.0;
+  double mean_get_ns = 0.0;
+  Duration p50_get = 0;
+  Duration p99_get = 0;
+  std::uint32_t max_in_flight = 0;
+  std::uint64_t batched_responses = 0;
+};
+
+/// Message-path GET throughput (virtual time) at one ring-window depth:
+/// 1 shard, 2 clients each keeping `window` requests outstanding, remote
+/// pointers off so every GET crosses the shard core.
+WindowResult run_window_config(std::uint32_t window) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 1;
+  opts.shards_per_node = 1;
+  opts.client_nodes = 1;
+  opts.clients_per_node = 2;
+  opts.enable_swat = false;
+  opts.client_rdma_read = false;  // force the RDMA-Write message path
+  opts.client_template.window = window;
+  opts.shard_template.store.arena_bytes = 32ull << 20;
+  db::HydraCluster cluster(opts);
+
+  ycsb::WorkloadSpec spec;
+  spec.get_fraction = 1.0;
+  spec.distribution = Distribution::kUniform;
+  spec.record_count = 16'000;
+  spec.operations = 40'000;
+
+  ycsb::RunOptions ropts;
+  ropts.outstanding = window;
+  const auto r = ycsb::run_workload(cluster, spec, ropts);
+
+  LatencyHistogram gets;
+  WindowResult w;
+  w.window = window;
+  for (const auto* c : cluster.clients()) {
+    gets.merge(c->stats().get_latency);
+    w.max_in_flight = std::max(w.max_in_flight, c->stats().max_in_flight);
+  }
+  w.operations = r.operations;
+  w.ops_per_sec = r.throughput_mops * 1e6;
+  w.mean_get_ns = gets.mean();
+  w.p50_get = gets.percentile(50);
+  w.p99_get = gets.percentile(99);
+  w.batched_responses = cluster.shard(0)->stats().batched_responses;
+  return w;
+}
+
+void write_json(const std::string& path, const std::vector<WindowResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro\",\n  \"message_path_get\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& w = results[i];
+    std::fprintf(f,
+                 "    {\"window\": %u, \"operations\": %llu, \"ops_per_sec\": %.1f, "
+                 "\"mean_get_ns\": %.1f, \"p50_get_ns\": %llu, \"p99_get_ns\": %llu, "
+                 "\"max_in_flight\": %u, \"batched_responses\": %llu}%s\n",
+                 w.window, static_cast<unsigned long long>(w.operations), w.ops_per_sec,
+                 w.mean_get_ns, static_cast<unsigned long long>(w.p50_get),
+                 static_cast<unsigned long long>(w.p99_get), w.max_in_flight,
+                 static_cast<unsigned long long>(w.batched_responses),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+std::vector<std::uint32_t> parse_windows(const std::string& arg) {
+  std::vector<std::uint32_t> windows;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    const std::size_t comma = arg.find(',', pos);
+    const std::string tok = arg.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const long v = std::strtol(tok.c_str(), nullptr, 10);
+    if (v > 0) windows.push_back(static_cast<std::uint32_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return windows;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::uint32_t> windows = {1, 2, 4, 8};
+  std::string json_path = "BENCH_micro.json";
+  bool primitives = true;
+
+  // Strip our flags; everything else goes to google-benchmark.
+  std::vector<char*> bench_args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* name) -> std::string {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg == name && i + 1 < argc) return argv[++i];
+      return {};
+    };
+    if (arg.rfind("--window", 0) == 0) {
+      windows = parse_windows(value_of("--window"));
+    } else if (arg.rfind("--json", 0) == 0) {
+      json_path = value_of("--json");
+    } else if (arg == "--no-primitives") {
+      primitives = false;
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (windows.empty()) windows = {1, 8};
+
+  if (primitives) {
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  std::printf("\nmessage-path GET throughput vs request-ring window "
+              "(1 shard, 2 clients, virtual time)\n");
+  std::printf("%-8s %12s %12s %10s %10s %8s %10s\n", "window", "ops/s", "mean ns",
+              "p50 ns", "p99 ns", "inflight", "batched");
+  std::vector<WindowResult> results;
+  for (const std::uint32_t w : windows) {
+    results.push_back(run_window_config(w));
+    const auto& r = results.back();
+    std::printf("%-8u %12.0f %12.1f %10llu %10llu %8u %10llu\n", r.window, r.ops_per_sec,
+                r.mean_get_ns, static_cast<unsigned long long>(r.p50_get),
+                static_cast<unsigned long long>(r.p99_get), r.max_in_flight,
+                static_cast<unsigned long long>(r.batched_responses));
+  }
+  if (results.size() > 1) {
+    std::printf("speedup window=%u vs window=%u: %.2fx\n", results.back().window,
+                results.front().window,
+                results.back().ops_per_sec / results.front().ops_per_sec);
+  }
+  write_json(json_path, results);
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): configure, build and run the full test
+# suite. Pass --asan to run the same suite under ASan+UBSan (the `asan`
+# CMake preset, building into build-asan/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+preset=default
+if [[ "${1:-}" == "--asan" ]]; then
+  preset=asan
+  shift
+fi
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" -j "$(nproc)" "$@"

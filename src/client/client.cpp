@@ -14,15 +14,18 @@ Client::Client(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
     : sim::Actor(sched, "client-" + std::to_string(cfg.id)),
       fabric_(fabric),
       node_(node),
-      cfg_(cfg),
+      cfg_([&cfg] {
+        cfg.window = std::max<std::uint32_t>(cfg.window, 1);
+        return cfg;
+      }()),
       cache_(pointer_cache ? std::move(pointer_cache)
                            : std::make_shared<RemotePtrCache>(64 * 1024)),
-      resp_region_(static_cast<std::size_t>(cfg.max_shard_connections) *
-                   cfg.resp_slot_bytes) {
+      resp_region_(static_cast<std::size_t>(cfg_.max_shard_connections) *
+                   cfg_.window * cfg_.resp_slot_bytes) {
   resp_mr_ = fabric_.node(node_).register_memory(resp_region_);
   resp_mr_->set_write_hook(
       guard([this](std::uint64_t offset, std::uint32_t) { on_response_write(offset); }));
-  for (std::uint32_t i = 0; i < cfg_.max_shard_connections; ++i) free_slots_.push_back(i);
+  for (std::uint32_t i = 0; i < cfg_.max_shard_connections; ++i) free_blocks_.push_back(i);
 }
 
 // ---------------------------------------------------------------- public ops
@@ -162,20 +165,24 @@ void Client::maybe_auto_renew(const std::string& key, const proto::RemotePtr& pt
 Client::Conn* Client::connection_to(ShardId shard) {
   auto it = conns_.find(shard);
   if (it != conns_.end()) return it->second.get();
-  if (!connector_ || free_slots_.empty()) return nullptr;
+  if (!connector_ || free_blocks_.empty()) return nullptr;
 
   auto conn = std::make_unique<Conn>();
-  conn->resp_slot_idx = free_slots_.back();
+  conn->resp_block = free_blocks_.back();
   const fabric::RemoteAddr resp_addr =
-      resp_mr_->addr(static_cast<std::uint64_t>(conn->resp_slot_idx) * cfg_.resp_slot_bytes);
-  if (!connector_(shard, *this, resp_addr, cfg_.resp_slot_bytes, &conn->wire)) {
+      resp_mr_->addr(static_cast<std::uint64_t>(conn->resp_block) * block_stride());
+  if (!connector_(shard, *this, resp_addr, cfg_.resp_slot_bytes, cfg_.window,
+                  &conn->wire)) {
     return nullptr;
   }
-  free_slots_.pop_back();
-  slot_to_shard_[conn->resp_slot_idx] = shard;
+  free_blocks_.pop_back();
+  block_to_shard_[conn->resp_block] = shard;
+  conn->window = std::clamp<std::uint32_t>(conn->wire.window, 1, cfg_.window);
+  conn->slots.resize(conn->window);
 
   if (conn->wire.send_recv) {
-    conn->recv_bufs.resize(8, std::vector<std::byte>(cfg_.resp_slot_bytes));
+    conn->recv_bufs.resize(std::max<std::size_t>(8, conn->window),
+                           std::vector<std::byte>(cfg_.resp_slot_bytes));
     for (std::size_t i = 0; i < conn->recv_bufs.size(); ++i) {
       conn->wire.qp->post_recv(conn->recv_bufs[i], i);
     }
@@ -195,9 +202,16 @@ Client::Conn* Client::connection_to(ShardId shard) {
 void Client::drop_connection(ShardId shard) {
   auto it = conns_.find(shard);
   if (it == conns_.end()) return;
-  scheduler().cancel(it->second->timeout);
-  free_slots_.push_back(it->second->resp_slot_idx);
-  slot_to_shard_.erase(it->second->resp_slot_idx);
+  Conn& conn = *it->second;
+  for (Slot& s : conn.slots) scheduler().cancel(s.timeout);
+  // Scrub the response ring so a later connection reusing this block never
+  // sees a stale landed frame.
+  for (std::uint32_t s = 0; s < cfg_.window; ++s) {
+    auto span = resp_slot(conn.resp_block, s);
+    std::fill(span.begin(), span.end(), std::byte{0});
+  }
+  free_blocks_.push_back(conn.resp_block);
+  block_to_shard_.erase(conn.resp_block);
   conns_.erase(it);
 }
 
@@ -223,25 +237,53 @@ void Client::submit(PendingOp op) {
                    [this, op = std::move(op)]() mutable { submit(std::move(op)); });
     return;
   }
-  if (conn->busy) {
+  if (conn->in_flight >= conn->window) {
     conn->queue.push_back(std::move(op));
     return;
   }
-  conn->busy = true;
-  conn->current = std::move(op);
-  issue(shard, *conn);
+  issue(shard, *conn, std::move(op));
 }
 
-void Client::issue(ShardId shard, Conn& conn) {
-  conn.current.req.req_id = next_req_id_++;
-  const auto payload = proto::encode_request(conn.current.req);
+void Client::issue(ShardId shard, Conn& conn, PendingOp op) {
+  // Claim the next free ring slot (round-robin from the cursor; responses
+  // may complete out of order, so free slots need not be contiguous).
+  std::uint32_t slot_idx = conn.window;
+  for (std::uint32_t i = 0; i < conn.window; ++i) {
+    const std::uint32_t s = (conn.next_slot + i) % conn.window;
+    if (!conn.slots[s].busy) {
+      slot_idx = s;
+      break;
+    }
+  }
+  if (slot_idx == conn.window) {  // no free slot (callers check in_flight)
+    conn.queue.push_back(std::move(op));
+    return;
+  }
+  Slot& slot = conn.slots[slot_idx];
+  slot.busy = true;
+  slot.op = std::move(op);
+  slot.op.req.req_id = next_req_id_++;
+  conn.next_slot = (slot_idx + 1) % conn.window;
+  ++conn.in_flight;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, conn.in_flight);
+  post_slot(shard, slot_idx);
+}
+
+void Client::post_slot(ShardId shard, std::uint32_t slot_idx) {
+  auto it = conns_.find(shard);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  Slot& slot = conn.slots[slot_idx];
+  const auto payload = proto::encode_request(slot.op.req);
 
   if (conn.wire.send_recv) {
-    schedule_after(cfg_.issue_cost, [this, shard, payload] {
-      auto it = conns_.find(shard);  // connection may have been torn down
-      if (it == conns_.end()) return;
-      it->second->wire.qp->post_send(payload);
-      it->second->timeout =
+    schedule_after(cfg_.issue_cost, [this, shard, slot_idx, payload] {
+      auto cit = conns_.find(shard);  // connection may have been torn down
+      if (cit == conns_.end() || slot_idx >= cit->second->slots.size()) return;
+      Conn& c = *cit->second;
+      if (!c.slots[slot_idx].busy) return;
+      c.wire.qp->post_send(payload);
+      c.slots[slot_idx].timeout =
           schedule_after(cfg_.request_timeout, [this, shard] { on_timeout(shard); });
     });
     return;
@@ -249,56 +291,91 @@ void Client::issue(ShardId shard, Conn& conn) {
 
   const std::size_t framed_size = proto::frame_size(payload.size());
   if (framed_size > conn.wire.req_slot_bytes) {
-    PendingOp op = std::move(conn.current);
-    conn.busy = false;
+    PendingOp op = std::move(slot.op);
+    slot.busy = false;
+    --conn.in_flight;
     complete(op, Status::kInvalidArgument, {});
     return;
   }
   std::vector<std::byte> frame(framed_size);
   proto::encode_frame(frame, payload);
-  schedule_after(cfg_.issue_cost, [this, shard, frame = std::move(frame)] {
-    auto it = conns_.find(shard);
-    if (it == conns_.end()) return;
-    it->second->wire.qp->post_write(frame, it->second->wire.req_slot);
-    it->second->timeout =
+  schedule_after(cfg_.issue_cost, [this, shard, slot_idx, frame = std::move(frame)] {
+    auto cit = conns_.find(shard);
+    if (cit == conns_.end() || slot_idx >= cit->second->slots.size()) return;
+    Conn& c = *cit->second;
+    if (!c.slots[slot_idx].busy) return;
+    const fabric::RemoteAddr dst{
+        c.wire.req_slot.rkey,
+        c.wire.req_slot.offset +
+            proto::ring_slot_offset(slot_idx, c.wire.req_slot_bytes)};
+    c.wire.qp->post_write(frame, dst);
+    c.slots[slot_idx].timeout =
         schedule_after(cfg_.request_timeout, [this, shard] { on_timeout(shard); });
   });
 }
 
 void Client::on_response_write(std::uint64_t offset) {
-  const auto slot_idx = static_cast<std::uint32_t>(offset / cfg_.resp_slot_bytes);
-  auto sit = slot_to_shard_.find(slot_idx);
-  if (sit == slot_to_shard_.end()) return;
+  const auto block = static_cast<std::uint32_t>(offset / block_stride());
+  const auto unit = static_cast<std::uint32_t>(offset / cfg_.resp_slot_bytes);
+  const std::uint32_t slot = unit - block * cfg_.window;
+  auto sit = block_to_shard_.find(block);
+  if (sit == block_to_shard_.end()) return;
   const ShardId shard = sit->second;
   auto cit = conns_.find(shard);
   if (cit == conns_.end()) return;
   Conn& conn = *cit->second;
 
-  const auto slot = resp_slot(conn.resp_slot_idx);
-  if (!proto::poll_frame(slot).has_value()) return;  // frame still landing
-  auto resp = proto::decode_response(proto::frame_payload(slot));
-  proto::clear_frame(slot);
+  const auto span = resp_slot(conn.resp_block, slot);
+  switch (proto::probe_frame(span)) {
+    case proto::FrameState::kEmpty:
+    case proto::FrameState::kPartial:
+      return;  // frame still landing
+    case proto::FrameState::kMalformed:
+      proto::clear_frame(span);  // scrub garbage so the slot stays usable
+      return;
+    case proto::FrameState::kReady:
+      break;
+  }
+  auto resp = proto::decode_response(proto::frame_payload(span));
+  proto::clear_frame(span);
   if (!resp.has_value()) return;
   handle_response(shard, conn, *resp);
 }
 
 void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& resp) {
-  if (!conn.busy || resp.req_id != conn.current.req.req_id) return;  // stale
-  scheduler().cancel(conn.timeout);
-  PendingOp op = std::move(conn.current);
-  conn.busy = false;
+  // Match the response to its in-flight slot by req_id: with window > 1
+  // completions can arrive in any order.
+  std::uint32_t slot_idx = conn.window;
+  for (std::uint32_t i = 0; i < conn.window; ++i) {
+    if (conn.slots[i].busy && conn.slots[i].op.req.req_id == resp.req_id) {
+      slot_idx = i;
+      break;
+    }
+  }
+  if (slot_idx == conn.window) return;  // stale (timed out / retried already)
+  Slot& slot = conn.slots[slot_idx];
+  for (std::uint32_t i = 0; i < conn.window; ++i) {
+    if (i != slot_idx && conn.slots[i].busy &&
+        conn.slots[i].op.req.req_id < resp.req_id) {
+      ++stats_.ooo_responses;
+      break;
+    }
+  }
+  scheduler().cancel(slot.timeout);
+  PendingOp op = std::move(slot.op);
+  slot.busy = false;
+  --conn.in_flight;
 
   // Cache/refresh the granted remote pointer (GET and lease-renew paths).
   if (cfg_.use_rdma_read && resp.remote_ptr.valid()) {
     cache_->put(hash_key(op.req.key), resp.remote_ptr);
   }
 
-  // Issue the next queued op for this shard before running the callback.
-  if (!conn.queue.empty()) {
-    conn.busy = true;
-    conn.current = std::move(conn.queue.front());
+  // Refill the ring from the overflow queue before running the callback.
+  while (conn.in_flight < conn.window && !conn.queue.empty()) {
+    PendingOp next = std::move(conn.queue.front());
     conn.queue.pop_front();
-    issue(shard, conn);
+    issue(shard, conn, std::move(next));
   }
 
   schedule_after(cfg_.decode_cost,
@@ -309,13 +386,16 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
 
 void Client::on_timeout(ShardId shard) {
   auto it = conns_.find(shard);
-  if (it == conns_.end() || !it->second->busy) return;
+  if (it == conns_.end() || it->second->in_flight == 0) return;
   ++stats_.timeouts;
 
-  // Salvage everything queued on this connection, tear it down, and
-  // re-resolve: after a failover the shard's primary lives elsewhere.
+  // Salvage every in-flight slot and everything queued on this connection,
+  // tear it down, and re-resolve: after a failover the shard's primary
+  // lives elsewhere.
   std::vector<PendingOp> to_retry;
-  to_retry.push_back(std::move(it->second->current));
+  for (Slot& s : it->second->slots) {
+    if (s.busy) to_retry.push_back(std::move(s.op));
+  }
   for (auto& queued : it->second->queue) to_retry.push_back(std::move(queued));
   drop_connection(shard);
 

@@ -1,12 +1,15 @@
 // HydraDB client library (paper sections 4.2.1, 4.2.2, 4.2.3, 4.2.4).
 //
 // The client routes keys with consistent hashing, passes messages over
-// RDMA-Write-driven request/response buffers (one outstanding request per
-// shard connection, closed loop), and accelerates repeat GETs with cached
-// remote pointers: while the lease holds, the value is fetched by one-sided
-// RDMA Read and validated locally via the guardian word; a dead guardian
-// falls back to the message path and invalidates the cached pointer.
-// Co-located clients may share one lock-free pointer cache.
+// RDMA-Write-driven request/response rings (up to `window` outstanding
+// requests per shard connection, each in its own indicator-encapsulated
+// slot, matched to responses by req_id so completions may arrive out of
+// order), and accelerates repeat GETs with cached remote pointers: while
+// the lease holds, the value is fetched by one-sided RDMA Read and
+// validated locally via the guardian word; a dead guardian falls back to
+// the message path and invalidates the cached pointer. Co-located clients
+// may share one lock-free pointer cache. window=1 degenerates to the
+// paper's closed-loop one-request-at-a-time wire behaviour.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +39,10 @@ struct ClientConfig {
   bool auto_renew = true;
   std::uint32_t resp_slot_bytes = 16 * 1024;
   std::uint32_t max_shard_connections = 128;
+  /// Outstanding requests kept in flight per shard connection (request-ring
+  /// depth the client asks for; the shard may grant less). 1 = the paper's
+  /// closed-loop behaviour.
+  std::uint32_t window = 8;
   Duration issue_cost = 150;    ///< building + posting a request
   Duration decode_cost = 120;   ///< parsing a response / validating a read
   Duration request_timeout = 5 * kMillisecond;
@@ -55,6 +62,12 @@ struct ClientStats {
   std::uint64_t timeouts = 0;
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;
+  /// Largest number of simultaneously in-flight requests observed on any
+  /// single connection (1 on a closed-loop / window=1 run).
+  std::uint32_t max_in_flight = 0;
+  /// Responses that completed a request other than the oldest in-flight one
+  /// on their connection (only possible with window > 1).
+  std::uint64_t ooo_responses = 0;
   LatencyHistogram get_latency;
   LatencyHistogram put_latency;
 };
@@ -62,9 +75,11 @@ struct ClientStats {
 /// Everything the harness hands back when a client connects to a shard.
 struct ShardConnection {
   fabric::QueuePair* qp = nullptr;      ///< client-side endpoint
-  fabric::RemoteAddr req_slot{};        ///< where to write framed requests
-  std::uint32_t req_slot_bytes = 0;
+  fabric::RemoteAddr req_slot{};        ///< base of the request ring
+  std::uint32_t req_slot_bytes = 0;     ///< per-slot bytes of that ring
   std::uint32_t arena_rkey = 0;
+  /// Ring depth the shard granted (<= the window the client requested).
+  std::uint32_t window = 1;
   bool send_recv = false;
 };
 
@@ -74,11 +89,13 @@ class Client : public sim::Actor {
   /// key hash -> owning shard (consistent-hash ring lookup).
   using Resolver = std::function<ShardId(std::uint64_t key_hash)>;
   /// Builds a fresh connection to a shard's *current* primary. The client
-  /// passes where responses should land; returns false if the shard is
-  /// (currently) unreachable.
+  /// passes the base of its response ring (`window` slots of
+  /// `resp_slot_bytes` each) and the ring depth it wants; returns false if
+  /// the shard is (currently) unreachable.
   using Connector = std::function<bool(ShardId shard, Client& self,
                                        fabric::RemoteAddr resp_slot,
                                        std::uint32_t resp_slot_bytes,
+                                       std::uint32_t window,
                                        ShardConnection* out)>;
 
   using GetCallback = std::function<void(Status, std::string_view value)>;
@@ -113,25 +130,41 @@ class Client : public sim::Actor {
     int retries = 0;
   };
 
+  /// One ring-slot pair: a request in flight and its private timeout.
+  struct Slot {
+    bool busy = false;
+    PendingOp op;
+    sim::EventId timeout{};
+  };
+
   struct Conn {
     ShardConnection wire;
-    std::uint32_t resp_slot_idx = 0;
-    bool busy = false;
-    PendingOp current;
-    std::deque<PendingOp> queue;
-    sim::EventId timeout{};
+    std::uint32_t resp_block = 0;   ///< index of this conn's resp-ring block
+    std::uint32_t window = 1;       ///< granted ring depth (slots.size())
+    std::uint32_t in_flight = 0;
+    std::uint32_t next_slot = 0;    ///< round-robin cursor over ring slots
+    std::vector<Slot> slots;
+    std::deque<PendingOp> queue;    ///< overflow beyond the window
     std::vector<std::vector<std::byte>> recv_bufs;  // send/recv mode
   };
 
-  [[nodiscard]] std::span<std::byte> resp_slot(std::uint32_t idx) noexcept {
-    return {resp_region_.data() + static_cast<std::size_t>(idx) * cfg_.resp_slot_bytes,
+  /// Per-connection resp-ring block size in bytes (cfg window slots; a
+  /// connection granted a smaller window simply leaves the tail unused).
+  [[nodiscard]] std::size_t block_stride() const noexcept {
+    return static_cast<std::size_t>(cfg_.window) * cfg_.resp_slot_bytes;
+  }
+  [[nodiscard]] std::span<std::byte> resp_slot(std::uint32_t block, std::uint32_t slot) noexcept {
+    return {resp_region_.data() + static_cast<std::size_t>(block) * block_stride() +
+                proto::ring_slot_offset(slot, cfg_.resp_slot_bytes),
             cfg_.resp_slot_bytes};
   }
 
   Conn* connection_to(ShardId shard);
   void drop_connection(ShardId shard);
   void submit(PendingOp op);
-  void issue(ShardId shard, Conn& conn);
+  /// Places `op` into a free ring slot of `conn` and issues it on the wire.
+  void issue(ShardId shard, Conn& conn, PendingOp op);
+  void post_slot(ShardId shard, std::uint32_t slot_idx);
   void on_response_write(std::uint64_t offset);
   void handle_response(ShardId shard, Conn& conn, const proto::Response& resp);
   void on_timeout(ShardId shard);
@@ -148,9 +181,9 @@ class Client : public sim::Actor {
 
   std::vector<std::byte> resp_region_;
   fabric::MemoryRegion* resp_mr_;
-  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> free_blocks_;
   std::map<ShardId, std::unique_ptr<Conn>> conns_;
-  std::map<std::uint32_t, ShardId> slot_to_shard_;
+  std::map<std::uint32_t, ShardId> block_to_shard_;
   std::uint64_t next_req_id_ = 1;
   ClientStats stats_;
 };

@@ -22,6 +22,11 @@ struct CostModel {
   Duration rdma_propagation = 350;
   /// Initiator NIC work per WQE (doorbell, DMA setup).
   Duration nic_tx_overhead = 140;
+  /// Initiator NIC work for a WQE posted in the same doorbell batch as its
+  /// predecessor: the MMIO doorbell write and DMA descriptor fetch are
+  /// amortized over the batch (HERD-style doorbell batching), leaving only
+  /// the per-WQE processing slice.
+  Duration nic_tx_batched_overhead = 35;
   /// Target NIC work per inbound op (packet processing, DMA placement).
   Duration nic_rx_overhead = 90;
   /// Extra per-side cost of two-sided Send/Recv versus one-sided Write:
@@ -58,6 +63,12 @@ struct CostModel {
     if (qp_count <= qp_penalty_threshold) return 1.0;
     const double f = 1.0 + qp_penalty_slope * static_cast<double>(qp_count - qp_penalty_threshold);
     return std::min(f, qp_penalty_cap);
+  }
+
+  /// Per-WQE initiator overhead, discounted when the WQE rides an already
+  /// rung doorbell (`batched`).
+  [[nodiscard]] Duration tx_overhead(bool batched) const noexcept {
+    return batched ? nic_tx_batched_overhead : nic_tx_overhead;
   }
 
   [[nodiscard]] Duration rdma_wire_time(std::uint64_t bytes) const noexcept {

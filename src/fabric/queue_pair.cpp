@@ -17,7 +17,7 @@ Duration scaled(Duration base, double penalty) noexcept {
 }  // namespace
 
 void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
-                           std::uint64_t wr_id, CompletionFn on_done) {
+                           std::uint64_t wr_id, CompletionFn on_done, bool batched) {
   Fabric& f = *fabric_;
   sim::Scheduler& sched = f.sched_;
   const CostModel& cm = f.cost_;
@@ -31,7 +31,7 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
   Nic& tx = f.node(local_).nic();
   const double pen_tx = cm.qp_penalty(tx.qp_count);
   const Time tx_start = std::max(sched.now(), tx.tx_free);
-  tx.tx_free = tx_start + scaled(cm.nic_tx_overhead, pen_tx) + cm.rdma_wire_time(size);
+  tx.tx_free = tx_start + scaled(cm.tx_overhead(batched), pen_tx) + cm.rdma_wire_time(size);
   ++tx.tx_ops;
   tx.tx_bytes += size;
 

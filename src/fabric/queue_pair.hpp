@@ -75,8 +75,12 @@ class QueuePair {
   /// One-sided write of `src` into the peer's (rkey, offset). `on_done` is
   /// optional (pass nullptr for unsignalled writes, the common case for
   /// message passing where the response buffer is the acknowledgement).
+  /// `batched` marks a WQE posted in the same doorbell batch as the
+  /// initiator's previous post: it pays the reduced per-WQE overhead of the
+  /// cost model's doorbell-batching discount.
   void post_write(std::span<const std::byte> src, RemoteAddr dst,
-                  std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
+                  std::uint64_t wr_id = 0, CompletionFn on_done = nullptr,
+                  bool batched = false);
 
   /// One-sided read of `dst.size()` bytes from the peer's (rkey, offset).
   void post_read(std::span<std::byte> dst, RemoteAddr src,

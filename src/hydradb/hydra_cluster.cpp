@@ -122,9 +122,12 @@ void HydraCluster::start_heartbeat(ShardId id) {
 
   // Heartbeats are scheduled through the shard actor, so they stop the
   // instant the process "crashes" -- exactly how a real ZK session dies.
+  // The closure re-schedules itself, so the cluster owns it (a shared_ptr
+  // self-capture would be an unreclaimable cycle).
   server::Shard* shard = slot.primary.get();
   const cluster::SessionId session = slot.session;
-  auto beat = std::make_shared<std::function<void()>>();
+  heartbeats_.push_back(std::make_unique<std::function<void()>>());
+  auto* beat = heartbeats_.back().get();
   *beat = [this, shard, session, beat] {
     coordinator_->heartbeat(session);
     shard->schedule_after(opts_.coordinator.session_timeout / 4, *beat);
@@ -135,14 +138,15 @@ void HydraCluster::start_heartbeat(ShardId id) {
 void HydraCluster::wire_client(client::Client& c) {
   c.set_resolver([this](std::uint64_t key_hash) { return ring_.owner(key_hash); });
   c.set_connector([this](ShardId shard, client::Client& self, fabric::RemoteAddr resp_slot,
-                         std::uint32_t resp_bytes, client::ShardConnection* out) {
-    return connect_client(shard, self, resp_slot, resp_bytes, out);
+                         std::uint32_t resp_bytes, std::uint32_t window,
+                         client::ShardConnection* out) {
+    return connect_client(shard, self, resp_slot, resp_bytes, window, out);
   });
 }
 
 bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
                                   fabric::RemoteAddr resp_slot, std::uint32_t resp_bytes,
-                                  client::ShardConnection* out) {
+                                  std::uint32_t window, client::ShardConnection* out) {
   if (shard_id >= primaries_.size()) return false;
   ShardSlot& slot = primaries_[shard_id];
 
@@ -154,6 +158,7 @@ bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
     out->req_slot = res.req_slot;
     out->req_slot_bytes = res.slot_bytes;
     out->arena_rkey = res.arena_rkey;
+    out->window = 1;  // the pipelined comparator keeps the single-slot contract
     out->send_recv = false;
     return true;
   }
@@ -164,15 +169,17 @@ bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
     if (!res.ok) return false;
     out->qp = cq;
     out->arena_rkey = res.arena_rkey;
+    out->window = window;  // Send/Recv has no ring; window just caps in-flight
     out->send_recv = true;
     return true;
   }
-  auto res = slot.primary->accept(sq, resp_slot, resp_bytes, c.id());
+  auto res = slot.primary->accept(sq, resp_slot, resp_bytes, c.id(), window);
   if (!res.ok) return false;
   out->qp = cq;
   out->req_slot = res.req_slot;
   out->req_slot_bytes = res.slot_bytes;
   out->arena_rkey = res.arena_rkey;
+  out->window = res.window;
   out->send_recv = false;
   return true;
 }

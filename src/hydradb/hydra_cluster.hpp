@@ -125,7 +125,8 @@ class HydraCluster {
   void start_heartbeat(ShardId id);
   void wire_client(client::Client& c);
   bool connect_client(ShardId shard, client::Client& c, fabric::RemoteAddr resp_slot,
-                      std::uint32_t resp_bytes, client::ShardConnection* out);
+                      std::uint32_t resp_bytes, std::uint32_t window,
+                      client::ShardConnection* out);
   void promote_secondary(ShardId id);  // invoked by SWAT
 
   ClusterOptions opts_;
@@ -143,6 +144,9 @@ class HydraCluster {
   /// Crashed actors: kept allocated so in-flight fabric ops referencing
   /// their (revoked) regions never touch freed memory.
   std::vector<std::unique_ptr<sim::Actor>> graveyard_;
+  /// Self-rescheduling heartbeat closures (one per spawned primary); owned
+  /// here because pending events reference them by pointer.
+  std::vector<std::unique_ptr<std::function<void()>>> heartbeats_;
 };
 
 }  // namespace hydra::db

@@ -1,5 +1,6 @@
 #include "proto/frame.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace hydra::proto {
@@ -43,6 +44,20 @@ std::optional<std::uint32_t> poll_frame(std::span<const std::byte> buf) {
   return size;
 }
 
+FrameState probe_frame(std::span<const std::byte> buf) {
+  if (buf.size() < 16) return FrameState::kMalformed;  // slot can't hold a frame
+  const std::uint64_t head = load_word(buf.data());
+  if (head == 0) return FrameState::kEmpty;
+  if ((head >> 48) != kHeadMagic) return FrameState::kMalformed;
+  const auto size = static_cast<std::uint32_t>(head & 0xFFFFFFFFu);
+  if (frame_size(size) > buf.size()) return FrameState::kMalformed;  // lying size field
+  const std::uint64_t tail = load_word(buf.data() + 8 + align8_sz(size));
+  if (tail == kTailIndicator) return FrameState::kReady;
+  // A zero tail is a frame mid-delivery (head commits before tail on RC);
+  // any other value means the payload overran into the tail word.
+  return tail == 0 ? FrameState::kPartial : FrameState::kMalformed;
+}
+
 std::uint16_t frame_flags(std::span<const std::byte> buf) {
   const std::uint64_t head = load_word(buf.data());
   return static_cast<std::uint16_t>((head >> 32) & 0xFFFF);
@@ -55,9 +70,11 @@ std::span<const std::byte> frame_payload(std::span<const std::byte> buf) {
 }
 
 void clear_frame(std::span<std::byte> buf) {
+  if (buf.size() < 8) return;
   const std::uint64_t head = load_word(buf.data());
   const auto size = static_cast<std::uint32_t>(head & 0xFFFFFFFFu);
-  std::memset(buf.data(), 0, frame_size(size));
+  // Clamp: a garbage size field must not turn the wipe into a heap smash.
+  std::memset(buf.data(), 0, std::min(frame_size(size), buf.size()));
 }
 
 }  // namespace hydra::proto

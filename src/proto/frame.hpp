@@ -54,6 +54,37 @@ std::size_t encode_frame(std::span<std::byte> dst, std::span<const std::byte> pa
 /// still streaming in.
 std::optional<std::uint32_t> poll_frame(std::span<const std::byte> buf);
 
+/// What a receiver found when probing a slot. `kMalformed` distinguishes
+/// torn/garbage buffers (bad magic, size field exceeding the slot, corrupt
+/// tail) from frames that are merely absent or still streaming in -- a
+/// malformed slot must be scrubbed or it wedges the ring forever.
+enum class FrameState : std::uint8_t {
+  kEmpty,      ///< head word is zero: nothing written yet
+  kPartial,    ///< head landed, tail not yet (frame still streaming in)
+  kReady,      ///< complete frame, payload consistent
+  kMalformed,  ///< garbage head/size/tail: scrub the slot
+};
+
+/// Probing variant of poll_frame used by ring sweeps: classifies the slot
+/// instead of collapsing "not ready" and "garbage" into one answer.
+FrameState probe_frame(std::span<const std::byte> buf);
+
+// --- slot-ring sequencing helpers ------------------------------------------
+// Both sides of a connection carve their message buffers into `window`
+// consecutive slots of `slot_bytes` each; request i goes into slot
+// (i mod window) and its response comes back in the same slot index of the
+// peer ring, so slot occupancy is released exactly by the matching response.
+
+/// Byte offset of ring slot `slot` within a ring of `slot_bytes` slots.
+constexpr std::uint64_t ring_slot_offset(std::uint32_t slot, std::uint32_t slot_bytes) noexcept {
+  return static_cast<std::uint64_t>(slot) * slot_bytes;
+}
+
+/// Slot index a byte offset into a ring falls into.
+constexpr std::uint32_t ring_slot_of(std::uint64_t offset, std::uint32_t slot_bytes) noexcept {
+  return static_cast<std::uint32_t>(offset / slot_bytes);
+}
+
 /// Flags of a frame whose head indicator is set.
 std::uint16_t frame_flags(std::span<const std::byte> buf);
 
@@ -61,7 +92,8 @@ std::uint16_t frame_flags(std::span<const std::byte> buf);
 std::span<const std::byte> frame_payload(std::span<const std::byte> buf);
 
 /// Zeroes the frame region (head word through tail word) so the buffer is
-/// ready to detect the next message.
+/// ready to detect the next message. The wiped extent is clamped to the
+/// buffer, so clearing a slot whose size field lies never scribbles past it.
 void clear_frame(std::span<std::byte> buf);
 
 }  // namespace hydra::proto

@@ -32,6 +32,10 @@ struct CpuModel {
   Duration base_renew = 250;
   double per_value_byte = 0.12;     ///< memcpy-ish cost per payload byte
   Duration post_response = 150;     ///< WQE build + doorbell for the answer
+  /// WQE build for a response that shares the sweep's already-rung doorbell
+  /// (every response after the first in one ring sweep): no MMIO write, no
+  /// fresh descriptor cache miss.
+  Duration post_response_batched = 40;
   /// Pipelined comparator: per-request dispatcher work (decode + locked
   /// enqueue) and the dispatcher->worker handoff. The handoff is the killer:
   /// a mutex/condvar (futex-wake) round plus the request's cache lines
@@ -50,6 +54,11 @@ struct ShardConfig {
   /// response (raise it for big-value workloads like the MapReduce cache).
   std::uint32_t msg_slot_bytes = 16 * 1024;
   std::uint32_t max_connections = 256;
+  /// Request-ring depth provisioned per connection: the shard lays out this
+  /// many request slots per accepted client and grants each connection a
+  /// window of min(client-requested, ring_slots) outstanding requests. One
+  /// slot reproduces the seed's closed-loop wire contract exactly.
+  std::uint32_t ring_slots = 8;
   /// Whether GET responses mint remote pointers (disabled to measure the
   /// "RDMA Write only" rows of Fig 10).
   bool grant_remote_pointers = true;

@@ -16,7 +16,8 @@ Shard::Shard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
       cfg_(cfg),
       store_(existing_store ? std::move(existing_store)
                             : std::make_unique<core::KVStore>(cfg.store)),
-      msg_region_(static_cast<std::size_t>(cfg.max_connections) * cfg.msg_slot_bytes) {
+      msg_region_(static_cast<std::size_t>(cfg.max_connections) * cfg.ring_slots *
+                  cfg.msg_slot_bytes) {
   // One region spans every item: this is what remote pointers point into.
   arena_mr_ = fabric_.node(node_).register_memory(store_->arena().bytes());
   msg_mr_ = fabric_.node(node_).register_memory(msg_region_);
@@ -34,21 +35,24 @@ void Shard::kill() {
 
 Shard::AcceptResult Shard::accept(fabric::QueuePair* server_qp,
                                   fabric::RemoteAddr client_resp_slot,
-                                  std::uint32_t client_resp_bytes, ClientId client) {
+                                  std::uint32_t client_resp_bytes, ClientId client,
+                                  std::uint32_t window) {
   if (conns_.size() >= cfg_.max_connections) return {};
   const auto idx = static_cast<std::uint32_t>(conns_.size());
   Connection conn;
   conn.qp = server_qp;
   conn.resp_addr = client_resp_slot;
   conn.resp_bytes = client_resp_bytes;
+  conn.window = std::clamp<std::uint32_t>(window, 1, cfg_.ring_slots);
   conn.client = client;
   conns_.push_back(std::move(conn));
   dirty_flag_.push_back(false);
   AcceptResult res;
-  res.req_slot = fabric::RemoteAddr{msg_mr_->rkey(),
-                                    static_cast<std::uint64_t>(idx) * cfg_.msg_slot_bytes};
+  res.req_slot =
+      fabric::RemoteAddr{msg_mr_->rkey(), static_cast<std::uint64_t>(idx) * conn_stride()};
   res.slot_bytes = cfg_.msg_slot_bytes;
   res.arena_rkey = arena_mr_->rkey();
+  res.window = conns_.back().window;
   res.ok = true;
   return res;
 }
@@ -91,7 +95,7 @@ void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
 }
 
 void Shard::on_request_write(std::uint64_t offset) {
-  const auto idx = static_cast<std::uint32_t>(offset / cfg_.msg_slot_bytes);
+  const auto idx = static_cast<std::uint32_t>(offset / conn_stride());
   if (idx >= conns_.size() || dirty_flag_[idx]) return;
   dirty_flag_[idx] = true;
   dirty_.push_back(idx);
@@ -107,36 +111,71 @@ void Shard::wake() {
 }
 
 void Shard::process_loop() {
-  Duration scan_cost = 0;
   // Send/Recv mode: decoded requests queue up from completion handlers.
   if (!sr_pending_.empty()) {
     auto [req, idx] = std::move(sr_pending_.front());
     sr_pending_.pop_front();
-    handle(std::move(req), idx, cfg_.cpu.poll_scan);
+    handle(std::move(req), idx, 0, cfg_.cpu.poll_scan, /*batched=*/false);
     return;
   }
-  // Polling mode: round-robin over connections whose buffers saw a write.
+  // Requests an earlier sweep already decoded execute before new polling.
+  if (!ready_.empty()) {
+    ReadyReq r = std::move(ready_.front());
+    ready_.pop_front();
+    handle(std::move(r.req), r.conn_idx, r.slot, 0, r.batched);
+    return;
+  }
+  // Polling mode: round-robin over connections whose rings saw a write;
+  // a dirty connection has all of its occupied slots drained in one sweep.
+  Duration scan_cost = 0;
   while (!dirty_.empty()) {
     const std::uint32_t idx = dirty_.front();
     dirty_.pop_front();
     dirty_flag_[idx] = false;
     scan_cost += cfg_.cpu.poll_scan;
-    const auto slot = slot_span(idx);
-    if (!proto::poll_frame(slot).has_value()) continue;  // frame still landing
-    auto req = proto::decode_request(proto::frame_payload(slot));
-    proto::clear_frame(slot);
-    if (!req.has_value()) {
-      ++stats_.malformed;
-      continue;
+    sweep_connection(idx);
+    if (!ready_.empty()) {
+      ReadyReq r = std::move(ready_.front());
+      ready_.pop_front();
+      handle(std::move(r.req), r.conn_idx, r.slot, scan_cost, r.batched);
+      return;
     }
-    handle(std::move(*req), idx, scan_cost);
-    return;
   }
   charge(scan_cost);
   busy_ = false;  // idle; the write hook re-arms us
 }
 
-void Shard::handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_far) {
+void Shard::sweep_connection(std::uint32_t idx) {
+  const Connection& conn = conns_[idx];
+  bool first_in_sweep = true;
+  for (std::uint32_t slot = 0; slot < conn.window; ++slot) {
+    const auto span = slot_span(idx, slot);
+    switch (proto::probe_frame(span)) {
+      case proto::FrameState::kEmpty:
+      case proto::FrameState::kPartial:  // still landing; redirtied on commit
+        continue;
+      case proto::FrameState::kMalformed:
+        // Torn or garbage bytes: scrub the whole slot so the ring does not
+        // wedge on a head word that lies about its size.
+        ++stats_.malformed;
+        std::fill(span.begin(), span.end(), std::byte{0});
+        continue;
+      case proto::FrameState::kReady:
+        break;
+    }
+    auto req = proto::decode_request(proto::frame_payload(span));
+    proto::clear_frame(span);
+    if (!req.has_value()) {
+      ++stats_.malformed;
+      continue;
+    }
+    ready_.push_back(ReadyReq{std::move(*req), idx, slot, !first_in_sweep});
+    first_in_sweep = false;
+  }
+}
+
+void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
+                   Duration cost_so_far, bool batched) {
   const CpuModel& cpu = cfg_.cpu;
   proto::Response resp;
   resp.req_id = req.req_id;
@@ -213,7 +252,7 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_
       break;
   }
 
-  cost += cpu.post_response;
+  cost += batched ? cpu.post_response_batched : cpu.post_response;
   schedule_gc();
 
   if (replicate && replicator_ != nullptr && replicator_->secondary_count() > 0) {
@@ -232,9 +271,9 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_
     const bool blocking =
         replicator_->config().mode == replication::ReplicationMode::kStrictAck;
     auto barrier = std::make_shared<int>(2);
-    std::function<void()> arm = guard([this, resp, conn_idx, barrier, blocking] {
+    std::function<void()> arm = guard([this, resp, conn_idx, slot, batched, barrier, blocking] {
       if (--*barrier > 0) return;
-      send_response(resp, conn_idx);
+      send_response(resp, conn_idx, slot, batched);
       if (blocking) process_loop();
     });
     replicator_->replicate(std::move(rec), arm);
@@ -247,14 +286,20 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_
   }
 
   charge(cost);
-  schedule_after(cost, [this, resp = std::move(resp), conn_idx] {
-    send_response(resp, conn_idx);
+  schedule_after(cost, [this, resp = std::move(resp), conn_idx, slot, batched] {
+    send_response(resp, conn_idx, slot, batched);
     process_loop();
   });
 }
 
-void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx) {
+void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx,
+                          std::uint32_t slot, bool batched) {
   Connection& conn = conns_[conn_idx];
+  // The response lands in the resp-ring slot matching the request's slot,
+  // which is exactly what releases that slot pair for reuse at the client.
+  const fabric::RemoteAddr dst{conn.resp_addr.rkey,
+                               conn.resp_addr.offset +
+                                   proto::ring_slot_offset(slot, conn.resp_bytes)};
   const auto payload = proto::encode_response(resp);
   if (conn.send_recv) {
     conn.qp->post_send(payload);
@@ -271,14 +316,16 @@ void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx) {
     const auto err_payload = proto::encode_response(err);
     std::vector<std::byte> frame(proto::frame_size(err_payload.size()));
     proto::encode_frame(frame, err_payload);
-    conn.qp->post_write(frame, conn.resp_addr);
+    conn.qp->post_write(frame, dst, 0, nullptr, batched);
     ++stats_.responses;
+    if (batched) ++stats_.batched_responses;
     return;
   }
   std::vector<std::byte> frame(framed);
   proto::encode_frame(frame, payload);
-  conn.qp->post_write(frame, conn.resp_addr);
+  conn.qp->post_write(frame, dst, 0, nullptr, batched);
   ++stats_.responses;
+  if (batched) ++stats_.batched_responses;
 }
 
 void Shard::schedule_gc() {

@@ -1,11 +1,13 @@
 // The shard: HydraDB's server-side unit of execution (paper section 4.1.1).
 //
 // One shard == one core == one partition. A single logical thread detects
-// requests by polling per-connection request buffers (filled by client RDMA
+// requests by polling per-connection request rings (filled by client RDMA
 // Writes), executes them against its exclusively-owned KVStore, and answers
-// with an RDMA Write into the client's response buffer. There are no locks
-// anywhere on this path. The same class also supports the two-sided
-// Send/Recv mode used as the Figure 10 baseline.
+// with an RDMA Write into the matching slot of the client's response ring.
+// A wakeup sweeps every occupied slot of a dirty connection at once, and
+// all responses after the sweep's first share one doorbell (batched WQE
+// cost). There are no locks anywhere on this path. The same class also
+// supports the two-sided Send/Recv mode used as the Figure 10 baseline.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +33,7 @@ struct ShardStats {
   std::uint64_t renews = 0;
   std::uint64_t malformed = 0;
   std::uint64_t responses = 0;
+  std::uint64_t batched_responses = 0;  ///< responses sharing a sweep's doorbell
   Duration busy_time = 0;  ///< virtual CPU time charged to this core
 };
 
@@ -43,16 +46,23 @@ class Shard : public sim::Actor {
 
   // --- connection management ---------------------------------------------
   struct AcceptResult {
-    fabric::RemoteAddr req_slot;  ///< where the client RDMA-Writes requests
+    fabric::RemoteAddr req_slot;  ///< base of the client's request ring
     std::uint32_t slot_bytes = 0;
     std::uint32_t arena_rkey = 0;  ///< region containing RDMA-readable items
+    /// Granted ring depth: min(client-requested, config ring_slots). Request
+    /// slot i lives at req_slot.offset + i * slot_bytes and its response is
+    /// written to the client's resp ring at the same slot index.
+    std::uint32_t window = 1;
     bool ok = false;
   };
 
-  /// Polling-mode accept: the shard dedicates a request-buffer slot to this
-  /// connection and remembers where responses go.
+  /// Polling-mode accept: the shard dedicates a request-ring of `window`
+  /// slots to this connection and remembers where responses go
+  /// (`client_resp_slot` is the base of an equally deep response ring of
+  /// `client_resp_bytes`-sized slots).
   AcceptResult accept(fabric::QueuePair* server_qp, fabric::RemoteAddr client_resp_slot,
-                      std::uint32_t client_resp_bytes, ClientId client);
+                      std::uint32_t client_resp_bytes, ClientId client,
+                      std::uint32_t window = 1);
 
   /// Send/Recv-mode accept (Fig 10 baseline): posts receive buffers and
   /// answers via post_send.
@@ -77,24 +87,43 @@ class Shard : public sim::Actor {
  private:
   struct Connection {
     fabric::QueuePair* qp = nullptr;
-    fabric::RemoteAddr resp_addr{};
-    std::uint32_t resp_bytes = 0;
+    fabric::RemoteAddr resp_addr{};  ///< base of the client's response ring
+    std::uint32_t resp_bytes = 0;    ///< per-slot bytes of that ring
+    std::uint32_t window = 1;        ///< granted ring depth
     ClientId client = 0;
     bool send_recv = false;
     /// Send/Recv mode owns its receive buffers (re-posted after use).
     std::vector<std::vector<std::byte>> recv_bufs;
   };
 
-  [[nodiscard]] std::span<std::byte> slot_span(std::uint32_t idx) noexcept {
-    return {msg_region_.data() + static_cast<std::size_t>(idx) * cfg_.msg_slot_bytes,
+  /// A decoded request waiting for the shard core; `batched` marks every
+  /// request after the first of one ring sweep, whose response shares the
+  /// sweep's doorbell.
+  struct ReadyReq {
+    proto::Request req;
+    std::uint32_t conn_idx = 0;
+    std::uint32_t slot = 0;
+    bool batched = false;
+  };
+
+  /// Bytes one connection's request ring occupies in msg_region_.
+  [[nodiscard]] std::size_t conn_stride() const noexcept {
+    return static_cast<std::size_t>(cfg_.ring_slots) * cfg_.msg_slot_bytes;
+  }
+  [[nodiscard]] std::span<std::byte> slot_span(std::uint32_t idx, std::uint32_t slot) noexcept {
+    return {msg_region_.data() + static_cast<std::size_t>(idx) * conn_stride() +
+                proto::ring_slot_offset(slot, cfg_.msg_slot_bytes),
             cfg_.msg_slot_bytes};
   }
 
   void on_request_write(std::uint64_t offset);
   void wake();
   void process_loop();
-  void handle(proto::Request req, std::uint32_t conn_idx, Duration cost_so_far);
-  void send_response(const proto::Response& resp, std::uint32_t conn_idx);
+  void sweep_connection(std::uint32_t idx);
+  void handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
+              Duration cost_so_far, bool batched);
+  void send_response(const proto::Response& resp, std::uint32_t conn_idx,
+                     std::uint32_t slot, bool batched);
   void charge(Duration cost) noexcept { stats_.busy_time += cost; }
   void schedule_gc();
 
@@ -110,6 +139,8 @@ class Shard : public sim::Actor {
   std::vector<Connection> conns_;
   std::vector<bool> dirty_flag_;
   std::deque<std::uint32_t> dirty_;
+  /// Requests decoded by a ring sweep, waiting for the shard core.
+  std::deque<ReadyReq> ready_;
   /// Send/Recv mode: decoded requests waiting for the shard thread.
   std::deque<std::pair<proto::Request, std::uint32_t>> sr_pending_;
   bool busy_ = false;

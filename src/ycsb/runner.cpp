@@ -1,5 +1,6 @@
 #include "ycsb/runner.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -9,40 +10,59 @@
 namespace hydra::ycsb {
 namespace {
 
-/// Per-client closed-loop driver: completion of one op issues the next.
+/// Per-client driver: keeps `outstanding` ops in flight (1 = classic
+/// closed-loop, each completion issuing the next trace entry).
 class Driver {
  public:
   Driver(client::Client& c, const WorkloadSpec& spec, std::vector<TraceOp> trace,
-         int* remaining)
-      : client_(c), spec_(spec), trace_(std::move(trace)), remaining_(remaining) {}
+         std::uint32_t outstanding, int* remaining)
+      : client_(c),
+        spec_(spec),
+        trace_(std::move(trace)),
+        outstanding_(std::max<std::uint32_t>(outstanding, 1)),
+        remaining_(remaining) {}
 
-  void start() { next(); }
-
- private:
-  void next() {
-    if (pos_ == trace_.size()) {
+  void start() {
+    if (trace_.empty()) {
       --*remaining_;
       return;
     }
+    const auto initial = std::min<std::size_t>(outstanding_, trace_.size());
+    for (std::size_t i = 0; i < initial; ++i) issue_next();
+  }
+
+ private:
+  void issue_next() {
     const TraceOp& op = trace_[pos_++];
     std::string key = format_key(op.record, spec_.key_len);
     if (op.is_get) {
-      client_.get(std::move(key), [this](Status, std::string_view) { next(); });
+      client_.get(std::move(key), [this](Status, std::string_view) { on_done(); });
     } else {
       client_.update(std::move(key), synth_value(op.record ^ pos_, spec_.value_len),
-                     [this](Status) { next(); });
+                     [this](Status) { on_done(); });
+    }
+  }
+
+  void on_done() {
+    ++completed_;
+    if (pos_ < trace_.size()) {
+      issue_next();
+    } else if (completed_ == trace_.size()) {
+      --*remaining_;
     }
   }
 
   client::Client& client_;
   const WorkloadSpec& spec_;
   std::vector<TraceOp> trace_;
+  std::uint32_t outstanding_;
   std::size_t pos_ = 0;
+  std::size_t completed_ = 0;
   int* remaining_;
 };
 
 void run_phase(db::HydraCluster& cluster, const WorkloadSpec& spec,
-               std::uint64_t ops_per_client, int trace_salt) {
+               std::uint64_t ops_per_client, int trace_salt, std::uint32_t outstanding) {
   auto& clients = cluster.clients();
   int remaining = static_cast<int>(clients.size());
   std::vector<std::unique_ptr<Driver>> drivers;
@@ -51,7 +71,7 @@ void run_phase(db::HydraCluster& cluster, const WorkloadSpec& spec,
     drivers.push_back(std::make_unique<Driver>(
         *clients[c], spec,
         generate_trace(spec, static_cast<int>(c) + trace_salt, ops_per_client),
-        &remaining));
+        outstanding, &remaining));
   }
   for (auto& d : drivers) d->start();
   std::uint64_t guard = 0;
@@ -83,14 +103,15 @@ RunResult run_workload(db::HydraCluster& cluster, const WorkloadSpec& spec,
 
   // ---- warm-up --------------------------------------------------------------
   if (opts.warmup_ops_per_client > 0) {
-    run_phase(cluster, spec, opts.warmup_ops_per_client, /*trace_salt=*/7777);
+    run_phase(cluster, spec, opts.warmup_ops_per_client, /*trace_salt=*/7777,
+              opts.outstanding);
   }
 
   // ---- measured phase --------------------------------------------------------
   for (auto* c : clients) c->mutable_stats() = client::ClientStats{};
   const Time start = cluster.scheduler().now();
   const std::uint64_t ops_per_client = spec.operations / clients.size();
-  run_phase(cluster, spec, ops_per_client, /*trace_salt=*/0);
+  run_phase(cluster, spec, ops_per_client, /*trace_salt=*/0, opts.outstanding);
   const Time end = cluster.scheduler().now();
 
   // ---- aggregate --------------------------------------------------------------

@@ -33,6 +33,10 @@ struct RunOptions {
   /// Warm-up operations per client executed before stats reset (gives the
   /// pointer cache its steady-state fill, like the paper's warm runs).
   std::uint64_t warmup_ops_per_client = 0;
+  /// Operations each driver keeps in flight at once. 1 (the default) is the
+  /// classic closed-loop YCSB driver; larger values exploit the clients'
+  /// request-ring window (capped client-side by ClientConfig::window).
+  std::uint32_t outstanding = 1;
 };
 
 /// Runs `spec` against the cluster and returns aggregate results. The

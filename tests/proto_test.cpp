@@ -101,6 +101,69 @@ TEST(Frame, ZeroPayloadFrameWorks) {
   EXPECT_EQ(*size, 0u);
 }
 
+// ---------------------------------------------------------------- probing
+
+TEST(Probe, DistinguishesEmptyPartialReady) {
+  std::vector<std::byte> buf(64);
+  EXPECT_EQ(probe_frame(buf), FrameState::kEmpty);
+
+  const auto payload = to_bytes("probe me");
+  encode_frame(buf, payload);
+  EXPECT_EQ(probe_frame(buf), FrameState::kReady);
+
+  // Head landed, tail still zero: mid-delivery.
+  std::memset(buf.data() + 8 + align8_sz(payload.size()), 0, 8);
+  EXPECT_EQ(probe_frame(buf), FrameState::kPartial);
+}
+
+TEST(Probe, GarbageMagicIsMalformed) {
+  std::vector<std::byte> buf(64, std::byte{0xEE});
+  EXPECT_EQ(probe_frame(buf), FrameState::kMalformed);
+}
+
+TEST(Probe, LyingSizeFieldIsMalformed) {
+  std::vector<std::byte> buf(32);
+  const std::uint64_t head = (static_cast<std::uint64_t>(kHeadMagic) << 48) | 100000u;
+  std::memcpy(buf.data(), &head, 8);
+  EXPECT_EQ(probe_frame(buf), FrameState::kMalformed);
+}
+
+TEST(Probe, OverrunTailIsMalformed) {
+  // Valid head + size, but the tail word holds junk instead of the
+  // indicator or zero: something scribbled past the payload.
+  std::vector<std::byte> buf(64);
+  const auto payload = to_bytes("x");
+  encode_frame(buf, payload);
+  const std::uint64_t junk = 0xDEADBEEFDEADBEEFull;
+  std::memcpy(buf.data() + 8 + align8_sz(payload.size()), &junk, 8);
+  EXPECT_EQ(probe_frame(buf), FrameState::kMalformed);
+}
+
+TEST(Probe, TooSmallBufferIsMalformed) {
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(probe_frame(buf), FrameState::kMalformed);
+}
+
+TEST(Frame, ClearClampsALyingSizeField) {
+  // clear_frame on a head claiming more bytes than the buffer holds must
+  // stay inside the buffer (would be a heap smash otherwise).
+  std::vector<std::byte> buf(32, std::byte{0x55});
+  const std::uint64_t head = (static_cast<std::uint64_t>(kHeadMagic) << 48) | 100000u;
+  std::memcpy(buf.data(), &head, 8);
+  clear_frame(buf);
+  for (const std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+  std::vector<std::byte> tiny(4, std::byte{0x55});
+  clear_frame(tiny);  // smaller than a head word: must be a no-op
+  EXPECT_EQ(tiny[0], std::byte{0x55});
+}
+
+TEST(Frame, RingSlotArithmetic) {
+  EXPECT_EQ(ring_slot_offset(0, 4096), 0u);
+  EXPECT_EQ(ring_slot_offset(3, 4096), 3u * 4096u);
+  EXPECT_EQ(ring_slot_of(0, 4096), 0u);
+  EXPECT_EQ(ring_slot_of(3 * 4096 + 17, 4096), 3u);
+}
+
 // ---------------------------------------------------------------- messages
 
 TEST(Messages, RequestRoundTrip) {

@@ -145,6 +145,53 @@ TEST_F(RawShardTest, MalformedPayloadIsCountedAndSkipped) {
   EXPECT_TRUE(read_response(conn).has_value());
 }
 
+TEST_F(RawShardTest, TornFrameWithLyingSizeFieldIsScrubbed) {
+  auto conn = open_raw();
+  // A head word whose size field claims more bytes than the slot holds:
+  // the sweep must count it malformed and scrub the slot, never trusting
+  // the size for reads or clears.
+  std::vector<std::byte> torn(16);
+  const std::uint64_t head = (static_cast<std::uint64_t>(proto::kHeadMagic) << 48) |
+                             (1u << 20);  // 1 MiB "payload" in a 16 KiB slot
+  std::memcpy(torn.data(), &head, 8);
+  std::memcpy(torn.data() + 8, &proto::kTailIndicator, 8);
+  conn.qp->post_write(torn, conn.accept.req_slot);
+  sched.run();
+  EXPECT_EQ(shard->stats().malformed, 1u);
+  EXPECT_EQ(shard->stats().responses, 0u);
+
+  // The slot is clean again: a well-formed request on it is served.
+  proto::Request req;
+  req.type = proto::MsgType::kPut;
+  req.req_id = 2;
+  req.key = "k";
+  req.value = "v";
+  send_request(conn, req);
+  sched.run();
+  auto resp = read_response(conn);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, Status::kOk);
+}
+
+TEST_F(RawShardTest, RingAcceptGrantsClampedWindow) {
+  auto [cq, sq] = fabric.connect(client_node, server_node);
+  (void)cq;
+  std::vector<std::byte> resp_buf(8 * 16 * 1024);
+  auto* mr = fabric.node(client_node).register_memory(resp_buf);
+  // Ask for more than the shard provisions: granted = ring_slots.
+  auto res = shard->accept(sq, mr->addr(0), 16 * 1024, 1, /*window=*/64);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.window, shard->config().ring_slots);
+  // Request slots are laid out ring_slots apart per connection.
+  auto res2 = shard->accept(fabric.connect(client_node, server_node).second,
+                            mr->addr(0), 16 * 1024, 2, /*window=*/2);
+  ASSERT_TRUE(res2.ok);
+  EXPECT_EQ(res2.window, 2u);
+  EXPECT_EQ(res2.req_slot.offset - res.req_slot.offset,
+            static_cast<std::uint64_t>(shard->config().ring_slots) *
+                shard->config().msg_slot_bytes);
+}
+
 TEST_F(RawShardTest, UnknownMessageTypeRejected) {
   auto conn = open_raw();
   proto::Request req;
