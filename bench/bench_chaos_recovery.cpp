@@ -1,0 +1,112 @@
+// Recovery latency of the failover plane: primary loss -> SWAT promotion ->
+// first successful client write, measured on the virtual clock.
+//
+// Paper shape: detection is dominated by the coordinator session timeout
+// (2s here); promotion plus client re-routing add only a small fraction on
+// top, and neither the replica count nor the failure flavour (hard crash
+// versus a fenced partition) changes the picture materially.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row {
+  std::string label;
+  double promote_s = 0;      // crash -> failovers() observed
+  double first_write_s = 0;  // crash -> first acked post-failover PUT
+};
+
+}  // namespace
+
+int main() {
+  using namespace hydra;
+  bench::ShapeChecker shape;
+  std::vector<Row> rows;
+
+  struct Config {
+    const char* label;
+    int replicas;
+    replication::ReplicationMode mode;
+    bool partition;  // fence via suppressed heartbeats instead of a crash
+  };
+  const Config configs[] = {
+      {"crash-relaxed-1r", 1, replication::ReplicationMode::kLogRelaxed, false},
+      {"crash-relaxed-2r", 2, replication::ReplicationMode::kLogRelaxed, false},
+      {"crash-strict-1r", 1, replication::ReplicationMode::kStrictAck, false},
+      {"partition-relaxed-1r", 1, replication::ReplicationMode::kLogRelaxed, true},
+  };
+
+  for (const auto& cfg : configs) {
+    db::ClusterOptions opts;
+    opts.server_nodes = 1 + std::max(cfg.replicas, 1);
+    opts.shards_per_node = 1;
+    opts.total_shards = 1;
+    opts.client_nodes = 1;
+    opts.clients_per_node = 1;
+    opts.replicas = cfg.replicas;
+    opts.replication.mode = cfg.mode;
+    opts.enable_swat = true;
+    opts.client_template.request_timeout = 100 * kMillisecond;
+    opts.client_template.max_retries = 100;
+    db::HydraCluster cluster(opts);
+
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      if (cluster.put(format_key(i), synth_value(i)) != Status::kOk) return 1;
+    }
+    cluster.run_for(50 * kMillisecond);  // drain replication
+
+    const Time crash_at = cluster.scheduler().now();
+    if (cfg.partition) {
+      cluster.suppress_heartbeats(0, 10 * kSecond);
+    } else {
+      cluster.crash_primary(0);
+    }
+
+    const Time deadline = crash_at + 20 * kSecond;
+    while (cluster.failovers() == 0 && cluster.scheduler().now() < deadline &&
+           cluster.scheduler().step()) {
+    }
+    const Time promoted_at = cluster.scheduler().now();
+
+    const Status st = cluster.put("post-failover", "v");
+    const Time first_write_at = cluster.scheduler().now();
+
+    Row row;
+    row.label = cfg.label;
+    row.promote_s = static_cast<double>(promoted_at - crash_at) / kSecond;
+    row.first_write_s = static_cast<double>(first_write_at - crash_at) / kSecond;
+    rows.push_back(row);
+
+    shape.expect(cluster.failovers() == 1,
+                 row.label + ": exactly one promotion happened");
+    shape.expect(st == Status::kOk, row.label + ": writes resume after failover");
+  }
+
+  const double session_s =
+      static_cast<double>(db::ClusterOptions{}.coordinator.session_timeout) / kSecond;
+  std::printf("Failover recovery latency (virtual seconds; session timeout %.1fs)\n",
+              session_s);
+  std::printf("%-24s %12s %14s\n", "scenario", "promotion", "first write");
+  for (const Row& r : rows) {
+    std::printf("%-24s %11.3fs %13.3fs\n", r.label.c_str(), r.promote_s,
+                r.first_write_s);
+  }
+
+  for (const Row& r : rows) {
+    shape.expect(r.promote_s > session_s,
+                 r.label + ": detection cannot beat the session timeout");
+    shape.expect(r.promote_s < session_s + 2.0,
+                 r.label + ": promotion lands within ~2s of the timeout");
+    shape.expect(r.first_write_s - r.promote_s < 1.0,
+                 r.label + ": client re-routes within 1s of promotion");
+  }
+  // Replica count and failure flavour shouldn't move recovery materially.
+  shape.expect(rows[1].promote_s < rows[0].promote_s * 1.5,
+               "two replicas do not slow down promotion");
+  shape.expect(rows[3].promote_s < rows[0].promote_s + 2.0,
+               "a fenced partition recovers like a crash (+heartbeat slack)");
+  return shape.summarize("chaos_recovery");
+}

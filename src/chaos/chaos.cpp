@@ -1,0 +1,484 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "hydradb/hydra_cluster.hpp"
+#include "hydradb/swat.hpp"
+
+namespace hydra::chaos {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kKillPrimary: return "kill-primary";
+    case FaultKind::kKillSecondary: return "kill-secondary";
+    case FaultKind::kKillSwatMember: return "kill-swat-member";
+    case FaultKind::kTearRecordWrite: return "tear-record-write";
+    case FaultKind::kDropRecordWrite: return "drop-record-write";
+    case FaultKind::kTearAckWrite: return "tear-ack-write";
+    case FaultKind::kDropAckWrite: return "drop-ack-write";
+    case FaultKind::kSuppressHeartbeats: return "suppress-heartbeats";
+    case FaultKind::kFailApply: return "fail-apply";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using replication::ReplicationMode;
+
+/// Virtual time granted after the workload for failovers to finish (session
+/// timeout 2s + sweep + watch + promotion leaves ample slack).
+constexpr Duration kSettle = 6 * kSecond;
+/// Wedge detection: a workload that has not completed by this much virtual
+/// time (or this many events) is stuck -- invariant 2 is violated.
+constexpr Time kWorkloadTimeLimit = 120 * kSecond;
+constexpr std::uint64_t kWorkloadStepLimit = 40'000'000;
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+const char* mode_name(ReplicationMode m) {
+  switch (m) {
+    case ReplicationMode::kNone: return "none";
+    case ReplicationMode::kLogRelaxed: return "relaxed";
+    case ReplicationMode::kStrictAck: return "strict";
+  }
+  return "unknown";
+}
+
+bool is_ack_fault(FaultKind k) {
+  return k == FaultKind::kTearAckWrite || k == FaultKind::kDropAckWrite;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<ChaosSchedule> ChaosSchedule::scripted() {
+  std::vector<ChaosSchedule> out;
+
+  {
+    // The headline crash: the primary dies while a PUT is on the wire.
+    ChaosSchedule s;
+    s.name = "primary-kill-mid-put";
+    s.ops = 40;
+    s.mode = ReplicationMode::kLogRelaxed;
+    s.replicas = 1;
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .at_op = 12,
+                        .delay = 2 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // Replica apply failures force the rollback-resend protocol, and the
+    // primary dies while that rollback is still in flight. Strict mode keeps
+    // the affected records unacknowledged, so the client's retries (not the
+    // half-finished rollback) are what re-drive them on the new primary.
+    ChaosSchedule s;
+    s.name = "primary-kill-mid-rollback";
+    s.ops = 30;
+    s.mode = ReplicationMode::kStrictAck;
+    s.replicas = 1;
+    s.faults.push_back({.kind = FaultKind::kFailApply, .index = 0, .at_op = 10});
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .at_op = 10,
+                        .delay = 200 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // A replica dies mid-replay with strict acks outstanding: the primary
+    // must quarantine the corpse and fire the strict waiters, never wedge.
+    ChaosSchedule s;
+    s.name = "secondary-kill-mid-replay";
+    s.ops = 40;
+    s.mode = ReplicationMode::kStrictAck;
+    s.replicas = 2;
+    s.faults.push_back({.kind = FaultKind::kKillSecondary, .index = 1,
+                        .at_op = 15, .delay = 5 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // Acks themselves are RDMA writes: tear one and drop another. The
+    // ack-deadline probe must recover both without a single client timeout
+    // budget being exhausted.
+    ChaosSchedule s;
+    s.name = "torn-and-dropped-ack";
+    s.ops = 40;
+    s.mode = ReplicationMode::kStrictAck;
+    s.replicas = 1;
+    s.faults.push_back({.kind = FaultKind::kTearAckWrite, .at_op = 10,
+                        .torn_bytes = 12});
+    s.faults.push_back({.kind = FaultKind::kDropAckWrite, .at_op = 25});
+    out.push_back(std::move(s));
+  }
+  {
+    // Torn and dropped log-record writes: the in-place retransmit path must
+    // heal the ring hole before the completion (and thus the client ack).
+    ChaosSchedule s;
+    s.name = "torn-and-dropped-record";
+    s.ops = 40;
+    s.mode = ReplicationMode::kLogRelaxed;
+    s.replicas = 1;
+    s.faults.push_back({.kind = FaultKind::kTearRecordWrite, .at_op = 8,
+                        .torn_bytes = 16});
+    s.faults.push_back({.kind = FaultKind::kDropRecordWrite, .at_op = 20});
+    out.push_back(std::move(s));
+  }
+  {
+    // Heartbeat suppression past the session timeout: the shard must be
+    // fenced (not split-brained) and a replica promoted under it.
+    ChaosSchedule s;
+    s.name = "heartbeat-suppression-fences";
+    s.ops = 50;
+    s.mode = ReplicationMode::kLogRelaxed;
+    s.replicas = 1;
+    s.faults.push_back({.kind = FaultKind::kSuppressHeartbeats, .at_op = 10,
+                        .duration = 3 * kSecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // The SWAT leader is a corpse (znode lingering until session expiry)
+    // when the primary's death event arrives -- the leadership-gap window.
+    // The pending-death set must hold the event until member 1 takes over.
+    ChaosSchedule s;
+    s.name = "swat-leader-dead-during-failover";
+    s.ops = 40;
+    s.mode = ReplicationMode::kLogRelaxed;
+    s.replicas = 1;
+    s.swat_members = 3;
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .at_op = 10});
+    s.faults.push_back({.kind = FaultKind::kKillSwatMember, .index = 0,
+                        .at_op = 10, .delay = 1900 * kMillisecond});
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+ChaosSchedule ChaosSchedule::random(std::uint64_t seed) {
+  // Decorrelate from the runner's value stream, which hashes the raw seed.
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  ChaosSchedule s;
+  s.name = "random-" + std::to_string(seed);
+  s.ops = 30 + static_cast<std::uint32_t>(rng.below(31));
+
+  // Safety rules keeping the invariants meaningful (never a schedule whose
+  // data loss is *correct* behaviour):
+  //  * secondary kills only with two replicas, and only replica #1, so a
+  //    live replica always remains for promotion;
+  //  * injected apply failures force strict mode -- under relaxed acks a
+  //    primary death racing an unfinished rollback may legitimately lose
+  //    acked records (the durability trade the paper makes explicit).
+  const bool kill_secondary = rng.below(3) == 0;
+  s.replicas = kill_secondary ? 2 : 1 + static_cast<int>(rng.below(2));
+  const bool fail_apply = rng.below(4) == 0;
+  s.mode = (fail_apply || rng.below(2) == 0) ? ReplicationMode::kStrictAck
+                                             : ReplicationMode::kLogRelaxed;
+  const bool kill_primary = rng.below(2) == 0;
+  const bool kill_swat = kill_primary && rng.below(3) == 0;
+  const bool suppress = rng.below(3) == 0;
+
+  auto op_point = [&] { return static_cast<std::uint32_t>(rng.below(s.ops)); };
+  auto small_delay = [&] { return static_cast<Duration>(rng.below(50 * kMicrosecond)); };
+
+  // One or two wire faults in every schedule.
+  const int wire_faults = 1 + static_cast<int>(rng.below(2));
+  for (int i = 0; i < wire_faults; ++i) {
+    static constexpr FaultKind kWire[] = {
+        FaultKind::kTearRecordWrite, FaultKind::kDropRecordWrite,
+        FaultKind::kTearAckWrite, FaultKind::kDropAckWrite};
+    s.faults.push_back({.kind = kWire[rng.below(4)], .at_op = op_point(),
+                        .torn_bytes = 8 + static_cast<std::uint32_t>(rng.below(40))});
+  }
+  if (fail_apply) {
+    s.faults.push_back({.kind = FaultKind::kFailApply, .index = 0, .at_op = op_point()});
+  }
+  if (kill_secondary) {
+    s.faults.push_back({.kind = FaultKind::kKillSecondary, .index = 1,
+                        .at_op = op_point(), .delay = small_delay()});
+  }
+  if (kill_primary) {
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .at_op = op_point(),
+                        .delay = small_delay()});
+  }
+  if (kill_swat) {
+    // A dead SWAT leader's znode lingers ~2s; killing it around the primary's
+    // session expiry maximises the leadership-gap overlap.
+    s.faults.push_back({.kind = FaultKind::kKillSwatMember, .index = 0,
+                        .at_op = op_point(),
+                        .delay = 1500 * kMillisecond + rng.below(kSecond)});
+  }
+  if (suppress) {
+    // Sometimes short (benign blip), sometimes past the session timeout
+    // (fencing + promotion).
+    s.faults.push_back({.kind = FaultKind::kSuppressHeartbeats, .at_op = op_point(),
+                        .duration = kSecond + rng.below(3 * kSecond)});
+  }
+  return s;
+}
+
+RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed) {
+  // Normalized local copy: fault op indices are clamped into the workload so
+  // every fault is guaranteed to fire.
+  ChaosSchedule plan = schedule;
+  for (Fault& f : plan.faults) f.at_op = std::min(f.at_op, plan.ops - 1);
+
+  RunReport report;
+  std::string& hist = report.history;
+  auto violation = [&](std::string text) {
+    hist += "violation: " + text + "\n";
+    report.violations.push_back(std::move(text));
+  };
+
+  db::ClusterOptions opts;
+  opts.server_nodes = 1 + std::max(plan.replicas, 1);
+  opts.shards_per_node = 1;
+  opts.total_shards = 1;
+  opts.client_nodes = 1;
+  opts.clients_per_node = 1;
+  opts.replicas = plan.replicas;
+  opts.replication.mode = plan.mode;
+  opts.enable_swat = true;
+  opts.swat_members = plan.swat_members;
+  opts.shard_template.store.arena_bytes = 16 << 20;
+  opts.shard_template.store.min_buckets = 1 << 12;
+  // Patient enough to ride through a failover, quick enough to retry often.
+  opts.client_template.request_timeout = 100 * kMillisecond;
+  opts.client_template.max_retries = 100;
+
+  db::HydraCluster cluster(opts);
+  sim::Scheduler& sched = cluster.scheduler();
+
+  appendf(hist, "run schedule=%s seed=%llu ops=%u mode=%s replicas=%d swat=%d\n",
+          plan.name.c_str(), static_cast<unsigned long long>(seed), plan.ops,
+          mode_name(plan.mode), plan.replicas, plan.swat_members);
+
+  // --- wire faults: armed one-shot, matched by destination rkey ------------
+  std::vector<Fault> armed;
+  cluster.fabric().set_write_fault_hook(
+      [&](NodeId, NodeId dst, const fabric::RemoteAddr& addr,
+          std::uint32_t size) -> fabric::WriteFault {
+        if (armed.empty()) return {};
+        for (auto it = armed.begin(); it != armed.end(); ++it) {
+          bool match = false;
+          if (is_ack_fault(it->kind)) {
+            auto* sh = cluster.shard(it->shard);
+            if (sh != nullptr && sh->replicator() != nullptr && dst == sh->node()) {
+              for (const std::uint32_t rk : sh->replicator()->ack_rkeys()) {
+                if (rk == addr.rkey) {
+                  match = true;
+                  break;
+                }
+              }
+            }
+          } else {
+            for (auto* sec : cluster.secondaries_of(it->shard)) {
+              if (sec->alive() && dst == sec->node() && sec->ring_mr() != nullptr &&
+                  sec->ring_mr()->rkey() == addr.rkey) {
+                match = true;
+                break;
+              }
+            }
+          }
+          if (!match) continue;
+          fabric::WriteFault wf;
+          const bool tear = it->kind == FaultKind::kTearRecordWrite ||
+                            it->kind == FaultKind::kTearAckWrite;
+          wf.kind = tear ? fabric::WriteFault::Kind::kTorn
+                         : fabric::WriteFault::Kind::kDrop;
+          wf.torn_bytes = std::min(it->torn_bytes, size);
+          appendf(hist, "t=%llu wire-fault %s rkey=%u size=%u torn=%u\n",
+                  static_cast<unsigned long long>(sched.now()), to_string(it->kind),
+                  addr.rkey, size, wf.torn_bytes);
+          armed.erase(it);
+          return wf;
+        }
+        return {};
+      });
+
+  // --- fault application ----------------------------------------------------
+  Time first_kill = 0;
+  bool recovery_pending = false;
+  std::uint64_t failovers_at_kill = 0;
+  bool killed_a_primary = false;
+  bool killed_a_secondary = false;
+
+  auto apply_fault = [&](const Fault& f) {
+    appendf(hist, "t=%llu fault %s shard=%u idx=%d\n",
+            static_cast<unsigned long long>(sched.now()), to_string(f.kind),
+            static_cast<unsigned>(f.shard), f.index);
+    switch (f.kind) {
+      case FaultKind::kKillPrimary: {
+        auto* sh = cluster.shard(f.shard);
+        if (sh != nullptr && sh->alive()) {
+          killed_a_primary = true;
+          if (first_kill == 0) {
+            first_kill = sched.now();
+            recovery_pending = true;
+            failovers_at_kill = cluster.failovers();
+          }
+          cluster.crash_primary(f.shard);
+        }
+        break;
+      }
+      case FaultKind::kKillSecondary:
+        killed_a_secondary = true;
+        cluster.crash_secondary(f.shard, f.index);
+        break;
+      case FaultKind::kKillSwatMember:
+        cluster.kill_swat_member(f.index);
+        break;
+      case FaultKind::kTearRecordWrite:
+      case FaultKind::kDropRecordWrite:
+      case FaultKind::kTearAckWrite:
+      case FaultKind::kDropAckWrite:
+        armed.push_back(f);
+        break;
+      case FaultKind::kSuppressHeartbeats:
+        cluster.suppress_heartbeats(f.shard, f.duration);
+        break;
+      case FaultKind::kFailApply: {
+        auto secs = cluster.secondaries_of(f.shard);
+        if (f.index >= 0 && static_cast<std::size_t>(f.index) < secs.size() &&
+            secs[static_cast<std::size_t>(f.index)]->alive()) {
+          secs[static_cast<std::size_t>(f.index)]->fail_next(3);
+        }
+        break;
+      }
+    }
+  };
+
+  // --- workload: closed-loop unique-key PUTs --------------------------------
+  // Unique keys, each written exactly once, make invariant 1 exact: an acked
+  // "chaos-<i>" must read back as precisely its seeded value.
+  Xoshiro256 value_rng(seed);
+  std::vector<OpRecord> ops(plan.ops);
+  for (std::uint32_t i = 0; i < plan.ops; ++i) {
+    ops[i].idx = i;
+    ops[i].key = "chaos-" + std::to_string(i);
+    ops[i].value = "v-" + hex16(value_rng());
+  }
+
+  // Closed loop: op i+1 is issued by op i's completion callback. Everything
+  // fires inside the drive loops below, so plain reference captures are safe
+  // (and cycle-free, unlike a shared_ptr self-capture).
+  std::uint32_t completed = 0;
+  client::Client* cl = cluster.clients().front();
+  std::function<void(std::uint32_t)> issue = [&](std::uint32_t i) {
+    if (i >= plan.ops) return;
+    appendf(hist, "t=%llu op=%u issue key=%s\n",
+            static_cast<unsigned long long>(sched.now()), i, ops[i].key.c_str());
+    for (const Fault& f : plan.faults) {
+      if (f.at_op != i) continue;
+      const Fault* fp = &f;
+      sched.after(f.delay, [&apply_fault, fp] { apply_fault(*fp); });
+    }
+    cl->put(ops[i].key, ops[i].value, [&, i](Status st) {
+      ops[i].status = st;
+      ops[i].completed = true;
+      ops[i].done_at = sched.now();
+      ++completed;
+      appendf(hist, "t=%llu op=%u done status=%s\n",
+              static_cast<unsigned long long>(sched.now()), i,
+              std::string(to_string(st)).c_str());
+      issue(i + 1);
+    });
+  };
+  issue(0);
+
+  auto note_recovery = [&] {
+    if (recovery_pending && cluster.failovers() > failovers_at_kill) {
+      recovery_pending = false;
+      report.recovery_time = sched.now() - first_kill;
+      appendf(hist, "t=%llu failover-complete recovery=%llu\n",
+              static_cast<unsigned long long>(sched.now()),
+              static_cast<unsigned long long>(report.recovery_time));
+    }
+  };
+
+  std::uint64_t steps = 0;
+  while (completed < plan.ops && sched.now() < kWorkloadTimeLimit &&
+         steps < kWorkloadStepLimit) {
+    if (!sched.step()) break;
+    ++steps;
+    note_recovery();
+  }
+
+  // --- settle: let failovers, retransmits and respawns finish ---------------
+  const Time settle_end = sched.now() + kSettle;
+  while (sched.now() < settle_end && sched.step()) note_recovery();
+
+  // --- invariant 2: no wedged operations ------------------------------------
+  for (const OpRecord& op : ops) {
+    if (op.completed) continue;
+    ++report.wedged_ops;
+    violation("op " + std::to_string(op.idx) + " (" + op.key +
+              ") never completed: callback wedged");
+  }
+
+  // --- invariant 1: every acked PUT readable with its exact value -----------
+  for (const OpRecord& op : ops) {
+    if (!op.completed || op.status != Status::kOk) continue;
+    ++report.acked_puts;
+    Status st = Status::kOk;
+    auto v = cluster.get(op.key, 0, &st);
+    if (!v.has_value()) {
+      violation("acked op " + std::to_string(op.idx) + " (" + op.key +
+                ") unreadable after faults: " + std::string(to_string(st)));
+    } else if (*v != op.value) {
+      violation("acked op " + std::to_string(op.idx) + " (" + op.key +
+                ") returned a different value");
+    }
+  }
+
+  // --- invariant 3: replication factor + availability restored --------------
+  report.failovers = cluster.failovers();
+  const Status probe = cluster.put("chaos-probe", "alive");
+  appendf(hist, "t=%llu probe-put status=%s\n",
+          static_cast<unsigned long long>(sched.now()),
+          std::string(to_string(probe)).c_str());
+  if (probe != Status::kOk) {
+    violation("probe PUT failed: shard not writable after faults (" +
+              std::string(to_string(probe)) + ")");
+  }
+  if (killed_a_primary && (cluster.shard(0) == nullptr || !cluster.shard(0)->alive())) {
+    violation("primary was killed and no promotion ever completed");
+  }
+  if (report.failovers > 0 && !killed_a_secondary) {
+    // A secondary killed *after* the last promotion legitimately degrades the
+    // factor (only promotions respawn); restrict the check to schedules where
+    // the factor must come back exactly.
+    std::size_t live = 0;
+    for (auto* sec : cluster.secondaries_of(0)) live += sec->alive() ? 1 : 0;
+    if (live != static_cast<std::size_t>(opts.replicas)) {
+      violation("replication factor " + std::to_string(live) + " != " +
+                std::to_string(opts.replicas) + " after promotion");
+    }
+  }
+
+  appendf(hist, "end t=%llu failovers=%llu acked=%llu wedged=%llu violations=%zu\n",
+          static_cast<unsigned long long>(sched.now()),
+          static_cast<unsigned long long>(report.failovers),
+          static_cast<unsigned long long>(report.acked_puts),
+          static_cast<unsigned long long>(report.wedged_ops),
+          report.violations.size());
+  return report;
+}
+
+}  // namespace hydra::chaos

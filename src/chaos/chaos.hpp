@@ -1,0 +1,107 @@
+// Deterministic chaos harness for the failover plane (DESIGN.md section 7).
+//
+// A ChaosSchedule composes faults -- process kills (primary, secondary,
+// SWAT member), torn/dropped RDMA writes on the replication rings and ack
+// slots, heartbeat suppression -- fired at parameterized points of a
+// scripted PUT workload. The ChaosRunner executes the workload against a
+// fresh HydraCluster, injects the faults, lets the failover plane settle,
+// and then asks the HistoryChecker to verify the three invariants the paper
+// implies:
+//
+//   1. every acked PUT is readable (with its exact value) after failover;
+//   2. operation callbacks always eventually fire or fail -- never wedge;
+//   3. the replication factor is restored to opts.replicas after promotion.
+//
+// Everything flows from the schedule plus a seed through hydra::sim's
+// virtual clock, so a run is reproducible byte-for-byte: the report's
+// history string is identical across runs with the same (schedule, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "replication/primary.hpp"
+
+namespace hydra::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kKillPrimary,         ///< crash a shard's primary process
+  kKillSecondary,       ///< crash one replica (primary must self-discover)
+  kKillSwatMember,      ///< crash a SWAT member (leadership-gap window)
+  kTearRecordWrite,     ///< next record-ring RDMA write commits a prefix
+  kDropRecordWrite,     ///< next record-ring RDMA write commits nothing
+  kTearAckWrite,        ///< next ack RDMA write commits a prefix
+  kDropAckWrite,        ///< next ack RDMA write commits nothing
+  kSuppressHeartbeats,  ///< mute a primary's coordinator heartbeats
+  kFailApply,           ///< inject replica apply failures (forces rollback)
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+struct Fault {
+  FaultKind kind = FaultKind::kKillPrimary;
+  ShardId shard = 0;
+  int index = 0;  ///< secondary index / SWAT member index / fail count
+  /// Fires `delay` of virtual time after operation `at_op` is issued --
+  /// op-indexed so schedules compose with any workload length, delayed so
+  /// kills land mid-operation rather than between operations.
+  std::uint32_t at_op = 0;
+  Duration delay = 0;
+  Duration duration = 0;         ///< heartbeat suppression length
+  std::uint32_t torn_bytes = 8;  ///< committed prefix for tear faults
+};
+
+struct ChaosSchedule {
+  std::string name;
+  std::vector<Fault> faults;
+  std::uint32_t ops = 60;  ///< acked-PUT workload length
+  replication::ReplicationMode mode = replication::ReplicationMode::kLogRelaxed;
+  int replicas = 1;
+  int swat_members = 2;
+
+  /// The scripted families covering every fault point the issue names:
+  /// primary kill mid-PUT and mid-rollback, secondary kill mid-replay,
+  /// torn/dropped ack and record writes, heartbeat suppression, SWAT-member
+  /// kill during a failover.
+  static std::vector<ChaosSchedule> scripted();
+
+  /// Seeded-random composition over the same fault alphabet.
+  static ChaosSchedule random(std::uint64_t seed);
+};
+
+/// One operation's fate, as the client observed it.
+struct OpRecord {
+  std::uint32_t idx = 0;
+  std::string key;
+  std::string value;
+  Status status = Status::kTimeout;
+  bool completed = false;  ///< callback fired (any status)
+  Time done_at = 0;
+};
+
+struct RunReport {
+  /// Deterministic textual log of everything that happened (ops, faults,
+  /// probes, verdicts); byte-identical across runs of the same seed.
+  std::string history;
+  /// Human-readable invariant violations; empty means the run passed.
+  std::vector<std::string> violations;
+  std::uint64_t failovers = 0;
+  std::uint64_t acked_puts = 0;
+  std::uint64_t wedged_ops = 0;
+  /// Virtual time from the first primary kill to the failover completing
+  /// (0 when the schedule kills no primary or no failover happened).
+  Duration recovery_time = 0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+class ChaosRunner {
+ public:
+  /// Runs `schedule` against a fresh cluster; `seed` drives both the value
+  /// payloads and any randomized schedule parameters.
+  static RunReport run(const ChaosSchedule& schedule, std::uint64_t seed);
+};
+
+}  // namespace hydra::chaos

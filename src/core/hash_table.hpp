@@ -49,6 +49,26 @@ class CompactHashTable {
   [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
   [[nodiscard]] std::uint64_t overflow_buckets() const noexcept { return overflow_buckets_; }
 
+  /// Deterministic full-table walk: invokes `fn(item_offset)` for every
+  /// occupied slot, in bucket order (main array ascending, then each
+  /// overflow chain in link order). The order depends only on the table's
+  /// contents, so replaying it reproduces identical state -- which is what
+  /// failover state transfer needs.
+  template <typename Fn>
+  void for_each_offset(Fn&& fn) const {
+    for (const Bucket& root : buckets_) {
+      const Bucket* b = &root;
+      while (true) {
+        for (int s = 0; s < kSlotsPerBucket; ++s) {
+          if ((occupancy(*b) >> s) & 1) fn(slot_offset(b->slots[s]));
+        }
+        const std::uint64_t off = overflow_of(*b);
+        if (off == kNoOverflow) break;
+        b = overflow_bucket(off);
+      }
+    }
+  }
+
   // Probe-cost telemetry for the cache-friendliness benches.
   [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
   [[nodiscard]] std::uint64_t cacheline_reads() const noexcept { return cacheline_reads_; }

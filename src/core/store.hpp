@@ -92,6 +92,18 @@ class KVStore {
   /// Popularity-scaled lease term: 1s for cold keys doubling up to 64s.
   [[nodiscard]] Duration lease_term(std::uint32_t access_count) const noexcept;
 
+  /// Deterministic walk over every live item: `fn(key, value, version)`.
+  /// Table entries always reference live items (updates and removes swap
+  /// them out before retiring), so no liveness filtering is needed. Used by
+  /// failover to bootstrap a replacement replica's store.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    table_.for_each_offset([&](std::uint64_t offset) {
+      ItemView view(arena_.at(offset));
+      fn(view.key(), view.value(), view.header().version);
+    });
+  }
+
  private:
   struct Deferred {
     Time free_after;

@@ -63,7 +63,25 @@ struct FabricStats {
   std::uint64_t tcp_messages = 0;
   std::uint64_t protection_errors = 0;
   std::uint64_t dead_peer_errors = 0;
+  std::uint64_t torn_writes = 0;     ///< fault-injected partial commits
+  std::uint64_t dropped_writes = 0;  ///< fault-injected lost writes
 };
+
+/// Fault-injection verdict for one RDMA Write, decided at commit time.
+/// `kTorn` commits only the first `torn_bytes` of the payload (modelling the
+/// crash window in which a one-sided write is partially applied) and `kDrop`
+/// commits nothing; both complete the initiator's WR with kFlushed after the
+/// retransmission timeout, the way real RC hardware surfaces a write that
+/// never fully landed.
+struct WriteFault {
+  enum class Kind : std::uint8_t { kDeliver, kTorn, kDrop };
+  Kind kind = Kind::kDeliver;
+  std::uint32_t torn_bytes = 0;
+};
+
+/// Chaos hook consulted once per RDMA Write as it commits to the target.
+using WriteFaultHook = std::function<WriteFault(
+    NodeId src, NodeId dst, const RemoteAddr& addr, std::uint32_t size)>;
 
 class Fabric {
  public:
@@ -93,6 +111,12 @@ class Fabric {
   void kill_node(NodeId id) { nodes_[id]->alive_ = false; }
   void revive_node(NodeId id) { nodes_[id]->alive_ = true; }
 
+  /// Installs (or clears, with nullptr) the chaos write-fault hook. The hook
+  /// runs at commit time of every RDMA Write, after the dead-peer check but
+  /// before protection validation, so it can tear or drop otherwise-valid
+  /// writes deterministically.
+  void set_write_fault_hook(WriteFaultHook hook) { write_fault_ = std::move(hook); }
+
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
 
  private:
@@ -102,6 +126,7 @@ class Fabric {
   sim::Scheduler& sched_;
   CostModel cost_;
   FabricStats stats_;
+  WriteFaultHook write_fault_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
   std::vector<std::unique_ptr<TcpConn>> tcp_conns_;

@@ -62,12 +62,37 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
       }
       return;
     }
+    WriteFault fault;
+    if (f.write_fault_) fault = f.write_fault_(local_, remote_, dst, size);
     MemoryRegion* mr = rem.find_region(dst.rkey);
     if (mr == nullptr || !mr->contains(dst.offset, size)) {
       ++f.stats_.protection_errors;
       if (on_done) {
         sched.after(cost.rdma_propagation, [on_done = std::move(on_done), wr_id, size] {
           on_done(Completion{WcOp::kWrite, WcStatus::kProtectionError, wr_id, size});
+        });
+      }
+      return;
+    }
+    if (fault.kind != WriteFault::Kind::kDeliver) {
+      // Fault injection: commit a prefix (torn) or nothing (dropped), then
+      // surface a flush error to the initiator after the retry timeout --
+      // RC never delivers a success completion for a write that did not
+      // fully land.
+      const std::uint32_t committed =
+          fault.kind == WriteFault::Kind::kTorn ? std::min(fault.torn_bytes, size) : 0;
+      if (fault.kind == WriteFault::Kind::kTorn) {
+        ++f.stats_.torn_writes;
+      } else {
+        ++f.stats_.dropped_writes;
+      }
+      if (committed > 0) {
+        std::memcpy(mr->base() + dst.offset, data.data(), committed);
+        if (mr->write_hook()) mr->write_hook()(dst.offset, committed);
+      }
+      if (on_done) {
+        sched.after(cost.peer_timeout, [on_done = std::move(on_done), wr_id, committed] {
+          on_done(Completion{WcOp::kWrite, WcStatus::kFlushed, wr_id, committed});
         });
       }
       return;

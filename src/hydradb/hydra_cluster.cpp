@@ -27,6 +27,9 @@ HydraCluster::HydraCluster(ClusterOptions opts)
   }
   fabric_.add_node("coordination");  // the ZooKeeper/SWAT machines
   coordinator_ = std::make_unique<cluster::Coordinator>(sched_, opts_.coordinator);
+  // Persistent znode carrying the routing epoch; promotions set_data() it,
+  // which would silently fail if nothing ever created the node.
+  coordinator_->create("/routing/version", "0");
 
   // --- shards ---------------------------------------------------------------
   const int total_shards = opts_.total_shards > 0
@@ -128,8 +131,18 @@ void HydraCluster::start_heartbeat(ShardId id) {
   const cluster::SessionId session = slot.session;
   heartbeats_.push_back(std::make_unique<std::function<void()>>());
   auto* beat = heartbeats_.back().get();
-  *beat = [this, shard, session, beat] {
-    coordinator_->heartbeat(session);
+  *beat = [this, id, shard, session, beat] {
+    if (!coordinator_->session_alive(session)) {
+      // Fencing: our session expired, so SWAT is promoting (or has promoted)
+      // a replica. A primary that kept serving here would split-brain with
+      // it -- a real ZK client gets SESSION_EXPIRED and must halt.
+      HYDRA_WARN("shard %u: coordinator session expired; self-fencing", id);
+      shard->kill();
+      return;
+    }
+    if (sched_.now() >= primaries_[id].heartbeat_muted_until) {
+      coordinator_->heartbeat(session);
+    }
     shard->schedule_after(opts_.coordinator.session_timeout / 4, *beat);
   };
   shard->schedule_after(opts_.coordinator.session_timeout / 4, *beat);
@@ -270,19 +283,74 @@ void HydraCluster::crash_primary(ShardId id) {
   slot.primary->kill();  // heartbeats stop; session expires; SWAT reacts
 }
 
+void HydraCluster::crash_secondary(ShardId id, int idx) {
+  if (id >= primaries_.size()) return;
+  ShardSlot& slot = primaries_[id];
+  if (idx < 0 || idx >= static_cast<int>(slot.secondaries.size())) return;
+  replication::SecondaryShard* sec = slot.secondaries[static_cast<std::size_t>(idx)].get();
+  if (!sec->alive()) return;
+  HYDRA_INFO("crash injection: killing secondary %d of shard %u", idx, id);
+  sec->kill();
+}
+
+void HydraCluster::kill_swat_member(int idx) {
+  if (swat_) swat_->kill_member(idx);
+}
+
+void HydraCluster::suppress_heartbeats(ShardId id, Duration d) {
+  if (id >= primaries_.size()) return;
+  HYDRA_INFO("chaos: muting heartbeats of shard %u for %llu ns", id,
+             static_cast<unsigned long long>(d));
+  primaries_[id].heartbeat_muted_until = sched_.now() + d;
+}
+
 std::uint64_t HydraCluster::failovers() const noexcept {
   return swat_ ? swat_->failovers() : 0;
 }
 
-void HydraCluster::promote_secondary(ShardId id) {
+bool HydraCluster::promote_secondary(ShardId id) {
+  if (id >= primaries_.size()) return false;
   ShardSlot& slot = primaries_[id];
+  if (slot.primary != nullptr && slot.primary->alive()) {
+    if (coordinator_->session_alive(slot.session)) {
+      // Duplicate or stale death event (e.g. the watch for a znode the new
+      // primary re-registered moments later); nothing to do.
+      return false;
+    }
+    // The process is still running but its session expired -- its heartbeats
+    // were suppressed (partition, GC pause). The self-fencing check only
+    // runs at heartbeat-tick granularity, so SWAT may react to the reaped
+    // znode first; promoting underneath a still-serving primary would
+    // split-brain, and refusing to promote would strand the shard (the
+    // death event has already been consumed from the pending set). Fence it
+    // here, then proceed with the promotion.
+    HYDRA_WARN("shard %u: fencing still-running primary with expired session", id);
+    slot.primary->kill();
+  }
+  slot.heartbeat_muted_until = 0;  // suppression targeted the old process
+
+  // A secondary that died mid-replay cannot be promoted and must not stay
+  // in the replica set; quarantine its link and bury it.
+  for (auto it = slot.secondaries.begin(); it != slot.secondaries.end();) {
+    if ((*it)->alive()) {
+      ++it;
+      continue;
+    }
+    if (slot.primary != nullptr && slot.primary->replicator() != nullptr) {
+      slot.primary->replicator()->remove_secondary(**it);
+    }
+    graveyard_.push_back(std::move(*it));
+    it = slot.secondaries.erase(it);
+  }
   if (slot.secondaries.empty()) {
-    HYDRA_WARN("shard %u lost its primary and has no secondary to promote", id);
-    return;
+    HYDRA_WARN("shard %u lost its primary and has no live secondary to promote", id);
+    return false;
   }
   auto secondary = std::move(slot.secondaries.front());
   slot.secondaries.erase(slot.secondaries.begin());
   const NodeId new_node = secondary->node();
+  // Replay acked records its poll loop had not reached yet (see drain_ring).
+  secondary->drain_ring();
   auto store = secondary->release_store();
   secondary->kill();
   graveyard_.push_back(std::move(secondary));  // its ring MR stays mapped
@@ -297,8 +365,47 @@ void HydraCluster::promote_secondary(ShardId id) {
   for (auto& sec : slot.secondaries) {
     slot.primary->replicator()->add_secondary(*sec);
   }
+  // Restore the configured replication factor: every promotion consumes one
+  // replica, so without respawning, repeated failovers would walk the shard
+  // down to zero redundancy.
+  while (static_cast<int>(slot.secondaries.size()) < opts_.replicas) {
+    spawn_secondary(id);
+  }
   // Publish new routing metadata; clients re-resolve lazily via timeouts.
-  coordinator_->set_data("/routing/version", std::to_string(ring_.version() + id));
+  ++routing_epoch_;
+  coordinator_->set_data("/routing/version", std::to_string(routing_epoch_));
+  return true;
+}
+
+void HydraCluster::spawn_secondary(ShardId id) {
+  ShardSlot& slot = primaries_[id];
+  // Place the replica off the primary's machine when the cluster has more
+  // than one server node, like the initial layout does.
+  NodeId sec_node = slot.node;
+  if (server_node_ids_.size() > 1) {
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < server_node_ids_.size(); ++i) {
+      if (server_node_ids_[i] == slot.node) at = i;
+    }
+    sec_node = server_node_ids_[(at + 1 + slot.secondaries.size()) % server_node_ids_.size()];
+  }
+  replication::SecondaryConfig sec_cfg;
+  sec_cfg.primary_shard = id;
+  sec_cfg.store = opts_.shard_template.store;
+  auto secondary =
+      std::make_unique<replication::SecondaryShard>(sched_, fabric_, sec_node, sec_cfg);
+  slot.primary->replicator()->add_secondary(*secondary);
+  // Bootstrap state transfer: copy the primary's current contents before any
+  // new log records replay on top (all within this event, so nothing can
+  // slip in between). Acked writes the replica never saw thus survive the
+  // *next* failover too.
+  core::KVStore& src = slot.primary->store();
+  core::KVStore& dst = secondary->store();
+  const Time now = sched_.now();
+  src.for_each([&](std::string_view key, std::string_view value, std::uint64_t) {
+    dst.put(key, value, now);
+  });
+  slot.secondaries.push_back(std::move(secondary));
 }
 
 }  // namespace hydra::db

@@ -104,7 +104,27 @@ class HydraCluster {
   /// Crashes a primary shard process (actor + its heartbeats). With SWAT
   /// enabled, a secondary is promoted automatically.
   void crash_primary(ShardId id);
+  /// Crashes one of a shard's secondaries (by index into secondaries_of).
+  /// The primary is NOT told: it discovers the corpse through write errors
+  /// or the ack deadline and quarantines the link, like a real deployment.
+  void crash_secondary(ShardId id, int idx);
+  /// Crashes a SWAT member (its /swat/ znode lingers until session timeout,
+  /// which is exactly the leadership gap the pending-death set covers).
+  void kill_swat_member(int idx);
+  /// Mutes a primary's coordinator heartbeats for `d` of virtual time. Past
+  /// the session timeout this fences the shard: the next heartbeat tick
+  /// notices the expired session and the primary kills itself, so a
+  /// suppressed-but-running primary can never split-brain with its
+  /// promoted replica.
+  void suppress_heartbeats(ShardId id, Duration d);
   [[nodiscard]] std::uint64_t failovers() const noexcept;
+  /// Monotonic routing epoch, bumped (and published to /routing/version)
+  /// on every successful promotion.
+  [[nodiscard]] std::uint64_t routing_epoch() const noexcept { return routing_epoch_; }
+  [[nodiscard]] SwatTeam* swat() noexcept { return swat_.get(); }
+  [[nodiscard]] std::uint32_t shard_generation(ShardId id) const noexcept {
+    return id < primaries_.size() ? primaries_[id].generation : 0;
+  }
 
   /// Runs the simulator for `d` of virtual time.
   void run_for(Duration d) { sched_.run_for(d); }
@@ -119,15 +139,21 @@ class HydraCluster {
     std::vector<std::unique_ptr<replication::SecondaryShard>> secondaries;
     cluster::SessionId session = 0;
     std::uint32_t generation = 0;
+    Time heartbeat_muted_until = 0;  ///< chaos: skip heartbeats until then
   };
 
   void spawn_primary(ShardId id, NodeId node, std::unique_ptr<core::KVStore> store);
+  /// Spawns one replacement secondary for `id`, attaches it to the current
+  /// primary's log stream and bootstrap-copies the primary's store into it.
+  void spawn_secondary(ShardId id);
   void start_heartbeat(ShardId id);
   void wire_client(client::Client& c);
   bool connect_client(ShardId shard, client::Client& c, fabric::RemoteAddr resp_slot,
                       std::uint32_t resp_bytes, std::uint32_t window,
                       client::ShardConnection* out);
-  void promote_secondary(ShardId id);  // invoked by SWAT
+  /// Invoked by SWAT. Returns false when there is nothing to do (primary
+  /// still alive -- duplicate event) or nothing to promote.
+  bool promote_secondary(ShardId id);
 
   ClusterOptions opts_;
   sim::Scheduler sched_;
@@ -138,6 +164,7 @@ class HydraCluster {
   std::unique_ptr<SwatTeam> swat_;
   cluster::ConsistentHashRing ring_;
   std::vector<ShardSlot> primaries_;
+  std::uint64_t routing_epoch_ = 0;
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<client::Client*> client_ptrs_;
   std::map<NodeId, std::shared_ptr<client::Client::RemotePtrCache>> node_caches_;

@@ -27,14 +27,36 @@ int SwatTeam::leader() const {
   return -1;
 }
 
-void SwatTeam::handle_primary_death(const std::string& path) {
-  // Extract the shard id from "/shards/<id>/primary".
-  const std::size_t start = std::string("/shards/").size();
+bool SwatTeam::handle_primary_death(const std::string& path) {
+  // Extract the shard id from "/shards/<id>/primary". The path comes out of
+  // the coordinator tree, which any session can populate -- parse it like
+  // untrusted input instead of letting std::stoul throw on garbage.
+  constexpr std::string_view kPrefix = "/shards/";
+  if (path.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  const std::size_t start = kPrefix.size();
   const std::size_t end = path.find('/', start);
-  const ShardId id = static_cast<ShardId>(std::stoul(path.substr(start, end - start)));
-  ++failovers_;
+  const std::string num =
+      path.substr(start, end == std::string::npos ? std::string::npos : end - start);
+  if (num.empty() || num.size() > 9 ||
+      num.find_first_not_of("0123456789") != std::string::npos) {
+    HYDRA_WARN("SWAT: ignoring malformed shard znode path '%s'", path.c_str());
+    return false;
+  }
+  const ShardId id = static_cast<ShardId>(std::stoul(num));
   HYDRA_INFO("SWAT: detected death of shard %u primary, reacting", id);
-  cluster_.promote_secondary(id);
+  if (!cluster_.promote_secondary(id)) return false;
+  ++failovers_;
+  return true;
+}
+
+void SwatTeam::drain_pending() {
+  const auto pending = std::move(pending_);
+  pending_.clear();
+  for (const auto& path : pending) {
+    // A successful promotion re-registers the znode; skip those.
+    if (cluster_.coordinator().exists(path)) continue;
+    handle_primary_death(path);
+  }
 }
 
 SwatTeam::Member::Member(SwatTeam& team, int idx)
@@ -47,6 +69,10 @@ SwatTeam::Member::Member(SwatTeam& team, int idx)
   coord.watch_prefix("/shards/",
                      [this](const std::string& path, cluster::WatchEvent event) {
                        if (alive()) on_shard_event(path, event);
+                     });
+  coord.watch_prefix("/swat/",
+                     [this](const std::string& path, cluster::WatchEvent event) {
+                       if (alive()) on_swat_event(path, event);
                      });
   heartbeat_loop();
 }
@@ -61,10 +87,24 @@ void SwatTeam::Member::on_shard_event(const std::string& path,
                                       cluster::WatchEvent event) {
   if (event != cluster::WatchEvent::kDeleted) return;
   if (path.find("/primary") == std::string::npos) return;
+  // Record first, react second: if the recorded leader is already a corpse
+  // (its znode outlives it until session timeout), the event stays pending
+  // and is re-drained when the dead leader's znode is reaped.
+  team_.pending_.insert(path);
   // Only the current leader reacts; followers observe the same event but
   // defer (split-brain is prevented by the coordinator's single view).
   if (team_.leader() != idx_) return;
-  team_.handle_primary_death(path);
+  team_.drain_pending();
+}
+
+void SwatTeam::Member::on_swat_event(const std::string& path,
+                                     cluster::WatchEvent event) {
+  (void)path;
+  if (event != cluster::WatchEvent::kDeleted) return;
+  // A member died; if leadership just passed to us, act on everything the
+  // old leader left behind.
+  if (team_.leader() != idx_) return;
+  team_.drain_pending();
 }
 
 }  // namespace hydra::db

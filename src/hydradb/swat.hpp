@@ -6,10 +6,18 @@
 // updates the routing metadata, and re-wires replication. SWAT leadership
 // itself is ephemeral: members hold /swat/<idx> znodes and the lowest
 // surviving index acts; killing the leader hands the role to the next one.
+//
+// Leadership gap handling: a crashed leader's /swat/ znode survives until
+// its session times out, so a primary-death event can arrive while the
+// recorded leader is a corpse. Every member therefore records the event in
+// the team's pending set, and the set is re-drained whenever a /swat/ znode
+// dies -- the member that just inherited leadership reacts to deletions the
+// old leader never got to handle.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,12 +37,15 @@ class SwatTeam {
 
   [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
   [[nodiscard]] int leader() const;
+  /// Primary-death events observed but not yet acted on by any leader.
+  [[nodiscard]] std::size_t pending_deaths() const noexcept { return pending_.size(); }
 
  private:
   class Member : public sim::Actor {
    public:
     Member(SwatTeam& team, int idx);
     void on_shard_event(const std::string& path, cluster::WatchEvent event);
+    void on_swat_event(const std::string& path, cluster::WatchEvent event);
     [[nodiscard]] int index() const noexcept { return idx_; }
 
    private:
@@ -44,10 +55,15 @@ class SwatTeam {
     cluster::SessionId session_;
   };
 
-  void handle_primary_death(const std::string& path);
+  /// Acts on one recorded death; returns whether a promotion happened.
+  bool handle_primary_death(const std::string& path);
+  /// Replays every pending death (skipping shards whose primary znode has
+  /// been re-registered by a successful promotion meanwhile).
+  void drain_pending();
 
   HydraCluster& cluster_;
   std::vector<std::unique_ptr<Member>> members_;
+  std::set<std::string> pending_;
   std::uint64_t failovers_ = 0;
 };
 

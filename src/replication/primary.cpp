@@ -5,6 +5,14 @@
 #include "common/logging.hpp"
 
 namespace hydra::replication {
+namespace {
+
+/// In-place retransmit budget per frame. Real RC hardware retries a bounded
+/// number of times before moving the QP to the error state; we mirror that
+/// by quarantining the link when a frame refuses to land.
+constexpr int kMaxWriteAttempts = 8;
+
+}  // namespace
 
 ReplicationPrimary::ReplicationPrimary(sim::Actor& owner, fabric::Fabric& fabric,
                                        NodeId node, PrimaryConfig cfg)
@@ -20,6 +28,7 @@ void ReplicationPrimary::add_secondary(SecondaryShard& secondary) {
   link->qp = primary_qp;
   link->ring_rkey = secondary.ring_mr()->rkey();
   link->cursor = RingCursor{secondary.ring_mr()->length(), 0};
+  link->last_progress = owner_.now();
   link->ack_buf.resize(256);
   link->ack_mr = fabric_.node(node_).register_memory(link->ack_buf);
 
@@ -30,8 +39,34 @@ void ReplicationPrimary::add_secondary(SecondaryShard& secondary) {
   links_.push_back(std::move(link));
 }
 
+void ReplicationPrimary::remove_secondary(SecondaryShard& secondary) {
+  for (auto& link : links_) {
+    if (link->secondary == &secondary) {
+      quarantine(*link);
+      return;
+    }
+  }
+}
+
+std::size_t ReplicationPrimary::secondary_count() const noexcept {
+  std::size_t live = 0;
+  for (const auto& link : links_) {
+    if (!link->dead) ++live;
+  }
+  return live;
+}
+
+std::vector<std::uint32_t> ReplicationPrimary::ack_rkeys() const {
+  std::vector<std::uint32_t> keys;
+  for (const auto& link : links_) {
+    if (link->ack_mr != nullptr) keys.push_back(link->ack_mr->rkey());
+  }
+  return keys;
+}
+
 void ReplicationPrimary::replicate(proto::RepRecord rec, std::function<void()> done) {
-  if (links_.empty() || cfg_.mode == ReplicationMode::kNone) {
+  const std::size_t live = secondary_count();
+  if (live == 0 || cfg_.mode == ReplicationMode::kNone) {
     if (done) done();
     return;
   }
@@ -42,15 +77,16 @@ void ReplicationPrimary::replicate(proto::RepRecord rec, std::function<void()> d
     done = nullptr;
   }
 
-  // Relaxed mode: the callback fires once the RDMA Write to every
+  // Relaxed mode: the callback fires once the RDMA Write to every live
   // secondary's ring has completed (one NIC-level round trip, no
   // secondary CPU on the critical path).
-  auto remaining = std::make_shared<std::size_t>(links_.size());
+  auto remaining = std::make_shared<std::size_t>(live);
   auto on_write = [remaining, done = std::move(done)]() {
     if (--*remaining == 0 && done) done();
   };
 
   for (auto& link : links_) {
+    if (link->dead) continue;
     link->pending.push_back(PendingRecord{rec, 0});
     if (!link->backlog.empty() || !write_record(*link, rec, on_write)) {
       link->backlog.push_back(rec);
@@ -58,6 +94,7 @@ void ReplicationPrimary::replicate(proto::RepRecord rec, std::function<void()> d
       // on_write stays owed; flush_backlog settles it when space frees.
       link->backlog_completions.push_back(on_write);
     }
+    arm_ack_timer(*link);
   }
 }
 
@@ -76,7 +113,7 @@ bool ReplicationPrimary::write_record(Link& link, const proto::RepRecord& rec,
     // Wrap marker tells the consumer to jump to offset 0.
     std::vector<std::byte> marker(kWrapMarkerBytes);
     proto::encode_frame(marker, {}, kFlagWrap);
-    link.qp->post_write(marker, fabric::RemoteAddr{link.ring_rkey, link.cursor.offset});
+    post_frame(link, std::move(marker), link.cursor.offset, 0, {}, 1);
     link.cursor.wrap();
   } else if (link.used_bytes + framed_size > link.cursor.ring_size) {
     link.awaiting_space = true;
@@ -104,16 +141,87 @@ bool ReplicationPrimary::write_record(Link& link, const proto::RepRecord& rec,
 
   std::vector<std::byte> frame(framed_size);
   proto::encode_frame(frame, payload, flags);
-  fabric::CompletionFn completion;
-  if (on_write_complete) {
-    // Even a dead-peer completion settles the caller: a crashed secondary
-    // must not wedge the primary (SWAT reconfigures it out of the group).
-    completion = [g = owner_.guard(std::move(on_write_complete))](
-                     const fabric::Completion&) mutable { g(); };
-  }
-  link.qp->post_write(frame, fabric::RemoteAddr{link.ring_rkey, at}, rec.seq,
-                      std::move(completion));
+  post_frame(link, std::move(frame), at, rec.seq, std::move(on_write_complete), 1);
   return true;
+}
+
+bool ReplicationPrimary::write_control_frame(Link& link, std::uint16_t flags) {
+  const std::uint64_t framed_size = kWrapMarkerBytes;
+  std::uint64_t waste = 0;
+  if (link.cursor.needs_wrap(framed_size)) {
+    waste = link.cursor.wrap_waste();
+    if (link.used_bytes + framed_size + waste > link.cursor.ring_size) return false;
+    std::vector<std::byte> marker(kWrapMarkerBytes);
+    proto::encode_frame(marker, {}, kFlagWrap);
+    post_frame(link, std::move(marker), link.cursor.offset, 0, {}, 1);
+    link.cursor.wrap();
+  } else if (link.used_bytes + framed_size > link.cursor.ring_size) {
+    return false;
+  }
+
+  const std::uint64_t at = link.cursor.place(framed_size);
+  link.used_bytes += framed_size + waste;
+  // Charge the control frame to the oldest pending record so the next
+  // cumulative ack frees its bytes (callers only probe while records are
+  // outstanding).
+  if (!link.pending.empty()) link.pending.front().footprint += framed_size + waste;
+
+  std::vector<std::byte> frame(framed_size);
+  proto::encode_frame(frame, {}, flags);
+  post_frame(link, std::move(frame), at, 0, {}, 1);
+  return true;
+}
+
+void ReplicationPrimary::post_frame(Link& link, std::vector<std::byte> frame,
+                                    std::uint64_t at, std::uint64_t seq,
+                                    std::function<void()> settle, int attempt) {
+  // The completion owns the frame bytes so a torn or dropped delivery can be
+  // retransmitted to the *same* offset: the consumer never advances past an
+  // incomplete frame, so rewriting in place is race-free (RC retransmit).
+  auto span = std::span<const std::byte>(frame);
+  auto handler = owner_.guard(
+      [this, lp = &link, frame = std::move(frame), at, seq, settle = std::move(settle),
+       attempt](const fabric::Completion& wc) mutable {
+        if (wc.status == fabric::WcStatus::kSuccess) {
+          lp->last_progress = owner_.now();
+          if (settle) settle();
+          return;
+        }
+        on_write_error(*lp, std::move(frame), at, seq, std::move(settle), attempt,
+                       wc.status);
+      });
+  link.qp->post_write(span, fabric::RemoteAddr{link.ring_rkey, at}, seq,
+                      [handler = std::move(handler)](const fabric::Completion& wc) mutable {
+                        handler(wc);
+                      });
+}
+
+void ReplicationPrimary::on_write_error(Link& link, std::vector<std::byte> frame,
+                                        std::uint64_t at, std::uint64_t seq,
+                                        std::function<void()> settle, int attempt,
+                                        fabric::WcStatus status) {
+  if (link.dead) {
+    // Already quarantined; the caller was settled by the quarantine sweep --
+    // but this frame's settle travelled with the retry chain, so fire it.
+    if (settle) settle();
+    return;
+  }
+  if (link.secondary == nullptr || !link.secondary->alive()) {
+    if (settle) link.backlog_completions.push_back(std::move(settle));
+    quarantine(link);
+    return;
+  }
+  if (attempt >= kMaxWriteAttempts) {
+    HYDRA_WARN("replication: frame at offset %llu refused to land after %d attempts "
+               "(status %d); quarantining link to %s",
+               static_cast<unsigned long long>(at), attempt, static_cast<int>(status),
+               link.secondary->name().c_str());
+    if (settle) link.backlog_completions.push_back(std::move(settle));
+    quarantine(link);
+    return;
+  }
+  ++write_retries_;
+  post_frame(link, std::move(frame), at, seq, std::move(settle), attempt + 1);
 }
 
 void ReplicationPrimary::flush_backlog(Link& link) {
@@ -129,12 +237,34 @@ void ReplicationPrimary::flush_backlog(Link& link) {
 }
 
 void ReplicationPrimary::on_ack(Link& link) {
-  const auto size = proto::poll_frame(link.ack_buf);
-  if (!size.has_value()) return;  // partial write; hook fires again? (single write => complete)
+  if (link.dead) return;
+  switch (proto::probe_frame(link.ack_buf)) {
+    case proto::FrameState::kEmpty:
+      return;  // hook fired for a write we already consumed
+    case proto::FrameState::kPartial:
+    case proto::FrameState::kMalformed:
+      // Torn ack write: the slot is single-producer and the write that tore
+      // will never finish, so scrub the slot and ask the secondary to
+      // re-acknowledge instead of silently dropping the ack.
+      ++torn_acks_;
+      std::fill(link.ack_buf.begin(), link.ack_buf.end(), std::byte{0});
+      solicit_ack(link);
+      arm_ack_timer(link);
+      return;
+    case proto::FrameState::kReady:
+      break;
+  }
   const auto ack = proto::decode_rep_ack(proto::frame_payload(link.ack_buf));
   proto::clear_frame(link.ack_buf);
-  if (!ack.has_value()) return;
+  if (!ack.has_value()) {
+    // Framing intact but the payload didn't decode: treat like a torn ack.
+    ++torn_acks_;
+    solicit_ack(link);
+    arm_ack_timer(link);
+    return;
+  }
   ++acks_received_;
+  link.last_progress = owner_.now();
 
   link.acked_seq = std::max(link.acked_seq, ack->acked_seq);
   while (!link.pending.empty() && link.pending.front().rec.seq <= link.acked_seq) {
@@ -163,14 +293,79 @@ void ReplicationPrimary::resend_from(Link& link, std::uint64_t first_failed_seq)
 }
 
 void ReplicationPrimary::fire_strict_waiters() {
-  if (links_.empty()) return;
   std::uint64_t min_acked = ~std::uint64_t{0};
-  for (const auto& link : links_) min_acked = std::min(min_acked, link->acked_seq);
-  while (!strict_waiters_.empty() && strict_waiters_.begin()->first <= min_acked) {
+  bool any_live = false;
+  for (const auto& link : links_) {
+    if (link->dead) continue;
+    any_live = true;
+    min_acked = std::min(min_acked, link->acked_seq);
+  }
+  // With no live replica left there is nothing to wait for: fire every
+  // waiter rather than wedging callers behind a corpse's acked_seq (the
+  // write is as durable as a replication factor of zero allows).
+  while (!strict_waiters_.empty() &&
+         (!any_live || strict_waiters_.begin()->first <= min_acked)) {
     auto done = std::move(strict_waiters_.begin()->second);
     strict_waiters_.erase(strict_waiters_.begin());
     if (done) done();
   }
+}
+
+void ReplicationPrimary::quarantine(Link& link) {
+  if (link.dead) return;
+  link.dead = true;
+  ++quarantined_;
+  if (link.ack_mr != nullptr) link.ack_mr->set_write_hook(nullptr);
+  HYDRA_DEBUG("replication: quarantining link to %s (%zu completions owed)",
+              link.secondary != nullptr ? link.secondary->name().c_str() : "?",
+              link.backlog_completions.size());
+
+  // Settle everything owed through this link: the replica is gone and
+  // SWAT-level repair (promotion / respawn) restores the factor; the write
+  // path must never wedge behind a corpse. If the owning shard itself has
+  // crashed (promotion pruning a dead primary's links), the completions die
+  // with it instead -- crash semantics, same as every guarded callback.
+  auto owed = std::move(link.backlog_completions);
+  link.backlog_completions.clear();
+  link.backlog.clear();
+  link.pending.clear();
+  link.used_bytes = 0;
+  if (owner_.alive()) {
+    for (auto& fn : owed) {
+      if (fn) fn();
+    }
+    fire_strict_waiters();
+  }
+}
+
+void ReplicationPrimary::solicit_ack(Link& link) {
+  if (link.dead || link.pending.empty()) return;
+  if (write_control_frame(link, kFlagAckProbe | proto::kFlagAckRequest)) {
+    ++ack_probes_;
+  }
+  // On a full ring the probe is retried by the next ack-timer tick.
+}
+
+void ReplicationPrimary::arm_ack_timer(Link& link) {
+  if (link.ack_timer_armed || cfg_.ack_timeout == 0) return;
+  link.ack_timer_armed = true;
+  Link* raw = &link;
+  owner_.schedule_after(cfg_.ack_timeout, [this, raw] { on_ack_timer(*raw); });
+}
+
+void ReplicationPrimary::on_ack_timer(Link& link) {
+  link.ack_timer_armed = false;
+  if (link.dead || link.pending.empty()) return;  // nothing outstanding
+  if (owner_.now() - link.last_progress >= cfg_.ack_timeout) {
+    if (link.secondary == nullptr || !link.secondary->alive()) {
+      // Dead replica discovered by the deadline probe (it died while we had
+      // no writes in flight to observe the failure on).
+      quarantine(link);
+      return;
+    }
+    solicit_ack(link);
+  }
+  arm_ack_timer(link);
 }
 
 }  // namespace hydra::replication

@@ -13,6 +13,12 @@
 //
 // On an ack reporting a failed record, the primary rolls back to that
 // record and resends it and everything after it.
+//
+// Crash handling: a link whose secondary has died is *quarantined* -- it is
+// marked dead, every completion owed through it is settled, and it stops
+// counting toward strict-ack barriers -- so a replica crash can never wedge
+// the primary's write path. Links are never erased (in-flight completion
+// lambdas hold pointers into them); quarantine is the terminal state.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +44,12 @@ struct PrimaryConfig {
   std::uint32_t ack_interval = 32;
   /// CPU the owning shard burns per secondary per record (WQE build).
   Duration record_post_cost = 220;
+  /// Ack-progress deadline: while records are pending and no ack (or write
+  /// completion) has arrived for this long, the primary writes an ack-probe
+  /// frame to re-solicit the secondary's cumulative ack. This is the
+  /// recovery path for torn/lost acks and the liveness probe for stalled
+  /// replicas; 0 disables it.
+  Duration ack_timeout = 1 * kMillisecond;
 };
 
 class ReplicationPrimary {
@@ -51,23 +63,38 @@ class ReplicationPrimary {
   /// path, and learns the ring geometry.
   void add_secondary(SecondaryShard& secondary);
 
-  /// Replicates one record to every secondary. `done` fires according to
-  /// the configured mode (immediately if there are no secondaries).
+  /// Quarantines the link carrying `secondary`: settles every completion
+  /// owed through it and removes it from strict-ack barriers. Called by
+  /// promotion when a replica dies; idempotent and safe for unknown
+  /// secondaries.
+  void remove_secondary(SecondaryShard& secondary);
+
+  /// Replicates one record to every live secondary. `done` fires according
+  /// to the configured mode (immediately if there are no live secondaries).
   void replicate(proto::RepRecord rec, std::function<void()> done);
 
   /// Assigns the next sequence number (incremented per replicated record).
   [[nodiscard]] std::uint64_t assign_seq() noexcept { return next_seq_++; }
 
-  [[nodiscard]] std::size_t secondary_count() const noexcept { return links_.size(); }
+  /// Live (non-quarantined) replicas -- the current replication factor.
+  [[nodiscard]] std::size_t secondary_count() const noexcept;
   [[nodiscard]] const PrimaryConfig& config() const noexcept { return cfg_; }
   /// CPU cost the shard should charge itself per replicated record.
   [[nodiscard]] Duration post_cost() const noexcept {
-    return cfg_.record_post_cost * links_.size();
+    return cfg_.record_post_cost * secondary_count();
   }
+
+  /// rkeys of the per-link ack landing slots on the primary's node; lets
+  /// the chaos harness aim write faults at ack traffic specifically.
+  [[nodiscard]] std::vector<std::uint32_t> ack_rkeys() const;
 
   [[nodiscard]] std::uint64_t resends() const noexcept { return resends_; }
   [[nodiscard]] std::uint64_t acks_received() const noexcept { return acks_received_; }
   [[nodiscard]] std::uint64_t backlogged() const noexcept { return backlogged_; }
+  [[nodiscard]] std::uint64_t torn_acks() const noexcept { return torn_acks_; }
+  [[nodiscard]] std::uint64_t ack_probes() const noexcept { return ack_probes_; }
+  [[nodiscard]] std::uint64_t quarantined() const noexcept { return quarantined_; }
+  [[nodiscard]] std::uint64_t write_retries() const noexcept { return write_retries_; }
 
  private:
   struct PendingRecord {
@@ -84,6 +111,9 @@ class ReplicationPrimary {
     std::uint64_t acked_seq = 0;
     std::uint32_t since_ack_request = 0;
     bool awaiting_space = false;
+    bool dead = false;  ///< quarantined; terminal
+    bool ack_timer_armed = false;
+    Time last_progress = 0;  ///< last ack or successful write completion
     std::deque<PendingRecord> pending;
     std::deque<proto::RepRecord> backlog;  // ring-full overflow
     std::deque<std::function<void()>> backlog_completions;
@@ -95,10 +125,28 @@ class ReplicationPrimary {
   /// is out of space (caller backlogs).
   bool write_record(Link& link, const proto::RepRecord& rec,
                     std::function<void()> on_write_complete);
+  /// Writes a zero-payload control frame (wrap already handled inside);
+  /// returns false when the ring is out of space.
+  bool write_control_frame(Link& link, std::uint16_t flags);
+  /// Posts `frame` at ring offset `at` with retransmit-in-place semantics:
+  /// a torn or dropped delivery is rewritten to the same offset (the
+  /// consumer never advances past an incomplete frame) and `settle` rides
+  /// the retry chain, firing on the first successful completion.
+  void post_frame(Link& link, std::vector<std::byte> frame, std::uint64_t at,
+                  std::uint64_t seq, std::function<void()> settle, int attempt);
+  void on_write_error(Link& link, std::vector<std::byte> frame, std::uint64_t at,
+                      std::uint64_t seq, std::function<void()> settle, int attempt,
+                      fabric::WcStatus status);
   void flush_backlog(Link& link);
   void on_ack(Link& link);
   void resend_from(Link& link, std::uint64_t first_failed_seq);
   void fire_strict_waiters();
+  /// Terminal: settles everything owed through the link (see class doc).
+  void quarantine(Link& link);
+  /// Writes an ack-probe frame asking the secondary to re-acknowledge.
+  void solicit_ack(Link& link);
+  void arm_ack_timer(Link& link);
+  void on_ack_timer(Link& link);
 
   sim::Actor& owner_;
   fabric::Fabric& fabric_;
@@ -111,6 +159,10 @@ class ReplicationPrimary {
   std::uint64_t resends_ = 0;
   std::uint64_t acks_received_ = 0;
   std::uint64_t backlogged_ = 0;
+  std::uint64_t torn_acks_ = 0;
+  std::uint64_t ack_probes_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t write_retries_ = 0;
 };
 
 }  // namespace hydra::replication

@@ -16,6 +16,12 @@ namespace hydra::replication {
 /// Flag on a 0-payload frame marking "continue at offset 0".
 inline constexpr std::uint16_t kFlagWrap = 1 << 1;
 
+/// Flag on a 0-payload frame asking the secondary to re-send its cumulative
+/// acknowledgement. The primary writes one when an expected ack was torn or
+/// never arrived (secondary stalled, crashed, or the ack write was lost);
+/// it carries no record and does not advance the sequence stream.
+inline constexpr std::uint16_t kFlagAckProbe = 1 << 2;
+
 /// Size of the wrap-marker frame.
 inline constexpr std::uint64_t kWrapMarkerBytes = proto::frame_size(0);
 

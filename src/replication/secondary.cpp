@@ -25,6 +25,15 @@ void SecondaryShard::attach_primary(fabric::QueuePair* qp_to_primary,
   ack_slot_ = ack_slot;
 }
 
+void SecondaryShard::drain_ring() {
+  if (store_ == nullptr) return;
+  while (true) {
+    std::span<std::byte> at{ring_.data() + cursor_.offset, ring_.size() - cursor_.offset};
+    if (!proto::poll_frame(at).has_value()) break;
+    consume_frame(at);
+  }
+}
+
 std::unique_ptr<core::KVStore> SecondaryShard::release_store() {
   // The ring hook must stop mutating the store we are giving away.
   ring_mr_->set_write_hook(nullptr);
@@ -70,6 +79,18 @@ Duration SecondaryShard::consume_frame(std::span<std::byte> frame) {
     proto::clear_frame(frame);
     cursor_.wrap();
     return cfg_.poll_backoff;  // nominal cost to jump
+  }
+
+  if (flags & kFlagAckProbe) {
+    // The primary lost (or never got) our last acknowledgement -- a torn
+    // ack write, or a stalled stream hitting its ack deadline. Re-send the
+    // cumulative state; carries no record, so the sequence stream is
+    // untouched.
+    proto::clear_frame(frame);
+    cursor_.place(framed);
+    const Duration cost = cfg_.poll_backoff + cfg_.ack_post_cost;
+    schedule_after(cost, [this] { send_ack(); });
+    return cost;
   }
 
   Duration cost = cfg_.apply_base;

@@ -53,6 +53,14 @@ class SecondaryShard : public sim::Actor {
   /// stop-acking / discard / rollback-resend protocol).
   void fail_next(int n) { fail_budget_ += n; }
 
+  /// Crash recovery: synchronously replays every complete frame still
+  /// parked in the ring. Promotion calls this before release_store() so
+  /// records the primary acked (write completed) microseconds before dying
+  /// are not lost merely because the poll loop had not reached them yet.
+  /// Stops at the first incomplete frame -- anything beyond a torn write
+  /// was never acknowledged and is the client's retry to re-drive.
+  void drain_ring();
+
   /// Promotion support: hands the replica store to a new primary shard.
   std::unique_ptr<core::KVStore> release_store();
 

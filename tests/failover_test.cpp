@@ -46,7 +46,13 @@ TEST(Failover, SwatPromotesSecondaryAfterPrimaryCrash) {
   EXPECT_EQ(cluster.failovers(), 1u);
   ASSERT_NE(cluster.shard(victim), nullptr);
   EXPECT_TRUE(cluster.shard(victim)->alive());
-  EXPECT_TRUE(cluster.secondaries_of(victim).empty());  // consumed by promotion
+  // Promotion consumes one replica but must respawn a replacement, or every
+  // failover would permanently shrink the replication factor.
+  ASSERT_EQ(cluster.secondaries_of(victim).size(), 1u);
+  EXPECT_TRUE(cluster.secondaries_of(victim)[0]->alive());
+  // And it publishes a monotonic routing epoch.
+  EXPECT_EQ(cluster.routing_epoch(), 1u);
+  EXPECT_EQ(cluster.coordinator().data("/routing/version"), "1");
 }
 
 TEST(Failover, DataSurvivesPrimaryCrash) {
@@ -100,7 +106,7 @@ TEST(Failover, StaleRemotePointersFailSafelyAfterCrash) {
   EXPECT_EQ(*v, "v");
 }
 
-TEST(Failover, SecondFailoverWithoutReplicasLosesAvailabilityGracefully) {
+TEST(Failover, RepeatedFailoversKeepFactorAndData) {
   db::HydraCluster cluster(ha_options());  // 1 replica
   ASSERT_EQ(cluster.put("k", "v"), Status::kOk);
   cluster.run_for(10 * kMillisecond);
@@ -109,11 +115,33 @@ TEST(Failover, SecondFailoverWithoutReplicasLosesAvailabilityGracefully) {
   cluster.run_for(5 * kSecond);
   ASSERT_EQ(cluster.failovers(), 1u);
 
-  // Crash the promoted primary too: no replica remains.
+  // Crash the promoted primary too: the replacement replica spawned by the
+  // first promotion (bootstrap-copied from the survivor) takes over.
   cluster.crash_primary(0);
   cluster.run_for(5 * kSecond);
   EXPECT_EQ(cluster.failovers(), 2u);
-  // The shard is gone; operations on its keys time out instead of hanging.
+  ASSERT_EQ(cluster.secondaries_of(0).size(), 1u);
+  // The routing epoch stays strictly monotonic across promotions.
+  EXPECT_EQ(cluster.routing_epoch(), 2u);
+  EXPECT_EQ(cluster.coordinator().data("/routing/version"), "2");
+  if (cluster.owner_of("k") == 0) {
+    auto v = cluster.get("k");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "v");
+  }
+}
+
+TEST(Failover, FailoverWithAllReplicasDeadLosesAvailabilityGracefully) {
+  db::HydraCluster cluster(ha_options());  // 1 replica
+  ASSERT_EQ(cluster.put("k", "v"), Status::kOk);
+  cluster.run_for(10 * kMillisecond);
+
+  // The replica dies first, then the primary: nothing is promotable.
+  cluster.crash_secondary(0, 0);
+  cluster.crash_primary(0);
+  cluster.run_for(5 * kSecond);
+  EXPECT_EQ(cluster.failovers(), 0u);
+  // The shard is gone; operations on its keys fail instead of hanging.
   if (cluster.owner_of("k") == 0) {
     Status status = Status::kOk;
     EXPECT_FALSE(cluster.get("k", 0, &status).has_value());
