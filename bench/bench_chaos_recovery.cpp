@@ -5,24 +5,38 @@
 // (2s here); promotion plus client re-routing add only a small fraction on
 // top, and neither the replica count nor the failure flavour (hard crash
 // versus a fenced partition) changes the picture materially.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/plane.hpp"
 
 namespace {
 
 struct Row {
   std::string label;
-  double promote_s = 0;      // crash -> failovers() observed
-  double first_write_s = 0;  // crash -> first acked post-failover PUT
+  double promote_s = 0;        // crash -> failovers() observed
+  double first_write_s = 0;    // crash -> first acked post-failover PUT
+  double trace_promote_s = -1; // fault -> kPromotionDone, from trace alone
+  std::string obs_json;        // full hydradb-obs-v1 snapshot (--metrics-out)
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hydra;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+
   bench::ShapeChecker shape;
   std::vector<Row> rows;
 
@@ -51,6 +65,10 @@ int main() {
     opts.enable_swat = true;
     opts.client_template.request_timeout = 100 * kMillisecond;
     opts.client_template.max_retries = 100;
+    // The obs plane is always attached: by the determinism contract
+    // (DESIGN.md §8, obs_test) it cannot perturb the measured history.
+    obs::Plane plane;
+    opts.obs = &plane;
     db::HydraCluster cluster(opts);
 
     for (std::uint64_t i = 0; i < 200; ++i) {
@@ -78,21 +96,62 @@ int main() {
     row.label = cfg.label;
     row.promote_s = static_cast<double>(promoted_at - crash_at) / kSecond;
     row.first_write_s = static_cast<double>(first_write_at - crash_at) / kSecond;
+
+    // Re-derive the promotion latency from trace events alone: the fault
+    // marker (crash or heartbeat suppression) to kPromotionDone, with no
+    // reference to the measurement variables above.
+    const obs::TraceQuery q = plane.query();
+    const auto fault = cfg.partition ? q.first(obs::TraceKind::kHeartbeatSuppressed)
+                                     : q.first(obs::TraceKind::kCrashInjected);
+    const auto done = q.first(obs::TraceKind::kPromotionDone);
+    if (fault && done) {
+      row.trace_promote_s = static_cast<double>(done->at - fault->at) / kSecond;
+    }
+    if (!metrics_out.empty()) {
+      row.obs_json = plane.json(cluster.scheduler().now());
+    }
     rows.push_back(row);
 
     shape.expect(cluster.failovers() == 1,
                  row.label + ": exactly one promotion happened");
     shape.expect(st == Status::kOk, row.label + ": writes resume after failover");
+    shape.expect(row.trace_promote_s >= 0,
+                 row.label + ": promotion latency derivable from trace alone");
+    shape.expect(std::fabs(row.trace_promote_s - row.promote_s) < 0.05,
+                 row.label + ": trace-derived latency matches the measured one");
   }
 
   const double session_s =
       static_cast<double>(db::ClusterOptions{}.coordinator.session_timeout) / kSecond;
   std::printf("Failover recovery latency (virtual seconds; session timeout %.1fs)\n",
               session_s);
-  std::printf("%-24s %12s %14s\n", "scenario", "promotion", "first write");
+  std::printf("%-24s %12s %14s %12s\n", "scenario", "promotion", "first write",
+              "from-trace");
   for (const Row& r : rows) {
-    std::printf("%-24s %11.3fs %13.3fs\n", r.label.c_str(), r.promote_s,
-                r.first_write_s);
+    std::printf("%-24s %11.3fs %13.3fs %11.3fs\n", r.label.c_str(), r.promote_s,
+                r.first_write_s, r.trace_promote_s);
+  }
+
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_chaos_recovery: cannot write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"chaos_recovery\",\n  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"promotion_s\": %.3f, "
+                   "\"first_write_s\": %.3f, \"trace_promotion_s\": %.3f,\n"
+                   "     \"obs\": %s}%s\n",
+                   r.label.c_str(), r.promote_s, r.first_write_s, r.trace_promote_s,
+                   r.obs_json.c_str(), i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_out.c_str());
   }
 
   for (const Row& r : rows) {

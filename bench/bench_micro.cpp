@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/hash.hpp"
 #include "common/keygen.hpp"
 #include "core/arena.hpp"
@@ -22,6 +23,7 @@
 #include "core/lockfree_cache.hpp"
 #include "core/store.hpp"
 #include "hydradb/hydra_cluster.hpp"
+#include "obs/metrics.hpp"
 #include "proto/frame.hpp"
 #include "proto/messages.hpp"
 #include "ycsb/runner.hpp"
@@ -146,9 +148,7 @@ struct WindowResult {
   std::uint32_t window = 0;
   std::uint64_t operations = 0;
   double ops_per_sec = 0.0;
-  double mean_get_ns = 0.0;
-  Duration p50_get = 0;
-  Duration p99_get = 0;
+  obs::LatencySummary get;  // shared percentile math (obs::summarize)
   std::uint32_t max_in_flight = 0;
   std::uint64_t batched_responses = 0;
 };
@@ -187,9 +187,7 @@ WindowResult run_window_config(std::uint32_t window) {
   }
   w.operations = r.operations;
   w.ops_per_sec = r.throughput_mops * 1e6;
-  w.mean_get_ns = gets.mean();
-  w.p50_get = gets.percentile(50);
-  w.p99_get = gets.percentile(99);
+  w.get = obs::summarize(gets);
   w.batched_responses = cluster.shard(0)->stats().batched_responses;
   return w;
 }
@@ -205,11 +203,10 @@ void write_json(const std::string& path, const std::vector<WindowResult>& result
     const auto& w = results[i];
     std::fprintf(f,
                  "    {\"window\": %u, \"operations\": %llu, \"ops_per_sec\": %.1f, "
-                 "\"mean_get_ns\": %.1f, \"p50_get_ns\": %llu, \"p99_get_ns\": %llu, "
+                 "\"get_latency\": %s, "
                  "\"max_in_flight\": %u, \"batched_responses\": %llu}%s\n",
                  w.window, static_cast<unsigned long long>(w.operations), w.ops_per_sec,
-                 w.mean_get_ns, static_cast<unsigned long long>(w.p50_get),
-                 static_cast<unsigned long long>(w.p99_get), w.max_in_flight,
+                 hydra::bench::latency_json(w.get).c_str(), w.max_in_flight,
                  static_cast<unsigned long long>(w.batched_responses),
                  i + 1 < results.size() ? "," : "");
   }
@@ -277,8 +274,8 @@ int main(int argc, char** argv) {
     results.push_back(run_window_config(w));
     const auto& r = results.back();
     std::printf("%-8u %12.0f %12.1f %10llu %10llu %8u %10llu\n", r.window, r.ops_per_sec,
-                r.mean_get_ns, static_cast<unsigned long long>(r.p50_get),
-                static_cast<unsigned long long>(r.p99_get), r.max_in_flight,
+                r.get.mean_ns, static_cast<unsigned long long>(r.get.p50_ns),
+                static_cast<unsigned long long>(r.get.p99_ns), r.max_in_flight,
                 static_cast<unsigned long long>(r.batched_responses));
   }
   if (results.size() > 1) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hydradb/hydra_cluster.hpp"
+#include "obs/metrics.hpp"
 #include "ycsb/runner.hpp"
 
 namespace hydra::bench {
@@ -69,6 +70,25 @@ inline ycsb::WorkloadSpec scaled_spec(double get_fraction, Distribution dist,
 inline const char* fmt_mops(double mops) {
   static thread_local char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", mops);
+  return buf;
+}
+
+/// The one latency-summary JSON object every bench emits. Percentiles come
+/// from obs::summarize, so benches share the registry's percentile math
+/// instead of each re-deriving it from raw histograms.
+inline std::string latency_json(const obs::LatencySummary& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean_ns\": %.1f, \"min_ns\": %llu, "
+                "\"max_ns\": %llu, \"p50_ns\": %llu, \"p90_ns\": %llu, "
+                "\"p99_ns\": %llu, \"p999_ns\": %llu}",
+                static_cast<unsigned long long>(s.count), s.mean_ns,
+                static_cast<unsigned long long>(s.min_ns),
+                static_cast<unsigned long long>(s.max_ns),
+                static_cast<unsigned long long>(s.p50_ns),
+                static_cast<unsigned long long>(s.p90_ns),
+                static_cast<unsigned long long>(s.p99_ns),
+                static_cast<unsigned long long>(s.p999_ns));
   return buf;
 }
 

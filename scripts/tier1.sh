@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 verification (ROADMAP.md): configure, build and run the full test
 # suite. Pass --asan to run the same suite under ASan+UBSan (the `asan`
-# CMake preset, building into build-asan/).
+# CMake preset, building into build-asan/), or --tsan for ThreadSanitizer
+# (the `tsan` preset, build-tsan/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
-if [[ "${1:-}" == "--asan" ]]; then
-  preset=asan
-  shift
-  # The chaos sweep runs its full 140 random schedules in the default
-  # preset; under ASan each run is ~10x slower, so scale the randomized
-  # portion down (the 70 scripted runs always execute in full).
-  export HYDRA_CHAOS_RANDOM_RUNS="${HYDRA_CHAOS_RANDOM_RUNS:-40}"
-fi
+case "${1:-}" in
+  --asan|--tsan)
+    preset="${1#--}"
+    shift
+    # The chaos sweep runs its full 140 random schedules in the default
+    # preset; under a sanitizer each run is ~10x slower, so scale the
+    # randomized portion down (the 70 scripted runs always execute in full).
+    export HYDRA_CHAOS_RANDOM_RUNS="${HYDRA_CHAOS_RANDOM_RUNS:-40}"
+    ;;
+esac
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"

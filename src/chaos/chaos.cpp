@@ -233,7 +233,8 @@ ChaosSchedule ChaosSchedule::random(std::uint64_t seed) {
   return s;
 }
 
-RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed) {
+RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed,
+                           obs::Plane* plane) {
   // Normalized local copy: fault op indices are clamped into the workload so
   // every fault is guaranteed to fire.
   ChaosSchedule plan = schedule;
@@ -261,6 +262,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed) {
   // Patient enough to ride through a failover, quick enough to retry often.
   opts.client_template.request_timeout = 100 * kMillisecond;
   opts.client_template.max_retries = 100;
+  opts.obs = plane;
 
   db::HydraCluster cluster(opts);
   sim::Scheduler& sched = cluster.scheduler();
@@ -323,6 +325,11 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed) {
     appendf(hist, "t=%llu fault %s shard=%u idx=%d\n",
             static_cast<unsigned long long>(sched.now()), to_string(f.kind),
             static_cast<unsigned>(f.shard), f.index);
+    if (plane != nullptr) {
+      plane->trace(sched.now(), kInvalidNode, obs::TraceKind::kFaultInjected, f.shard,
+                   static_cast<std::uint64_t>(f.kind),
+                   static_cast<std::uint64_t>(static_cast<unsigned>(f.index)));
+    }
     switch (f.kind) {
       case FaultKind::kKillPrimary: {
         auto* sh = cluster.shard(f.shard);

@@ -24,6 +24,10 @@
 #include "common/types.hpp"
 #include "replication/primary.hpp"
 
+namespace hydra::obs {
+class Plane;
+}  // namespace hydra::obs
+
 namespace hydra::chaos {
 
 enum class FaultKind : std::uint8_t {
@@ -100,8 +104,11 @@ struct RunReport {
 class ChaosRunner {
  public:
   /// Runs `schedule` against a fresh cluster; `seed` drives both the value
-  /// payloads and any randomized schedule parameters.
-  static RunReport run(const ChaosSchedule& schedule, std::uint64_t seed);
+  /// payloads and any randomized schedule parameters. `plane` (optional)
+  /// attaches an observability plane to the cluster; the report's history is
+  /// byte-identical with or without it (the golden-determinism contract).
+  static RunReport run(const ChaosSchedule& schedule, std::uint64_t seed,
+                       obs::Plane* plane = nullptr);
 };
 
 }  // namespace hydra::chaos

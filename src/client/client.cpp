@@ -6,6 +6,7 @@
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "core/item.hpp"
+#include "obs/plane.hpp"
 
 namespace hydra::client {
 
@@ -388,6 +389,10 @@ void Client::on_timeout(ShardId shard) {
   auto it = conns_.find(shard);
   if (it == conns_.end() || it->second->in_flight == 0) return;
   ++stats_.timeouts;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kClientTimeout, shard,
+                         it->second->in_flight);
+  }
 
   // Salvage every in-flight slot and everything queued on this connection,
   // tear it down, and re-resolve: after a failover the shard's primary

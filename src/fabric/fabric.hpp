@@ -13,6 +13,10 @@
 #include "fabric/tcp.hpp"
 #include "sim/scheduler.hpp"
 
+namespace hydra::obs {
+class Plane;
+}  // namespace hydra::obs
+
 namespace hydra::fabric {
 
 /// Per-node NIC state: independent tx/rx serialization and QP census.
@@ -119,6 +123,11 @@ class Fabric {
 
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
 
+  /// Attaches (or detaches, with nullptr) an observability plane. The plane
+  /// is a passive sink -- fabric behaviour is identical with or without it.
+  void set_obs(obs::Plane* plane) noexcept { obs_ = plane; }
+  [[nodiscard]] obs::Plane* obs() const noexcept { return obs_; }
+
  private:
   friend class QueuePair;
   friend class TcpConn;
@@ -127,6 +136,7 @@ class Fabric {
   CostModel cost_;
   FabricStats stats_;
   WriteFaultHook write_fault_;
+  obs::Plane* obs_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
   std::vector<std::unique_ptr<TcpConn>> tcp_conns_;

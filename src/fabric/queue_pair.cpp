@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fabric/fabric.hpp"
+#include "obs/plane.hpp"
 
 namespace hydra::fabric {
 namespace {
@@ -26,6 +27,12 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
   // Snapshot the source: as-if the NIC DMA-read the buffer at post time.
   std::vector<std::byte> data(src.begin(), src.end());
   const auto size = static_cast<std::uint32_t>(data.size());
+
+  if (f.obs_) {
+    f.obs_->trace(sched.now(), local_,
+                  batched ? obs::TraceKind::kDoorbellBatched : obs::TraceKind::kWritePosted,
+                  obs::kNoShard, size, dst.rkey);
+  }
 
   // Initiator NIC send engine: WQE processing plus wire serialization.
   Nic& tx = f.node(local_).nic();
@@ -55,6 +62,9 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
     Node& rem = f.node(remote_);
     if (!rem.alive()) {
       ++f.stats_.dead_peer_errors;
+      if (f.obs_) {
+        f.obs_->trace(sched.now(), local_, obs::TraceKind::kWriteDeadPeer, obs::kNoShard, size);
+      }
       if (on_done) {
         sched.after(cost.peer_timeout, [on_done = std::move(on_done), wr_id, size] {
           on_done(Completion{WcOp::kWrite, WcStatus::kRemoteDead, wr_id, size});
@@ -86,6 +96,10 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
       } else {
         ++f.stats_.dropped_writes;
       }
+      if (f.obs_) {
+        f.obs_->trace(sched.now(), remote_, obs::TraceKind::kWriteFaulted, obs::kNoShard,
+                      committed, dst.rkey);
+      }
       if (committed > 0) {
         std::memcpy(mr->base() + dst.offset, data.data(), committed);
         if (mr->write_hook()) mr->write_hook()(dst.offset, committed);
@@ -98,6 +112,10 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
       return;
     }
     std::memcpy(mr->base() + dst.offset, data.data(), size);
+    if (f.obs_) {
+      f.obs_->trace(sched.now(), remote_, obs::TraceKind::kWriteCommitted, obs::kNoShard, size,
+                    dst.rkey);
+    }
     if (mr->write_hook()) mr->write_hook()(dst.offset, size);
     if (on_done) {
       sched.after(cost.rdma_propagation, [on_done = std::move(on_done), wr_id, size] {
@@ -116,6 +134,11 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
 
   const auto size = static_cast<std::uint32_t>(dst.size());
   constexpr std::uint32_t kReadRequestBytes = 16;
+
+  if (f.obs_) {
+    f.obs_->trace(sched.now(), local_, obs::TraceKind::kReadPosted, obs::kNoShard, size,
+                  src.rkey);
+  }
 
   // Request WQE leaves through the initiator's send engine.
   Nic& tx = f.node(local_).nic();
@@ -168,8 +191,12 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
 
   const Time completion_time =
       done;  // success path; errors surface after the retransmit timeout
-  sched.at(completion_time, [&sched, &f, dst, wr_id, size, snapshot, failure,
+  sched.at(completion_time, [this, &sched, &f, dst, wr_id, size, snapshot, failure,
                              on_done = std::move(on_done)]() mutable {
+    if (f.obs_) {
+      f.obs_->trace(sched.now(), local_, obs::TraceKind::kReadCompleted, obs::kNoShard, size,
+                    static_cast<std::uint64_t>(*failure != WcStatus::kSuccess));
+    }
     if (*failure != WcStatus::kSuccess) {
       if (on_done) {
         sched.after(f.cost_.peer_timeout,
@@ -193,6 +220,10 @@ void QueuePair::post_send(std::span<const std::byte> msg,
 
   std::vector<std::byte> data(msg.begin(), msg.end());
   const auto size = static_cast<std::uint32_t>(data.size());
+
+  if (f.obs_) {
+    f.obs_->trace(sched.now(), local_, obs::TraceKind::kSendPosted, obs::kNoShard, size);
+  }
 
   Nic& tx = f.node(local_).nic();
   const double pen_tx = cm.qp_penalty(tx.qp_count);
@@ -247,6 +278,10 @@ void QueuePair::deliver_send(std::vector<std::byte> data, Time commit_time) {
   recv_queue_.pop_front();
   const auto len = static_cast<std::uint32_t>(std::min(data.size(), rb.buf.size()));
   std::memcpy(rb.buf.data(), data.data(), len);
+  if (fabric_->obs_) {
+    fabric_->obs_->trace(fabric_->sched_.now(), local_, obs::TraceKind::kSendDelivered,
+                         obs::kNoShard, len);
+  }
   if (recv_handler_) {
     recv_handler_(Completion{WcOp::kRecv, WcStatus::kSuccess, rb.wr_id, len},
                   rb.buf.subspan(0, len));

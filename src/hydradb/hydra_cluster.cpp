@@ -14,6 +14,10 @@ constexpr std::uint64_t kSyncStepLimit = 50'000'000;  // safety net for sync hel
 
 HydraCluster::HydraCluster(ClusterOptions opts)
     : opts_(std::move(opts)), fabric_(sched_, opts_.cost) {
+  fabric_.set_obs(opts_.obs);
+  if (opts_.obs != nullptr) {
+    opts_.obs->add_exporter(this, [this] { export_metrics(); });
+  }
   // --- machines -------------------------------------------------------------
   for (int n = 0; n < opts_.server_nodes; ++n) {
     server_node_ids_.push_back(fabric_.add_node("server-" + std::to_string(n)).id());
@@ -88,9 +92,82 @@ HydraCluster::HydraCluster(ClusterOptions opts)
 }
 
 HydraCluster::~HydraCluster() {
+  // Freeze the final stats into the registry, then unregister: the plane
+  // outlives the cluster and must not call into a corpse.
+  if (opts_.obs != nullptr) {
+    opts_.obs->collect();
+    opts_.obs->remove_exporters(this);
+  }
   // Drain nothing: pending events hold references into members that are
   // about to die, but they are only destroyed, never executed, once the
   // scheduler goes away with us.
+}
+
+void HydraCluster::export_metrics() {
+  obs::Registry& reg = opts_.obs->metrics();
+  const fabric::FabricStats& fs = fabric_.stats();
+  reg.counter("fabric.rdma_writes").set(fs.rdma_writes);
+  reg.counter("fabric.rdma_reads").set(fs.rdma_reads);
+  reg.counter("fabric.sends").set(fs.sends);
+  reg.counter("fabric.tcp_messages").set(fs.tcp_messages);
+  reg.counter("fabric.protection_errors").set(fs.protection_errors);
+  reg.counter("fabric.dead_peer_errors").set(fs.dead_peer_errors);
+  reg.counter("fabric.torn_writes").set(fs.torn_writes);
+  reg.counter("fabric.dropped_writes").set(fs.dropped_writes);
+  for (std::size_t n = 0; n < fabric_.node_count(); ++n) {
+    const fabric::Nic& nic = fabric_.node(static_cast<NodeId>(n)).nic();
+    const std::string p = "node." + std::to_string(n) + ".";
+    reg.counter(p + "tx_ops").set(nic.tx_ops);
+    reg.counter(p + "rx_ops").set(nic.rx_ops);
+    reg.counter(p + "tx_bytes").set(nic.tx_bytes);
+    reg.counter(p + "rx_bytes").set(nic.rx_bytes);
+  }
+  for (std::size_t s = 0; s < primaries_.size(); ++s) {
+    const std::string p = "shard." + std::to_string(s) + ".";
+    const server::ShardStats* st = nullptr;
+    if (primaries_[s].primary != nullptr) {
+      st = &primaries_[s].primary->stats();
+    } else if (primaries_[s].pipelined != nullptr) {
+      st = &primaries_[s].pipelined->stats();
+    }
+    if (st == nullptr) continue;
+    reg.counter(p + "gets").set(st->gets);
+    reg.counter(p + "puts").set(st->puts);
+    reg.counter(p + "removes").set(st->removes);
+    reg.counter(p + "responses").set(st->responses);
+    reg.counter(p + "batched_responses").set(st->batched_responses);
+    reg.counter(p + "malformed").set(st->malformed);
+    reg.counter(p + "busy_time_ns").set(st->busy_time);
+    reg.gauge(p + "generation").set(primaries_[s].generation);
+    if (primaries_[s].primary != nullptr &&
+        primaries_[s].primary->replicator() != nullptr) {
+      const replication::ReplicationPrimary& rep = *primaries_[s].primary->replicator();
+      reg.counter(p + "rep.write_retries").set(rep.write_retries());
+      reg.counter(p + "rep.torn_acks").set(rep.torn_acks());
+      reg.counter(p + "rep.ack_probes").set(rep.ack_probes());
+      reg.counter(p + "rep.resends").set(rep.resends());
+      reg.counter(p + "rep.acks_received").set(rep.acks_received());
+      reg.counter(p + "rep.quarantined").set(rep.quarantined());
+      reg.gauge(p + "rep.secondaries").set(
+          static_cast<std::int64_t>(rep.secondary_count()));
+    }
+  }
+  for (std::size_t c = 0; c < client_ptrs_.size(); ++c) {
+    const client::ClientStats& cs = client_ptrs_[c]->stats();
+    const std::string p = "client." + std::to_string(c) + ".";
+    reg.counter(p + "gets").set(cs.gets);
+    reg.counter(p + "puts").set(cs.puts);
+    reg.counter(p + "removes").set(cs.removes);
+    reg.counter(p + "ptr_hits").set(cs.ptr_hits);
+    reg.counter(p + "ptr_misses").set(cs.ptr_misses);
+    reg.counter(p + "timeouts").set(cs.timeouts);
+    reg.counter(p + "retries").set(cs.retries);
+    reg.counter(p + "failures").set(cs.failures);
+    reg.histogram(p + "get_latency") = cs.get_latency;
+    reg.histogram(p + "put_latency") = cs.put_latency;
+  }
+  reg.gauge("cluster.routing_epoch").set(static_cast<std::int64_t>(routing_epoch_));
+  reg.counter("cluster.failovers").set(failovers());
 }
 
 void HydraCluster::spawn_primary(ShardId id, NodeId node,
@@ -137,6 +214,9 @@ void HydraCluster::start_heartbeat(ShardId id) {
       // a replica. A primary that kept serving here would split-brain with
       // it -- a real ZK client gets SESSION_EXPIRED and must halt.
       HYDRA_WARN("shard %u: coordinator session expired; self-fencing", id);
+      if (opts_.obs != nullptr) {
+        opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kFenced, id, 1);
+      }
       shard->kill();
       return;
     }
@@ -280,6 +360,9 @@ void HydraCluster::crash_primary(ShardId id) {
   ShardSlot& slot = primaries_[id];
   if (slot.primary == nullptr) return;
   HYDRA_INFO("crash injection: killing primary of shard %u", id);
+  if (opts_.obs != nullptr) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kCrashInjected, id, 0, 0);
+  }
   slot.primary->kill();  // heartbeats stop; session expires; SWAT reacts
 }
 
@@ -290,10 +373,18 @@ void HydraCluster::crash_secondary(ShardId id, int idx) {
   replication::SecondaryShard* sec = slot.secondaries[static_cast<std::size_t>(idx)].get();
   if (!sec->alive()) return;
   HYDRA_INFO("crash injection: killing secondary %d of shard %u", idx, id);
+  if (opts_.obs != nullptr) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kCrashInjected, id, 1,
+                     static_cast<std::uint64_t>(idx));
+  }
   sec->kill();
 }
 
 void HydraCluster::kill_swat_member(int idx) {
+  if (opts_.obs != nullptr && swat_) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kCrashInjected, obs::kNoShard,
+                     2, static_cast<std::uint64_t>(idx));
+  }
   if (swat_) swat_->kill_member(idx);
 }
 
@@ -301,6 +392,9 @@ void HydraCluster::suppress_heartbeats(ShardId id, Duration d) {
   if (id >= primaries_.size()) return;
   HYDRA_INFO("chaos: muting heartbeats of shard %u for %llu ns", id,
              static_cast<unsigned long long>(d));
+  if (opts_.obs != nullptr) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kHeartbeatSuppressed, id, d);
+  }
   primaries_[id].heartbeat_muted_until = sched_.now() + d;
 }
 
@@ -311,12 +405,16 @@ std::uint64_t HydraCluster::failovers() const noexcept {
 bool HydraCluster::promote_secondary(ShardId id) {
   if (id >= primaries_.size()) return false;
   ShardSlot& slot = primaries_[id];
-  if (slot.primary != nullptr && slot.primary->alive()) {
-    if (coordinator_->session_alive(slot.session)) {
-      // Duplicate or stale death event (e.g. the watch for a znode the new
-      // primary re-registered moments later); nothing to do.
-      return false;
-    }
+  const bool primary_running = slot.primary != nullptr && slot.primary->alive();
+  if (primary_running && coordinator_->session_alive(slot.session)) {
+    // Duplicate or stale death event (e.g. the watch for a znode the new
+    // primary re-registered moments later); nothing to do.
+    return false;
+  }
+  if (opts_.obs != nullptr) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kPromotionStart, id);
+  }
+  if (primary_running) {
     // The process is still running but its session expired -- its heartbeats
     // were suppressed (partition, GC pause). The self-fencing check only
     // runs at heartbeat-tick granularity, so SWAT may react to the reaped
@@ -325,6 +423,9 @@ bool HydraCluster::promote_secondary(ShardId id) {
     // death event has already been consumed from the pending set). Fence it
     // here, then proceed with the promotion.
     HYDRA_WARN("shard %u: fencing still-running primary with expired session", id);
+    if (opts_.obs != nullptr) {
+      opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kFenced, id, 2);
+    }
     slot.primary->kill();
   }
   slot.heartbeat_muted_until = 0;  // suppression targeted the old process
@@ -374,6 +475,12 @@ bool HydraCluster::promote_secondary(ShardId id) {
   // Publish new routing metadata; clients re-resolve lazily via timeouts.
   ++routing_epoch_;
   coordinator_->set_data("/routing/version", std::to_string(routing_epoch_));
+  if (opts_.obs != nullptr) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kEpochPublished, id,
+                     routing_epoch_);
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kPromotionDone, id,
+                     new_node);
+  }
   return true;
 }
 
@@ -405,6 +512,10 @@ void HydraCluster::spawn_secondary(ShardId id) {
   src.for_each([&](std::string_view key, std::string_view value, std::uint64_t) {
     dst.put(key, value, now);
   });
+  if (opts_.obs != nullptr) {
+    opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kSecondaryRespawned, id,
+                     sec_node);
+  }
   slot.secondaries.push_back(std::move(secondary));
 }
 

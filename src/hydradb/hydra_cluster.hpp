@@ -18,6 +18,7 @@
 #include "cluster/coordinator.hpp"
 #include "cluster/ring.hpp"
 #include "fabric/fabric.hpp"
+#include "obs/plane.hpp"
 #include "replication/primary.hpp"
 #include "replication/secondary.hpp"
 #include "server/pipelined_shard.hpp"
@@ -60,6 +61,11 @@ struct ClusterOptions {
   client::ClientConfig client_template;
   fabric::CostModel cost;
   cluster::Coordinator::Config coordinator;
+
+  /// Observability plane (caller-owned, must outlive the cluster). Null
+  /// disables all instrumentation; enabling it must not change the
+  /// simulation's virtual-time history (DESIGN.md §8).
+  obs::Plane* obs = nullptr;
 };
 
 class SwatTeam;
@@ -75,6 +81,7 @@ class HydraCluster {
   // --- access --------------------------------------------------------------
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
   [[nodiscard]] fabric::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] obs::Plane* obs() const noexcept { return opts_.obs; }
   [[nodiscard]] cluster::Coordinator& coordinator() noexcept { return *coordinator_; }
   [[nodiscard]] const ClusterOptions& options() const noexcept { return opts_; }
 
@@ -143,6 +150,8 @@ class HydraCluster {
   };
 
   void spawn_primary(ShardId id, NodeId node, std::unique_ptr<core::KVStore> store);
+  /// Mirrors live actor stats into the obs registry (exporter body).
+  void export_metrics();
   /// Spawns one replacement secondary for `id`, attaches it to the current
   /// primary's log stream and bootstrap-copies the primary's store into it.
   void spawn_secondary(ShardId id);

@@ -44,6 +44,10 @@ bool SwatTeam::handle_primary_death(const std::string& path) {
   }
   const ShardId id = static_cast<ShardId>(std::stoul(num));
   HYDRA_INFO("SWAT: detected death of shard %u primary, reacting", id);
+  if (cluster_.obs() != nullptr) {
+    cluster_.obs()->trace(cluster_.scheduler().now(), kInvalidNode,
+                          obs::TraceKind::kPrimaryDeathObserved, id);
+  }
   if (!cluster_.promote_secondary(id)) return false;
   ++failovers_;
   return true;

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hydra::obs {
+namespace {
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+void pad(std::string& out, int indent) { out.append(static_cast<std::size_t>(indent), ' '); }
+
+}  // namespace
+
+LatencySummary summarize(const LatencyHistogram& h) noexcept {
+  LatencySummary s;
+  s.count = h.count();
+  s.mean_ns = h.mean();
+  s.min_ns = h.min();
+  s.max_ns = h.max();
+  s.p50_ns = h.percentile(50);
+  s.p90_ns = h.percentile(90);
+  s.p99_ns = h.percentile(99);
+  s.p999_ns = h.percentile(99.9);
+  return s;
+}
+
+void Registry::write_json(std::string& out, int indent) const {
+  pad(out, indent);
+  out += "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    appendf(out, "%s\n", first ? "" : ",");
+    pad(out, indent + 2);
+    appendf(out, "\"%s\": %llu", name.c_str(),
+            static_cast<unsigned long long>(c.value()));
+    first = false;
+  }
+  if (!first) {
+    out += "\n";
+    pad(out, indent);
+  }
+  out += "},\n";
+
+  pad(out, indent);
+  out += "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    appendf(out, "%s\n", first ? "" : ",");
+    pad(out, indent + 2);
+    appendf(out, "\"%s\": %lld", name.c_str(), static_cast<long long>(g.value()));
+    first = false;
+  }
+  if (!first) {
+    out += "\n";
+    pad(out, indent);
+  }
+  out += "},\n";
+
+  pad(out, indent);
+  out += "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const LatencySummary s = summarize(h);
+    appendf(out, "%s\n", first ? "" : ",");
+    pad(out, indent + 2);
+    appendf(out,
+            "\"%s\": {\"count\": %llu, \"mean_ns\": %.3f, \"min_ns\": %llu, "
+            "\"max_ns\": %llu, \"p50_ns\": %llu, \"p90_ns\": %llu, "
+            "\"p99_ns\": %llu, \"p999_ns\": %llu}",
+            name.c_str(), static_cast<unsigned long long>(s.count), s.mean_ns,
+            static_cast<unsigned long long>(s.min_ns),
+            static_cast<unsigned long long>(s.max_ns),
+            static_cast<unsigned long long>(s.p50_ns),
+            static_cast<unsigned long long>(s.p90_ns),
+            static_cast<unsigned long long>(s.p99_ns),
+            static_cast<unsigned long long>(s.p999_ns));
+    first = false;
+  }
+  if (!first) {
+    out += "\n";
+    pad(out, indent);
+  }
+  out += "}";
+}
+
+}  // namespace hydra::obs

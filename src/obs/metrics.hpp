@@ -1,0 +1,92 @@
+// Metrics registry: typed counters, gauges and virtual-time latency
+// histograms under hierarchical dotted names ("shard.0.gets",
+// "client.3.get_latency").
+//
+// The registry is a passive data sink: recording never touches the
+// scheduler, never reads a clock, and never branches on simulation state,
+// so a run with metrics attached executes the exact same virtual-time
+// history as a run without (the determinism contract of DESIGN.md §8).
+// Snapshots are deterministic too -- maps iterate in name order and doubles
+// are formatted with fixed precision -- so two runs of the same seed
+// produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+
+namespace hydra::obs {
+
+/// Monotonic event count. `set` exists for exporter-style metrics that
+/// mirror an existing stats struct at snapshot time.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { v_ += n; }
+  void set(std::uint64_t v) noexcept { v_ = v; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Point-in-time signed value (queue depth, replication factor, epoch).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_ = v; }
+  void add(std::int64_t d) noexcept { v_ += d; }
+  [[nodiscard]] std::int64_t value() const noexcept { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Deterministic percentile summary of a LatencyHistogram -- the one
+/// interpolation every bench and test shares (log-bucket upper bound
+/// clamped to the observed max, exactly LatencyHistogram::percentile).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+  Duration min_ns = 0;
+  Duration max_ns = 0;
+  Duration p50_ns = 0;
+  Duration p90_ns = 0;
+  Duration p99_ns = 0;
+  Duration p999_ns = 0;
+};
+
+[[nodiscard]] LatencySummary summarize(const LatencyHistogram& h) noexcept;
+
+/// Name-keyed metric store. References returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (std::map nodes are
+/// stable), so actors may resolve their handles once at wiring time and
+/// record through them with zero lookup cost afterwards.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, LatencyHistogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// Appends the registry as three JSON objects ("counters", "gauges",
+  /// "histograms") to `out`; `indent` spaces prefix each line.
+  void write_json(std::string& out, int indent) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace hydra::obs

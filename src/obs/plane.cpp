@@ -1,0 +1,93 @@
+#include "obs/plane.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hydra::obs {
+
+void Plane::trace(Time at, NodeId node, TraceKind kind, std::uint64_t shard, std::uint64_t a,
+                  std::uint64_t b) {
+  TraceRecord r;
+  r.at = at;
+  r.seq = next_seq_++;
+  r.kind = kind;
+  r.node = node;
+  r.shard = shard;
+  r.a = a;
+  r.b = b;
+  if (node == kInvalidNode) {
+    cluster_ring_.push(r);
+    return;
+  }
+  if (node >= node_rings_.size()) {
+    node_rings_.reserve(node + 1);
+    while (node_rings_.size() <= node) node_rings_.emplace_back(ring_capacity_);
+  }
+  node_rings_[node].push(r);
+}
+
+TraceQuery Plane::query() const {
+  std::vector<TraceRecord> all = cluster_ring_.records();
+  for (const auto& ring : node_rings_) {
+    auto recs = ring.records();
+    all.insert(all.end(), recs.begin(), recs.end());
+  }
+  return TraceQuery(std::move(all));
+}
+
+void Plane::remove_exporters(const void* owner) {
+  exporters_.erase(std::remove_if(exporters_.begin(), exporters_.end(),
+                                  [owner](const auto& e) { return e.first == owner; }),
+                   exporters_.end());
+}
+
+void Plane::collect() {
+  for (auto& [owner, fn] : exporters_) fn();
+}
+
+std::string Plane::json(Time now) {
+  collect();
+  std::string out;
+  out.reserve(16384);
+  char buf[256];
+  out += "{\n";
+  out += "  \"schema\": \"hydradb-obs-v1\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"virtual_time_ns\": %llu,\n",
+                static_cast<unsigned long long>(now));
+  out += buf;
+  metrics_.write_json(out, 2);
+  out += ",\n  \"trace\": [";
+  bool first = true;
+  const TraceQuery q = query();
+  for (const auto& r : q.all()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"seq\": %llu, \"at_ns\": %llu, \"event\": \"%s\", \"node\": %lld",
+                  static_cast<unsigned long long>(r.seq), static_cast<unsigned long long>(r.at),
+                  to_string(r.kind),
+                  r.node == kInvalidNode ? -1LL : static_cast<long long>(r.node));
+    out += buf;
+    if (r.shard != kNoShard) {
+      std::snprintf(buf, sizeof(buf), ", \"shard\": %llu",
+                    static_cast<unsigned long long>(r.shard));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ", \"a\": %llu, \"b\": %llu}",
+                  static_cast<unsigned long long>(r.a), static_cast<unsigned long long>(r.b));
+    out += buf;
+  }
+  if (!first) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+bool Plane::dump(const std::string& path, Time now) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = json(now);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace hydra::obs

@@ -1,0 +1,79 @@
+// Observability plane: one Registry plus per-node trace rings plus a
+// cluster-level ring for lifecycle events that have no single node
+// (promotions, chaos faults). A null Plane* everywhere means observability
+// is off; all instrumentation sites are `if (obs) obs->...` so the disabled
+// cost is one pointer test.
+//
+// Determinism contract (DESIGN.md §8): the plane never schedules events,
+// never reads a clock (callers pass scheduler time explicitly), and never
+// feeds back into simulation state. Attaching or detaching a plane must
+// leave the virtual-time history byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hydra::obs {
+
+class Plane {
+ public:
+  /// `ring_capacity` bounds each per-node ring; the cluster ring only sees
+  /// lifecycle events so it shares the same bound comfortably.
+  explicit Plane(std::size_t ring_capacity = 8192)
+      : ring_capacity_(ring_capacity), cluster_ring_(ring_capacity) {}
+
+  Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Registry& metrics() const noexcept { return metrics_; }
+
+  /// Records an event at virtual time `at` (caller-supplied scheduler time)
+  /// into `node`'s ring, or the cluster ring for kInvalidNode. Assigns the
+  /// global sequence number that TraceQuery orders on.
+  void trace(Time at, NodeId node, TraceKind kind, std::uint64_t shard = kNoShard,
+             std::uint64_t a = 0, std::uint64_t b = 0);
+
+  [[nodiscard]] const TraceRing* node_ring(NodeId node) const noexcept {
+    return node < node_rings_.size() ? &node_rings_[node] : nullptr;
+  }
+  [[nodiscard]] const TraceRing& cluster_ring() const noexcept { return cluster_ring_; }
+  [[nodiscard]] std::uint64_t trace_count() const noexcept { return next_seq_; }
+
+  /// All retained records across every ring, in global seq order.
+  [[nodiscard]] TraceQuery query() const;
+
+  /// Exporters mirror an actor's live stats struct into the registry at
+  /// snapshot time; `owner` keys removal so dying actors can freeze their
+  /// final values (via collect) and unregister before their storage dies.
+  void add_exporter(const void* owner, std::function<void()> fn) {
+    exporters_.emplace_back(owner, std::move(fn));
+  }
+  void remove_exporters(const void* owner);
+
+  /// Runs every exporter, refreshing registry values from live actors.
+  void collect();
+
+  /// Full snapshot at virtual time `now`: runs exporters, then emits the
+  /// hydradb-obs-v1 JSON document (schema in DESIGN.md §8). Deterministic:
+  /// byte-identical for identical runs of the same seed.
+  [[nodiscard]] std::string json(Time now);
+
+  /// Writes json(now) to `path`; returns false on I/O failure.
+  bool dump(const std::string& path, Time now);
+
+ private:
+  std::size_t ring_capacity_;
+  Registry metrics_;
+  std::vector<TraceRing> node_rings_;
+  TraceRing cluster_ring_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::pair<const void*, std::function<void()>>> exporters_;
+};
+
+}  // namespace hydra::obs

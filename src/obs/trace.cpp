@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace hydra::obs {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kWritePosted: return "write_posted";
+    case TraceKind::kWriteCommitted: return "write_committed";
+    case TraceKind::kWriteFaulted: return "write_faulted";
+    case TraceKind::kWriteDeadPeer: return "write_dead_peer";
+    case TraceKind::kReadPosted: return "read_posted";
+    case TraceKind::kReadCompleted: return "read_completed";
+    case TraceKind::kSendPosted: return "send_posted";
+    case TraceKind::kSendDelivered: return "send_delivered";
+    case TraceKind::kDoorbellBatched: return "doorbell_batched";
+    case TraceKind::kRetransmit: return "retransmit";
+    case TraceKind::kQuarantine: return "quarantine";
+    case TraceKind::kTornAck: return "torn_ack";
+    case TraceKind::kAckProbe: return "ack_probe";
+    case TraceKind::kRollback: return "rollback";
+    case TraceKind::kAckReceived: return "ack_received";
+    case TraceKind::kRingDrained: return "ring_drained";
+    case TraceKind::kRingSweep: return "ring_sweep";
+    case TraceKind::kClientTimeout: return "client_timeout";
+    case TraceKind::kCrashInjected: return "crash_injected";
+    case TraceKind::kHeartbeatSuppressed: return "heartbeat_suppressed";
+    case TraceKind::kFenced: return "fenced";
+    case TraceKind::kPrimaryDeathObserved: return "primary_death_observed";
+    case TraceKind::kPromotionStart: return "promotion_start";
+    case TraceKind::kEpochPublished: return "epoch_published";
+    case TraceKind::kSecondaryRespawned: return "secondary_respawned";
+    case TraceKind::kPromotionDone: return "promotion_done";
+    case TraceKind::kFaultInjected: return "fault_injected";
+  }
+  return "unknown";
+}
+
+TraceQuery::TraceQuery(std::vector<TraceRecord> records) : records_(std::move(records)) {
+  std::sort(records_.begin(), records_.end(),
+            [](const TraceRecord& a, const TraceRecord& b) { return a.seq < b.seq; });
+}
+
+std::vector<TraceRecord> TraceQuery::of(TraceKind kind, std::uint64_t shard) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_)
+    if (matches(r, kind, shard)) out.push_back(r);
+  return out;
+}
+
+std::size_t TraceQuery::count(TraceKind kind, std::uint64_t shard) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (matches(r, kind, shard)) ++n;
+  return n;
+}
+
+std::optional<TraceRecord> TraceQuery::first(TraceKind kind, std::uint64_t shard) const {
+  for (const auto& r : records_)
+    if (matches(r, kind, shard)) return r;
+  return std::nullopt;
+}
+
+std::optional<TraceRecord> TraceQuery::last(TraceKind kind, std::uint64_t shard) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it)
+    if (matches(*it, kind, shard)) return *it;
+  return std::nullopt;
+}
+
+std::optional<TraceRecord> TraceQuery::first_after(TraceKind kind, std::uint64_t after_seq,
+                                                   std::uint64_t shard) const {
+  for (const auto& r : records_)
+    if (r.seq > after_seq && matches(r, kind, shard)) return r;
+  return std::nullopt;
+}
+
+bool TraceQuery::happened_before(TraceKind a, TraceKind b, std::uint64_t shard) const {
+  const auto ra = first(a, shard);
+  const auto rb = first(b, shard);
+  return ra && rb && ra->seq < rb->seq;
+}
+
+}  // namespace hydra::obs

@@ -1,0 +1,144 @@
+// Trace plane: bounded per-node event rings recording fabric-level ops and
+// failover lifecycle steps on the virtual clock, plus the TraceQuery helper
+// tests use to pin *orderings* ("fence happened-before ring drain
+// happened-before epoch publish") instead of just end states.
+//
+// Records carry an explicit timestamp supplied by the caller (always
+// scheduler time) -- the trace layer itself never reads a clock and never
+// schedules events, so attaching it cannot perturb a run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::obs {
+
+/// Event taxonomy (DESIGN.md §8). Fabric events fire per posted verb op;
+/// replication events mark the crash-path machinery; lifecycle events mark
+/// the failover phases the chaos harness and timeline tests assert on.
+enum class TraceKind : std::uint8_t {
+  // Fabric data plane.
+  kWritePosted,      ///< RDMA Write posted (a=size, b=dst rkey)
+  kWriteCommitted,   ///< RDMA Write bytes landed at the target (a=size, b=rkey)
+  kWriteFaulted,     ///< chaos-injected torn/dropped write (a=committed, b=rkey)
+  kWriteDeadPeer,    ///< write toward a crashed node (a=size)
+  kReadPosted,       ///< RDMA Read posted (a=size, b=src rkey)
+  kReadCompleted,    ///< RDMA Read completion at the initiator (a=size)
+  kSendPosted,       ///< two-sided Send posted (a=size)
+  kSendDelivered,    ///< Send consumed a posted Receive (a=bytes delivered)
+  kDoorbellBatched,  ///< write shared its sweep's doorbell (a=size)
+  // Replication crash path.
+  kRetransmit,       ///< in-place rewrite of a torn/dropped ring frame (a=offset, b=attempt)
+  kQuarantine,       ///< link to a dead replica entered terminal quarantine
+  kTornAck,          ///< ack slot held a torn/undecodable frame
+  kAckProbe,         ///< ack-probe control frame written (re-solicits the ack)
+  kRollback,         ///< rollback-resend from first failed seq (a=seq)
+  kAckReceived,      ///< cumulative ack decoded (a=acked seq)
+  kRingDrained,      ///< promotion replayed parked ring frames (a=applied seq)
+  // Server / client.
+  kRingSweep,        ///< shard sweep decoded occupied slots (a=count, b=conn)
+  kClientTimeout,    ///< client request timeout salvage (shard=target)
+  // Failover lifecycle.
+  kCrashInjected,        ///< a=0 primary, 1 secondary, 2 SWAT member; b=index
+  kHeartbeatSuppressed,  ///< a=suppression duration (ns)
+  kFenced,               ///< a=1 heartbeat self-fence, 2 promotion-time fence
+  kPrimaryDeathObserved, ///< SWAT recorded a primary-death znode deletion
+  kPromotionStart,       ///< SWAT began promoting a replica
+  kEpochPublished,       ///< routing epoch bumped + written to /routing/version (a=epoch)
+  kSecondaryRespawned,   ///< replacement replica spawned + bootstrap-copied
+  kPromotionDone,        ///< promotion finished; shard serving again
+  // Chaos.
+  kFaultInjected,    ///< chaos fault applied (a=chaos::FaultKind, b=index)
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind) noexcept;
+
+inline constexpr std::uint64_t kNoShard = ~std::uint64_t{0};
+
+struct TraceRecord {
+  Time at = 0;           ///< virtual time, supplied by the caller
+  std::uint64_t seq = 0; ///< global record order within the run (Plane-assigned)
+  TraceKind kind = TraceKind::kWritePosted;
+  NodeId node = kInvalidNode;      ///< ring the record lives in
+  std::uint64_t shard = kNoShard;  ///< owning shard, when meaningful
+  std::uint64_t a = 0;             ///< per-kind argument (see TraceKind docs)
+  std::uint64_t b = 0;             ///< per-kind argument
+};
+
+/// Fixed-capacity ring: pushes past capacity overwrite the oldest record
+/// (dropped count retained), so tracing is O(1) and allocation-free after
+/// construction.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : buf_(capacity ? capacity : 1) {}
+
+  void push(const TraceRecord& r) noexcept {
+    if (size_ == buf_.size()) {
+      buf_[head_] = r;
+      head_ = (head_ + 1) % buf_.size();
+      ++dropped_;
+      return;
+    }
+    buf_[(head_ + size_) % buf_.size()] = r;
+    ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> records() const {
+    std::vector<TraceRecord> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+  }
+
+ private:
+  std::vector<TraceRecord> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Read-side helper over a set of trace records (normally a Plane's merged
+/// rings): ordered selection plus happened-before assertions keyed on the
+/// global sequence number.
+class TraceQuery {
+ public:
+  /// `records` in any order; the query sorts by global seq.
+  explicit TraceQuery(std::vector<TraceRecord> records);
+
+  [[nodiscard]] const std::vector<TraceRecord>& all() const noexcept { return records_; }
+
+  [[nodiscard]] std::vector<TraceRecord> of(TraceKind kind,
+                                            std::uint64_t shard = kNoShard) const;
+  [[nodiscard]] std::size_t count(TraceKind kind, std::uint64_t shard = kNoShard) const;
+  [[nodiscard]] std::optional<TraceRecord> first(TraceKind kind,
+                                                 std::uint64_t shard = kNoShard) const;
+  [[nodiscard]] std::optional<TraceRecord> last(TraceKind kind,
+                                                std::uint64_t shard = kNoShard) const;
+  /// First `kind` record strictly after global seq `after_seq`.
+  [[nodiscard]] std::optional<TraceRecord> first_after(TraceKind kind, std::uint64_t after_seq,
+                                                       std::uint64_t shard = kNoShard) const;
+
+  /// True when both kinds occurred and the first `a` precedes the first `b`
+  /// in global record order (virtual-time ties broken by scheduling order,
+  /// which the global seq preserves).
+  [[nodiscard]] bool happened_before(TraceKind a, TraceKind b,
+                                     std::uint64_t shard = kNoShard) const;
+
+ private:
+  [[nodiscard]] bool matches(const TraceRecord& r, TraceKind kind,
+                             std::uint64_t shard) const noexcept {
+    return r.kind == kind && (shard == kNoShard || r.shard == shard);
+  }
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace hydra::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "obs/plane.hpp"
 
 namespace hydra::replication {
 namespace {
@@ -221,6 +222,10 @@ void ReplicationPrimary::on_write_error(Link& link, std::vector<std::byte> frame
     return;
   }
   ++write_retries_;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kRetransmit, obs::kNoShard, at,
+                         static_cast<std::uint64_t>(attempt));
+  }
   post_frame(link, std::move(frame), at, seq, std::move(settle), attempt + 1);
 }
 
@@ -247,6 +252,9 @@ void ReplicationPrimary::on_ack(Link& link) {
       // will never finish, so scrub the slot and ask the secondary to
       // re-acknowledge instead of silently dropping the ack.
       ++torn_acks_;
+      if (fabric_.obs() != nullptr) {
+        fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kTornAck);
+      }
       std::fill(link.ack_buf.begin(), link.ack_buf.end(), std::byte{0});
       solicit_ack(link);
       arm_ack_timer(link);
@@ -259,12 +267,19 @@ void ReplicationPrimary::on_ack(Link& link) {
   if (!ack.has_value()) {
     // Framing intact but the payload didn't decode: treat like a torn ack.
     ++torn_acks_;
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kTornAck);
+    }
     solicit_ack(link);
     arm_ack_timer(link);
     return;
   }
   ++acks_received_;
   link.last_progress = owner_.now();
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kAckReceived, obs::kNoShard,
+                         ack->acked_seq, ack->first_failed_seq);
+  }
 
   link.acked_seq = std::max(link.acked_seq, ack->acked_seq);
   while (!link.pending.empty() && link.pending.front().rec.seq <= link.acked_seq) {
@@ -282,6 +297,10 @@ void ReplicationPrimary::on_ack(Link& link) {
 void ReplicationPrimary::resend_from(Link& link, std::uint64_t first_failed_seq) {
   HYDRA_DEBUG("replication: rolling back to seq %llu and resending %zu records",
               static_cast<unsigned long long>(first_failed_seq), link.pending.size());
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kRollback, obs::kNoShard,
+                         first_failed_seq);
+  }
   for (auto& p : link.pending) {
     if (p.rec.seq < first_failed_seq) continue;
     ++resends_;
@@ -315,6 +334,10 @@ void ReplicationPrimary::quarantine(Link& link) {
   if (link.dead) return;
   link.dead = true;
   ++quarantined_;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kQuarantine, obs::kNoShard,
+                         link.secondary != nullptr ? link.secondary->node() : kInvalidNode);
+  }
   if (link.ack_mr != nullptr) link.ack_mr->set_write_hook(nullptr);
   HYDRA_DEBUG("replication: quarantining link to %s (%zu completions owed)",
               link.secondary != nullptr ? link.secondary->name().c_str() : "?",
@@ -342,6 +365,9 @@ void ReplicationPrimary::solicit_ack(Link& link) {
   if (link.dead || link.pending.empty()) return;
   if (write_control_frame(link, kFlagAckProbe | proto::kFlagAckRequest)) {
     ++ack_probes_;
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kAckProbe);
+    }
   }
   // On a full ring the probe is retried by the next ack-timer tick.
 }

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "obs/plane.hpp"
 
 namespace hydra::replication {
 
@@ -31,6 +32,10 @@ void SecondaryShard::drain_ring() {
     std::span<std::byte> at{ring_.data() + cursor_.offset, ring_.size() - cursor_.offset};
     if (!proto::poll_frame(at).has_value()) break;
     consume_frame(at);
+  }
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kRingDrained, cfg_.primary_shard,
+                         applied_seq_);
   }
 }
 

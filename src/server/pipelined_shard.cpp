@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/plane.hpp"
+
 namespace hydra::server {
 
 PipelinedShard::PipelinedShard(sim::Scheduler& sched, fabric::Fabric& fabric,
@@ -77,6 +79,9 @@ void PipelinedShard::dispatcher_loop(std::size_t d) {
     if (!req.has_value()) {
       ++stats_.malformed;
       continue;
+    }
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kRingSweep, cfg_.id, 1, idx);
     }
     // Dispatch: detection plus the enqueue into the shared work queue.
     const Duration cost = scan_cost + cfg_.cpu.dispatch_cost;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/plane.hpp"
 
 namespace hydra::server {
 
@@ -148,6 +149,7 @@ void Shard::process_loop() {
 void Shard::sweep_connection(std::uint32_t idx) {
   const Connection& conn = conns_[idx];
   bool first_in_sweep = true;
+  std::uint32_t decoded = 0;
   for (std::uint32_t slot = 0; slot < conn.window; ++slot) {
     const auto span = slot_span(idx, slot);
     switch (proto::probe_frame(span)) {
@@ -171,6 +173,10 @@ void Shard::sweep_connection(std::uint32_t idx) {
     }
     ready_.push_back(ReadyReq{std::move(*req), idx, slot, !first_in_sweep});
     first_in_sweep = false;
+    ++decoded;
+  }
+  if (decoded > 0 && fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kRingSweep, cfg_.id, decoded, idx);
   }
 }
 

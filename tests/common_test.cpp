@@ -275,6 +275,91 @@ TEST(Histogram, ExtremeValues) {
   EXPECT_GE(h.percentile(100), ~Duration{0} / 4);
 }
 
+TEST(Histogram, EmptyInputsAreAllZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (double p : {0.0, 50.0, 99.9, 100.0}) EXPECT_EQ(h.percentile(p), 0u);
+}
+
+TEST(Histogram, SingleSampleEveryPercentileIsTheSample) {
+  LatencyHistogram h;
+  h.record(777);
+  // One sample: min == max == every percentile, exactly (bucket upper bounds
+  // are clamped to the observed max, so no log-bucket error leaks through).
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  for (double p : {0.1, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 777u) << "p" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), 777.0);
+}
+
+TEST(Histogram, ValuesBelowSubBucketCountAreExact) {
+  // The first 16 buckets are width-1: tiny durations suffer no bucketing
+  // error at all.
+  LatencyHistogram h;
+  for (Duration v = 0; v < 16; ++v) h.record(v);
+  for (int i = 1; i <= 16; ++i) {
+    const double p = 100.0 * i / 16.0;
+    EXPECT_EQ(h.percentile(p), static_cast<Duration>(i - 1)) << "p" << p;
+  }
+}
+
+TEST(Histogram, PowerOfTwoBucketBoundaries) {
+  // 2^k and 2^k - 1 straddle an exponent boundary; each must land in its own
+  // bucket and percentile must resolve them without crossing the boundary.
+  for (int k = 5; k <= 40; k += 7) {
+    LatencyHistogram h;
+    const Duration below = (Duration{1} << k) - 1;
+    const Duration at = Duration{1} << k;
+    h.record(below);
+    h.record(at);
+    // p50 falls in `below`'s bucket, whose upper bound is exactly 2^k - 1.
+    EXPECT_EQ(h.percentile(50), below) << "k=" << k;
+    EXPECT_EQ(h.percentile(100), at) << "k=" << k;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a;
+  LatencyHistogram empty;
+  a.record(10);
+  a.record(1000);
+  const Duration p50_before = a.percentile(50);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.percentile(50), p50_before);
+
+  // And merging INTO an empty histogram adopts the source wholesale,
+  // including min (the empty side's sentinel min must not leak through).
+  LatencyHistogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 1000u);
+  EXPECT_EQ(b.percentile(50), a.percentile(50));
+}
+
+TEST(Histogram, MergeDisjointRangesPreservesTails) {
+  LatencyHistogram lo, hi;
+  for (int i = 0; i < 100; ++i) {
+    lo.record(100);
+    hi.record(1'000'000);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 200u);
+  EXPECT_EQ(lo.min(), 100u);
+  EXPECT_EQ(lo.max(), 1'000'000u);
+  // p25 is in the low cluster, p75 in the high one; log-bucket error ~6%.
+  EXPECT_NEAR(static_cast<double>(lo.percentile(25)), 100.0, 7.0);
+  EXPECT_NEAR(static_cast<double>(lo.percentile(75)), 1'000'000.0, 70'000.0);
+}
+
 // ---------------------------------------------------------------- spsc ring
 
 TEST(SpscRing, PushPopSingleThread) {

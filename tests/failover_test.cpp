@@ -166,6 +166,127 @@ TEST(Failover, SwatLeaderDeathHandsOverReactions) {
   EXPECT_EQ(cluster.failovers(), 1u);
 }
 
+// --------------------------------------------------------------- timelines
+//
+// The chaos PR fixed three crash-path races (promotion fencing, torn-ack
+// recovery, promotion ring drain) and pinned their *outcomes*; these tests
+// pin the *order* of the recovery steps via TraceQuery happened-before
+// assertions, so a regression that reorders the steps but stumbles into the
+// right end state still fails.
+
+TEST(FailoverTimeline, CrashPromotionDrainsRingBeforePublishingEpoch) {
+  obs::Plane plane;
+  auto opts = ha_options();
+  opts.obs = &plane;
+  db::HydraCluster cluster(opts);
+  for (int i = 0; i < 50; ++i) {
+    const auto k = static_cast<std::uint64_t>(i);
+    ASSERT_EQ(cluster.put(format_key(k), synth_value(k)), Status::kOk);
+  }
+  cluster.crash_primary(0);
+  cluster.run_for(5 * kSecond);
+  ASSERT_EQ(cluster.failovers(), 1u);
+
+  const auto q = plane.query();
+  // Full lifecycle chain, in order: the crash is observed by SWAT, promotion
+  // starts, the survivor's parked ring records replay BEFORE the new epoch
+  // is published (the ring-drain fix: without the drain, acked writes the
+  // replica's poll loop had not reached died with the promotion).
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kCrashInjected,
+                                obs::TraceKind::kPrimaryDeathObserved));
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kPrimaryDeathObserved,
+                                obs::TraceKind::kPromotionStart));
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kPromotionStart,
+                                obs::TraceKind::kRingDrained));
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kRingDrained,
+                                obs::TraceKind::kEpochPublished));
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kEpochPublished,
+                                obs::TraceKind::kPromotionDone));
+  // The promotion-time drain actually replayed a non-empty log stream.
+  const auto drains = q.of(obs::TraceKind::kRingDrained, 0);
+  ASSERT_FALSE(drains.empty());
+  EXPECT_GT(drains.back().a, 0u) << "promotion drained an empty ring";
+}
+
+TEST(FailoverTimeline, SuppressedPrimaryIsFencedBeforeRingDrain) {
+  obs::Plane plane;
+  auto opts = ha_options();
+  opts.obs = &plane;
+  db::HydraCluster cluster(opts);
+  ASSERT_EQ(cluster.put("k", "v"), Status::kOk);
+  cluster.run_for(10 * kMillisecond);
+
+  // The fencing race: heartbeat suppression expires the session while the
+  // primary keeps running. Whether SWAT's promotion fences it or the next
+  // heartbeat tick self-fences it first, SOME fence must precede the
+  // promotion's ring drain -- promoting under a still-serving primary would
+  // split-brain.
+  cluster.suppress_heartbeats(0, 10 * kSecond);
+  cluster.run_for(8 * kSecond);
+  ASSERT_EQ(cluster.failovers(), 1u);
+
+  const auto q = plane.query();
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kHeartbeatSuppressed,
+                                obs::TraceKind::kPromotionStart));
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kFenced, obs::TraceKind::kRingDrained));
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kRingDrained,
+                                obs::TraceKind::kEpochPublished));
+  ASSERT_TRUE(q.first(obs::TraceKind::kFenced).has_value());
+  const std::uint64_t fence_kind = q.first(obs::TraceKind::kFenced)->a;
+  EXPECT_TRUE(fence_kind == 1 || fence_kind == 2);  // self-fence or promotion-fence
+  // After the fence the old primary is dead: writes still land (new primary).
+  EXPECT_EQ(cluster.put("k2", "v2"), Status::kOk);
+}
+
+TEST(FailoverTimeline, TornAckRecoversThroughProbeThenAck) {
+  obs::Plane plane;
+  auto opts = ha_options();
+  opts.obs = &plane;
+  opts.replication.ack_interval = 1;  // every record requests an ack
+  db::HydraCluster cluster(opts);
+  ASSERT_EQ(cluster.put("warm", "up"), Status::kOk);
+  cluster.run_for(10 * kMillisecond);
+
+  // Tear the next ack write to shard 0's primary: the ack slot holds a
+  // partial frame, which the primary must detect and re-solicit (the
+  // torn-ack probe fix) instead of dropping the ack on the floor.
+  auto* sh = cluster.shard(0);
+  ASSERT_NE(sh, nullptr);
+  ASSERT_NE(sh->replicator(), nullptr);
+  bool armed = true;
+  cluster.fabric().set_write_fault_hook(
+      [&](NodeId, NodeId dst, const fabric::RemoteAddr& addr,
+          std::uint32_t) -> fabric::WriteFault {
+        if (!armed || dst != sh->node()) return {};
+        for (const std::uint32_t rk : sh->replicator()->ack_rkeys()) {
+          if (rk == addr.rkey) {
+            armed = false;
+            return {fabric::WriteFault::Kind::kTorn, 8};
+          }
+        }
+        return {};
+      });
+  // Write through shard 0 (any key owned by it).
+  int hits = 0;
+  for (int i = 0; i < 20 && hits < 3; ++i) {
+    const std::string key = "t-" + std::to_string(i);
+    if (cluster.owner_of(key) != 0) continue;
+    ++hits;
+    ASSERT_EQ(cluster.put(key, "v"), Status::kOk);
+  }
+  ASSERT_GT(hits, 0);
+  cluster.run_for(50 * kMillisecond);  // ack deadline + probe + re-ack
+
+  const auto q = plane.query();
+  // Torn ack detected -> probe written -> a fresh ack decoded after it.
+  EXPECT_TRUE(q.happened_before(obs::TraceKind::kTornAck, obs::TraceKind::kAckProbe));
+  const auto probe = q.first(obs::TraceKind::kAckProbe);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(q.first_after(obs::TraceKind::kAckReceived, probe->seq).has_value())
+      << "no acknowledgement ever arrived after the ack probe";
+  EXPECT_FALSE(armed) << "fault never fired: no ack write was torn";
+}
+
 TEST(Failover, MultipleIndependentShardFailovers) {
   auto opts = ha_options();
   opts.server_nodes = 3;
