@@ -1,0 +1,272 @@
+// Live shard migration handover cost (DESIGN.md §9): a closed-loop PUT/GET
+// workload keeps running while the cluster adds or drains a shard; we
+// measure the bulk-copy rate (keys/sec moved) and the client's latency
+// before, during and after the handover.
+//
+// Expected shape: the copy runs at a healthy clip (it is paced, not
+// starved), client p99 during the handover stays bounded by one
+// wrong-owner retry round (the seal window) in the fault-free scenarios,
+// and a source crash mid-copy stretches the handover by roughly the
+// failover window without losing a single operation.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "obs/plane.hpp"
+
+namespace {
+
+using namespace hydra;
+
+struct Row {
+  std::string label;
+  double duration_s = 0;      // kMigrationStart -> kMigrationDone, virtual
+  std::uint64_t keys_moved = 0;
+  std::uint64_t bytes_moved = 0;
+  double keys_per_s = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t epoch_invalidations = 0;
+  std::uint64_t wrong_owner_redirects = 0;
+  std::uint64_t ops_before = 0, ops_during = 0, ops_after = 0;
+  double p99_before_us = 0, p99_during_us = 0, p99_after_us = 0;
+  std::string obs_json;
+};
+
+double p99_us(std::vector<Duration>& lat) {
+  if (lat.empty()) return 0;
+  std::sort(lat.begin(), lat.end());
+  const std::size_t idx = (lat.size() * 99 + 99) / 100 - 1;
+  return static_cast<double>(lat[std::min(idx, lat.size() - 1)]) / kMicrosecond;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+
+  bench::ShapeChecker shape;
+  std::vector<Row> rows;
+
+  struct Config {
+    const char* label;
+    int shards;
+    bool drain;        // drain shard 1 instead of adding shard `shards`
+    bool kill_source;  // crash a copy source mid-migration
+  };
+  const Config configs[] = {
+      {"add-3to4", 3, false, false},
+      {"drain-4to3", 4, true, false},
+      {"add-kill-source", 3, false, true},
+  };
+  constexpr std::uint32_t kPreload = 8192;
+
+  for (const auto& cfg : configs) {
+    db::ClusterOptions opts;
+    opts.server_nodes = cfg.shards;
+    opts.shards_per_node = 1;
+    opts.total_shards = cfg.shards;
+    opts.client_nodes = 1;
+    opts.clients_per_node = 1;
+    opts.replicas = 1;
+    opts.replication.mode = replication::ReplicationMode::kLogRelaxed;
+    opts.enable_swat = true;
+    opts.shard_template.store.arena_bytes = 64 << 20;
+    opts.shard_template.store.min_buckets = 1 << 14;
+    opts.client_template.request_timeout = 100 * kMillisecond;
+    opts.client_template.max_retries = 100;
+    // Always attached: by the determinism contract (DESIGN.md §8) the plane
+    // cannot perturb the measured history.
+    obs::Plane plane;
+    opts.obs = &plane;
+    db::HydraCluster cluster(opts);
+    sim::Scheduler& sched = cluster.scheduler();
+
+    Xoshiro256 rng(0x5EED + static_cast<std::uint64_t>(cfg.shards) +
+                   (cfg.drain ? 1000 : 0) + (cfg.kill_source ? 2000 : 0));
+    for (std::uint32_t i = 0; i < kPreload; ++i) {
+      cluster.direct_load("pre-" + std::to_string(i), "p-" + hex16(rng()));
+    }
+
+    // Closed-loop 90/10 GET/PUT mix over the preloaded keys; every op's
+    // (issue, done) pair is kept so latencies can be bucketed around the
+    // migration window afterwards.
+    struct OpLat {
+      Time issued = 0;
+      Time done = 0;
+    };
+    std::vector<OpLat> lats;
+    lats.reserve(1 << 20);
+    bool stop = false;
+    std::uint64_t failed_ops = 0;
+    client::Client* cl = cluster.clients().front();
+    std::function<void()> next = [&] {
+      if (stop) return;
+      const std::string key = "pre-" + std::to_string(rng.below(kPreload));
+      const std::size_t slot = lats.size();
+      lats.push_back({sched.now(), 0});
+      if (rng.below(10) == 0) {
+        cl->put(key, "u-" + hex16(rng()), [&, slot](Status st) {
+          lats[slot].done = sched.now();
+          failed_ops += st != Status::kOk;
+          next();
+        });
+      } else {
+        cl->get(key, [&, slot](Status st, std::string_view) {
+          lats[slot].done = sched.now();
+          failed_ops += st != Status::kOk;
+          next();
+        });
+      }
+    };
+    next();
+
+    // Baseline -> migrate (+ optional mid-copy source kill) -> tail.
+    sched.run_until(sched.now() + 30 * kMillisecond);
+    const Time migrate_at = sched.now();
+    bool started = false;
+    if (cfg.drain) {
+      started = cluster.drain_shard_live(1);
+    } else {
+      started = cluster.add_shard_live() != kInvalidShard;
+    }
+    if (cfg.kill_source) {
+      sched.after(2 * kMillisecond, [&] { cluster.crash_primary(0); });
+    }
+    const Time migrate_deadline = migrate_at + 60 * kSecond;
+    while (cluster.migration_active() && sched.now() < migrate_deadline &&
+           sched.step()) {
+    }
+    const Time commit_at = sched.now();
+    sched.run_until(sched.now() + 30 * kMillisecond);
+    stop = true;
+    cluster.run_for(500 * kMillisecond);  // drain the in-flight op
+
+    Row row;
+    row.label = cfg.label;
+    const db::MigrationStats& mstats = cluster.migration_stats();
+    row.keys_moved = mstats.keys_moved;
+    row.bytes_moved = mstats.bytes_moved;
+    row.forwarded = mstats.forwarded;
+    row.epoch_invalidations = cl->stats().epoch_invalidations;
+    row.wrong_owner_redirects = cl->stats().wrong_owner_redirects;
+
+    // Copy duration from the trace alone (protocol begin -> ring commit).
+    const obs::TraceQuery q = plane.query();
+    const auto start_rec = q.first(obs::TraceKind::kMigrationStart);
+    const auto done_rec = q.first(obs::TraceKind::kMigrationDone);
+    if (start_rec && done_rec) {
+      row.duration_s = static_cast<double>(done_rec->at - start_rec->at) / kSecond;
+      if (row.duration_s > 0) {
+        row.keys_per_s = static_cast<double>(row.keys_moved) / row.duration_s;
+      }
+    }
+
+    std::vector<Duration> before, during, after;
+    for (const OpLat& l : lats) {
+      if (l.done == 0) continue;  // the one op in flight at shutdown
+      auto& bucket = l.issued < migrate_at ? before
+                     : l.issued <= commit_at ? during
+                                             : after;
+      bucket.push_back(l.done - l.issued);
+    }
+    row.ops_before = before.size();
+    row.ops_during = during.size();
+    row.ops_after = after.size();
+    row.p99_before_us = p99_us(before);
+    row.p99_during_us = p99_us(during);
+    row.p99_after_us = p99_us(after);
+    if (!metrics_out.empty()) row.obs_json = plane.json(sched.now());
+    rows.push_back(row);
+
+    shape.expect(started, row.label + ": migration started");
+    shape.expect(mstats.completed == 1, row.label + ": migration committed");
+    shape.expect(row.keys_moved > 0, row.label + ": a non-trivial range moved");
+    shape.expect(row.keys_per_s > 0, row.label + ": copy made forward progress");
+    shape.expect(failed_ops == 0,
+                 row.label + ": no client op failed across the handover");
+    shape.expect(row.ops_during > 0, row.label + ": workload overlapped the copy");
+    shape.expect(row.p99_before_us < 1000.0,
+                 row.label + ": baseline p99 is sub-millisecond");
+    if (cfg.kill_source) {
+      // A crashed source stalls its flow for the ~2.5s failover window; the
+      // handover p99 is bounded by that, not by the copy.
+      shape.expect(row.p99_during_us < 6'000'000.0,
+                   row.label + ": handover p99 bounded by the failover window");
+      shape.expect(mstats.flow_restarts > 0,
+                   row.label + ": the crashed source's flow was rebuilt");
+    } else {
+      // Fault-free handover: p99 is bounded by one wrong-owner retry round
+      // (request_timeout / 4 backoff) plus scheduling noise.
+      shape.expect(row.p99_during_us < 150'000.0,
+                   row.label + ": handover p99 within one redirect round");
+      shape.expect(row.forwarded > 0,
+                   row.label + ": dual-ownership catch-up forwarded writes");
+    }
+    shape.expect(row.p99_after_us < 1000.0,
+                 row.label + ": p99 returns to baseline after the commit");
+  }
+
+  std::printf("Live migration handover (virtual time)\n");
+  std::printf("%-18s %10s %9s %12s %11s %12s %11s\n", "scenario", "duration",
+              "moved", "keys/sec", "p99 before", "p99 during", "p99 after");
+  for (const Row& r : rows) {
+    std::printf("%-18s %9.3fs %9llu %12.0f %10.1fus %11.1fus %10.1fus\n",
+                r.label.c_str(), r.duration_s,
+                static_cast<unsigned long long>(r.keys_moved), r.keys_per_s,
+                r.p99_before_us, r.p99_during_us, r.p99_after_us);
+  }
+
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_migration: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"migration\",\n  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"label\": \"%s\", \"duration_s\": %.6f, \"keys_moved\": %llu, "
+          "\"bytes_moved\": %llu, \"keys_per_s\": %.0f, \"forwarded\": %llu,\n"
+          "     \"epoch_invalidations\": %llu, \"wrong_owner_redirects\": %llu,\n"
+          "     \"ops\": {\"before\": %llu, \"during\": %llu, \"after\": %llu},\n"
+          "     \"p99_us\": {\"before\": %.1f, \"during\": %.1f, \"after\": %.1f},\n"
+          "     \"obs\": %s}%s\n",
+          r.label.c_str(), r.duration_s,
+          static_cast<unsigned long long>(r.keys_moved),
+          static_cast<unsigned long long>(r.bytes_moved), r.keys_per_s,
+          static_cast<unsigned long long>(r.forwarded),
+          static_cast<unsigned long long>(r.epoch_invalidations),
+          static_cast<unsigned long long>(r.wrong_owner_redirects),
+          static_cast<unsigned long long>(r.ops_before),
+          static_cast<unsigned long long>(r.ops_during),
+          static_cast<unsigned long long>(r.ops_after), r.p99_before_us,
+          r.p99_during_us, r.p99_after_us, r.obs_json.c_str(),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+
+  return shape.summarize("migration");
+}

@@ -11,10 +11,13 @@ case "${1:-}" in
   --asan|--tsan)
     preset="${1#--}"
     shift
-    # The chaos sweep runs its full 140 random schedules in the default
+    # The chaos sweeps run their full random schedules in the default
     # preset; under a sanitizer each run is ~10x slower, so scale the
-    # randomized portion down (the 70 scripted runs always execute in full).
+    # randomized portions down (the scripted runs always execute in full).
+    # This covers migration_test too: its scripted families plus a reduced
+    # random sweep run under both --asan and --tsan.
     export HYDRA_CHAOS_RANDOM_RUNS="${HYDRA_CHAOS_RANDOM_RUNS:-40}"
+    export HYDRA_MIGRATION_RANDOM_RUNS="${HYDRA_MIGRATION_RANDOM_RUNS:-8}"
     ;;
 esac
 

@@ -488,4 +488,436 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed,
   return report;
 }
 
+// --- live-migration chaos ----------------------------------------------------
+
+const char* to_string(MigrationOp op) noexcept {
+  switch (op) {
+    case MigrationOp::kAdd: return "add";
+    case MigrationOp::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+std::vector<MigrationSchedule> MigrationSchedule::scripted() {
+  std::vector<MigrationSchedule> out;
+  // Kill delays are sized for the default copy cadence (a few thousand
+  // preloaded keys, 16 records per 200us tick) so they land mid-copy.
+  {
+    MigrationSchedule s;
+    s.name = "add-clean";
+    out.push_back(std::move(s));
+  }
+  {
+    MigrationSchedule s;
+    s.name = "drain-clean";
+    s.op = MigrationOp::kDrain;
+    out.push_back(std::move(s));
+  }
+  {
+    // A copy source dies mid-copy: its flow must be rebuilt from the
+    // promoted replica (fresh sink, fresh snapshot) and still commit.
+    MigrationSchedule s;
+    s.name = "add-kill-source";
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = 0, .at_op = 8,
+                        .delay = 400 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // The brand-new destination dies mid-copy: the commit must wait for its
+    // replica to be promoted, then merge into the promoted store.
+    MigrationSchedule s;
+    s.name = "add-kill-destination";
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = 3, .at_op = 8,
+                        .delay = 500 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // The drain victim (source of every flow) dies mid-drain.
+    MigrationSchedule s;
+    s.name = "drain-kill-victim";
+    s.op = MigrationOp::kDrain;
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = 1, .at_op = 8,
+                        .delay = 400 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // One of the drain's destinations dies mid-copy.
+    MigrationSchedule s;
+    s.name = "drain-kill-destination";
+    s.op = MigrationOp::kDrain;
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = 2, .at_op = 8,
+                        .delay = 500 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // SWAT leadership gap overlapping a source kill: the death event pends
+    // until member 1 takes over, stretching the migration stall by ~2s.
+    MigrationSchedule s;
+    s.name = "add-kill-swat-and-source";
+    s.swat_members = 3;
+    s.faults.push_back({.kind = FaultKind::kKillSwatMember, .index = 0, .at_op = 8});
+    s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = 0, .at_op = 8,
+                        .delay = 300 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+MigrationSchedule MigrationSchedule::random(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL);
+  MigrationSchedule s;
+  s.name = "mig-random-" + std::to_string(seed);
+  s.op = rng.below(2) == 0 ? MigrationOp::kAdd : MigrationOp::kDrain;
+  s.initial_shards = 2 + static_cast<int>(rng.below(3));
+  s.replicas = 1 + static_cast<int>(rng.below(2));
+  s.preload = 512 + static_cast<std::uint32_t>(rng.below(1537));
+  s.ops = 48 + static_cast<std::uint32_t>(rng.below(49));
+  s.migrate_at_op = 4 + static_cast<std::uint32_t>(rng.below(s.ops / 3));
+  s.drain_victim = static_cast<ShardId>(rng.below(s.initial_shards));
+
+  const ShardId n = static_cast<ShardId>(s.initial_shards);
+  const auto kill_delay = [&] {
+    return static_cast<Duration>(100 * kMicrosecond + rng.below(2 * kMillisecond));
+  };
+  switch (rng.below(4)) {
+    case 0:  // clean run
+      break;
+    case 1: {  // kill a source mid-copy
+      const ShardId src = s.op == MigrationOp::kAdd
+                              ? static_cast<ShardId>(rng.below(n))
+                              : s.drain_victim;
+      s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = src,
+                          .at_op = s.migrate_at_op, .delay = kill_delay()});
+      break;
+    }
+    case 2: {  // kill a destination mid-copy
+      const ShardId dst =
+          s.op == MigrationOp::kAdd
+              ? n
+              : static_cast<ShardId>((s.drain_victim + 1 + rng.below(n - 1)) % n);
+      s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = dst,
+                          .at_op = s.migrate_at_op, .delay = kill_delay()});
+      break;
+    }
+    default: {  // SWAT leadership gap + source kill
+      s.swat_members = 3;
+      const ShardId src = s.op == MigrationOp::kAdd
+                              ? static_cast<ShardId>(rng.below(n))
+                              : s.drain_victim;
+      s.faults.push_back(
+          {.kind = FaultKind::kKillSwatMember, .index = 0, .at_op = s.migrate_at_op});
+      s.faults.push_back({.kind = FaultKind::kKillPrimary, .shard = src,
+                          .at_op = s.migrate_at_op, .delay = kill_delay()});
+      break;
+    }
+  }
+  return s;
+}
+
+MigrationReport MigrationChaosRunner::run(const MigrationSchedule& schedule,
+                                          std::uint64_t seed, obs::Plane* plane) {
+  MigrationSchedule plan = schedule;
+  plan.ops = std::max<std::uint32_t>(plan.ops, 2);
+  plan.migrate_at_op = std::min(plan.migrate_at_op, plan.ops - 1);
+  for (Fault& f : plan.faults) f.at_op = std::min(f.at_op, plan.ops - 1);
+  plan.drain_victim = static_cast<ShardId>(
+      plan.drain_victim % static_cast<ShardId>(plan.initial_shards));
+
+  MigrationReport report;
+  std::string& hist = report.history;
+  auto violation = [&](std::string text) {
+    hist += "violation: " + text + "\n";
+    report.violations.push_back(std::move(text));
+  };
+
+  db::ClusterOptions opts;
+  opts.server_nodes = plan.initial_shards;
+  opts.shards_per_node = 1;
+  opts.total_shards = plan.initial_shards;
+  opts.client_nodes = 1;
+  opts.clients_per_node = 1;
+  opts.replicas = plan.replicas;
+  opts.replication.mode = ReplicationMode::kLogRelaxed;
+  opts.enable_swat = true;
+  opts.swat_members = plan.swat_members;
+  opts.shard_template.store.arena_bytes = 16 << 20;
+  opts.shard_template.store.min_buckets = 1 << 12;
+  opts.client_template.request_timeout = 100 * kMillisecond;
+  opts.client_template.max_retries = 100;
+  opts.obs = plane;
+
+  db::HydraCluster cluster(opts);
+  sim::Scheduler& sched = cluster.scheduler();
+  report.epoch_before = cluster.routing_epoch();
+
+  appendf(hist, "run schedule=%s seed=%llu op=%s shards=%d replicas=%d preload=%u ops=%u\n",
+          plan.name.c_str(), static_cast<unsigned long long>(seed),
+          to_string(plan.op), plan.initial_shards, plan.replicas, plan.preload,
+          plan.ops);
+
+  // --- preload: the dataset the bulk copy will move --------------------------
+  Xoshiro256 preload_rng(seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  std::vector<std::pair<std::string, std::string>> expected;
+  expected.reserve(plan.preload + plan.ops);
+  for (std::uint32_t i = 0; i < plan.preload; ++i) {
+    std::string key = "pre-" + std::to_string(i);
+    std::string value = "p-" + hex16(preload_rng());
+    cluster.direct_load(key, value);
+    expected.emplace_back(std::move(key), std::move(value));
+  }
+
+  // --- fault application -----------------------------------------------------
+  auto apply_fault = [&](const Fault& f) {
+    appendf(hist, "t=%llu fault %s shard=%u idx=%d\n",
+            static_cast<unsigned long long>(sched.now()), to_string(f.kind),
+            static_cast<unsigned>(f.shard), f.index);
+    if (plane != nullptr) {
+      plane->trace(sched.now(), kInvalidNode, obs::TraceKind::kFaultInjected, f.shard,
+                   static_cast<std::uint64_t>(f.kind),
+                   static_cast<std::uint64_t>(static_cast<unsigned>(f.index)));
+    }
+    switch (f.kind) {
+      case FaultKind::kKillPrimary: {
+        auto* sh = cluster.shard(f.shard);
+        if (sh != nullptr && sh->alive()) cluster.crash_primary(f.shard);
+        break;
+      }
+      case FaultKind::kKillSecondary:
+        cluster.crash_secondary(f.shard, f.index);
+        break;
+      case FaultKind::kKillSwatMember:
+        cluster.kill_swat_member(f.index);
+        break;
+      case FaultKind::kSuppressHeartbeats:
+        cluster.suppress_heartbeats(f.shard, f.duration);
+        break;
+      default:  // wire/apply faults belong to the failover harness
+        break;
+    }
+  };
+
+  // --- workload: closed-loop unique-key PUTs, each chased by a readback -----
+  // The readback GETs are what exercise cached remote pointers across the
+  // epoch bump: a stale pointer must be invalidated, never silently read.
+  struct MigOp {
+    OpRecord put;
+    bool get_issued = false;
+    bool get_done = false;
+    std::string get_key;
+    std::string get_expected;
+  };
+  Xoshiro256 value_rng(seed);
+  Xoshiro256 read_rng(seed * 0x2545F4914F6CDD1DULL + 1);
+  std::vector<MigOp> ops(plan.ops);
+  for (std::uint32_t i = 0; i < plan.ops; ++i) {
+    ops[i].put.idx = i;
+    ops[i].put.key = "mig-" + std::to_string(i);
+    ops[i].put.value = "v-" + hex16(value_rng());
+  }
+
+  std::uint32_t completed = 0;
+  ShardId subject = kInvalidShard;
+  bool migration_started = false;
+  Time migrate_called_at = 0;
+  client::Client* cl = cluster.clients().front();
+
+  std::function<void(std::uint32_t)> issue = [&](std::uint32_t i) {
+    if (i >= plan.ops) return;
+    if (i == plan.migrate_at_op) {
+      if (plan.op == MigrationOp::kAdd) {
+        subject = cluster.add_shard_live();
+        migration_started = subject != kInvalidShard;
+      } else {
+        subject = plan.drain_victim;
+        migration_started = cluster.drain_shard_live(subject);
+      }
+      migrate_called_at = sched.now();
+      appendf(hist, "t=%llu migrate op=%s subject=%u started=%d\n",
+              static_cast<unsigned long long>(sched.now()), to_string(plan.op),
+              static_cast<unsigned>(subject), migration_started ? 1 : 0);
+    }
+    for (const Fault& f : plan.faults) {
+      if (f.at_op != i) continue;
+      const Fault* fp = &f;
+      sched.after(f.delay, [&apply_fault, fp] { apply_fault(*fp); });
+    }
+    appendf(hist, "t=%llu op=%u issue key=%s\n",
+            static_cast<unsigned long long>(sched.now()), i, ops[i].put.key.c_str());
+    cl->put(ops[i].put.key, ops[i].put.value, [&, i](Status st) {
+      ops[i].put.status = st;
+      ops[i].put.completed = true;
+      ops[i].put.done_at = sched.now();
+      appendf(hist, "t=%llu op=%u done status=%s\n",
+              static_cast<unsigned long long>(sched.now()), i,
+              std::string(to_string(st)).c_str());
+
+      // Readback of an already-settled key (preloaded, or an earlier op
+      // whose PUT was acked): must return exactly the written value even
+      // while ownership is in motion.
+      std::uint64_t pick = read_rng.below(plan.preload + i);
+      if (pick >= plan.preload) {
+        const std::uint32_t j = static_cast<std::uint32_t>(pick - plan.preload);
+        if (ops[j].put.status == Status::kOk) {
+          ops[i].get_key = ops[j].put.key;
+          ops[i].get_expected = ops[j].put.value;
+        } else {
+          pick = j % plan.preload;  // deterministic fallback
+        }
+      }
+      if (ops[i].get_key.empty()) {
+        ops[i].get_key = expected[static_cast<std::size_t>(pick)].first;
+        ops[i].get_expected = expected[static_cast<std::size_t>(pick)].second;
+      }
+      ops[i].get_issued = true;
+      ++report.readbacks;
+      cl->get(ops[i].get_key, [&, i](Status gst, std::string_view value) {
+        ops[i].get_done = true;
+        if (gst != Status::kOk) {
+          violation("readback of " + ops[i].get_key + " failed mid-migration: " +
+                    std::string(to_string(gst)));
+        } else if (value != ops[i].get_expected) {
+          violation("readback of " + ops[i].get_key +
+                    " returned a different value mid-migration");
+        }
+        ++completed;
+        issue(i + 1);
+      });
+    });
+  };
+  issue(0);
+
+  bool migration_done_seen = false;
+  auto note_migration = [&] {
+    if (migration_started && !migration_done_seen && !cluster.migration_active()) {
+      migration_done_seen = true;
+      report.migration_time = sched.now() - migrate_called_at;
+      appendf(hist, "t=%llu migrate-settled duration=%llu\n",
+              static_cast<unsigned long long>(sched.now()),
+              static_cast<unsigned long long>(report.migration_time));
+    }
+  };
+
+  std::uint64_t steps = 0;
+  while (completed < plan.ops && sched.now() < kWorkloadTimeLimit &&
+         steps < kWorkloadStepLimit) {
+    if (!sched.step()) break;
+    ++steps;
+    note_migration();
+  }
+
+  // Let the migration finish (it may still be copying or waiting out a
+  // promotion), then settle failovers and respawns.
+  while (cluster.migration_active() && sched.now() < kWorkloadTimeLimit &&
+         sched.step()) {
+    note_migration();
+  }
+  const Time settle_end = sched.now() + kSettle;
+  while (sched.now() < settle_end && sched.step()) note_migration();
+
+  // --- invariant: no wedged operations ---------------------------------------
+  for (const MigOp& op : ops) {
+    if (!op.put.completed) {
+      ++report.wedged_ops;
+      violation("op " + std::to_string(op.put.idx) + " (" + op.put.key +
+                ") PUT never completed: callback wedged");
+    } else if (op.get_issued && !op.get_done) {
+      ++report.wedged_ops;
+      violation("op " + std::to_string(op.put.idx) + " readback (" + op.get_key +
+                ") never completed: callback wedged");
+    }
+  }
+
+  // --- invariant: the migration committed and bumped the epoch ---------------
+  const db::MigrationStats& mstats = cluster.migration_stats();
+  report.migration_completed = mstats.completed > 0;
+  report.keys_moved = mstats.keys_moved;
+  report.flow_restarts = mstats.flow_restarts;
+  report.forwarded = mstats.forwarded;
+  report.failovers = cluster.failovers();
+  report.epoch_after = cluster.routing_epoch();
+  for (auto* c : cluster.clients()) {
+    report.epoch_invalidations += c->stats().epoch_invalidations;
+  }
+  if (!migration_started) {
+    violation("migration never started (add/drain call rejected)");
+  } else {
+    if (!report.migration_completed) violation("migration never committed");
+    if (mstats.aborted > 0) violation("migration aborted");
+    if (report.migration_completed && report.epoch_after <= report.epoch_before) {
+      violation("commit did not bump the routing epoch");
+    }
+  }
+  if (report.migration_completed) {
+    if (plan.op == MigrationOp::kAdd && !cluster.ring().contains(subject)) {
+      violation("added shard missing from the committed ring");
+    }
+    if (plan.op == MigrationOp::kDrain &&
+        (cluster.ring().contains(subject) || !cluster.shard_retired(subject))) {
+      violation("drained shard still present after commit");
+    }
+  }
+
+  // --- invariant: every settled key readable, held by exactly one owner ------
+  for (std::uint32_t i = 0; i < plan.ops; ++i) {
+    if (ops[i].put.completed && ops[i].put.status == Status::kOk) {
+      ++report.acked_puts;
+      expected.emplace_back(ops[i].put.key, ops[i].put.value);
+    }
+  }
+  std::uint64_t subject_owned = 0;
+  const std::vector<ShardId> members = cluster.ring().shards();
+  for (const auto& [key, value] : expected) {
+    Status st = Status::kOk;
+    auto v = cluster.get(key, 0, &st);
+    if (!v.has_value()) {
+      violation("key " + key + " unreadable after commit: " +
+                std::string(to_string(st)));
+      continue;
+    }
+    if (*v != value) {
+      violation("key " + key + " returned a different value after commit");
+      continue;
+    }
+    const ShardId owner = cluster.owner_of(key);
+    if (owner == subject) ++subject_owned;
+    for (const ShardId member : members) {
+      auto* sh = cluster.shard(member);
+      if (sh == nullptr || !sh->alive()) {
+        violation("ring member " + std::to_string(member) + " not serving");
+        break;
+      }
+      auto view = sh->store().get(key, sched.now(), /*grant_lease=*/false);
+      if (member == owner) {
+        if (!view.ok()) {
+          violation("key " + key + " lost: owner " + std::to_string(owner) +
+                    " does not hold it");
+        } else if (view.value().value != value) {
+          violation("key " + key + " stale in owner store");
+        }
+      } else if (view.ok()) {
+        violation("key " + key + " double-owned: shard " + std::to_string(member) +
+                  " still holds it (owner " + std::to_string(owner) + ")");
+      }
+    }
+  }
+  if (report.migration_completed && plan.op == MigrationOp::kAdd &&
+      subject_owned == 0) {
+    violation("added shard owns none of the dataset");
+  }
+
+  appendf(hist,
+          "end t=%llu moved=%llu restarts=%llu forwarded=%llu failovers=%llu "
+          "acked=%llu epoch=%llu->%llu violations=%zu\n",
+          static_cast<unsigned long long>(sched.now()),
+          static_cast<unsigned long long>(report.keys_moved),
+          static_cast<unsigned long long>(report.flow_restarts),
+          static_cast<unsigned long long>(report.forwarded),
+          static_cast<unsigned long long>(report.failovers),
+          static_cast<unsigned long long>(report.acked_puts),
+          static_cast<unsigned long long>(report.epoch_before),
+          static_cast<unsigned long long>(report.epoch_after),
+          report.violations.size());
+  return report;
+}
+
 }  // namespace hydra::chaos

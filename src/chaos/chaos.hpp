@@ -111,4 +111,78 @@ class ChaosRunner {
                        obs::Plane* plane = nullptr);
 };
 
+// --- live-migration chaos (DESIGN.md section 9) -----------------------------
+
+enum class MigrationOp : std::uint8_t {
+  kAdd,    ///< spawn a new shard and rebalance ~1/N of every range onto it
+  kDrain,  ///< move everything off an existing shard, then retire it
+};
+
+[[nodiscard]] const char* to_string(MigrationOp op) noexcept;
+
+/// A chaos scenario for the elastic-membership plane: a closed-loop
+/// PUT+readback workload runs across a multi-shard cluster while one live
+/// migration executes, with kill faults landing on the migration's source,
+/// its destination, or the SWAT team mid-copy. Fault timing reuses the
+/// op-indexed Fault mechanics; only the process-kill and heartbeat kinds are
+/// meaningful here (wire faults are the failover harness's concern).
+struct MigrationSchedule {
+  std::string name;
+  MigrationOp op = MigrationOp::kAdd;
+  int initial_shards = 3;
+  int replicas = 1;
+  int swat_members = 2;
+  /// Keys direct-loaded before the clock starts; sized so the bulk copy
+  /// spans many manager ticks and faults can land mid-copy.
+  std::uint32_t preload = 1536;
+  std::uint32_t ops = 72;           ///< closed-loop PUT(+readback GET) pairs
+  std::uint32_t migrate_at_op = 8;  ///< trigger the add/drain when this op issues
+  ShardId drain_victim = 1;         ///< shard drained when op == kDrain
+  /// For an add, the subject shard's id is `initial_shards` (shard ids are
+  /// append-only), so faults can target it before it exists; they are
+  /// skipped if it still does not when they fire.
+  std::vector<Fault> faults;
+
+  /// The scripted families the issue names: clean add and drain, source
+  /// killed mid-copy, destination killed mid-copy, drain victim killed
+  /// mid-drain, and a SWAT leadership gap overlapping a source kill.
+  static std::vector<MigrationSchedule> scripted();
+
+  /// Seeded-random composition over the same alphabet.
+  static MigrationSchedule random(std::uint64_t seed);
+};
+
+struct MigrationReport {
+  /// Deterministic textual log; byte-identical across runs of the same
+  /// (schedule, seed), with or without an observability plane attached.
+  std::string history;
+  std::vector<std::string> violations;
+  std::uint64_t acked_puts = 0;
+  std::uint64_t readbacks = 0;  ///< mid-migration GETs issued by the workload
+  std::uint64_t wedged_ops = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t keys_moved = 0;
+  std::uint64_t flow_restarts = 0;
+  std::uint64_t forwarded = 0;            ///< dual-ownership catch-up records
+  std::uint64_t epoch_invalidations = 0;  ///< cached pointers dropped by clients
+  std::uint64_t epoch_before = 0;
+  std::uint64_t epoch_after = 0;
+  bool migration_completed = false;
+  /// Virtual time from the add/drain call to the commit (0 if never done).
+  Duration migration_time = 0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+class MigrationChaosRunner {
+ public:
+  /// Runs `schedule` against a fresh cluster and verifies the elastic
+  /// invariants: no wedged ops, every acked PUT (and preloaded key) readable
+  /// with its exact value after the final epoch, each key held by exactly
+  /// one ring member's store, the migration committed with the routing
+  /// epoch bumped, and the subject retired (drain) or serving (add).
+  static MigrationReport run(const MigrationSchedule& schedule, std::uint64_t seed,
+                             obs::Plane* plane = nullptr);
+};
+
 }  // namespace hydra::chaos

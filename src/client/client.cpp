@@ -42,10 +42,19 @@ void Client::get(std::string key, GetCallback cb) {
   if (cfg_.use_rdma_read) {
     const std::uint64_t h = hash_key(op.req.key);
     proto::RemotePtr ptr;
-    if (cache_->get(h, &ptr) &&
-        ptr.lease_expiry > now() + cfg_.lease_safety_margin) {
-      try_rdma_read(h, ptr, std::move(op));
-      return;
+    if (cache_->get(h, &ptr)) {
+      if (ptr.epoch != current_epoch()) {
+        // The routing epoch moved past this pointer's lease (failover
+        // promotion or migration commit): its rkey may reference memory a
+        // fenced primary no longer owns, so it must never be read again.
+        cache_->erase(h);
+        ++stats_.epoch_invalidations;
+      } else if (ptr.lease_expiry > now() + cfg_.lease_safety_margin) {
+        // Strict >: a lease expiring exactly at the assumed read-completion
+        // time (now + margin) counts as expired and takes the message path.
+        try_rdma_read(h, ptr, std::move(op));
+        return;
+      }
     }
     ++stats_.ptr_misses;
   }
@@ -367,9 +376,13 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
   slot.busy = false;
   --conn.in_flight;
 
-  // Cache/refresh the granted remote pointer (GET and lease-renew paths).
+  // Cache/refresh the granted remote pointer (GET and lease-renew paths),
+  // stamped with the epoch it was leased under so a later epoch bump
+  // invalidates it before the next one-sided read.
   if (cfg_.use_rdma_read && resp.remote_ptr.valid()) {
-    cache_->put(hash_key(op.req.key), resp.remote_ptr);
+    proto::RemotePtr ptr = resp.remote_ptr;
+    ptr.epoch = current_epoch();
+    cache_->put(hash_key(op.req.key), ptr);
   }
 
   // Refill the ring from the overflow queue before running the callback.
@@ -377,6 +390,24 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
     PendingOp next = std::move(conn.queue.front());
     conn.queue.pop_front();
     issue(shard, conn, std::move(next));
+  }
+
+  if (resp.status == Status::kWrongOwner) {
+    // The shard fenced this key's range (a migration or promotion raced the
+    // request). Drop any pointer into the old owner and re-resolve after a
+    // short backoff -- the routing table flips within the seal window.
+    cache_->erase(hash_key(op.req.key));
+    ++stats_.wrong_owner_redirects;
+    if (++op.retries > cfg_.max_retries) {
+      schedule_after(cfg_.decode_cost, [this, op = std::move(op)]() mutable {
+        complete(op, Status::kWrongOwner, {});
+      });
+      return;
+    }
+    ++stats_.retries;
+    schedule_after(cfg_.request_timeout / 4,
+                   [this, op = std::move(op)]() mutable { submit(std::move(op)); });
+    return;
   }
 
   schedule_after(cfg_.decode_cost,

@@ -58,6 +58,11 @@ struct ClientStats {
   std::uint64_t ptr_hits = 0;      ///< GETs served by a valid RDMA Read
   std::uint64_t invalid_hits = 0;  ///< RDMA Read found dead/mismatched item
   std::uint64_t ptr_misses = 0;    ///< GET without a usable cached pointer
+  /// Cached pointers discarded because the routing epoch advanced past the
+  /// epoch they were leased under (failover or migration invalidation).
+  std::uint64_t epoch_invalidations = 0;
+  /// kWrongOwner answers that sent the op back through the resolver.
+  std::uint64_t wrong_owner_redirects = 0;
   std::uint64_t renews_sent = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t retries = 0;
@@ -100,12 +105,19 @@ class Client : public sim::Actor {
 
   using GetCallback = std::function<void(Status, std::string_view value)>;
   using OpCallback = std::function<void(Status)>;
+  /// Current routing epoch (monotonic; bumped by failover promotions and
+  /// migration commits). Pulled synchronously before every one-sided read,
+  /// so there is no window where a pointer leased under epoch N can be
+  /// read after the bump to N+1 -- the invalidation the paper's one-sided
+  /// design needs to stay linearizable across ownership changes.
+  using EpochSource = std::function<std::uint64_t()>;
 
   Client(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node, ClientConfig cfg,
          std::shared_ptr<RemotePtrCache> pointer_cache = nullptr);
 
   void set_resolver(Resolver r) { resolver_ = std::move(r); }
   void set_connector(Connector c) { connector_ = std::move(c); }
+  void set_epoch_source(EpochSource e) { epoch_source_ = std::move(e); }
 
   // --- data-plane operations (asynchronous, callbacks in virtual time) ----
   void get(std::string key, GetCallback cb);
@@ -171,6 +183,9 @@ class Client : public sim::Actor {
   void complete(PendingOp& op, Status status, std::string_view value);
   void try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr, PendingOp op);
   void maybe_auto_renew(const std::string& key, const proto::RemotePtr& ptr);
+  [[nodiscard]] std::uint64_t current_epoch() const {
+    return epoch_source_ ? epoch_source_() : 0;
+  }
 
   fabric::Fabric& fabric_;
   NodeId node_;
@@ -178,6 +193,7 @@ class Client : public sim::Actor {
   std::shared_ptr<RemotePtrCache> cache_;
   Resolver resolver_;
   Connector connector_;
+  EpochSource epoch_source_;
 
   std::vector<std::byte> resp_region_;
   fabric::MemoryRegion* resp_mr_;

@@ -1,0 +1,32 @@
+#include "cluster/migration.hpp"
+
+namespace hydra::cluster {
+
+MigrationPlan plan_add(const ConsistentHashRing& current, ShardId subject) {
+  MigrationPlan plan;
+  plan.kind = MigrationKind::kAdd;
+  plan.subject = subject;
+  plan.before = current;
+  plan.after = current;
+  plan.after.add_shard(subject);
+  for (const ShardId src : current.shards()) {
+    if (src == subject) continue;
+    plan.flows.push_back({src, subject});
+  }
+  return plan;
+}
+
+MigrationPlan plan_drain(const ConsistentHashRing& current, ShardId subject) {
+  MigrationPlan plan;
+  plan.kind = MigrationKind::kDrain;
+  plan.subject = subject;
+  plan.before = current;
+  plan.after = current;
+  plan.after.remove_shard(subject);
+  for (const ShardId dst : plan.after.shards()) {
+    plan.flows.push_back({subject, dst});
+  }
+  return plan;
+}
+
+}  // namespace hydra::cluster

@@ -1,0 +1,65 @@
+// Live-migration planning (DESIGN.md §9): the pure routing arithmetic of an
+// elastic membership change, separated from the actors that execute it.
+//
+// A migration is a transition between two consistent-hash rings -- the
+// current one ("before") and the one that will be committed when the data
+// has moved ("after"). Every key whose owner differs between the two rings
+// is *moving*; each (source, destination) pair with moving keys is a
+// *flow*. The plan answers the questions the executor keeps asking --
+// "is this key moving?", "which flow carries it?" -- from immutable ring
+// copies, so the answers stay stable for the whole protocol even while the
+// live ring is later mutated by the commit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "common/types.hpp"
+
+namespace hydra::cluster {
+
+enum class MigrationKind : std::uint8_t {
+  kAdd,    ///< a new shard joins and takes ~1/N of every existing shard
+  kDrain,  ///< a shard leaves; its ranges scatter over the survivors
+};
+
+/// One directed bulk-transfer lane. Add-migrations have one flow per
+/// existing shard (all toward the subject); drains have one flow per
+/// surviving shard (all out of the subject).
+struct MigrationFlowSpec {
+  ShardId src = kInvalidShard;
+  ShardId dst = kInvalidShard;
+};
+
+struct MigrationPlan {
+  MigrationKind kind = MigrationKind::kAdd;
+  ShardId subject = kInvalidShard;  ///< the shard being added or drained
+  ConsistentHashRing before;        ///< routing at protocol start
+  ConsistentHashRing after;         ///< routing once committed
+  std::vector<MigrationFlowSpec> flows;
+
+  /// Key ownership changes between the two rings.
+  [[nodiscard]] bool moving(std::uint64_t key_hash) const {
+    return before.owner(key_hash) != after.owner(key_hash);
+  }
+  /// Key currently lives at `src` and is leaving it.
+  [[nodiscard]] bool moving_from(ShardId src, std::uint64_t key_hash) const {
+    return before.owner(key_hash) == src && after.owner(key_hash) != src;
+  }
+  [[nodiscard]] ShardId source_of(std::uint64_t key_hash) const {
+    return before.owner(key_hash);
+  }
+  [[nodiscard]] ShardId target_of(std::uint64_t key_hash) const {
+    return after.owner(key_hash);
+  }
+};
+
+/// Plan adding `subject` (must not be in `current`).
+[[nodiscard]] MigrationPlan plan_add(const ConsistentHashRing& current, ShardId subject);
+
+/// Plan draining `subject` (must be in `current`, which must keep >= 1
+/// other shard).
+[[nodiscard]] MigrationPlan plan_drain(const ConsistentHashRing& current, ShardId subject);
+
+}  // namespace hydra::cluster

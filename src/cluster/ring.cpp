@@ -1,5 +1,7 @@
 #include "cluster/ring.hpp"
 
+#include <algorithm>
+
 #include "common/hash.hpp"
 
 namespace hydra::cluster {
@@ -12,18 +14,32 @@ std::uint64_t vnode_point(ShardId shard, int replica) noexcept {
 
 }  // namespace
 
+std::uint64_t ConsistentHashRing::point(ShardId shard, int replica) const {
+  return point_fn_ ? point_fn_(shard, replica) : vnode_point(shard, replica);
+}
+
 void ConsistentHashRing::add_shard(ShardId shard) {
   if (shards_.contains(shard)) return;
   shards_[shard] = vnodes_;
-  for (int i = 0; i < vnodes_; ++i) points_.emplace(vnode_point(shard, i), shard);
+  for (int i = 0; i < vnodes_; ++i) {
+    std::vector<ShardId>& at = points_[point(shard, i)];
+    // Ascending insert keeps the tie-break (lowest ShardId wins) an
+    // invariant of the structure rather than a lookup-time decision.
+    at.insert(std::upper_bound(at.begin(), at.end(), shard), shard);
+  }
   ++version_;
 }
 
 void ConsistentHashRing::remove_shard(ShardId shard) {
   if (shards_.erase(shard) == 0) return;
   for (int i = 0; i < vnodes_; ++i) {
-    auto it = points_.find(vnode_point(shard, i));
-    if (it != points_.end() && it->second == shard) points_.erase(it);
+    auto it = points_.find(point(shard, i));
+    if (it == points_.end()) continue;
+    std::vector<ShardId>& at = it->second;
+    at.erase(std::remove(at.begin(), at.end(), shard), at.end());
+    // A collision runner-up (next-lowest ShardId) inherits the point; the
+    // point disappears only when no shard hashes there anymore.
+    if (at.empty()) points_.erase(it);
   }
   ++version_;
 }
@@ -32,7 +48,7 @@ ShardId ConsistentHashRing::owner(std::uint64_t key_hash) const noexcept {
   if (points_.empty()) return kInvalidShard;
   auto it = points_.lower_bound(key_hash);
   if (it == points_.end()) it = points_.begin();  // wrap around
-  return it->second;
+  return it->second.front();
 }
 
 bool ConsistentHashRing::contains(ShardId shard) const noexcept {

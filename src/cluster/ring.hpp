@@ -3,9 +3,16 @@
 // Clients locate the shard owning a key from the 64-bit hash of the key
 // (paper section 4). Virtual nodes smooth the load distribution; the ring
 // carries a version so clients can detect stale routing after failover.
+//
+// Vnode hash collisions (two shards hashing to the same ring point) are
+// resolved deterministically: the lowest ShardId serves the point, and the
+// runner-up takes over when the winner is removed. Without the tie-break,
+// ownership of a contested point depended on insertion order, so two rings
+// built from the same shard set could disagree on routing.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -15,8 +22,12 @@ namespace hydra::cluster {
 
 class ConsistentHashRing {
  public:
-  explicit ConsistentHashRing(int vnodes_per_shard = 64)
-      : vnodes_(vnodes_per_shard) {}
+  /// Maps (shard, vnode replica) to a ring point. Injectable so collision
+  /// handling is testable (64-bit collisions are otherwise unreachable).
+  using PointFn = std::function<std::uint64_t(ShardId shard, int replica)>;
+
+  explicit ConsistentHashRing(int vnodes_per_shard = 64, PointFn point_fn = nullptr)
+      : vnodes_(vnodes_per_shard), point_fn_(std::move(point_fn)) {}
 
   void add_shard(ShardId shard);
   void remove_shard(ShardId shard);
@@ -30,8 +41,12 @@ class ConsistentHashRing {
   [[nodiscard]] std::vector<ShardId> shards() const;
 
  private:
+  [[nodiscard]] std::uint64_t point(ShardId shard, int replica) const;
+
   int vnodes_;
-  std::map<std::uint64_t, ShardId> points_;
+  PointFn point_fn_;
+  /// Shards hashing to each point, ascending: front() serves the point.
+  std::map<std::uint64_t, std::vector<ShardId>> points_;
   std::map<ShardId, int> shards_;
   std::uint64_t version_ = 0;
 };

@@ -41,6 +41,7 @@ enum class Status : std::uint8_t {
   kDisconnected,    ///< queue pair to the peer is in error state
   kInvalidArgument, ///< malformed request (e.g. oversized key)
   kRetry,           ///< transient condition, caller should re-issue
+  kWrongOwner,      ///< shard no longer owns the key's range (re-resolve route)
 };
 
 constexpr std::string_view to_string(Status s) noexcept {
@@ -56,6 +57,7 @@ constexpr std::string_view to_string(Status s) noexcept {
     case Status::kDisconnected: return "DISCONNECTED";
     case Status::kInvalidArgument: return "INVALID_ARGUMENT";
     case Status::kRetry: return "RETRY";
+    case Status::kWrongOwner: return "WRONG_OWNER";
   }
   return "UNKNOWN";
 }

@@ -67,6 +67,11 @@ HydraCluster::HydraCluster(ClusterOptions opts)
   // --- SWAT -----------------------------------------------------------------
   if (opts_.enable_swat) swat_ = std::make_unique<SwatTeam>(*this, opts_.swat_members);
 
+  // --- migration ------------------------------------------------------------
+  // Always present but event-silent until add_shard_live()/drain_shard_live()
+  // starts a protocol, so it cannot perturb non-migrating histories.
+  migration_ = std::make_unique<MigrationManager>(*this);
+
   // --- clients ---------------------------------------------------------------
   const int total_clients =
       static_cast<int>(client_node_ids_.size()) * opts_.clients_per_node;
@@ -137,6 +142,8 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "responses").set(st->responses);
     reg.counter(p + "batched_responses").set(st->batched_responses);
     reg.counter(p + "malformed").set(st->malformed);
+    reg.counter(p + "wrong_owner").set(st->wrong_owner);
+    reg.counter(p + "forwarded").set(st->forwarded);
     reg.counter(p + "busy_time_ns").set(st->busy_time);
     reg.gauge(p + "generation").set(primaries_[s].generation);
     if (primaries_[s].primary != nullptr &&
@@ -160,6 +167,8 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "removes").set(cs.removes);
     reg.counter(p + "ptr_hits").set(cs.ptr_hits);
     reg.counter(p + "ptr_misses").set(cs.ptr_misses);
+    reg.counter(p + "epoch_invalidations").set(cs.epoch_invalidations);
+    reg.counter(p + "wrong_owner_redirects").set(cs.wrong_owner_redirects);
     reg.counter(p + "timeouts").set(cs.timeouts);
     reg.counter(p + "retries").set(cs.retries);
     reg.counter(p + "failures").set(cs.failures);
@@ -168,6 +177,16 @@ void HydraCluster::export_metrics() {
   }
   reg.gauge("cluster.routing_epoch").set(static_cast<std::int64_t>(routing_epoch_));
   reg.counter("cluster.failovers").set(failovers());
+  if (migration_ != nullptr) {
+    const MigrationStats& ms = migration_->stats();
+    reg.counter("cluster.migration.started").set(ms.started);
+    reg.counter("cluster.migration.completed").set(ms.completed);
+    reg.counter("cluster.migration.aborted").set(ms.aborted);
+    reg.counter("cluster.migration.flow_restarts").set(ms.flow_restarts);
+    reg.counter("cluster.migration.keys_moved").set(ms.keys_moved);
+    reg.counter("cluster.migration.bytes_moved").set(ms.bytes_moved);
+    reg.counter("cluster.migration.forwarded").set(ms.forwarded);
+  }
 }
 
 void HydraCluster::spawn_primary(ShardId id, NodeId node,
@@ -183,6 +202,11 @@ void HydraCluster::spawn_primary(ShardId id, NodeId node,
     slot.primary =
         std::make_unique<server::Shard>(sched_, fabric_, node, cfg, std::move(store));
     slot.primary->enable_replication(opts_.replication);
+    // Epoch fencing at the message path: every request is checked against
+    // the *live* ring, so a client routed by stale metadata is redirected
+    // instead of silently served by a shard that lost the range.
+    slot.primary->set_owner_filter(
+        [this, id](std::uint64_t key_hash) { return shard_owns(id, key_hash); });
   }
   slot.node = node;
   ++slot.generation;
@@ -230,6 +254,10 @@ void HydraCluster::start_heartbeat(ShardId id) {
 
 void HydraCluster::wire_client(client::Client& c) {
   c.set_resolver([this](std::uint64_t key_hash) { return ring_.owner(key_hash); });
+  // Pull-based epoch subscription: the client reads the current routing
+  // epoch synchronously before every one-sided read, so there is no
+  // publish-latency window in which a fenced primary's rkey can be read.
+  c.set_epoch_source([this] { return routing_epoch_; });
   c.set_connector([this](ShardId shard, client::Client& self, fabric::RemoteAddr resp_slot,
                          std::uint32_t resp_bytes, std::uint32_t window,
                          client::ShardConnection* out) {
@@ -405,6 +433,9 @@ std::uint64_t HydraCluster::failovers() const noexcept {
 bool HydraCluster::promote_secondary(ShardId id) {
   if (id >= primaries_.size()) return false;
   ShardSlot& slot = primaries_[id];
+  // A retired shard's znode deletion is expected teardown, not a death to
+  // react to; promoting it would resurrect a drained range.
+  if (slot.retired) return false;
   const bool primary_running = slot.primary != nullptr && slot.primary->alive();
   if (primary_running && coordinator_->session_alive(slot.session)) {
     // Duplicate or stale death event (e.g. the watch for a znode the new
@@ -517,6 +548,63 @@ void HydraCluster::spawn_secondary(ShardId id) {
                      sec_node);
   }
   slot.secondaries.push_back(std::move(secondary));
+}
+
+// ---------------------------------------------------------------- migration
+
+bool HydraCluster::shard_owns(ShardId id, std::uint64_t key_hash) const {
+  // Consult the *live* ring, not a snapshot: after a migration commits, the
+  // old owner rejects moved keys with no further bookkeeping, and a shard
+  // that later regains a range starts accepting it again automatically.
+  if (ring_.owner(key_hash) != id) return false;
+  return !(migration_ != nullptr && migration_->sealed_rejects(id, key_hash));
+}
+
+ShardId HydraCluster::add_shard_live() {
+  if (opts_.pipelined_servers || migration_->active()) return kInvalidShard;
+  const auto id = static_cast<ShardId>(primaries_.size());
+  // Elastic scale-out: the newcomer gets its own fresh machine, like a node
+  // joining the paper's testbed.
+  const NodeId node =
+      fabric_.add_node("server-" + std::to_string(server_node_ids_.size())).id();
+  server_node_ids_.push_back(node);
+  primaries_.emplace_back();
+  primaries_.back().node = node;
+  spawn_primary(id, node, nullptr);
+  for (int r = 0; r < opts_.replicas; ++r) spawn_secondary(id);
+  if (!migration_->begin_add(id)) {
+    retire_shard(id);
+    return kInvalidShard;
+  }
+  return id;
+}
+
+bool HydraCluster::drain_shard_live(ShardId victim) {
+  if (opts_.pipelined_servers || migration_->active()) return false;
+  if (victim >= primaries_.size() || primaries_[victim].retired) return false;
+  return migration_->begin_drain(victim);
+}
+
+void HydraCluster::retire_shard(ShardId id) {
+  if (id >= primaries_.size()) return;
+  ShardSlot& slot = primaries_[id];
+  if (slot.retired) return;
+  // Mark first: the session close below deletes the ephemeral znode, which
+  // wakes SWAT, whose promotion attempt must see the retired flag.
+  slot.retired = true;
+  HYDRA_INFO("retiring shard %u", id);
+  coordinator_->close_session(slot.session);
+  const std::string path = "/shards/" + std::to_string(id) + "/primary";
+  if (coordinator_->exists(path)) coordinator_->remove(path);
+  for (auto& sec : slot.secondaries) {
+    sec->kill();
+    graveyard_.push_back(std::move(sec));
+  }
+  slot.secondaries.clear();
+  if (slot.primary != nullptr) {
+    slot.primary->kill();
+    graveyard_.push_back(std::move(slot.primary));
+  }
 }
 
 }  // namespace hydra::db

@@ -17,6 +17,7 @@
 #include "client/client.hpp"
 #include "cluster/coordinator.hpp"
 #include "cluster/ring.hpp"
+#include "hydradb/migration.hpp"
 #include "fabric/fabric.hpp"
 #include "obs/plane.hpp"
 #include "replication/primary.hpp"
@@ -133,11 +134,36 @@ class HydraCluster {
     return id < primaries_.size() ? primaries_[id].generation : 0;
   }
 
+  // --- elastic membership (DESIGN.md §9) -----------------------------------
+  /// Spawns a brand-new shard (own machine, configured replica count) and
+  /// starts migrating ~1/N of every existing shard's keys toward it while
+  /// the cluster keeps serving. The shard joins the ring -- and the routing
+  /// epoch is bumped -- only when the copy has been sealed and merged.
+  /// Returns kInvalidShard when a migration is already running (one at a
+  /// time) or the cluster runs pipelined comparator shards.
+  ShardId add_shard_live();
+  /// Starts draining every key off `victim` onto the surviving shards; the
+  /// victim leaves the ring and is retired at commit. False when the shard
+  /// cannot be drained (unknown, retired, last shard, migration running).
+  bool drain_shard_live(ShardId victim);
+  [[nodiscard]] bool migration_active() const noexcept {
+    return migration_ != nullptr && migration_->active();
+  }
+  [[nodiscard]] const MigrationStats& migration_stats() const noexcept {
+    return migration_->stats();
+  }
+  /// True when `id` was drained (or its add-migration aborted) and no
+  /// longer participates in the cluster.
+  [[nodiscard]] bool shard_retired(ShardId id) const noexcept {
+    return id < primaries_.size() && primaries_[id].retired;
+  }
+
   /// Runs the simulator for `d` of virtual time.
   void run_for(Duration d) { sched_.run_for(d); }
 
  private:
   friend class SwatTeam;
+  friend class MigrationManager;
 
   struct ShardSlot {
     std::unique_ptr<server::Shard> primary;
@@ -147,6 +173,8 @@ class HydraCluster {
     cluster::SessionId session = 0;
     std::uint32_t generation = 0;
     Time heartbeat_muted_until = 0;  ///< chaos: skip heartbeats until then
+    /// Drained out of the cluster: never promoted, never reconnected.
+    bool retired = false;
   };
 
   void spawn_primary(ShardId id, NodeId node, std::unique_ptr<core::KVStore> store);
@@ -163,6 +191,12 @@ class HydraCluster {
   /// Invoked by SWAT. Returns false when there is nothing to do (primary
   /// still alive -- duplicate event) or nothing to promote.
   bool promote_secondary(ShardId id);
+  /// Epoch-fencing predicate every primary's owner filter consults: the
+  /// *live* ring owns the key and no migration seal excludes it.
+  [[nodiscard]] bool shard_owns(ShardId id, std::uint64_t key_hash) const;
+  /// Permanently removes a shard from the cluster (drain commit / add
+  /// abort): closes its session, reaps its znode, buries its processes.
+  void retire_shard(ShardId id);
 
   ClusterOptions opts_;
   sim::Scheduler sched_;
@@ -171,6 +205,7 @@ class HydraCluster {
   std::vector<NodeId> client_node_ids_;
   std::unique_ptr<cluster::Coordinator> coordinator_;
   std::unique_ptr<SwatTeam> swat_;
+  std::unique_ptr<MigrationManager> migration_;
   cluster::ConsistentHashRing ring_;
   std::vector<ShardSlot> primaries_;
   std::uint64_t routing_epoch_ = 0;

@@ -32,6 +32,12 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kEpochPublished: return "epoch_published";
     case TraceKind::kSecondaryRespawned: return "secondary_respawned";
     case TraceKind::kPromotionDone: return "promotion_done";
+    case TraceKind::kMigrationStart: return "migration_start";
+    case TraceKind::kMigrationCopied: return "migration_copied";
+    case TraceKind::kMigrationSealed: return "migration_sealed";
+    case TraceKind::kMigrationDone: return "migration_done";
+    case TraceKind::kMigrationAborted: return "migration_aborted";
+    case TraceKind::kMigrationRestarted: return "migration_restarted";
     case TraceKind::kFaultInjected: return "fault_injected";
   }
   return "unknown";

@@ -51,6 +51,14 @@ enum class TraceKind : std::uint8_t {
   kEpochPublished,       ///< routing epoch bumped + written to /routing/version (a=epoch)
   kSecondaryRespawned,   ///< replacement replica spawned + bootstrap-copied
   kPromotionDone,        ///< promotion finished; shard serving again
+  // Live migration (DESIGN.md §9); `shard` is the migration subject (the
+  // shard being added or drained) unless noted.
+  kMigrationStart,     ///< protocol began (a=0 add / 1 drain, b=flow count)
+  kMigrationCopied,    ///< one flow's snapshot fully posted (shard=src, a=keys, b=dst)
+  kMigrationSealed,    ///< dual-ownership window closed; sources reject moved keys
+  kMigrationDone,      ///< ring + epoch committed (a=keys moved, b=bytes moved)
+  kMigrationAborted,   ///< protocol gave up (a=abort reason code)
+  kMigrationRestarted, ///< a flow rebuilt after a mid-migration crash (shard=src)
   // Chaos.
   kFaultInjected,    ///< chaos fault applied (a=chaos::FaultKind, b=index)
 };

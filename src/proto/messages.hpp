@@ -38,6 +38,11 @@ struct RemotePtr {
   std::uint64_t lease_expiry = 0;
   std::uint64_t version = 0;
   ShardId shard = kInvalidShard;
+  /// Routing epoch the pointer was cached under. Client-side only (never on
+  /// the wire): stamped at cache-insert time and compared against the
+  /// current epoch before every one-sided read, so a promotion or migration
+  /// invalidates every pointer leased under the old ownership map.
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] bool valid() const noexcept { return total_len != 0; }
 };

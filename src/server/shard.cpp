@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "obs/plane.hpp"
 
@@ -94,6 +95,8 @@ Shard::AcceptResult Shard::accept_send_recv(fabric::QueuePair* server_qp, Client
 void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
   replicator_ = std::make_unique<replication::ReplicationPrimary>(*this, fabric_, node_, rep_cfg);
 }
+
+std::uint32_t Shard::arena_rkey() const noexcept { return arena_mr_->rkey(); }
 
 void Shard::on_request_write(std::uint64_t offset) {
   const auto idx = static_cast<std::uint32_t>(offset / conn_stride());
@@ -188,6 +191,23 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
   Duration cost = cost_so_far;
   bool replicate = false;
 
+  const std::uint64_t key_hash =
+      (owner_filter_ || migration_forward_) ? hash_key(req.key) : 0;
+  if (owner_filter_ && !owner_filter_(key_hash)) {
+    // Epoch fencing: this shard no longer (or does not yet) own the key's
+    // range. Answer without touching the store -- serving the request would
+    // split ownership with the range's new home.
+    ++stats_.wrong_owner;
+    resp.status = Status::kWrongOwner;
+    cost += batched ? cpu.post_response_batched : cpu.post_response;
+    charge(cost);
+    schedule_after(cost, [this, resp = std::move(resp), conn_idx, slot, batched] {
+      send_response(resp, conn_idx, slot, batched);
+      process_loop();
+    });
+    return;
+  }
+
   switch (req.type) {
     case proto::MsgType::kGet: {
       cost += cpu.base_get;
@@ -260,6 +280,20 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
 
   cost += batched ? cpu.post_response_batched : cpu.post_response;
   schedule_gc();
+
+  if (replicate && migration_forward_ && forward_moving_(key_hash)) {
+    // Dual ownership: the write landed in a range currently being migrated
+    // away, so it also rides the migration flow's record ring. Copied
+    // before the replicator below moves the key/value out of the request.
+    proto::RepRecord fwd;
+    fwd.op = req.type == proto::MsgType::kRemove ? proto::MsgType::kRemove
+                                                 : proto::MsgType::kPut;
+    fwd.op_time = now();
+    fwd.key = req.key;
+    fwd.value = req.value;
+    ++stats_.forwarded;
+    migration_forward_(key_hash, std::move(fwd));
+  }
 
   if (replicate && replicator_ != nullptr && replicator_->secondary_count() > 0) {
     cost += replicator_->post_cost();

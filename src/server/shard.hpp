@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -32,6 +33,8 @@ struct ShardStats {
   std::uint64_t removes = 0;
   std::uint64_t renews = 0;
   std::uint64_t malformed = 0;
+  std::uint64_t wrong_owner = 0;  ///< requests rejected by the owner filter
+  std::uint64_t forwarded = 0;    ///< writes forwarded to a migration flow
   std::uint64_t responses = 0;
   std::uint64_t batched_responses = 0;  ///< responses sharing a sweep's doorbell
   Duration busy_time = 0;  ///< virtual CPU time charged to this core
@@ -73,6 +76,34 @@ class Shard : public sim::Actor {
   [[nodiscard]] replication::ReplicationPrimary* replicator() noexcept {
     return replicator_.get();
   }
+
+  // --- ownership + live migration (DESIGN.md §9) ---------------------------
+  using KeyPredicate = std::function<bool(std::uint64_t key_hash)>;
+  using MigrationForward =
+      std::function<void(std::uint64_t key_hash, proto::RepRecord rec)>;
+
+  /// Epoch fencing at the message path: when set and `owns(hash)` is false,
+  /// keyed requests answer kWrongOwner without touching the store, so a
+  /// client routed by a stale ring re-resolves instead of reading or
+  /// writing a range this shard no longer serves. Null accepts everything.
+  void set_owner_filter(KeyPredicate owns) { owner_filter_ = std::move(owns); }
+
+  /// Dual-ownership catch-up: while a migration is copying this shard's
+  /// moving range, every successfully applied write whose key satisfies
+  /// `moving` is also handed to `forward` (which replicates it down the
+  /// migration flow), so updates racing the bulk copy are never lost.
+  void set_migration_forward(KeyPredicate moving, MigrationForward forward) {
+    forward_moving_ = std::move(moving);
+    migration_forward_ = std::move(forward);
+  }
+  void clear_migration_forward() {
+    forward_moving_ = nullptr;
+    migration_forward_ = nullptr;
+  }
+
+  /// rkey of the item arena remote pointers reference (what clients RDMA
+  /// Read); exposed so tests can assert no read ever targets a stale rkey.
+  [[nodiscard]] std::uint32_t arena_rkey() const noexcept;
 
   // --- accessors -----------------------------------------------------------
   [[nodiscard]] ShardId id() const noexcept { return cfg_.id; }
@@ -147,6 +178,9 @@ class Shard : public sim::Actor {
   bool gc_scheduled_ = false;
 
   std::unique_ptr<replication::ReplicationPrimary> replicator_;
+  KeyPredicate owner_filter_;
+  KeyPredicate forward_moving_;
+  MigrationForward migration_forward_;
   ShardStats stats_;
 };
 

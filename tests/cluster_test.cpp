@@ -75,6 +75,98 @@ TEST(Ring, RemovalOnlyMovesTheRemovedShardsKeys) {
   }
 }
 
+// Adversarial vnode collisions via an injectable point function: every
+// shard's replica r lands on the same point, so ownership of each point is
+// pure tie-break. The lowest ShardId must win regardless of insertion
+// order, and the runner-up must inherit when the winner is removed.
+TEST(Ring, VnodeCollisionTieBreakIsLowestShardId) {
+  // All shards collide on every point: point depends only on the replica.
+  const auto collide = [](ShardId, int replica) {
+    return static_cast<std::uint64_t>(replica) * 0x0101010101010101ULL;
+  };
+  ConsistentHashRing ascending(4, collide);
+  ConsistentHashRing descending(4, collide);
+  for (ShardId s = 0; s < 4; ++s) ascending.add_shard(s);
+  for (ShardId s = 4; s-- > 0;) descending.add_shard(s);
+
+  for (std::uint64_t h = 0; h < 4096; h += 7) {
+    EXPECT_EQ(ascending.owner(h), 0u) << "lowest id must serve a contested point";
+    EXPECT_EQ(descending.owner(h), ascending.owner(h))
+        << "insertion order changed ownership of a contested point";
+  }
+
+  // Remove the winner: the runner-up (next-lowest id) inherits every point.
+  ascending.remove_shard(0);
+  for (std::uint64_t h = 0; h < 4096; h += 7) {
+    EXPECT_EQ(ascending.owner(h), 1u);
+  }
+  // Partial collisions: shards {2, 5} contest, 7 stands alone elsewhere.
+  const auto partial = [](ShardId shard, int replica) {
+    if (shard == 2 || shard == 5) return 1000ULL + static_cast<std::uint64_t>(replica);
+    return 500'000ULL + static_cast<std::uint64_t>(replica);
+  };
+  ConsistentHashRing mixed(2, partial);
+  mixed.add_shard(5);
+  mixed.add_shard(7);
+  mixed.add_shard(2);
+  EXPECT_EQ(mixed.owner(900), 2u);  // contested points: lowest of {2, 5}
+  mixed.remove_shard(2);
+  EXPECT_EQ(mixed.owner(900), 5u);  // runner-up inherits
+  mixed.remove_shard(5);
+  EXPECT_EQ(mixed.owner(900), 7u);  // wrap to the sole survivor
+}
+
+// The consistent-hashing contract the migration plan relies on: growing
+// N -> N+1 shards remaps ~1/(N+1) of the keyspace (all of it onto the new
+// shard), shrinking remaps exactly the victim's ~1/N share. 64k-key sample,
+// 50% relative tolerance (64 vnodes is a coarse smoother).
+TEST(Ring, RebalancingMovesAboutOneNth) {
+  constexpr int kShards = 8;
+  constexpr std::uint64_t kKeys = 64 * 1024;
+  ConsistentHashRing ring;
+  for (ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
+
+  std::vector<ShardId> before(kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) before[i] = ring.owner(mix64(i));
+
+  // --- grow: 8 -> 9 ---------------------------------------------------------
+  ring.add_shard(kShards);
+  std::uint64_t moved = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const ShardId now = ring.owner(mix64(i));
+    if (now != before[i]) {
+      ++moved;
+      EXPECT_EQ(now, static_cast<ShardId>(kShards))
+          << "key " << i << " moved between two surviving shards";
+    }
+  }
+  const double expect_grow = static_cast<double>(kKeys) / (kShards + 1);
+  EXPECT_GT(moved, static_cast<std::uint64_t>(expect_grow * 0.5)) << "moved " << moved;
+  EXPECT_LT(moved, static_cast<std::uint64_t>(expect_grow * 1.5)) << "moved " << moved;
+
+  // --- shrink back: 9 -> 8 --------------------------------------------------
+  ring.remove_shard(kShards);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(ring.owner(mix64(i)), before[i]) << "shrink did not restore key " << i;
+  }
+
+  // --- drain a founding member: 8 -> 7 --------------------------------------
+  ring.remove_shard(3);
+  std::uint64_t drained = 0;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    const ShardId now = ring.owner(mix64(i));
+    if (before[i] == 3) {
+      ++drained;
+      EXPECT_NE(now, 3u);
+    } else {
+      EXPECT_EQ(now, before[i]) << "key " << i << " moved although its shard survived";
+    }
+  }
+  const double expect_drain = static_cast<double>(kKeys) / kShards;
+  EXPECT_GT(drained, static_cast<std::uint64_t>(expect_drain * 0.5));
+  EXPECT_LT(drained, static_cast<std::uint64_t>(expect_drain * 1.5));
+}
+
 TEST(Ring, VersionBumpsOnMembershipChange) {
   ConsistentHashRing ring;
   const std::uint64_t v0 = ring.version();

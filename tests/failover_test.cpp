@@ -287,6 +287,76 @@ TEST(FailoverTimeline, TornAckRecoversThroughProbeThenAck) {
   EXPECT_FALSE(armed) << "fault never fired: no ack write was torn";
 }
 
+// THE headline regression: a promotion moves a shard's data to a different
+// node (different arena, different rkey), but a client may hold a cached
+// remote pointer into the fenced primary with seconds of lease left. The
+// lease check alone would happily post a one-sided read against the dead
+// arena. The epoch stamped into the pointer at cache time must be compared
+// against the live routing epoch before EVERY one-sided read, so after the
+// promotion publishes epoch N+1 not a single RDMA Read is posted against
+// the fenced primary's rkey.
+TEST(FailoverTimeline, NoRdmaReadAgainstFencedPrimaryRkey) {
+  obs::Plane plane;
+  auto opts = ha_options();
+  opts.obs = &plane;
+  db::HydraCluster cluster(opts);
+
+  const ShardId victim = 0;
+  std::string key;
+  for (int i = 0; i < 256; ++i) {
+    key = "hot-" + std::to_string(i);
+    if (cluster.owner_of(key) == victim) break;
+  }
+  ASSERT_EQ(cluster.owner_of(key), victim);
+  ASSERT_EQ(cluster.put(key, "v"), Status::kOk);
+
+  // Pump popularity so the minted lease far outlives the ~2.5s failover
+  // window -- the scenario where lease checking alone cannot save us.
+  auto* sh = cluster.shard(victim);
+  ASSERT_NE(sh, nullptr);
+  for (int i = 0; i < 6; ++i) {
+    (void)sh->store().get(key, cluster.scheduler().now(), /*grant_lease=*/true);
+  }
+  ASSERT_TRUE(cluster.get(key).has_value());  // mints + caches the pointer
+  cluster.run_for(10 * kMillisecond);
+
+  // Sanity: the cached pointer is live -- this GET is a one-sided read.
+  auto* cl = cluster.clients().front();
+  const std::uint64_t hits_before = cl->stats().ptr_hits;
+  ASSERT_EQ(*cluster.get(key), "v");
+  ASSERT_GT(cl->stats().ptr_hits, hits_before) << "RDMA-read path never engaged";
+  const std::uint32_t fenced_rkey = sh->arena_rkey();
+
+  cluster.crash_primary(victim);
+  cluster.run_for(5 * kSecond);
+  ASSERT_EQ(cluster.failovers(), 1u);
+  const auto epoch = plane.query().last(obs::TraceKind::kEpochPublished);
+  ASSERT_TRUE(epoch.has_value());
+
+  // Post-promotion GETs: correct value, stale pointer invalidated, and zero
+  // reads posted against the fenced rkey after the epoch bump.
+  const std::uint64_t invalidations_before = cl->stats().epoch_invalidations;
+  ASSERT_EQ(*cluster.get(key), "v");
+  ASSERT_EQ(*cluster.get(key), "v");
+  EXPECT_GT(cl->stats().epoch_invalidations, invalidations_before)
+      << "the epoch check never fired for the stale pointer";
+
+  const auto q = plane.query();
+  std::size_t stale_reads = 0;
+  std::size_t pre_crash_reads = 0;
+  for (const auto& rec : q.of(obs::TraceKind::kReadPosted)) {
+    if (rec.b != fenced_rkey) continue;
+    if (rec.seq > epoch->seq) {
+      ++stale_reads;
+    } else {
+      ++pre_crash_reads;
+    }
+  }
+  EXPECT_GT(pre_crash_reads, 0u) << "test vacuous: key was never RDMA-read";
+  EXPECT_EQ(stale_reads, 0u)
+      << stale_reads << " one-sided reads posted against the fenced rkey";
+}
+
 TEST(Failover, MultipleIndependentShardFailovers) {
   auto opts = ha_options();
   opts.server_nodes = 3;

@@ -308,6 +308,56 @@ TEST(ClientUnit, RenewLeaseRefreshesCachedPointer) {
   EXPECT_GT(after.lease_expiry, before.lease_expiry);
 }
 
+// Boundary audit of the lease check guarding one-sided reads. The client
+// assumes a read takes up to lease_safety_margin to complete, so the
+// contract is strict: a lease with expiry > now + margin may be read; one
+// expiring EXACTLY at now + margin counts as expired (the read could land
+// at the instant the server reclaims the item) and must take the message
+// path. This pins `>` so a refactor to `>=` fails loudly.
+TEST(ClientUnit, LeaseExpiringExactlyAtMarginTakesMessagePath) {
+  auto opts = tiny();
+  opts.client_template.auto_renew = false;  // nothing may silently extend leases
+  db::HydraCluster cluster(opts);
+  auto* c = cluster.clients()[0];
+  const Duration margin = opts.client_template.lease_safety_margin;
+
+  // --- one tick inside the boundary: the read is allowed -------------------
+  cluster.put("k", "v");
+  ASSERT_TRUE(cluster.get("k").has_value());  // mints + caches the pointer
+  proto::RemotePtr ptr;
+  ASSERT_TRUE(c->pointer_cache().get(hash_key("k"), &ptr));
+  ASSERT_GT(ptr.lease_expiry, cluster.scheduler().now() + margin);
+
+  cluster.scheduler().run_until(ptr.lease_expiry - margin - 1);
+  const auto hits_before = c->stats().ptr_hits;
+  ASSERT_EQ(*cluster.get("k"), "v");
+  EXPECT_EQ(c->stats().ptr_hits, hits_before + 1)
+      << "a lease with margin + 1ns remaining must still be RDMA-readable";
+
+  // --- exactly at the boundary: the read is forbidden ----------------------
+  cluster.put("k2", "v2");
+  ASSERT_TRUE(cluster.get("k2").has_value());
+  proto::RemotePtr ptr2;
+  ASSERT_TRUE(c->pointer_cache().get(hash_key("k2"), &ptr2));
+  ASSERT_GT(ptr2.lease_expiry, cluster.scheduler().now() + margin);
+
+  cluster.scheduler().run_until(ptr2.lease_expiry - margin);
+  const auto hits2 = c->stats().ptr_hits;
+  const auto misses2 = c->stats().ptr_misses;
+  Status st = Status::kTimeout;
+  std::string val;
+  c->get("k2", [&](Status s, std::string_view v) {
+    st = s;
+    val = std::string(v);
+  });
+  cluster.run_for(10 * kMillisecond);
+  EXPECT_EQ(st, Status::kOk);  // the message-path fallback still answers
+  EXPECT_EQ(val, "v2");
+  EXPECT_EQ(c->stats().ptr_hits, hits2)
+      << "read posted against a lease expiring exactly at now + margin";
+  EXPECT_EQ(c->stats().ptr_misses, misses2 + 1);
+}
+
 TEST(ClientUnit, TimeoutAgainstDeadClusterGivesUpWithStatus) {
   auto opts = tiny();
   opts.client_template.request_timeout = 200 * kMicrosecond;
