@@ -24,3 +24,12 @@ esac
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" -j "$(nproc)" "$@"
+
+# Under a sanitizer, also smoke the connection-scalability path (DESIGN.md
+# §10) at ~5k muxed clients: enough to exercise the shared-ring demux,
+# credit waits and the reaper with sanitizer instrumentation live, without
+# the cost of the full 100k sweep.
+if [[ "$preset" != default ]]; then
+  "build-$preset/bench/bench_fig12_scalability" \
+    --clients=5000 --mux --json="build-$preset/BENCH_fig12_smoke.json"
+fi

@@ -24,6 +24,7 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kDropAckWrite: return "drop-ack-write";
     case FaultKind::kSuppressHeartbeats: return "suppress-heartbeats";
     case FaultKind::kFailApply: return "fail-apply";
+    case FaultKind::kKillMuxChannel: return "kill-mux-channel";
   }
   return "unknown";
 }
@@ -154,6 +155,23 @@ std::vector<ChaosSchedule> ChaosSchedule::scripted() {
     out.push_back(std::move(s));
   }
   {
+    // The shared mux QP carrying every co-located client's traffic dies
+    // abruptly -- twice -- while PUTs are on the wire. The mux layer is not
+    // told; endpoints must discover the corpse by timeout, tear the channel
+    // down, re-establish lazily and retransmit. No acked write may be lost.
+    ChaosSchedule s;
+    s.name = "mux-channel-kill-mid-put";
+    s.ops = 40;
+    s.mode = ReplicationMode::kLogRelaxed;
+    s.replicas = 1;
+    s.mux = true;
+    s.faults.push_back({.kind = FaultKind::kKillMuxChannel, .at_op = 10,
+                        .delay = 2 * kMicrosecond});
+    s.faults.push_back({.kind = FaultKind::kKillMuxChannel, .at_op = 25,
+                        .delay = 2 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
     // The SWAT leader is a corpse (znode lingering until session expiry)
     // when the primary's death event arrives -- the leadership-gap window.
     // The pending-death set must hold the event until member 1 takes over.
@@ -262,6 +280,7 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed,
   // Patient enough to ride through a failover, quick enough to retry often.
   opts.client_template.request_timeout = 100 * kMillisecond;
   opts.client_template.max_retries = 100;
+  opts.mux_connections = plan.mux;
   opts.obs = plane;
 
   db::HydraCluster cluster(opts);
@@ -368,6 +387,12 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed,
         }
         break;
       }
+      case FaultKind::kKillMuxChannel:
+        // Abrupt shared-QP death: the mux layer is NOT notified. Any write
+        // in flight on the channel flushes without committing; endpoints
+        // discover the corpse by timeout and re-establish lazily.
+        cluster.kill_mux_channel(f.index, f.shard);
+        break;
     }
   };
 

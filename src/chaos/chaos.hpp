@@ -40,6 +40,7 @@ enum class FaultKind : std::uint8_t {
   kDropAckWrite,        ///< next ack RDMA write commits nothing
   kSuppressHeartbeats,  ///< mute a primary's coordinator heartbeats
   kFailApply,           ///< inject replica apply failures (forces rollback)
+  kKillMuxChannel,      ///< abruptly kill a client node's shared mux QP
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
@@ -64,6 +65,9 @@ struct ChaosSchedule {
   replication::ReplicationMode mode = replication::ReplicationMode::kLogRelaxed;
   int replicas = 1;
   int swat_members = 2;
+  /// Run the workload over QP-multiplexed connections (DESIGN.md §10);
+  /// required by kKillMuxChannel faults.
+  bool mux = false;
 
   /// The scripted families covering every fault point the issue names:
   /// primary kill mid-PUT and mid-rollback, secondary kill mid-replay,

@@ -119,6 +119,13 @@ void Client::renew_lease(std::string key, OpCallback cb) {
 void Client::try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr,
                            PendingOp op) {
   Conn* conn = connection_to(ptr.shard);
+  if (conn != nullptr && conn->wire.mux &&
+      !conn->wire.mux_node->live(ptr.shard, conn->wire.mux_generation)) {
+    // The shared channel this endpoint registered against was reclaimed;
+    // its QP may already carry someone else's traffic. Re-establish first.
+    drop_connection(ptr.shard);
+    conn = nullptr;
+  }
   if (conn == nullptr) {
     ++stats_.ptr_misses;
     submit(std::move(op));
@@ -213,7 +220,14 @@ void Client::drop_connection(ShardId shard) {
   auto it = conns_.find(shard);
   if (it == conns_.end()) return;
   Conn& conn = *it->second;
-  for (Slot& s : conn.slots) scheduler().cancel(s.timeout);
+  for (Slot& s : conn.slots) {
+    scheduler().cancel(s.timeout);
+    if (s.busy && s.holds_ring_slot && conn.wire.mux && conn.wire.mux_node != nullptr) {
+      // Return credits still held on a live channel (no-op if the channel
+      // itself died -- teardown already recycled them).
+      conn.wire.mux_node->release(shard, conn.wire.mux_generation, s.mux_ring_slot);
+    }
+  }
   // Scrub the response ring so a later connection reusing this block never
   // sees a stale landed frame.
   for (std::uint32_t s = 0; s < cfg_.window; ++s) {
@@ -284,6 +298,28 @@ void Client::post_slot(ShardId shard, std::uint32_t slot_idx) {
   if (it == conns_.end()) return;
   Conn& conn = *it->second;
   Slot& slot = conn.slots[slot_idx];
+
+  if (conn.wire.mux) {
+    // Mux path: the request travels the node's shared ring, enveloped so
+    // the shard can route the response back to this endpoint's slot.
+    const proto::MuxHeader hdr{conn.wire.endpoint, slot_idx};
+    const auto payload = proto::encode_mux_request(hdr, slot.op.req);
+    const std::size_t framed_size = proto::frame_size(payload.size());
+    if (framed_size > conn.wire.req_slot_bytes) {
+      PendingOp op = std::move(slot.op);
+      slot.busy = false;
+      --conn.in_flight;
+      complete(op, Status::kInvalidArgument, {});
+      return;
+    }
+    std::vector<std::byte> frame(framed_size);
+    proto::encode_frame(frame, payload);
+    schedule_after(cfg_.issue_cost, [this, shard, slot_idx, frame = std::move(frame)]() mutable {
+      post_mux_slot(shard, slot_idx, std::move(frame));
+    });
+    return;
+  }
+
   const auto payload = proto::encode_request(slot.op.req);
 
   if (conn.wire.send_recv) {
@@ -322,6 +358,73 @@ void Client::post_slot(ShardId shard, std::uint32_t slot_idx) {
     c.slots[slot_idx].timeout =
         schedule_after(cfg_.request_timeout, [this, shard] { on_timeout(shard); });
   });
+}
+
+void Client::post_mux_slot(ShardId shard, std::uint32_t slot_idx,
+                           std::vector<std::byte> frame) {
+  auto it = conns_.find(shard);
+  if (it == conns_.end() || slot_idx >= it->second->slots.size()) return;
+  Conn& conn = *it->second;
+  if (!conn.slots[slot_idx].busy) return;
+  // Claim a shared-ring credit (SRQ-style flow control). A full ring parks
+  // us on the channel's waiter list; a dead channel hands back nullptr and
+  // the op re-submits through a freshly established channel.
+  conn.wire.mux_node->acquire(
+      shard, conn.wire.mux_generation,
+      guard([this, shard, slot_idx, frame = std::move(frame)](NodeMux::Channel* ch,
+                                                              std::uint32_t ring_slot) {
+        auto cit = conns_.find(shard);
+        if (cit == conns_.end() || slot_idx >= cit->second->slots.size() ||
+            !cit->second->slots[slot_idx].busy) {
+          // The logical connection vanished while we waited for a credit;
+          // return it so the pool is not leaked a slot.
+          if (ch != nullptr) {
+            ch->slot_busy[ring_slot] = false;
+            if (ch->in_flight > 0) --ch->in_flight;
+          }
+          return;
+        }
+        Conn& c = *cit->second;
+        if (ch == nullptr) {
+          // Channel died while we waited: the endpoint registration died
+          // with it, so every op on this logical connection re-submits
+          // through a freshly established channel.
+          salvage_connection(shard);
+          return;
+        }
+        Slot& slot = c.slots[slot_idx];
+        slot.holds_ring_slot = true;
+        slot.mux_ring_slot = ring_slot;
+        const fabric::RemoteAddr dst{
+            c.wire.req_slot.rkey,
+            c.wire.req_slot.offset +
+                proto::ring_slot_offset(ring_slot, c.wire.req_slot_bytes)};
+        ch->wire.qp->post_write(frame, dst);
+        slot.timeout =
+            schedule_after(cfg_.request_timeout, [this, shard] { on_timeout(shard); });
+      }));
+}
+
+void Client::salvage_connection(ShardId shard) {
+  auto it = conns_.find(shard);
+  if (it == conns_.end()) return;
+  std::vector<PendingOp> to_retry;
+  for (Slot& s : it->second->slots) {
+    if (s.busy) to_retry.push_back(std::move(s.op));
+  }
+  for (auto& queued : it->second->queue) to_retry.push_back(std::move(queued));
+  drop_connection(shard);
+  for (auto& op : to_retry) retry_or_fail(std::move(op));
+}
+
+void Client::retry_or_fail(PendingOp op) {
+  if (++op.retries > cfg_.max_retries) {
+    complete(op, Status::kTimeout, {});
+    return;
+  }
+  ++stats_.retries;
+  schedule_after(cfg_.request_timeout / 4,
+                 [this, op = std::move(op)]() mutable { submit(std::move(op)); });
 }
 
 void Client::on_response_write(std::uint64_t offset) {
@@ -374,6 +477,12 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
   scheduler().cancel(slot.timeout);
   PendingOp op = std::move(slot.op);
   slot.busy = false;
+  if (slot.holds_ring_slot) {
+    // The shard consumed the shared-ring frame before answering: the
+    // credit flows back to the channel (or straight to its oldest waiter).
+    slot.holds_ring_slot = false;
+    conn.wire.mux_node->release(shard, conn.wire.mux_generation, slot.mux_ring_slot);
+  }
   --conn.in_flight;
 
   // Cache/refresh the granted remote pointer (GET and lease-renew paths),
@@ -425,25 +534,17 @@ void Client::on_timeout(ShardId shard) {
                          it->second->in_flight);
   }
 
+  // A mux timeout indicts the *shared* QP, not just this endpoint: report
+  // it so the channel is torn down and every endpoint re-establishes
+  // lazily (their own timeouts salvage their in-flight ops).
+  if (it->second->wire.mux && it->second->wire.mux_node != nullptr) {
+    it->second->wire.mux_node->report_failure(shard, it->second->wire.mux_generation);
+  }
+
   // Salvage every in-flight slot and everything queued on this connection,
   // tear it down, and re-resolve: after a failover the shard's primary
   // lives elsewhere.
-  std::vector<PendingOp> to_retry;
-  for (Slot& s : it->second->slots) {
-    if (s.busy) to_retry.push_back(std::move(s.op));
-  }
-  for (auto& queued : it->second->queue) to_retry.push_back(std::move(queued));
-  drop_connection(shard);
-
-  for (auto& op : to_retry) {
-    if (++op.retries > cfg_.max_retries) {
-      complete(op, Status::kTimeout, {});
-      continue;
-    }
-    ++stats_.retries;
-    schedule_after(cfg_.request_timeout / 4,
-                   [this, op = std::move(op)]() mutable { submit(std::move(op)); });
-  }
+  salvage_connection(shard);
 }
 
 void Client::complete(PendingOp& op, Status status, std::string_view value) {

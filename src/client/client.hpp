@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "client/node_mux.hpp"
 #include "common/histogram.hpp"
 #include "core/lockfree_cache.hpp"
 #include "fabric/fabric.hpp"
@@ -86,6 +87,13 @@ struct ShardConnection {
   /// Ring depth the shard granted (<= the window the client requested).
   std::uint32_t window = 1;
   bool send_recv = false;
+  // QP multiplexing (DESIGN.md §10): this logical connection is an endpoint
+  // riding its node's shared channel to the shard. `req_slot` then names
+  // the *shared* request ring; requests claim a slot of it per issue.
+  bool mux = false;
+  std::uint32_t endpoint = 0;        ///< shard-side mux endpoint id
+  std::uint64_t mux_generation = 0;  ///< channel incarnation registered against
+  NodeMux* mux_node = nullptr;       ///< the node's shared channel pool
 };
 
 class Client : public sim::Actor {
@@ -147,6 +155,10 @@ class Client : public sim::Actor {
     bool busy = false;
     PendingOp op;
     sim::EventId timeout{};
+    /// Mux mode: the shared-ring credit this request occupies on the wire
+    /// (claimed at issue, returned when the response lands).
+    bool holds_ring_slot = false;
+    std::uint32_t mux_ring_slot = 0;
   };
 
   struct Conn {
@@ -177,6 +189,12 @@ class Client : public sim::Actor {
   /// Places `op` into a free ring slot of `conn` and issues it on the wire.
   void issue(ShardId shard, Conn& conn, PendingOp op);
   void post_slot(ShardId shard, std::uint32_t slot_idx);
+  void post_mux_slot(ShardId shard, std::uint32_t slot_idx, std::vector<std::byte> frame);
+  /// Tears a logical connection down and re-submits everything in flight
+  /// or queued on it through the normal retry path (mux channel died, or a
+  /// request timed out).
+  void salvage_connection(ShardId shard);
+  void retry_or_fail(PendingOp op);
   void on_response_write(std::uint64_t offset);
   void handle_response(ShardId shard, Conn& conn, const proto::Response& resp);
   void on_timeout(ShardId shard);

@@ -1,0 +1,135 @@
+#include "client/node_mux.hpp"
+
+#include <utility>
+
+#include "obs/plane.hpp"
+
+namespace hydra::client {
+
+NodeMux::NodeMux(sim::Scheduler& sched, NodeId node, NodeMuxConfig cfg)
+    : sim::Actor(sched, "mux-" + std::to_string(node)), node_(node), cfg_(cfg) {}
+
+NodeMux::Channel* NodeMux::channel_to(ShardId shard) {
+  auto it = channels_.find(shard);
+  if (it != channels_.end() && it->second.open) {
+    it->second.last_activity = now();
+    return &it->second;
+  }
+  if (!opener_) return nullptr;
+  Channel& ch = channels_[shard];  // keeps its generation across reopens
+  MuxWire wire;
+  if (!opener_(shard, &wire)) return nullptr;
+  ch.wire = wire;
+  ++ch.generation;
+  ch.open = true;
+  ch.slot_busy.assign(wire.ring_slots, false);
+  ch.next_slot = 0;
+  ch.in_flight = 0;
+  ch.last_activity = now();
+  ++stats_.channels_opened;
+  if (obs_ != nullptr) {
+    obs_->trace(now(), node_, obs::TraceKind::kMuxChannelOpened, shard, wire.group);
+  }
+  if (!reaper_armed_) {
+    reaper_armed_ = true;
+    schedule_after(cfg_.reap_interval, [this] { reap_loop(); });
+  }
+  return &ch;
+}
+
+bool NodeMux::live(ShardId shard, std::uint64_t generation) const {
+  auto it = channels_.find(shard);
+  return it != channels_.end() && it->second.open && it->second.generation == generation;
+}
+
+void NodeMux::acquire(ShardId shard, std::uint64_t generation, SlotCallback cb) {
+  auto it = channels_.find(shard);
+  if (it == channels_.end() || !it->second.open || it->second.generation != generation) {
+    cb(nullptr, 0);
+    return;
+  }
+  Channel& ch = it->second;
+  ch.last_activity = now();
+  for (std::uint32_t i = 0; i < ch.slot_busy.size(); ++i) {
+    const auto s = static_cast<std::uint32_t>((ch.next_slot + i) % ch.slot_busy.size());
+    if (!ch.slot_busy[s]) {
+      ch.slot_busy[s] = true;
+      ch.next_slot = (s + 1) % static_cast<std::uint32_t>(ch.slot_busy.size());
+      ++ch.in_flight;
+      cb(&ch, s);
+      return;
+    }
+  }
+  // Shared ring full: every credit is carrying someone's request. Park the
+  // requester; release() hands the freed slot straight to the oldest waiter.
+  ++stats_.credit_waits;
+  ch.waiters.push_back(std::move(cb));
+}
+
+void NodeMux::release(ShardId shard, std::uint64_t generation, std::uint32_t slot) {
+  auto it = channels_.find(shard);
+  if (it == channels_.end() || !it->second.open || it->second.generation != generation) {
+    return;  // channel died since; teardown already recycled the credits
+  }
+  Channel& ch = it->second;
+  ch.last_activity = now();
+  if (!ch.waiters.empty()) {
+    // Hand the slot over without ever marking it free: FIFO credit flow.
+    auto cb = std::move(ch.waiters.front());
+    ch.waiters.pop_front();
+    cb(&ch, slot);
+    return;
+  }
+  if (slot < ch.slot_busy.size()) ch.slot_busy[slot] = false;
+  if (ch.in_flight > 0) --ch.in_flight;
+}
+
+void NodeMux::report_failure(ShardId shard, std::uint64_t generation) {
+  auto it = channels_.find(shard);
+  if (it == channels_.end() || !it->second.open || it->second.generation != generation) {
+    return;
+  }
+  close_channel(shard, it->second, /*failure=*/true);
+}
+
+void NodeMux::close_channel(ShardId shard, Channel& ch, bool failure) {
+  ch.open = false;
+  ++ch.generation;  // acquires/releases against the old incarnation no-op
+  if (closer_) closer_(shard, ch.wire);
+  ch.wire.qp = nullptr;
+  ch.slot_busy.clear();
+  ch.in_flight = 0;
+  if (failure) {
+    ++stats_.reclaimed_failure;
+  } else {
+    ++stats_.reclaimed_idle;
+  }
+  if (obs_ != nullptr) {
+    obs_->trace(now(), node_, obs::TraceKind::kMuxChannelReclaimed, shard, ch.wire.group,
+                failure ? 1 : 0);
+  }
+  // Waiters never get a credit from this incarnation; they re-establish.
+  auto waiters = std::move(ch.waiters);
+  ch.waiters.clear();
+  for (auto& cb : waiters) cb(nullptr, 0);
+}
+
+void NodeMux::reap_loop() {
+  bool any_open = false;
+  for (auto& [shard, ch] : channels_) {
+    if (!ch.open) continue;
+    if (ch.in_flight == 0 && ch.waiters.empty() &&
+        now() - ch.last_activity >= cfg_.idle_timeout) {
+      close_channel(shard, ch, /*failure=*/false);
+    } else {
+      any_open = true;
+    }
+  }
+  if (any_open) {
+    schedule_after(cfg_.reap_interval, [this] { reap_loop(); });
+  } else {
+    reaper_armed_ = false;  // channel_to re-arms on the next open
+  }
+}
+
+}  // namespace hydra::client

@@ -1,0 +1,132 @@
+// Per-client-node QP multiplexer (DESIGN.md §10).
+//
+// Every client process on one node shares a single physical QP (and a
+// single SRQ-style shared request ring) per destination shard, instead of
+// one QP per client: with thousands of co-located clients this is what
+// keeps the server NIC's connection state (and its qp_penalty) bounded.
+// Channels open lazily on first use, hand out shared-ring slots as flow
+// credits (a full ring parks the requester on a waiter list), and are
+// reclaimed when idle -- returning their QPs to the fabric's reuse pool --
+// or torn down on failure so endpoints re-establish and retransmit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::client {
+
+struct NodeMuxConfig {
+  /// Close a channel with no in-flight credits after this much inactivity.
+  Duration idle_timeout = 10 * kMillisecond;
+  /// How often the reaper scans for idle channels.
+  Duration reap_interval = 5 * kMillisecond;
+};
+
+struct NodeMuxStats {
+  std::uint64_t channels_opened = 0;
+  std::uint64_t reclaimed_idle = 0;
+  std::uint64_t reclaimed_failure = 0;
+  std::uint64_t credit_waits = 0;  ///< acquires that parked on a full ring
+};
+
+class NodeMux : public sim::Actor {
+ public:
+  /// What the cluster-side opener fills in when establishing a channel:
+  /// the client end of the shared QP plus the shard's mux-group grant.
+  struct MuxWire {
+    fabric::QueuePair* qp = nullptr;
+    std::uint32_t group = 0;  ///< shard-side mux-group id
+    fabric::RemoteAddr req_ring{};
+    std::uint32_t slot_bytes = 0;
+    std::uint32_t ring_slots = 0;
+    std::uint32_t arena_rkey = 0;
+    /// The shard incarnation the group was opened against (a failover spawns
+    /// a fresh primary whose group ids restart); the closer checks it before
+    /// telling "the" shard to drop the group.
+    std::uint32_t owner_generation = 0;
+  };
+
+  struct Channel {
+    MuxWire wire;
+    /// Bumped on every (re)open; clients snapshot it when they register an
+    /// endpoint and check it before touching the channel again, so nothing
+    /// rides a channel that died and was re-established behind their back.
+    std::uint64_t generation = 0;
+    bool open = false;
+    std::vector<bool> slot_busy;  ///< shared-ring credit pool
+    std::uint32_t next_slot = 0;
+    std::uint32_t in_flight = 0;
+    Time last_activity = 0;
+    /// Requests parked while the shared ring was full, woken per release.
+    std::deque<std::function<void(Channel*, std::uint32_t)>> waiters;
+  };
+
+  /// Establishes the shared QP + mux group for a shard; false if the shard
+  /// is currently unreachable.
+  using Opener = std::function<bool(ShardId shard, MuxWire* out)>;
+  /// Releases the shard-side group and the shared QP (fabric disconnect).
+  using Closer = std::function<void(ShardId shard, const MuxWire& wire)>;
+  /// acquire() continuation: the channel and a claimed ring slot, or
+  /// (nullptr, 0) when the channel died before a credit freed up.
+  using SlotCallback = std::function<void(Channel*, std::uint32_t slot)>;
+
+  NodeMux(sim::Scheduler& sched, NodeId node, NodeMuxConfig cfg);
+
+  void set_opener(Opener o) { opener_ = std::move(o); }
+  void set_closer(Closer c) { closer_ = std::move(c); }
+  void set_obs(obs::Plane* obs) noexcept { obs_ = obs; }
+
+  /// Returns the (lazily opened) channel to `shard`; nullptr when the
+  /// opener fails. The caller snapshots channel->generation.
+  Channel* channel_to(ShardId shard);
+
+  /// Looks up the channel without establishing one (chaos/test hook);
+  /// nullptr when none was ever opened.
+  [[nodiscard]] Channel* peek_channel(ShardId shard) {
+    auto it = channels_.find(shard);
+    return it == channels_.end() ? nullptr : &it->second;
+  }
+
+  /// True when the channel the caller registered against (generation
+  /// `generation`) is still the live one.
+  [[nodiscard]] bool live(ShardId shard, std::uint64_t generation) const;
+
+  /// Claims a shared-ring slot on the channel, now or when one frees up.
+  /// The callback fires with (nullptr, 0) if `generation` is stale or the
+  /// channel dies while waiting.
+  void acquire(ShardId shard, std::uint64_t generation, SlotCallback cb);
+
+  /// Returns a slot claimed by acquire() (response received or request
+  /// abandoned). No-op when `generation` is stale -- teardown already
+  /// recycled every credit.
+  void release(ShardId shard, std::uint64_t generation, std::uint32_t slot);
+
+  /// A client timed out on this channel: the shared QP is presumed dead.
+  /// Tears the channel down (all endpoints re-establish lazily and
+  /// retransmit). No-op when `generation` is stale.
+  void report_failure(ShardId shard, std::uint64_t generation);
+
+  [[nodiscard]] const NodeMuxStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+ private:
+  void close_channel(ShardId shard, Channel& ch, bool failure);
+  void reap_loop();
+
+  NodeId node_;
+  NodeMuxConfig cfg_;
+  Opener opener_;
+  Closer closer_;
+  obs::Plane* obs_ = nullptr;
+  std::map<ShardId, Channel> channels_;
+  bool reaper_armed_ = false;
+  NodeMuxStats stats_;
+};
+
+}  // namespace hydra::client

@@ -12,8 +12,10 @@
 // even though inside the simulator it is only exercised single-threaded.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 #include <vector>
 
@@ -64,7 +66,7 @@ class LockFreeCache {
     Slot& victim = slots_[(start + (key % kProbeWindow)) & mask_];
     begin_write(victim);
     victim.key.store(key, std::memory_order_relaxed);
-    victim.value = value;
+    store_value(victim, value);
     end_write(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -77,7 +79,7 @@ class LockFreeCache {
       const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
       if (v1 & 1u) continue;  // mid-write; treat as miss rather than spin
       if (s.key.load(std::memory_order_acquire) != key) continue;
-      Value copy = s.value;  // may race; validated by the version re-check
+      Value copy = load_value(s);  // may tear; validated by the version re-check
       std::atomic_thread_fence(std::memory_order_acquire);
       if (s.version.load(std::memory_order_acquire) == v1 &&
           s.key.load(std::memory_order_relaxed) == key) {
@@ -121,11 +123,34 @@ class LockFreeCache {
  private:
   static constexpr std::size_t kProbeWindow = 16;
 
+  // The value bytes are staged through relaxed per-word atomics: a reader
+  // validating against the seqlock version may still observe a torn value
+  // mid-copy (and discard it), but each word access is atomic, so the race
+  // window carries no undefined behavior and TSan stays quiet.
+  static constexpr std::size_t kValueWords = (sizeof(Value) + 7) / 8;
+
   struct Slot {
     std::atomic<std::uint64_t> key{0};
     std::atomic<std::uint32_t> version{0};  // seqlock: odd while writing
-    Value value{};
+    std::array<std::atomic<std::uint64_t>, kValueWords> value{};
   };
+
+  static void store_value(Slot& s, const Value& v) noexcept {
+    std::uint64_t words[kValueWords] = {};
+    std::memcpy(words, &v, sizeof(Value));
+    for (std::size_t i = 0; i < kValueWords; ++i) {
+      s.value[i].store(words[i], std::memory_order_relaxed);
+    }
+  }
+  static Value load_value(const Slot& s) noexcept {
+    std::uint64_t words[kValueWords];
+    for (std::size_t i = 0; i < kValueWords; ++i) {
+      words[i] = s.value[i].load(std::memory_order_relaxed);
+    }
+    Value v;
+    std::memcpy(&v, words, sizeof(Value));
+    return v;
+  }
 
   static void begin_write(Slot& s) noexcept {
     // Spin only against a concurrent writer of the same slot; readers never
@@ -145,7 +170,7 @@ class LockFreeCache {
   static void write_slot(Slot& s, std::uint64_t key, const Value& value) noexcept {
     begin_write(s);
     s.key.store(key, std::memory_order_relaxed);
-    s.value = value;
+    store_value(s, value);
     end_write(s);
   }
 

@@ -44,6 +44,14 @@ struct CostModel {
   std::uint32_t qp_penalty_threshold = 280;
   double qp_penalty_slope = 0.008;
   double qp_penalty_cap = 2.5;
+  // Second knee: past a few thousand QPs the HCA's ICM/translation caches
+  // thrash outright (RDMAvisor's deployment wall), so the flat plateau above
+  // the first cap gives way to a steeper climb toward a much higher ceiling.
+  // Identity for qp_count <= qp_extreme_threshold, so every pre-existing
+  // workload (max ~500 QPs) is untouched.
+  std::uint32_t qp_extreme_threshold = 2048;
+  double qp_extreme_slope = 0.002;
+  double qp_extreme_cap = 12.0;
 
   // --- TCP / IPoIB path ---------------------------------------------------
   /// One-way latency through both kernel stacks plus the wire.
@@ -62,7 +70,10 @@ struct CostModel {
   [[nodiscard]] double qp_penalty(std::uint32_t qp_count) const noexcept {
     if (qp_count <= qp_penalty_threshold) return 1.0;
     const double f = 1.0 + qp_penalty_slope * static_cast<double>(qp_count - qp_penalty_threshold);
-    return std::min(f, qp_penalty_cap);
+    if (qp_count <= qp_extreme_threshold) return std::min(f, qp_penalty_cap);
+    const double g = std::min(f, qp_penalty_cap) +
+                     qp_extreme_slope * static_cast<double>(qp_count - qp_extreme_threshold);
+    return std::min(g, qp_extreme_cap);
   }
 
   /// Per-WQE initiator overhead, discounted when the WQE rides an already

@@ -1,5 +1,7 @@
 #include "fabric/fabric.hpp"
 
+#include "obs/plane.hpp"
+
 namespace hydra::fabric {
 
 MemoryRegion* Node::register_memory(std::span<std::byte> bytes) {
@@ -24,16 +26,49 @@ Node& Fabric::add_node(std::string name) {
 }
 
 std::pair<QueuePair*, QueuePair*> Fabric::connect(NodeId a, NodeId b) {
-  const auto id = static_cast<std::uint32_t>(qps_.size());
-  qps_.push_back(std::make_unique<QueuePair>(*this, id, a, b));
-  QueuePair* qa = qps_.back().get();
-  qps_.push_back(std::make_unique<QueuePair>(*this, id + 1, b, a));
-  QueuePair* qb = qps_.back().get();
-  qa->peer_ = qb;
-  qb->peer_ = qa;
+  ++stats_.qp_connects;
+  const std::uint32_t id = next_qp_id_;
+  next_qp_id_ += 2;
+  QueuePair* qa = nullptr;
+  QueuePair* qb = nullptr;
+  if (!qp_pool_.empty()) {
+    // Recycle a reclaimed pair: fresh ids and a bumped generation keep any
+    // op still draining through the old incarnation from committing here.
+    ++stats_.qp_slot_reuses;
+    std::tie(qa, qb) = qp_pool_.back();
+    qp_pool_.pop_back();
+    qa->reopen(id, a, b);
+    qb->reopen(id + 1, b, a);
+    if (obs_ != nullptr) {
+      obs_->trace(sched_.now(), a, obs::TraceKind::kQpReused, obs::kNoShard, id,
+                  qp_pool_.size());
+    }
+  } else {
+    qps_.push_back(std::make_unique<QueuePair>(*this, id, a, b));
+    qa = qps_.back().get();
+    qps_.push_back(std::make_unique<QueuePair>(*this, id + 1, b, a));
+    qb = qps_.back().get();
+    qa->peer_ = qb;
+    qb->peer_ = qa;
+  }
   ++nodes_[a]->nic().qp_count;
   ++nodes_[b]->nic().qp_count;
   return {qa, qb};
+}
+
+void Fabric::disconnect(QueuePair* qp) {
+  if (qp == nullptr || !qp->open()) return;
+  QueuePair* peer = qp->peer_;
+  ++stats_.qp_disconnects;
+  --nodes_[qp->local_node()]->nic().qp_count;
+  --nodes_[peer->local_node()]->nic().qp_count;
+  qp->close();
+  peer->close();
+  qp_pool_.emplace_back(qp, peer);
+  if (obs_ != nullptr) {
+    obs_->trace(sched_.now(), qp->local_node(), obs::TraceKind::kQpReclaimed, obs::kNoShard,
+                qp->id(), live_qp_pairs());
+  }
 }
 
 std::pair<TcpConn*, TcpConn*> Fabric::tcp_connect(NodeId a, NodeId b) {

@@ -69,6 +69,9 @@ struct FabricStats {
   std::uint64_t dead_peer_errors = 0;
   std::uint64_t torn_writes = 0;     ///< fault-injected partial commits
   std::uint64_t dropped_writes = 0;  ///< fault-injected lost writes
+  std::uint64_t qp_connects = 0;     ///< QP pairs established (incl. reuses)
+  std::uint64_t qp_disconnects = 0;  ///< QP pairs reclaimed via disconnect()
+  std::uint64_t qp_slot_reuses = 0;  ///< connects served from the free pool
 };
 
 /// Fault-injection verdict for one RDMA Write, decided at commit time.
@@ -107,6 +110,18 @@ class Fabric {
   /// nodes. Both endpoints stay owned by the fabric.
   std::pair<QueuePair*, QueuePair*> connect(NodeId a, NodeId b);
 
+  /// Tears down a QP pair created by connect(): both endpoints close (ops
+  /// still in flight complete kFlushed, never committing), both NICs'
+  /// qp_count drops, and the object pair goes to a free pool that connect()
+  /// reuses — so long-running reclamation keeps memory bounded. Passing
+  /// either endpoint of the pair is fine; a second disconnect is a no-op.
+  void disconnect(QueuePair* qp);
+
+  /// QP pairs currently established (connects minus disconnects).
+  [[nodiscard]] std::size_t live_qp_pairs() const noexcept {
+    return static_cast<std::size_t>(stats_.qp_connects - stats_.qp_disconnects);
+  }
+
   /// Creates a connected TCP channel pair between two nodes.
   std::pair<TcpConn*, TcpConn*> tcp_connect(NodeId a, NodeId b);
 
@@ -139,6 +154,9 @@ class Fabric {
   obs::Plane* obs_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<QueuePair>> qps_;
+  /// Closed QP pairs awaiting reuse, stored as the (a->b, b->a) endpoints.
+  std::vector<std::pair<QueuePair*, QueuePair*>> qp_pool_;
+  std::uint32_t next_qp_id_ = 0;
   std::vector<std::unique_ptr<TcpConn>> tcp_conns_;
 };
 

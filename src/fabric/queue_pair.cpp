@@ -19,6 +19,11 @@ Duration scaled(Duration base, double penalty) noexcept {
 
 void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
                            std::uint64_t wr_id, CompletionFn on_done, bool batched) {
+  if (!open_) {
+    flush_completion(WcOp::kWrite, wr_id, static_cast<std::uint32_t>(src.size()),
+                     std::move(on_done));
+    return;
+  }
   Fabric& f = *fabric_;
   sim::Scheduler& sched = f.sched_;
   const CostModel& cm = f.cost_;
@@ -57,8 +62,14 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
   last_commit_ = commit;
 
   sched.at(commit, [this, &f, &sched, data = std::move(data), dst, wr_id,
-                    on_done = std::move(on_done), size]() mutable {
+                    on_done = std::move(on_done), size, gen = generation_]() mutable {
     const CostModel& cost = f.cost_;
+    if (!open_ || generation_ != gen) {
+      // QP torn down (or its slot recycled) while the op was in flight: the
+      // bytes never land and the WR flushes back to the initiator.
+      if (on_done) on_done(Completion{WcOp::kWrite, WcStatus::kFlushed, wr_id, 0});
+      return;
+    }
     Node& rem = f.node(remote_);
     if (!rem.alive()) {
       ++f.stats_.dead_peer_errors;
@@ -127,6 +138,11 @@ void QueuePair::post_write(std::span<const std::byte> src, RemoteAddr dst,
 
 void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
                           std::uint64_t wr_id, CompletionFn on_done) {
+  if (!open_) {
+    flush_completion(WcOp::kRead, wr_id, static_cast<std::uint32_t>(dst.size()),
+                     std::move(on_done));
+    return;
+  }
   Fabric& f = *fabric_;
   sim::Scheduler& sched = f.sched_;
   const CostModel& cm = f.cost_;
@@ -173,7 +189,11 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
   auto snapshot = std::make_shared<std::vector<std::byte>>();
   auto failure = std::make_shared<WcStatus>(WcStatus::kSuccess);
 
-  sched.at(serve_start, [this, &f, src, size, snapshot, failure] {
+  sched.at(serve_start, [this, &f, src, size, snapshot, failure, gen = generation_] {
+    if (!open_ || generation_ != gen) {
+      *failure = WcStatus::kFlushed;
+      return;
+    }
     Node& rem = f.node(remote_);
     if (!rem.alive()) {
       ++f.stats_.dead_peer_errors;
@@ -192,18 +212,23 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
   const Time completion_time =
       done;  // success path; errors surface after the retransmit timeout
   sched.at(completion_time, [this, &sched, &f, dst, wr_id, size, snapshot, failure,
-                             on_done = std::move(on_done)]() mutable {
+                             on_done = std::move(on_done), gen = generation_]() mutable {
+    if (!open_ || generation_ != gen) *failure = WcStatus::kFlushed;
     if (f.obs_) {
       f.obs_->trace(sched.now(), local_, obs::TraceKind::kReadCompleted, obs::kNoShard, size,
                     static_cast<std::uint64_t>(*failure != WcStatus::kSuccess));
     }
     if (*failure != WcStatus::kSuccess) {
-      if (on_done) {
-        sched.after(f.cost_.peer_timeout,
-                    [on_done = std::move(on_done), wr_id, size, st = *failure] {
-                      on_done(Completion{WcOp::kRead, st, wr_id, size});
-                    });
+      if (on_done == nullptr) return;
+      if (*failure == WcStatus::kFlushed) {
+        // Local teardown, not a remote fault: no retransmit timeout to wait.
+        on_done(Completion{WcOp::kRead, WcStatus::kFlushed, wr_id, size});
+        return;
       }
+      sched.after(f.cost_.peer_timeout,
+                  [on_done = std::move(on_done), wr_id, size, st = *failure] {
+                    on_done(Completion{WcOp::kRead, st, wr_id, size});
+                  });
       return;
     }
     std::memcpy(dst.data(), snapshot->data(), size);
@@ -213,6 +238,11 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
 
 void QueuePair::post_send(std::span<const std::byte> msg,
                           std::uint64_t wr_id, CompletionFn on_done) {
+  if (!open_) {
+    flush_completion(WcOp::kSend, wr_id, static_cast<std::uint32_t>(msg.size()),
+                     std::move(on_done));
+    return;
+  }
   Fabric& f = *fabric_;
   sim::Scheduler& sched = f.sched_;
   const CostModel& cm = f.cost_;
@@ -247,8 +277,12 @@ void QueuePair::post_send(std::span<const std::byte> msg,
   last_commit_ = commit;
 
   sched.at(commit, [this, &f, &sched, data = std::move(data), wr_id,
-                    on_done = std::move(on_done), size, commit]() mutable {
+                    on_done = std::move(on_done), size, commit, gen = generation_]() mutable {
     const CostModel& cost = f.cost_;
+    if (!open_ || generation_ != gen) {
+      if (on_done) on_done(Completion{WcOp::kSend, WcStatus::kFlushed, wr_id, 0});
+      return;
+    }
     if (!f.node(remote_).alive()) {
       ++f.stats_.dead_peer_errors;
       if (on_done) {
@@ -268,6 +302,7 @@ void QueuePair::post_send(std::span<const std::byte> msg,
 }
 
 void QueuePair::deliver_send(std::vector<std::byte> data, Time commit_time) {
+  if (!open_) return;  // closed endpoint: inbound sends are silently flushed
   if (recv_queue_.empty()) {
     // Receiver-not-ready: hold the message until a receive is posted,
     // modelling RNR retry without loss.
@@ -288,7 +323,34 @@ void QueuePair::deliver_send(std::vector<std::byte> data, Time commit_time) {
   }
 }
 
+void QueuePair::close() {
+  open_ = false;
+  ++generation_;
+  last_commit_ = 0;
+  recv_queue_.clear();
+  pending_sends_.clear();
+  recv_handler_ = nullptr;
+}
+
+void QueuePair::reopen(std::uint32_t id, NodeId local, NodeId remote) {
+  id_ = id;
+  local_ = local;
+  remote_ = remote;
+  open_ = true;
+  ++generation_;
+  last_commit_ = 0;
+}
+
+void QueuePair::flush_completion(WcOp op, std::uint64_t wr_id, std::uint32_t size,
+                                 CompletionFn on_done) {
+  if (!on_done) return;
+  fabric_->sched_.after(0, [on_done = std::move(on_done), op, wr_id, size] {
+    on_done(Completion{op, WcStatus::kFlushed, wr_id, size});
+  });
+}
+
 void QueuePair::post_recv(std::span<std::byte> buf, std::uint64_t wr_id) {
+  if (!open_) return;
   recv_queue_.push_back(RecvBuf{buf, wr_id});
   if (!pending_sends_.empty()) {
     PendingSend ps = std::move(pending_sends_.front());

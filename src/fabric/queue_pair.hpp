@@ -71,6 +71,12 @@ class QueuePair {
   [[nodiscard]] NodeId local_node() const noexcept { return local_; }
   [[nodiscard]] NodeId remote_node() const noexcept { return remote_; }
   [[nodiscard]] QueuePair* peer() const noexcept { return peer_; }
+  /// False once the QP has been torn down via Fabric::disconnect. Ops posted
+  /// on (or still in flight through) a closed QP complete with kFlushed.
+  [[nodiscard]] bool open() const noexcept { return open_; }
+  /// Bumped on every teardown/reuse; in-flight ops compare it at commit time
+  /// so a recycled QP slot can never deliver a stale op's bytes.
+  [[nodiscard]] std::uint32_t generation() const noexcept { return generation_; }
 
   /// One-sided write of `src` into the peer's (rkey, offset). `on_done` is
   /// optional (pass nullptr for unsignalled writes, the common case for
@@ -111,12 +117,23 @@ class QueuePair {
   };
 
   void deliver_send(std::vector<std::byte> data, Time commit_time);
+  /// Tears the endpoint down: pending receives and RNR-held sends are
+  /// dropped, the recv handler is cleared, and the generation advances so
+  /// in-flight ops flush instead of committing.
+  void close();
+  /// Re-arms a closed endpoint for a fresh logical connection (slot reuse).
+  void reopen(std::uint32_t id, NodeId local, NodeId remote);
+  /// Immediately flushes `on_done` for an op that hit a closed QP.
+  void flush_completion(WcOp op, std::uint64_t wr_id, std::uint32_t size,
+                        CompletionFn on_done);
 
   Fabric* fabric_;
   std::uint32_t id_;
   NodeId local_;
   NodeId remote_;
   QueuePair* peer_ = nullptr;
+  bool open_ = true;
+  std::uint32_t generation_ = 0;
   /// Commit time of the last in-order operation targeting the peer.
   Time last_commit_ = 0;
   std::deque<RecvBuf> recv_queue_;

@@ -72,6 +72,46 @@ HydraCluster::HydraCluster(ClusterOptions opts)
   // starts a protocol, so it cannot perturb non-migrating histories.
   migration_ = std::make_unique<MigrationManager>(*this);
 
+  // --- QP multiplexing --------------------------------------------------------
+  if (opts_.mux_connections) {
+    for (NodeId node : client_node_ids_) {
+      if (node_muxes_.count(node) != 0) continue;  // colocated dedupe
+      auto mux = std::make_unique<client::NodeMux>(sched_, node, opts_.mux);
+      mux->set_obs(opts_.obs);
+      mux->set_opener([this, node](ShardId shard, client::NodeMux::MuxWire* out) {
+        if (shard >= primaries_.size()) return false;
+        ShardSlot& slot = primaries_[shard];
+        if (slot.primary == nullptr || !slot.primary->alive()) return false;
+        auto [cq, sq] = fabric_.connect(node, slot.node);
+        auto res = slot.primary->accept_mux_group(sq);
+        if (!res.ok) {
+          fabric_.disconnect(cq);
+          return false;
+        }
+        out->qp = cq;
+        out->group = res.group;
+        out->req_ring = res.req_ring;
+        out->slot_bytes = res.slot_bytes;
+        out->ring_slots = res.ring_slots;
+        out->arena_rkey = res.arena_rkey;
+        out->owner_generation = slot.generation;
+        return true;
+      });
+      mux->set_closer([this](ShardId shard, const client::NodeMux::MuxWire& wire) {
+        // Only tell the shard to drop the group when it is still the same
+        // incarnation the group was opened against: a promoted replacement
+        // primary hands out its own group ids from zero.
+        if (shard < primaries_.size() && primaries_[shard].primary != nullptr &&
+            primaries_[shard].primary->alive() &&
+            primaries_[shard].generation == wire.owner_generation) {
+          primaries_[shard].primary->close_mux_group(wire.group);
+        }
+        fabric_.disconnect(wire.qp);
+      });
+      node_muxes_[node] = std::move(mux);
+    }
+  }
+
   // --- clients ---------------------------------------------------------------
   const int total_clients =
       static_cast<int>(client_node_ids_.size()) * opts_.clients_per_node;
@@ -119,6 +159,9 @@ void HydraCluster::export_metrics() {
   reg.counter("fabric.dead_peer_errors").set(fs.dead_peer_errors);
   reg.counter("fabric.torn_writes").set(fs.torn_writes);
   reg.counter("fabric.dropped_writes").set(fs.dropped_writes);
+  reg.counter("fabric.qp_connects").set(fs.qp_connects);
+  reg.counter("fabric.qp_disconnects").set(fs.qp_disconnects);
+  reg.counter("fabric.qp_slot_reuses").set(fs.qp_slot_reuses);
   for (std::size_t n = 0; n < fabric_.node_count(); ++n) {
     const fabric::Nic& nic = fabric_.node(static_cast<NodeId>(n)).nic();
     const std::string p = "node." + std::to_string(n) + ".";
@@ -141,6 +184,7 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "removes").set(st->removes);
     reg.counter(p + "responses").set(st->responses);
     reg.counter(p + "batched_responses").set(st->batched_responses);
+    reg.counter(p + "mux_requests").set(st->mux_requests);
     reg.counter(p + "malformed").set(st->malformed);
     reg.counter(p + "wrong_owner").set(st->wrong_owner);
     reg.counter(p + "forwarded").set(st->forwarded);
@@ -174,6 +218,14 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "failures").set(cs.failures);
     reg.histogram(p + "get_latency") = cs.get_latency;
     reg.histogram(p + "put_latency") = cs.put_latency;
+  }
+  for (const auto& [node, mux] : node_muxes_) {
+    const client::NodeMuxStats& ms = mux->stats();
+    const std::string p = "mux." + std::to_string(node) + ".";
+    reg.counter(p + "channels_opened").set(ms.channels_opened);
+    reg.counter(p + "reclaimed_idle").set(ms.reclaimed_idle);
+    reg.counter(p + "reclaimed_failure").set(ms.reclaimed_failure);
+    reg.counter(p + "credit_waits").set(ms.credit_waits);
   }
   reg.gauge("cluster.routing_epoch").set(static_cast<std::int64_t>(routing_epoch_));
   reg.counter("cluster.failovers").set(failovers());
@@ -284,6 +336,35 @@ bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
     return true;
   }
   if (slot.primary == nullptr || !slot.primary->alive()) return false;
+
+  if (opts_.mux_connections && opts_.server_mode != server::ServerMode::kSendRecv) {
+    // Endpoint over the node's shared channel: lazily establishes the
+    // shared QP + mux group on first use, then registers this client's
+    // private response ring as one more endpoint riding it.
+    client::NodeMux* mux = node_muxes_[c.node()].get();
+    client::NodeMux::Channel* ch = mux->channel_to(shard_id);
+    if (ch == nullptr) return false;
+    auto res = slot.primary->accept_mux_endpoint(ch->wire.group, resp_slot, resp_bytes,
+                                                 c.id(), window);
+    if (!res.ok) {
+      // Stale channel (e.g. its primary failed over and the group id means
+      // nothing to the successor): tear it down so the retry reopens fresh.
+      mux->report_failure(shard_id, ch->generation);
+      return false;
+    }
+    out->qp = ch->wire.qp;
+    out->req_slot = ch->wire.req_ring;
+    out->req_slot_bytes = ch->wire.slot_bytes;
+    out->arena_rkey = ch->wire.arena_rkey;
+    out->window = res.window;
+    out->send_recv = false;
+    out->mux = true;
+    out->endpoint = res.endpoint;
+    out->mux_generation = ch->generation;
+    out->mux_node = mux;
+    return true;
+  }
+
   auto [cq, sq] = fabric_.connect(c.node(), slot.node);
   if (opts_.server_mode == server::ServerMode::kSendRecv) {
     auto res = slot.primary->accept_send_recv(sq, c.id());
@@ -307,6 +388,27 @@ bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
 
 server::Shard* HydraCluster::shard(ShardId id) noexcept {
   return id < primaries_.size() ? primaries_[id].primary.get() : nullptr;
+}
+
+client::NodeMux* HydraCluster::node_mux(int client_node_idx) noexcept {
+  if (client_node_idx < 0 ||
+      static_cast<std::size_t>(client_node_idx) >= client_node_ids_.size()) {
+    return nullptr;
+  }
+  auto it = node_muxes_.find(client_node_ids_[static_cast<std::size_t>(client_node_idx)]);
+  return it == node_muxes_.end() ? nullptr : it->second.get();
+}
+
+bool HydraCluster::kill_mux_channel(int client_node_idx, ShardId shard) {
+  client::NodeMux* mux = node_mux(client_node_idx);
+  if (mux == nullptr) return false;
+  client::NodeMux::Channel* ch = mux->peek_channel(shard);
+  if (ch == nullptr || !ch->open || ch->wire.qp == nullptr) return false;
+  // Abrupt asynchronous QP error: the fabric closes both ends without the
+  // mux layer hearing about it. In-flight ops flush, endpoints time out,
+  // report the failure, and re-establish lazily.
+  fabric_.disconnect(ch->wire.qp);
+  return true;
 }
 
 std::vector<replication::SecondaryShard*> HydraCluster::secondaries_of(ShardId id) {

@@ -57,6 +57,12 @@ struct ClusterOptions {
   /// One shared pointer cache per client node (section 4.2.4) versus an
   /// exclusive cache per client (the secure-isolation configuration).
   bool share_pointer_cache = true;
+  /// QP multiplexing (DESIGN.md §10): all clients on one node share a
+  /// single physical QP + SRQ-style shared request ring per destination
+  /// shard, with lazy establishment and idle reclamation -- the connection
+  /// scalability mode. Off = the legacy one-QP-per-client wiring.
+  bool mux_connections = false;
+  client::NodeMuxConfig mux;
 
   server::ShardConfig shard_template;
   client::ClientConfig client_template;
@@ -119,6 +125,14 @@ class HydraCluster {
   /// Crashes a SWAT member (its /swat/ znode lingers until session timeout,
   /// which is exactly the leadership gap the pending-death set covers).
   void kill_swat_member(int idx);
+  /// Chaos: abruptly kills the shared QP carrying client node
+  /// `client_node_idx`'s mux traffic to `shard`, WITHOUT notifying the mux
+  /// layer (models an async QP error). In-flight writes flush; endpoints
+  /// notice via timeout, tear the channel down and re-establish lazily.
+  /// False when no live channel exists.
+  bool kill_mux_channel(int client_node_idx, ShardId shard);
+  /// The shared-channel pool of a client node (nullptr when mux is off).
+  [[nodiscard]] client::NodeMux* node_mux(int client_node_idx) noexcept;
   /// Mutes a primary's coordinator heartbeats for `d` of virtual time. Past
   /// the session timeout this fences the shard: the next heartbeat tick
   /// notices the expired session and the primary kills itself, so a
@@ -212,6 +226,8 @@ class HydraCluster {
   std::vector<std::unique_ptr<client::Client>> clients_;
   std::vector<client::Client*> client_ptrs_;
   std::map<NodeId, std::shared_ptr<client::Client::RemotePtrCache>> node_caches_;
+  /// Per-client-node shared QP channel pools (mux_connections mode).
+  std::map<NodeId, std::unique_ptr<client::NodeMux>> node_muxes_;
   /// Crashed actors: kept allocated so in-flight fabric ops referencing
   /// their (revoked) regions never touch freed memory.
   std::vector<std::unique_ptr<sim::Actor>> graveyard_;

@@ -15,6 +15,8 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kSendPosted: return "send_posted";
     case TraceKind::kSendDelivered: return "send_delivered";
     case TraceKind::kDoorbellBatched: return "doorbell_batched";
+    case TraceKind::kQpReused: return "qp_reused";
+    case TraceKind::kQpReclaimed: return "qp_reclaimed";
     case TraceKind::kRetransmit: return "retransmit";
     case TraceKind::kQuarantine: return "quarantine";
     case TraceKind::kTornAck: return "torn_ack";
@@ -24,6 +26,9 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kRingDrained: return "ring_drained";
     case TraceKind::kRingSweep: return "ring_sweep";
     case TraceKind::kClientTimeout: return "client_timeout";
+    case TraceKind::kSrqDepth: return "srq_depth";
+    case TraceKind::kMuxChannelOpened: return "mux_channel_opened";
+    case TraceKind::kMuxChannelReclaimed: return "mux_channel_reclaimed";
     case TraceKind::kCrashInjected: return "crash_injected";
     case TraceKind::kHeartbeatSuppressed: return "heartbeat_suppressed";
     case TraceKind::kFenced: return "fenced";

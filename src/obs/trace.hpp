@@ -31,6 +31,8 @@ enum class TraceKind : std::uint8_t {
   kSendPosted,       ///< two-sided Send posted (a=size)
   kSendDelivered,    ///< Send consumed a posted Receive (a=bytes delivered)
   kDoorbellBatched,  ///< write shared its sweep's doorbell (a=size)
+  kQpReused,         ///< connect() recycled a reclaimed QP slot (a=qp id, b=pool size)
+  kQpReclaimed,      ///< disconnect() released a QP pair (a=qp id, b=live pairs)
   // Replication crash path.
   kRetransmit,       ///< in-place rewrite of a torn/dropped ring frame (a=offset, b=attempt)
   kQuarantine,       ///< link to a dead replica entered terminal quarantine
@@ -42,6 +44,10 @@ enum class TraceKind : std::uint8_t {
   // Server / client.
   kRingSweep,        ///< shard sweep decoded occupied slots (a=count, b=conn)
   kClientTimeout,    ///< client request timeout salvage (shard=target)
+  // Connection multiplexing (SRQ-style shared rings, DESIGN.md §10).
+  kSrqDepth,             ///< occupied slots found in a shared-ring sweep (a=depth, b=group)
+  kMuxChannelOpened,     ///< client-node<->shard mux channel established (a=group)
+  kMuxChannelReclaimed,  ///< mux channel torn down (a=group, b=0 idle / 1 failure)
   // Failover lifecycle.
   kCrashInjected,        ///< a=0 primary, 1 secondary, 2 SWAT member; b=index
   kHeartbeatSuppressed,  ///< a=suppression duration (ns)

@@ -73,6 +73,23 @@ std::optional<Request> decode_request(std::span<const std::byte> payload) {
   return req;
 }
 
+std::vector<std::byte> encode_mux_request(const MuxHeader& hdr, const Request& req) {
+  std::vector<std::byte> out;
+  out.reserve(kMuxHeaderBytes + 32 + req.key.size() + req.value.size());
+  append(out, hdr.endpoint);
+  append(out, hdr.resp_slot);
+  const auto body = encode_request(req);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+std::optional<MuxHeader> decode_mux_header(std::span<const std::byte> payload) {
+  MuxHeader hdr;
+  Reader r(payload);
+  if (!r.read(&hdr.endpoint) || !r.read(&hdr.resp_slot)) return std::nullopt;
+  return hdr;
+}
+
 std::vector<std::byte> encode_response(const Response& resp) {
   std::vector<std::byte> out;
   out.reserve(64 + resp.value.size());

@@ -82,8 +82,32 @@ struct RepAck {
   std::uint64_t first_failed_seq = 0;
 };
 
+/// Envelope prepended to a request payload when many logical client
+/// endpoints multiplex over one shared request ring (DESIGN.md §10). The
+/// shard demultiplexes by `endpoint` and writes the response into slot
+/// `resp_slot` of that endpoint's private response ring. Legacy (one ring
+/// per connection) frames never carry the envelope, so their wire bytes are
+/// unchanged.
+struct MuxHeader {
+  std::uint32_t endpoint = 0;
+  std::uint32_t resp_slot = 0;
+};
+
+inline constexpr std::size_t kMuxHeaderBytes = 2 * sizeof(std::uint32_t);
+
 std::vector<std::byte> encode_request(const Request& req);
 std::optional<Request> decode_request(std::span<const std::byte> payload);
+
+/// Mux-framed request: MuxHeader followed by the standard request encoding.
+std::vector<std::byte> encode_mux_request(const MuxHeader& hdr, const Request& req);
+/// Splits the envelope off a mux-framed payload; nullopt when too short.
+/// The request itself is recovered with decode_request(mux_request_body()).
+std::optional<MuxHeader> decode_mux_header(std::span<const std::byte> payload);
+[[nodiscard]] inline std::span<const std::byte> mux_request_body(
+    std::span<const std::byte> payload) noexcept {
+  return payload.size() >= kMuxHeaderBytes ? payload.subspan(kMuxHeaderBytes)
+                                           : std::span<const std::byte>{};
+}
 
 std::vector<std::byte> encode_response(const Response& resp);
 std::optional<Response> decode_response(std::span<const std::byte> payload);

@@ -59,6 +59,11 @@ struct ShardConfig {
   /// window of min(client-requested, ring_slots) outstanding requests. One
   /// slot reproduces the seed's closed-loop wire contract exactly.
   std::uint32_t ring_slots = 8;
+  /// Shared request-ring depth per mux group (DESIGN.md §10): the SRQ-style
+  /// credit pool all endpoints of one client node draw from. Sized like an
+  /// SRQ -- enough for the node's aggregate burst, far less than
+  /// endpoints * window dedicated slots would cost.
+  std::uint32_t mux_ring_slots = 64;
   /// Whether GET responses mint remote pointers (disabled to measure the
   /// "RDMA Write only" rows of Fig 10).
   bool grant_remote_pointers = true;

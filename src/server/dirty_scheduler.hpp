@@ -1,0 +1,63 @@
+// Index-driven dirty-ring scheduler shared by both shard variants.
+//
+// The shard's wakeup path must do O(active) work per wakeup no matter how
+// many endpoints are registered: a write hook marks its endpoint dirty in
+// O(1) (a flag suppresses duplicates, an index ring preserves FIFO sweep
+// order), and the poll loop pops exactly the endpoints that saw traffic.
+// Before this existed, Shard and PipelinedShard each carried a copy-pasted
+// dirty_flag_/dirty_ pair that could (and did) drift; both now share this
+// one implementation, so the legacy single-ring path and the SRQ-style
+// mux-group path schedule identically.
+//
+// Fairness guarantee (DESIGN.md §10): endpoints are swept in the order they
+// became dirty (FIFO), and an endpoint re-marked while queued is not
+// enqueued twice -- so between two sweeps of one endpoint, every other
+// dirty endpoint is swept at least once.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace hydra::server {
+
+class DirtyScheduler {
+ public:
+  /// Registers one more endpoint (ids are dense, assigned in call order).
+  /// Returns the new endpoint's id.
+  std::uint32_t add_endpoint() {
+    flags_.push_back(false);
+    return static_cast<std::uint32_t>(flags_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t endpoints() const noexcept { return flags_.size(); }
+
+  /// Marks an endpoint dirty. Returns true when it was newly marked (the
+  /// caller wakes the poll loop); false for duplicates and out-of-range ids
+  /// (a write landing past the registered endpoints is ignored, exactly as
+  /// the pre-refactor bound check did).
+  bool mark(std::uint32_t id) {
+    if (id >= flags_.size() || flags_[id]) return false;
+    flags_[id] = true;
+    queue_.push_back(id);
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t active() const noexcept { return queue_.size(); }
+
+  /// Pops the oldest dirty endpoint and clears its flag (so a write landing
+  /// during the sweep re-marks it). Callers must check empty() first.
+  std::uint32_t pop() {
+    const std::uint32_t id = queue_.front();
+    queue_.pop_front();
+    flags_[id] = false;
+    return id;
+  }
+
+ private:
+  std::vector<bool> flags_;          // endpoint id -> queued?
+  std::deque<std::uint32_t> queue_;  // dirty ids, FIFO sweep order
+};
+
+}  // namespace hydra::server

@@ -37,7 +37,7 @@ Shard::AcceptResult PipelinedShard::accept(fabric::QueuePair* server_qp,
   if (conns_.size() >= cfg_.max_connections) return {};
   const auto idx = static_cast<std::uint32_t>(conns_.size());
   conns_.push_back(Connection{server_qp, client_resp_slot, client_resp_bytes});
-  dirty_flag_.push_back(false);
+  dirty_.add_endpoint();
   Shard::AcceptResult res;
   res.req_slot = fabric::RemoteAddr{msg_mr_->rkey(),
                                     static_cast<std::uint64_t>(idx) * cfg_.msg_slot_bytes};
@@ -49,9 +49,7 @@ Shard::AcceptResult PipelinedShard::accept(fabric::QueuePair* server_qp,
 
 void PipelinedShard::on_request_write(std::uint64_t offset) {
   const auto idx = static_cast<std::uint32_t>(offset / cfg_.msg_slot_bytes);
-  if (idx >= conns_.size() || dirty_flag_[idx]) return;
-  dirty_flag_[idx] = true;
-  dirty_.push_back(idx);
+  if (!dirty_.mark(idx)) return;
   wake_dispatchers();
 }
 
@@ -68,9 +66,7 @@ void PipelinedShard::wake_dispatchers() {
 void PipelinedShard::dispatcher_loop(std::size_t d) {
   Duration scan_cost = 0;
   while (!dirty_.empty()) {
-    const std::uint32_t idx = dirty_.front();
-    dirty_.pop_front();
-    dirty_flag_[idx] = false;
+    const std::uint32_t idx = dirty_.pop();
     scan_cost += cfg_.cpu.poll_scan;
     const auto slot = slot_span(idx);
     if (!proto::poll_frame(slot).has_value()) continue;

@@ -19,6 +19,7 @@
 #include "proto/frame.hpp"
 #include "proto/messages.hpp"
 #include "server/config.hpp"
+#include "server/dirty_scheduler.hpp"
 #include "server/shard.hpp"
 #include "sim/actor.hpp"
 
@@ -72,8 +73,7 @@ class PipelinedShard : public sim::Actor {
   fabric::MemoryRegion* msg_mr_;
 
   std::vector<Connection> conns_;
-  std::vector<bool> dirty_flag_;
-  std::deque<std::uint32_t> dirty_;
+  DirtyScheduler dirty_;  ///< shared with Shard; see dirty_scheduler.hpp
   /// Dispatcher -> worker handoff queue (the pipeline's synchronization point).
   std::deque<std::pair<proto::Request, std::uint32_t>> work_queue_;
   std::vector<bool> dispatcher_busy_;

@@ -32,6 +32,9 @@ void Shard::kill() {
   // RDMA reads fail with protection errors rather than touching a corpse.
   msg_mr_->revoke();
   arena_mr_->revoke();
+  for (Connection& conn : conns_) {
+    if (conn.mux && conn.ring_mr != nullptr && !conn.closed) conn.ring_mr->revoke();
+  }
   sim::Actor::kill();
 }
 
@@ -39,19 +42,22 @@ Shard::AcceptResult Shard::accept(fabric::QueuePair* server_qp,
                                   fabric::RemoteAddr client_resp_slot,
                                   std::uint32_t client_resp_bytes, ClientId client,
                                   std::uint32_t window) {
-  if (conns_.size() >= cfg_.max_connections) return {};
+  if (block_to_conn_.size() >= cfg_.max_connections) return {};
   const auto idx = static_cast<std::uint32_t>(conns_.size());
+  const auto block = static_cast<std::uint32_t>(block_to_conn_.size());
   Connection conn;
   conn.qp = server_qp;
   conn.resp_addr = client_resp_slot;
   conn.resp_bytes = client_resp_bytes;
   conn.window = std::clamp<std::uint32_t>(window, 1, cfg_.ring_slots);
   conn.client = client;
+  conn.region_block = block;
   conns_.push_back(std::move(conn));
-  dirty_flag_.push_back(false);
+  block_to_conn_.push_back(idx);
+  dirty_.add_endpoint();
   AcceptResult res;
   res.req_slot =
-      fabric::RemoteAddr{msg_mr_->rkey(), static_cast<std::uint64_t>(idx) * conn_stride()};
+      fabric::RemoteAddr{msg_mr_->rkey(), static_cast<std::uint64_t>(block) * conn_stride()};
   res.slot_bytes = cfg_.msg_slot_bytes;
   res.arena_rkey = arena_mr_->rkey();
   res.window = conns_.back().window;
@@ -60,15 +66,17 @@ Shard::AcceptResult Shard::accept(fabric::QueuePair* server_qp,
 }
 
 Shard::AcceptResult Shard::accept_send_recv(fabric::QueuePair* server_qp, ClientId client) {
-  if (conns_.size() >= cfg_.max_connections) return {};
+  if (block_to_conn_.size() >= cfg_.max_connections) return {};
   const auto idx = static_cast<std::uint32_t>(conns_.size());
   Connection conn;
   conn.qp = server_qp;
   conn.client = client;
   conn.send_recv = true;
+  conn.region_block = static_cast<std::uint32_t>(block_to_conn_.size());
   conn.recv_bufs.resize(8, std::vector<std::byte>(cfg_.msg_slot_bytes));
   conns_.push_back(std::move(conn));
-  dirty_flag_.push_back(false);
+  block_to_conn_.push_back(idx);
+  dirty_.add_endpoint();
   Connection& c = conns_.back();
   for (std::size_t i = 0; i < c.recv_bufs.size(); ++i) c.qp->post_recv(c.recv_bufs[i], i);
   c.qp->set_recv_handler(guard([this, idx](const fabric::Completion& wc,
@@ -92,6 +100,65 @@ Shard::AcceptResult Shard::accept_send_recv(fabric::QueuePair* server_qp, Client
   return res;
 }
 
+Shard::MuxGroupResult Shard::accept_mux_group(fabric::QueuePair* qp) {
+  const auto idx = static_cast<std::uint32_t>(conns_.size());
+  Connection conn;
+  conn.qp = qp;
+  conn.mux = true;
+  conn.ring_slots = std::max<std::uint32_t>(1, cfg_.mux_ring_slots);
+  conn.ring = std::make_unique<std::vector<std::byte>>(
+      static_cast<std::size_t>(conn.ring_slots) * cfg_.msg_slot_bytes);
+  conns_.push_back(std::move(conn));
+  dirty_.add_endpoint();
+  Connection& c = conns_.back();
+  c.ring_mr = fabric_.node(node_).register_memory(*c.ring);
+  c.ring_mr->set_write_hook(guard([this, idx](std::uint64_t, std::uint32_t) {
+    if (dirty_.mark(idx)) wake();
+  }));
+  MuxGroupResult res;
+  res.group = idx;
+  res.req_ring = fabric::RemoteAddr{c.ring_mr->rkey(), 0};
+  res.slot_bytes = cfg_.msg_slot_bytes;
+  res.ring_slots = c.ring_slots;
+  res.arena_rkey = arena_mr_->rkey();
+  res.ok = true;
+  return res;
+}
+
+Shard::MuxEndpointResult Shard::accept_mux_endpoint(std::uint32_t group,
+                                                    fabric::RemoteAddr client_resp_slot,
+                                                    std::uint32_t client_resp_bytes,
+                                                    ClientId client, std::uint32_t window) {
+  if (group >= conns_.size() || !conns_[group].mux || conns_[group].closed) return {};
+  MuxEndpoint ep;
+  ep.group = group;
+  ep.resp_addr = client_resp_slot;
+  ep.resp_bytes = client_resp_bytes;
+  // An endpoint can never hold more slots than the shared ring has.
+  ep.window = std::clamp<std::uint32_t>(window, 1, conns_[group].ring_slots);
+  ep.client = client;
+  ep.active = true;
+  endpoints_.push_back(ep);
+  MuxEndpointResult res;
+  res.endpoint = static_cast<std::uint32_t>(endpoints_.size() - 1);
+  res.window = ep.window;
+  res.ok = true;
+  return res;
+}
+
+void Shard::close_mux_group(std::uint32_t group) {
+  if (group >= conns_.size() || !conns_[group].mux || conns_[group].closed) return;
+  Connection& c = conns_[group];
+  c.closed = true;
+  // Revoking the ring registration makes a straggler client write (issued
+  // against the dead QP's successor before the client noticed) fault
+  // instead of landing in a ring nobody sweeps.
+  c.ring_mr->revoke();
+  for (MuxEndpoint& ep : endpoints_) {
+    if (ep.group == group) ep.active = false;
+  }
+}
+
 void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
   replicator_ = std::make_unique<replication::ReplicationPrimary>(*this, fabric_, node_, rep_cfg);
 }
@@ -99,11 +166,9 @@ void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
 std::uint32_t Shard::arena_rkey() const noexcept { return arena_mr_->rkey(); }
 
 void Shard::on_request_write(std::uint64_t offset) {
-  const auto idx = static_cast<std::uint32_t>(offset / conn_stride());
-  if (idx >= conns_.size() || dirty_flag_[idx]) return;
-  dirty_flag_[idx] = true;
-  dirty_.push_back(idx);
-  wake();
+  const auto block = static_cast<std::uint32_t>(offset / conn_stride());
+  if (block >= block_to_conn_.size()) return;
+  if (dirty_.mark(block_to_conn_[block])) wake();
 }
 
 void Shard::wake() {
@@ -126,22 +191,22 @@ void Shard::process_loop() {
   if (!ready_.empty()) {
     ReadyReq r = std::move(ready_.front());
     ready_.pop_front();
-    handle(std::move(r.req), r.conn_idx, r.slot, 0, r.batched);
+    handle(std::move(r.req), r.conn_idx, r.slot, 0, r.batched, r.endpoint);
     return;
   }
   // Polling mode: round-robin over connections whose rings saw a write;
   // a dirty connection has all of its occupied slots drained in one sweep.
+  // The scheduler pops exactly the endpoints that saw traffic, so this is
+  // O(active) per wakeup no matter how many connections are registered.
   Duration scan_cost = 0;
   while (!dirty_.empty()) {
-    const std::uint32_t idx = dirty_.front();
-    dirty_.pop_front();
-    dirty_flag_[idx] = false;
+    const std::uint32_t idx = dirty_.pop();
     scan_cost += cfg_.cpu.poll_scan;
     sweep_connection(idx);
     if (!ready_.empty()) {
       ReadyReq r = std::move(ready_.front());
       ready_.pop_front();
-      handle(std::move(r.req), r.conn_idx, r.slot, scan_cost, r.batched);
+      handle(std::move(r.req), r.conn_idx, r.slot, scan_cost, r.batched, r.endpoint);
       return;
     }
   }
@@ -150,11 +215,15 @@ void Shard::process_loop() {
 }
 
 void Shard::sweep_connection(std::uint32_t idx) {
+  if (conns_[idx].mux) {
+    sweep_mux_group(idx);
+    return;
+  }
   const Connection& conn = conns_[idx];
   bool first_in_sweep = true;
   std::uint32_t decoded = 0;
   for (std::uint32_t slot = 0; slot < conn.window; ++slot) {
-    const auto span = slot_span(idx, slot);
+    const auto span = slot_span(conn.region_block, slot);
     switch (proto::probe_frame(span)) {
       case proto::FrameState::kEmpty:
       case proto::FrameState::kPartial:  // still landing; redirtied on commit
@@ -183,8 +252,56 @@ void Shard::sweep_connection(std::uint32_t idx) {
   }
 }
 
+void Shard::sweep_mux_group(std::uint32_t idx) {
+  Connection& conn = conns_[idx];
+  if (conn.closed) return;
+  bool first_in_sweep = true;
+  std::uint32_t decoded = 0;
+  std::uint32_t occupied = 0;  // SRQ depth at sweep time (ready + landing)
+  for (std::uint32_t slot = 0; slot < conn.ring_slots; ++slot) {
+    const auto span = mux_slot_span(conn, slot);
+    switch (proto::probe_frame(span)) {
+      case proto::FrameState::kEmpty:
+        continue;
+      case proto::FrameState::kPartial:  // still landing; redirtied on commit
+        ++occupied;
+        continue;
+      case proto::FrameState::kMalformed:
+        ++stats_.malformed;
+        std::fill(span.begin(), span.end(), std::byte{0});
+        continue;
+      case proto::FrameState::kReady:
+        break;
+    }
+    ++occupied;
+    const auto payload = proto::frame_payload(span);
+    const auto hdr = proto::decode_mux_header(payload);
+    std::optional<proto::Request> req;
+    if (hdr.has_value()) req = proto::decode_request(proto::mux_request_body(payload));
+    proto::clear_frame(span);
+    if (!req.has_value() || hdr->endpoint >= endpoints_.size() ||
+        !endpoints_[hdr->endpoint].active || endpoints_[hdr->endpoint].group != idx) {
+      // Garbage body, unknown endpoint, or an endpoint that hopped groups:
+      // drop; the client's timeout path retransmits through a fresh channel.
+      ++stats_.malformed;
+      continue;
+    }
+    ready_.push_back(ReadyReq{std::move(*req), idx, hdr->resp_slot, !first_in_sweep,
+                              hdr->endpoint});
+    first_in_sweep = false;
+    ++decoded;
+    ++stats_.mux_requests;
+  }
+  if (fabric_.obs() != nullptr) {
+    if (decoded > 0) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kRingSweep, cfg_.id, decoded, idx);
+    }
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kSrqDepth, cfg_.id, occupied, idx);
+  }
+}
+
 void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
-                   Duration cost_so_far, bool batched) {
+                   Duration cost_so_far, bool batched, std::uint32_t endpoint) {
   const CpuModel& cpu = cfg_.cpu;
   proto::Response resp;
   resp.req_id = req.req_id;
@@ -201,8 +318,8 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
     resp.status = Status::kWrongOwner;
     cost += batched ? cpu.post_response_batched : cpu.post_response;
     charge(cost);
-    schedule_after(cost, [this, resp = std::move(resp), conn_idx, slot, batched] {
-      send_response(resp, conn_idx, slot, batched);
+    schedule_after(cost, [this, resp = std::move(resp), conn_idx, slot, batched, endpoint] {
+      send_response(resp, conn_idx, slot, batched, endpoint);
       process_loop();
     });
     return;
@@ -311,11 +428,12 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
     const bool blocking =
         replicator_->config().mode == replication::ReplicationMode::kStrictAck;
     auto barrier = std::make_shared<int>(2);
-    std::function<void()> arm = guard([this, resp, conn_idx, slot, batched, barrier, blocking] {
-      if (--*barrier > 0) return;
-      send_response(resp, conn_idx, slot, batched);
-      if (blocking) process_loop();
-    });
+    std::function<void()> arm =
+        guard([this, resp, conn_idx, slot, batched, endpoint, barrier, blocking] {
+          if (--*barrier > 0) return;
+          send_response(resp, conn_idx, slot, batched, endpoint);
+          if (blocking) process_loop();
+        });
     replicator_->replicate(std::move(rec), arm);
     charge(cost);
     schedule_after(cost, [this, arm, blocking] {
@@ -326,20 +444,30 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
   }
 
   charge(cost);
-  schedule_after(cost, [this, resp = std::move(resp), conn_idx, slot, batched] {
-    send_response(resp, conn_idx, slot, batched);
+  schedule_after(cost, [this, resp = std::move(resp), conn_idx, slot, batched, endpoint] {
+    send_response(resp, conn_idx, slot, batched, endpoint);
     process_loop();
   });
 }
 
 void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx,
-                          std::uint32_t slot, bool batched) {
+                          std::uint32_t slot, bool batched, std::uint32_t endpoint) {
   Connection& conn = conns_[conn_idx];
+  // Mux requests answer into the *endpoint's* private response ring; the
+  // shared group QP carries the write. If the group died while the request
+  // was executing, drop the response -- the endpoint retransmits through a
+  // fresh channel and the (idempotent-at-the-client) retry re-answers.
+  fabric::RemoteAddr resp_base = conn.resp_addr;
+  std::uint32_t resp_bytes = conn.resp_bytes;
+  if (endpoint != kNoEndpoint) {
+    if (conn.closed || endpoint >= endpoints_.size() || !endpoints_[endpoint].active) return;
+    resp_base = endpoints_[endpoint].resp_addr;
+    resp_bytes = endpoints_[endpoint].resp_bytes;
+  }
   // The response lands in the resp-ring slot matching the request's slot,
   // which is exactly what releases that slot pair for reuse at the client.
-  const fabric::RemoteAddr dst{conn.resp_addr.rkey,
-                               conn.resp_addr.offset +
-                                   proto::ring_slot_offset(slot, conn.resp_bytes)};
+  const fabric::RemoteAddr dst{resp_base.rkey,
+                               resp_base.offset + proto::ring_slot_offset(slot, resp_bytes)};
   const auto payload = proto::encode_response(resp);
   if (conn.send_recv) {
     conn.qp->post_send(payload);
@@ -347,7 +475,7 @@ void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx,
     return;
   }
   const std::size_t framed = proto::frame_size(payload.size());
-  if (framed > conn.resp_bytes) {
+  if (framed > resp_bytes) {
     // Response exceeds the client's slot (value too large for the
     // configured slot size): degrade to an error the client can act on.
     proto::Response err;

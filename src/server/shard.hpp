@@ -23,6 +23,7 @@
 #include "proto/messages.hpp"
 #include "replication/primary.hpp"
 #include "server/config.hpp"
+#include "server/dirty_scheduler.hpp"
 #include "sim/actor.hpp"
 
 namespace hydra::server {
@@ -37,6 +38,7 @@ struct ShardStats {
   std::uint64_t forwarded = 0;    ///< writes forwarded to a migration flow
   std::uint64_t responses = 0;
   std::uint64_t batched_responses = 0;  ///< responses sharing a sweep's doorbell
+  std::uint64_t mux_requests = 0;  ///< requests demultiplexed off shared rings
   Duration busy_time = 0;  ///< virtual CPU time charged to this core
 };
 
@@ -70,6 +72,40 @@ class Shard : public sim::Actor {
   /// Send/Recv-mode accept (Fig 10 baseline): posts receive buffers and
   /// answers via post_send.
   AcceptResult accept_send_recv(fabric::QueuePair* server_qp, ClientId client);
+
+  // --- QP multiplexing (DESIGN.md §10) -------------------------------------
+  struct MuxGroupResult {
+    std::uint32_t group = 0;      ///< group id, passed to accept_mux_endpoint
+    fabric::RemoteAddr req_ring;  ///< base of the shared request ring
+    std::uint32_t slot_bytes = 0;
+    std::uint32_t ring_slots = 0;  ///< shared ring depth == SRQ credit pool
+    std::uint32_t arena_rkey = 0;
+    bool ok = false;
+  };
+  struct MuxEndpointResult {
+    std::uint32_t endpoint = 0;
+    std::uint32_t window = 1;  ///< granted per-endpoint flow credits
+    bool ok = false;
+  };
+
+  /// Registers one shared request ring ("SRQ") served over `qp`. All
+  /// endpoints of one client node share this ring: frames carry a MuxHeader
+  /// naming the endpoint and its response slot.
+  MuxGroupResult accept_mux_group(fabric::QueuePair* qp);
+
+  /// Adds a logical client endpoint to an existing mux group. Responses are
+  /// RDMA-written into slot MuxHeader::resp_slot of the endpoint's private
+  /// response ring at `client_resp_slot` (`window` slots of
+  /// `client_resp_bytes` each).
+  MuxEndpointResult accept_mux_endpoint(std::uint32_t group,
+                                        fabric::RemoteAddr client_resp_slot,
+                                        std::uint32_t client_resp_bytes, ClientId client,
+                                        std::uint32_t window = 1);
+
+  /// Tears down a mux group (client node reclaimed the shared QP): revokes
+  /// the shared ring's memory registration so in-flight client writes fault
+  /// instead of landing, and deactivates every endpoint riding the group.
+  void close_mux_group(std::uint32_t group);
 
   // --- replication ---------------------------------------------------------
   void enable_replication(replication::PrimaryConfig cfg);
@@ -116,6 +152,8 @@ class Shard : public sim::Actor {
   void kill() override;
 
  private:
+  static constexpr std::uint32_t kNoEndpoint = 0xffffffffu;
+
   struct Connection {
     fabric::QueuePair* qp = nullptr;
     fabric::RemoteAddr resp_addr{};  ///< base of the client's response ring
@@ -123,27 +161,52 @@ class Shard : public sim::Actor {
     std::uint32_t window = 1;        ///< granted ring depth
     ClientId client = 0;
     bool send_recv = false;
+    std::uint32_t region_block = 0;  ///< this connection's block in msg_region_
     /// Send/Recv mode owns its receive buffers (re-posted after use).
     std::vector<std::vector<std::byte>> recv_bufs;
+    // Mux groups own a shared request ring instead of a block of
+    // msg_region_; frames there carry a MuxHeader for demultiplexing.
+    bool mux = false;
+    bool closed = false;
+    std::uint32_t ring_slots = 0;
+    std::unique_ptr<std::vector<std::byte>> ring;  ///< heap: stable across conns_ growth
+    fabric::MemoryRegion* ring_mr = nullptr;
+  };
+
+  /// A logical client endpoint riding a mux group's shared ring.
+  struct MuxEndpoint {
+    std::uint32_t group = 0;  ///< index into conns_
+    fabric::RemoteAddr resp_addr{};
+    std::uint32_t resp_bytes = 0;
+    std::uint32_t window = 1;
+    ClientId client = 0;
+    bool active = false;
   };
 
   /// A decoded request waiting for the shard core; `batched` marks every
   /// request after the first of one ring sweep, whose response shares the
-  /// sweep's doorbell.
+  /// sweep's doorbell. `endpoint` is kNoEndpoint on the legacy path and a
+  /// mux endpoint id for requests demultiplexed off a shared ring.
   struct ReadyReq {
     proto::Request req;
     std::uint32_t conn_idx = 0;
     std::uint32_t slot = 0;
     bool batched = false;
+    std::uint32_t endpoint = kNoEndpoint;
   };
 
   /// Bytes one connection's request ring occupies in msg_region_.
   [[nodiscard]] std::size_t conn_stride() const noexcept {
     return static_cast<std::size_t>(cfg_.ring_slots) * cfg_.msg_slot_bytes;
   }
-  [[nodiscard]] std::span<std::byte> slot_span(std::uint32_t idx, std::uint32_t slot) noexcept {
-    return {msg_region_.data() + static_cast<std::size_t>(idx) * conn_stride() +
+  [[nodiscard]] std::span<std::byte> slot_span(std::uint32_t block, std::uint32_t slot) noexcept {
+    return {msg_region_.data() + static_cast<std::size_t>(block) * conn_stride() +
                 proto::ring_slot_offset(slot, cfg_.msg_slot_bytes),
+            cfg_.msg_slot_bytes};
+  }
+  [[nodiscard]] std::span<std::byte> mux_slot_span(Connection& conn,
+                                                   std::uint32_t slot) noexcept {
+    return {conn.ring->data() + proto::ring_slot_offset(slot, cfg_.msg_slot_bytes),
             cfg_.msg_slot_bytes};
   }
 
@@ -151,10 +214,11 @@ class Shard : public sim::Actor {
   void wake();
   void process_loop();
   void sweep_connection(std::uint32_t idx);
+  void sweep_mux_group(std::uint32_t idx);
   void handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
-              Duration cost_so_far, bool batched);
+              Duration cost_so_far, bool batched, std::uint32_t endpoint = kNoEndpoint);
   void send_response(const proto::Response& resp, std::uint32_t conn_idx,
-                     std::uint32_t slot, bool batched);
+                     std::uint32_t slot, bool batched, std::uint32_t endpoint = kNoEndpoint);
   void charge(Duration cost) noexcept { stats_.busy_time += cost; }
   void schedule_gc();
 
@@ -168,8 +232,11 @@ class Shard : public sim::Actor {
   fabric::MemoryRegion* msg_mr_;
 
   std::vector<Connection> conns_;
-  std::vector<bool> dirty_flag_;
-  std::deque<std::uint32_t> dirty_;
+  /// Maps msg_region_ block index -> conns_ index for legacy connections
+  /// (identical when no mux groups interleave with accepts).
+  std::vector<std::uint32_t> block_to_conn_;
+  DirtyScheduler dirty_;
+  std::vector<MuxEndpoint> endpoints_;
   /// Requests decoded by a ring sweep, waiting for the shard core.
   std::deque<ReadyReq> ready_;
   /// Send/Recv mode: decoded requests waiting for the shard thread.

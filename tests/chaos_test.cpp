@@ -33,7 +33,7 @@ const ChaosSchedule& scripted_by_name(const std::string& name) {
 
 // ---------------------------------------------------------------- the sweep
 
-// 7 scripted families x 10 seeds = 70 combos.
+// 8 scripted families x 10 seeds = 80 combos.
 TEST(ChaosSweep, ScriptedFamilies) {
   for (const auto& schedule : ChaosSchedule::scripted()) {
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
@@ -121,6 +121,28 @@ TEST(ChaosRegression, SuppressedHeartbeatsFenceAndPromote) {
       ChaosRunner::run(scripted_by_name("heartbeat-suppression-fences"), 1);
   EXPECT_TRUE(r.passed()) << describe(r);
   EXPECT_GE(r.failovers, 1u) << describe(r);
+}
+
+// The shared mux QP dies abruptly (twice) with PUTs in flight; nobody tells
+// the mux layer. Endpoints must time out, tear the channel down and lazily
+// re-establish -- the trace must show both the failure reclaims and the
+// reopens, and no acked write may be lost (the family's invariant check).
+TEST(ChaosRegression, MuxChannelKillRetransmitsWithoutLoss) {
+  obs::Plane plane;
+  const RunReport r =
+      ChaosRunner::run(scripted_by_name("mux-channel-kill-mid-put"), 1, &plane);
+  EXPECT_TRUE(r.passed()) << describe(r);
+  EXPECT_EQ(r.wedged_ops, 0u) << describe(r);
+  EXPECT_EQ(r.failovers, 0u) << describe(r);  // QP death != process death
+  const auto q = plane.query();
+  // Two kills -> at least two failure teardowns (b=1 marks failure), and the
+  // channel must have been opened at least 3 times (initial + reopen each).
+  std::uint64_t failure_reclaims = 0;
+  for (const auto& t : q.of(obs::TraceKind::kMuxChannelReclaimed)) {
+    if (t.b == 1) ++failure_reclaims;
+  }
+  EXPECT_GE(failure_reclaims, 2u);
+  EXPECT_GE(q.count(obs::TraceKind::kMuxChannelOpened), 3u);
 }
 
 // Bug: SWAT parsed "/shards/<id>/primary" with a bare std::stoul -- any

@@ -1,6 +1,7 @@
 // Unit tests for the simulated RDMA fabric: memory registration, one-sided
 // Write/Read semantics, in-order delivery, Send/Recv, protection, failures
 // and the TCP model.
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -402,7 +403,137 @@ TEST(CostModel, QpPenaltyShape) {
   EXPECT_GT(cm.qp_penalty(cm.qp_penalty_threshold + 50), 1.0);
   EXPECT_LT(cm.qp_penalty(cm.qp_penalty_threshold + 50),
             cm.qp_penalty(cm.qp_penalty_threshold + 100));
-  EXPECT_DOUBLE_EQ(cm.qp_penalty(100000), cm.qp_penalty_cap);
+  // Tier-1 plateau holds up to the extreme threshold...
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_extreme_threshold), cm.qp_penalty_cap);
+  // ...then the ICM-thrash tier climbs toward the extreme cap.
+  EXPECT_GT(cm.qp_penalty(cm.qp_extreme_threshold + 100), cm.qp_penalty_cap);
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(100000), cm.qp_extreme_cap);
+}
+
+TEST(CostModel, QpPenaltyExactBoundaries) {
+  CostModel cm;
+  // At the threshold: exactly identity. One past it: exactly one slope step.
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_penalty_threshold), 1.0);
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_penalty_threshold + 1), 1.0 + cm.qp_penalty_slope);
+  // First count at which tier-1 saturates: threshold + ceil(span / slope).
+  const auto cap_at = cm.qp_penalty_threshold +
+                      static_cast<std::uint32_t>(
+                          std::ceil((cm.qp_penalty_cap - 1.0) / cm.qp_penalty_slope));
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cap_at), cm.qp_penalty_cap);
+  EXPECT_LT(cm.qp_penalty(cap_at - 1), cm.qp_penalty_cap);
+  // Tier-2 boundaries: identity with tier-1 at the extreme threshold, one
+  // extreme slope step past it, and saturation at the extreme cap.
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_extreme_threshold), cm.qp_penalty_cap);
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_extreme_threshold + 1),
+                   cm.qp_penalty_cap + cm.qp_extreme_slope);
+  const auto extreme_cap_at =
+      cm.qp_extreme_threshold +
+      static_cast<std::uint32_t>(
+          std::ceil((cm.qp_extreme_cap - cm.qp_penalty_cap) / cm.qp_extreme_slope));
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(extreme_cap_at), cm.qp_extreme_cap);
+  EXPECT_LT(cm.qp_penalty(extreme_cap_at - 1), cm.qp_extreme_cap);
+}
+
+// ------------------------------------------------------------ disconnect
+
+TEST_F(FabricTest, DisconnectReleasesQpCountAndPenaltyRecedes) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+
+  // Blow past the penalty threshold with throwaway connections.
+  std::vector<QueuePair*> extra;
+  const std::uint32_t n = fabric.cost().qp_penalty_threshold + 40;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    extra.push_back(fabric.connect(a.node->id(), b.node->id()).first);
+  }
+  EXPECT_EQ(a.node->nic().qp_count, n);
+  EXPECT_GT(fabric.cost().qp_penalty(a.node->nic().qp_count), 1.0);
+
+  // Reclaim back below the threshold: the penalty must return to exactly 1.0
+  // on both NICs and the live census must match.
+  for (QueuePair* qp : extra) fabric.disconnect(qp);
+  EXPECT_EQ(a.node->nic().qp_count, 0u);
+  EXPECT_EQ(b.node->nic().qp_count, 0u);
+  EXPECT_DOUBLE_EQ(fabric.cost().qp_penalty(a.node->nic().qp_count), 1.0);
+  EXPECT_DOUBLE_EQ(fabric.cost().qp_penalty(b.node->nic().qp_count), 1.0);
+  EXPECT_EQ(fabric.live_qp_pairs(), 0u);
+  EXPECT_EQ(fabric.stats().qp_disconnects, n);
+
+  // Disconnecting an already-closed endpoint is a no-op.
+  fabric.disconnect(extra.front());
+  EXPECT_EQ(fabric.stats().qp_disconnects, n);
+}
+
+TEST_F(FabricTest, DisconnectFlushesInFlightWriteWithoutCommitting) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+
+  const std::string msg = "should-never-land";
+  bool completed = false;
+  qa->post_write(bytes_of(msg), b.mr->addr(0), 1, [&](const Completion& wc) {
+    completed = true;
+    EXPECT_EQ(wc.status, WcStatus::kFlushed);
+  });
+  fabric.disconnect(qa);  // teardown races the in-flight write
+  sched.run();
+
+  EXPECT_TRUE(completed);
+  EXPECT_NE(string_of(std::span(b.memory).subspan(0, msg.size())), msg);
+}
+
+TEST_F(FabricTest, ReusedQpSlotDoesNotDeliverStaleOps) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto c = make_endpoint("c");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+
+  const std::string stale = "stale-op";
+  qa->post_write(bytes_of(stale), b.mr->addr(0));
+  fabric.disconnect(qa);
+
+  // The recycled pair now carries a->c traffic; the stale a->b write must
+  // not commit anywhere even though the object was reused.
+  auto [qa2, qc] = fabric.connect(a.node->id(), c.node->id());
+  EXPECT_EQ(qa2, qa);  // slot actually reused
+  EXPECT_EQ(fabric.stats().qp_slot_reuses, 1u);
+  (void)qc;
+  const std::string fresh = "fresh-op";
+  bool fresh_done = false;
+  qa2->post_write(bytes_of(fresh), c.mr->addr(0), 2, [&](const Completion& wc) {
+    fresh_done = true;
+    EXPECT_EQ(wc.status, WcStatus::kSuccess);
+  });
+  sched.run();
+
+  EXPECT_TRUE(fresh_done);
+  EXPECT_NE(string_of(std::span(b.memory).subspan(0, stale.size())), stale);
+  EXPECT_EQ(string_of(std::span(c.memory).subspan(0, fresh.size())), fresh);
+  EXPECT_EQ(a.node->nic().qp_count, 1u);
+  EXPECT_EQ(b.node->nic().qp_count, 0u);
+}
+
+TEST_F(FabricTest, PostOnClosedQpFlushesImmediately) {
+  auto a = make_endpoint("a");
+  auto b = make_endpoint("b");
+  auto [qa, qb] = fabric.connect(a.node->id(), b.node->id());
+  (void)qb;
+  fabric.disconnect(qa);
+
+  const std::string msg = "late";
+  int flushed = 0;
+  auto expect_flush = [&](const Completion& wc) {
+    EXPECT_EQ(wc.status, WcStatus::kFlushed);
+    ++flushed;
+  };
+  qa->post_write(bytes_of(msg), b.mr->addr(0), 1, expect_flush);
+  std::vector<std::byte> buf(16);
+  qa->post_read(buf, b.mr->addr(0), 2, expect_flush);
+  qa->post_send(bytes_of(msg), 3, expect_flush);
+  sched.run();
+  EXPECT_EQ(flushed, 3);
 }
 
 TEST_F(FabricTest, ConnectionCountRaisesPerOpCost) {
