@@ -122,8 +122,10 @@ void Client::try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr,
   if (conn != nullptr && conn->wire.mux &&
       !conn->wire.mux_node->live(ptr.shard, conn->wire.mux_generation)) {
     // The shared channel this endpoint registered against was reclaimed;
-    // its QP may already carry someone else's traffic. Re-establish first.
-    drop_connection(ptr.shard);
+    // its QP may already carry someone else's traffic. Salvage (not drop):
+    // other slots on this logical connection may still hold in-flight or
+    // queued ops whose callbacks must re-submit, not silently vanish.
+    salvage_connection(ptr.shard);
     conn = nullptr;
   }
   if (conn == nullptr) {
@@ -369,19 +371,18 @@ void Client::post_mux_slot(ShardId shard, std::uint32_t slot_idx,
   // Claim a shared-ring credit (SRQ-style flow control). A full ring parks
   // us on the channel's waiter list; a dead channel hands back nullptr and
   // the op re-submits through a freshly established channel.
-  conn.wire.mux_node->acquire(
+  NodeMux* mux = conn.wire.mux_node;
+  mux->acquire(
       shard, conn.wire.mux_generation,
-      guard([this, shard, slot_idx, frame = std::move(frame)](NodeMux::Channel* ch,
-                                                              std::uint32_t ring_slot) {
+      guard([this, mux, shard, slot_idx, frame = std::move(frame)](NodeMux::Channel* ch,
+                                                                   std::uint32_t ring_slot) {
         auto cit = conns_.find(shard);
         if (cit == conns_.end() || slot_idx >= cit->second->slots.size() ||
             !cit->second->slots[slot_idx].busy) {
           // The logical connection vanished while we waited for a credit;
-          // return it so the pool is not leaked a slot.
-          if (ch != nullptr) {
-            ch->slot_busy[ring_slot] = false;
-            if (ch->in_flight > 0) --ch->in_flight;
-          }
+          // give the credit back through the channel's release flow so it
+          // reaches the oldest parked waiter instead of stranding them.
+          if (ch != nullptr) mux->recycle(*ch, ring_slot);
           return;
         }
         Conn& c = *cit->second;

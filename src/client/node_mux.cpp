@@ -71,7 +71,11 @@ void NodeMux::release(ShardId shard, std::uint64_t generation, std::uint32_t slo
   if (it == channels_.end() || !it->second.open || it->second.generation != generation) {
     return;  // channel died since; teardown already recycled the credits
   }
-  Channel& ch = it->second;
+  recycle(it->second, slot);
+}
+
+void NodeMux::recycle(Channel& ch, std::uint32_t slot) {
+  if (!ch.open) return;  // teardown already recycled the credits
   ch.last_activity = now();
   if (!ch.waiters.empty()) {
     // Hand the slot over without ever marking it free: FIFO credit flow.

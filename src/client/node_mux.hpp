@@ -50,6 +50,10 @@ class NodeMux : public sim::Actor {
     /// a fresh primary whose group ids restart); the closer checks it before
     /// telling "the" shard to drop the group.
     std::uint32_t owner_generation = 0;
+    /// The QP's incarnation at open time. Fabric QP slots are pooled and
+    /// reused, so the closer must no-op when the pointer now carries a
+    /// different (later-established) connection.
+    std::uint32_t qp_generation = 0;
   };
 
   struct Channel {
@@ -106,6 +110,13 @@ class NodeMux : public sim::Actor {
   /// abandoned). No-op when `generation` is stale -- teardown already
   /// recycled every credit.
   void release(ShardId shard, std::uint64_t generation, std::uint32_t slot);
+
+  /// Channel-keyed credit give-back for callers holding the Channel* an
+  /// acquire() callback handed them (e.g. the logical connection vanished
+  /// while the credit was being granted). Identical flow to release():
+  /// the freed slot goes to the oldest parked waiter first, so a credit
+  /// returned this way can never strand the waiter queue.
+  void recycle(Channel& ch, std::uint32_t slot);
 
   /// A client timed out on this channel: the shared QP is presumed dead.
   /// Tears the channel down (all endpoints re-establish lazily and

@@ -95,6 +95,7 @@ HydraCluster::HydraCluster(ClusterOptions opts)
         out->ring_slots = res.ring_slots;
         out->arena_rkey = res.arena_rkey;
         out->owner_generation = slot.generation;
+        out->qp_generation = cq->generation();
         return true;
       });
       mux->set_closer([this](ShardId shard, const client::NodeMux::MuxWire& wire) {
@@ -106,7 +107,13 @@ HydraCluster::HydraCluster(ClusterOptions opts)
             primaries_[shard].generation == wire.owner_generation) {
           primaries_[shard].primary->close_mux_group(wire.group);
         }
-        fabric_.disconnect(wire.qp);
+        // The QP slot may have been reclaimed (chaos async error) and handed
+        // to a *new* connection by the fabric pool before this closer ran:
+        // only tear down the incarnation the channel actually opened.
+        if (wire.qp != nullptr && wire.qp->open() &&
+            wire.qp->generation() == wire.qp_generation) {
+          fabric_.disconnect(wire.qp);
+        }
       });
       node_muxes_[node] = std::move(mux);
     }
@@ -403,7 +410,12 @@ bool HydraCluster::kill_mux_channel(int client_node_idx, ShardId shard) {
   client::NodeMux* mux = node_mux(client_node_idx);
   if (mux == nullptr) return false;
   client::NodeMux::Channel* ch = mux->peek_channel(shard);
-  if (ch == nullptr || !ch->open || ch->wire.qp == nullptr) return false;
+  if (ch == nullptr || !ch->open || ch->wire.qp == nullptr ||
+      !ch->wire.qp->open() || ch->wire.qp->generation() != ch->wire.qp_generation) {
+    // Channel gone, or its QP slot was already reclaimed and reused by a
+    // newer connection -- killing it now would hit an unrelated pair.
+    return false;
+  }
   // Abrupt asynchronous QP error: the fabric closes both ends without the
   // mux layer hearing about it. In-flight ops flush, endpoints time out,
   // report the failure, and re-establish lazily.

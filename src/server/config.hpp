@@ -64,6 +64,12 @@ struct ShardConfig {
   /// SRQ -- enough for the node's aggregate burst, far less than
   /// endpoints * window dedicated slots would cost.
   std::uint32_t mux_ring_slots = 64;
+  /// Admission cap on *live* mux endpoints (logical clients) per shard.
+  /// Endpoints are cheap -- no QP, no dedicated ring -- so the cap is a
+  /// runaway bound far above production client counts, not a tuning knob;
+  /// deactivated endpoint slots are free-listed and reused, so repeated
+  /// channel failure/reopen cycles never grow the table.
+  std::uint32_t max_mux_endpoints = 1u << 20;
   /// Whether GET responses mint remote pointers (disabled to measure the
   /// "RDMA Write only" rows of Fig 10).
   bool grant_remote_pointers = true;

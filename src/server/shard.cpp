@@ -101,16 +101,34 @@ Shard::AcceptResult Shard::accept_send_recv(fabric::QueuePair* server_qp, Client
 }
 
 Shard::MuxGroupResult Shard::accept_mux_group(fabric::QueuePair* qp) {
-  const auto idx = static_cast<std::uint32_t>(conns_.size());
-  Connection conn;
-  conn.qp = qp;
-  conn.mux = true;
-  conn.ring_slots = std::max<std::uint32_t>(1, cfg_.mux_ring_slots);
-  conn.ring = std::make_unique<std::vector<std::byte>>(
-      static_cast<std::size_t>(conn.ring_slots) * cfg_.msg_slot_bytes);
-  conns_.push_back(std::move(conn));
-  dirty_.add_endpoint();
-  Connection& c = conns_.back();
+  // Shared channels pass the same admission gate as dedicated connections:
+  // one live group per client node, never unbounded growth across the
+  // failure/reopen cycles the chaos families drive.
+  if (block_to_conn_.size() + live_mux_groups_ >= cfg_.max_connections) return {};
+  std::uint32_t idx;
+  if (!free_mux_groups_.empty()) {
+    // Reuse a closed group's conns_ slot: same ring bytes, but a *fresh*
+    // registration (new rkey), so straggler writes addressed to the dead
+    // incarnation still fault on its revoked region.
+    idx = free_mux_groups_.back();
+    free_mux_groups_.pop_back();
+    Connection& c = conns_[idx];
+    c.qp = qp;
+    c.closed = false;
+    std::fill(c.ring->begin(), c.ring->end(), std::byte{0});
+  } else {
+    idx = static_cast<std::uint32_t>(conns_.size());
+    Connection conn;
+    conn.qp = qp;
+    conn.mux = true;
+    conn.ring_slots = std::max<std::uint32_t>(1, cfg_.mux_ring_slots);
+    conn.ring = std::make_unique<std::vector<std::byte>>(
+        static_cast<std::size_t>(conn.ring_slots) * cfg_.msg_slot_bytes);
+    conns_.push_back(std::move(conn));
+    dirty_.add_endpoint();
+  }
+  ++live_mux_groups_;
+  Connection& c = conns_[idx];
   c.ring_mr = fabric_.node(node_).register_memory(*c.ring);
   c.ring_mr->set_write_hook(guard([this, idx](std::uint64_t, std::uint32_t) {
     if (dirty_.mark(idx)) wake();
@@ -130,6 +148,9 @@ Shard::MuxEndpointResult Shard::accept_mux_endpoint(std::uint32_t group,
                                                     std::uint32_t client_resp_bytes,
                                                     ClientId client, std::uint32_t window) {
   if (group >= conns_.size() || !conns_[group].mux || conns_[group].closed) return {};
+  // Live-endpoint admission bound: a runaway (re)registration loop must not
+  // grow the table without limit. Deactivated slots below do not count.
+  if (endpoints_.size() - free_endpoints_.size() >= cfg_.max_mux_endpoints) return {};
   MuxEndpoint ep;
   ep.group = group;
   ep.resp_addr = client_resp_slot;
@@ -138,9 +159,17 @@ Shard::MuxEndpointResult Shard::accept_mux_endpoint(std::uint32_t group,
   ep.window = std::clamp<std::uint32_t>(window, 1, conns_[group].ring_slots);
   ep.client = client;
   ep.active = true;
-  endpoints_.push_back(ep);
+  std::uint32_t id;
+  if (!free_endpoints_.empty()) {
+    id = free_endpoints_.back();
+    free_endpoints_.pop_back();
+    endpoints_[id] = ep;
+  } else {
+    id = static_cast<std::uint32_t>(endpoints_.size());
+    endpoints_.push_back(ep);
+  }
   MuxEndpointResult res;
-  res.endpoint = static_cast<std::uint32_t>(endpoints_.size() - 1);
+  res.endpoint = id;
   res.window = ep.window;
   res.ok = true;
   return res;
@@ -154,9 +183,14 @@ void Shard::close_mux_group(std::uint32_t group) {
   // against the dead QP's successor before the client noticed) fault
   // instead of landing in a ring nobody sweeps.
   c.ring_mr->revoke();
-  for (MuxEndpoint& ep : endpoints_) {
-    if (ep.group == group) ep.active = false;
+  for (std::uint32_t e = 0; e < endpoints_.size(); ++e) {
+    if (endpoints_[e].group == group && endpoints_[e].active) {
+      endpoints_[e].active = false;
+      free_endpoints_.push_back(e);
+    }
   }
+  free_mux_groups_.push_back(group);
+  if (live_mux_groups_ > 0) --live_mux_groups_;
 }
 
 void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
@@ -280,9 +314,12 @@ void Shard::sweep_mux_group(std::uint32_t idx) {
     if (hdr.has_value()) req = proto::decode_request(proto::mux_request_body(payload));
     proto::clear_frame(span);
     if (!req.has_value() || hdr->endpoint >= endpoints_.size() ||
-        !endpoints_[hdr->endpoint].active || endpoints_[hdr->endpoint].group != idx) {
-      // Garbage body, unknown endpoint, or an endpoint that hopped groups:
-      // drop; the client's timeout path retransmits through a fresh channel.
+        !endpoints_[hdr->endpoint].active || endpoints_[hdr->endpoint].group != idx ||
+        hdr->resp_slot >= endpoints_[hdr->endpoint].window) {
+      // Garbage body, unknown endpoint, an endpoint that hopped groups, or a
+      // response slot past the endpoint's granted window (a corrupt header
+      // must not steer the response RDMA Write outside the endpoint's
+      // response ring): drop; the client's timeout path retransmits.
       ++stats_.malformed;
       continue;
     }

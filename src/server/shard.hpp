@@ -237,6 +237,13 @@ class Shard : public sim::Actor {
   std::vector<std::uint32_t> block_to_conn_;
   DirtyScheduler dirty_;
   std::vector<MuxEndpoint> endpoints_;
+  /// conns_ slots of closed mux groups, reused by the next accept_mux_group
+  /// (same ring bytes, fresh registration) so reopen cycles do not grow
+  /// conns_ -- and counted against max_connections while live.
+  std::vector<std::uint32_t> free_mux_groups_;
+  std::uint32_t live_mux_groups_ = 0;
+  /// Deactivated MuxEndpoint slots, reused on the next registration.
+  std::vector<std::uint32_t> free_endpoints_;
   /// Requests decoded by a ring sweep, waiting for the shard core.
   std::deque<ReadyReq> ready_;
   /// Send/Recv mode: decoded requests waiting for the shard thread.

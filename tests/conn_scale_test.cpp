@@ -195,6 +195,151 @@ TEST(ConnScale, KillMuxChannelMidFlightRetransmitsEverything) {
   }
 }
 
+// A stale channel generation discovered on the one-sided read path must
+// salvage the logical connection: in-flight and queued ops re-submit through
+// a fresh channel instead of being silently abandoned (their callbacks must
+// all still fire).
+TEST(ConnScale, StaleMuxGenerationSalvagesInFlightOps) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 1;
+  opts.shards_per_node = 1;
+  opts.client_nodes = 1;
+  opts.clients_per_node = 1;
+  opts.enable_swat = false;
+  opts.mux_connections = true;
+  opts.mux.idle_timeout = kSecond;
+  opts.client_template.window = 8;
+  opts.shard_template.store.arena_bytes = 8 << 20;
+  db::HydraCluster cluster(opts);
+
+  // Seed a key and cache its remote pointer on client 0.
+  ASSERT_EQ(cluster.put("k1", "v1"), Status::kOk);
+  ASSERT_EQ(*cluster.get("k1"), "v1");
+
+  // Fill several ring slots with in-flight PUTs (issued, not yet answered).
+  int ok = 0;
+  auto* c = cluster.clients()[0];
+  for (int i = 0; i < 6; ++i) {
+    c->put(format_key(static_cast<std::uint64_t>(i)), "val-" + std::to_string(i),
+           [&ok](Status s) { ok += s == Status::kOk; });
+  }
+
+  // Another endpoint on the shared channel reports failure: the generation
+  // bumps underneath this client while its requests are outstanding.
+  auto* mux = cluster.node_mux(0);
+  ASSERT_NE(mux, nullptr);
+  auto* ch = mux->peek_channel(0);
+  ASSERT_NE(ch, nullptr);
+  ASSERT_TRUE(ch->open);
+  mux->report_failure(0, ch->generation);
+
+  // The next cached-pointer GET sees the stale generation. It must salvage
+  // the connection -- every in-flight PUT retries and completes -- not drop
+  // it with the ops' callbacks cancelled.
+  auto got = cluster.get("k1");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "v1");
+  cluster.run_for(200 * kMillisecond);
+  EXPECT_EQ(ok, 6);
+  for (int i = 0; i < 6; ++i) {
+    auto v = cluster.get(format_key(static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, "val-" + std::to_string(i));
+  }
+}
+
+// A credit given back because the logical connection vanished mid-acquire
+// must flow through the channel's release path: the oldest parked waiter
+// gets it, rather than the slot being freed behind the waiters' backs.
+TEST(ConnScale, RecycleHandsFreedCreditToOldestWaiter) {
+  sim::Scheduler sched;
+  client::NodeMux mux(sched, 0, client::NodeMuxConfig{});
+  mux.set_opener([](ShardId, client::NodeMux::MuxWire* out) {
+    out->ring_slots = 1;  // a single credit forces the second acquire to park
+    return true;
+  });
+  auto* ch = mux.channel_to(0);
+  ASSERT_NE(ch, nullptr);
+
+  int grants = 0;
+  std::uint32_t first_slot = 99;
+  mux.acquire(0, ch->generation, [&](client::NodeMux::Channel* c, std::uint32_t s) {
+    ASSERT_NE(c, nullptr);
+    ++grants;
+    first_slot = s;
+  });
+  ASSERT_EQ(grants, 1);
+  ASSERT_EQ(first_slot, 0u);
+
+  bool waiter_granted = false;
+  mux.acquire(0, ch->generation, [&](client::NodeMux::Channel* c, std::uint32_t s) {
+    waiter_granted = c != nullptr;
+    EXPECT_EQ(s, 0u);
+  });
+  EXPECT_FALSE(waiter_granted);  // parked: the ring is full
+  EXPECT_EQ(mux.stats().credit_waits, 1u);
+
+  // The first holder's logical connection vanished; it gives the credit
+  // back via recycle(). The parked waiter must be woken with that slot.
+  mux.recycle(*ch, first_slot);
+  EXPECT_TRUE(waiter_granted);
+  EXPECT_EQ(ch->in_flight, 1u);  // the credit changed hands, never freed
+
+  // With no waiters, recycle frees the credit outright.
+  mux.recycle(*ch, 0);
+  EXPECT_EQ(ch->in_flight, 0u);
+  EXPECT_FALSE(ch->slot_busy[0]);
+}
+
+// After a chaos QP kill, the fabric pool may hand the dead channel's QP
+// slot to a brand-new connection before the endpoints' timeouts tear the
+// channel down. The closer must recognize the reused slot (generation
+// mismatch) and leave the new connection alone.
+TEST(ConnScale, CloserIgnoresReusedQpSlot) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 1;
+  opts.shards_per_node = 1;
+  opts.client_nodes = 1;
+  opts.clients_per_node = 1;
+  opts.enable_swat = false;
+  opts.mux_connections = true;
+  opts.mux.idle_timeout = kSecond;
+  opts.client_template.request_timeout = kMillisecond;
+  opts.client_template.max_retries = 50;
+  opts.shard_template.store.arena_bytes = 8 << 20;
+  db::HydraCluster cluster(opts);
+
+  ASSERT_EQ(cluster.put("k", "v"), Status::kOk);
+  // Abrupt async QP error; the pair goes to the fabric reuse pool while the
+  // mux layer still believes the channel is healthy.
+  ASSERT_TRUE(cluster.kill_mux_channel(0, 0));
+
+  // An unrelated connection (between two bystander machines) grabs the
+  // pooled slot immediately.
+  const NodeId ba = cluster.fabric().add_node("bystander-a").id();
+  const NodeId bb = cluster.fabric().add_node("bystander-b").id();
+  auto [na, nb] = cluster.fabric().connect(ba, bb);
+  ASSERT_GE(cluster.fabric().stats().qp_slot_reuses, 1u);
+  ASSERT_TRUE(na->open());
+  const std::uint32_t bystander_gen = na->generation();
+
+  // Drive the client through its timeout -> report_failure -> closer path
+  // (the closer holds the dead channel's raw QP pointer) and recovery.
+  ASSERT_EQ(cluster.put("k2", "v2"), Status::kOk);
+  cluster.run_for(50 * kMillisecond);
+
+  // The closer must NOT have torn down the unrelated reused connection.
+  // Same *incarnation*, not merely open(): an errant disconnect would bump
+  // the generation even if a later reuse left the slot open again.
+  EXPECT_TRUE(na->open());
+  EXPECT_TRUE(nb->open());
+  EXPECT_EQ(na->generation(), bystander_gen);
+  EXPECT_EQ(na->local_node(), ba);
+  EXPECT_GE(cluster.node_mux(0)->stats().reclaimed_failure, 1u);
+  EXPECT_EQ(*cluster.get("k"), "v");
+  EXPECT_EQ(*cluster.get("k2"), "v2");
+}
+
 // ------------------------------------------------- O(active) wakeup bound
 
 // 50'000 registered connections, ONE of them dirty: the wakeup must sweep
@@ -246,6 +391,114 @@ TEST(ConnScale, WakeupIsOActiveAmongTensOfThousandsRegistered) {
   // One sweep, of the one dirty connection.
   EXPECT_EQ(plane.query().count(obs::TraceKind::kRingSweep), 1u);
   EXPECT_LT(shard.stats().busy_time, 100'000);
+}
+
+// ---------------------------------------------- mux header hardening + caps
+
+// A corrupt or malicious MuxHeader::resp_slot past the endpoint's granted
+// window must be dropped as malformed, never steered into an RDMA Write
+// beyond the endpoint's response ring.
+TEST(ConnScale, MuxRespSlotPastWindowDroppedAsMalformed) {
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  const NodeId server_node = fabric.add_node("server").id();
+  const NodeId client_node = fabric.add_node("clients").id();
+
+  server::ShardConfig cfg;
+  cfg.msg_slot_bytes = 256;
+  cfg.mux_ring_slots = 8;
+  cfg.store.arena_bytes = 4 << 20;
+  server::Shard shard(sched, fabric, server_node, cfg);
+
+  auto [cq, sq] = fabric.connect(client_node, server_node);
+  std::vector<std::byte> resp_ring(2 * 256);  // exactly window=2 slots
+  auto* resp_mr = fabric.node(client_node).register_memory(resp_ring);
+
+  const auto grp = shard.accept_mux_group(sq);
+  ASSERT_TRUE(grp.ok);
+  const auto ep = shard.accept_mux_endpoint(grp.group, resp_mr->addr(0), 256, 1, 2);
+  ASSERT_TRUE(ep.ok);
+  ASSERT_EQ(ep.window, 2u);
+
+  proto::Request req;
+  req.type = proto::MsgType::kGet;
+  req.req_id = 7;
+  req.client = 1;
+  req.key = "some-key";
+
+  // resp_slot 5 >= the granted window of 2: must be counted malformed.
+  auto evil = proto::encode_mux_request(proto::MuxHeader{ep.endpoint, 5}, req);
+  std::vector<std::byte> evil_frame(proto::frame_size(evil.size()));
+  proto::encode_frame(evil_frame, evil);
+  cq->post_write(evil_frame, grp.req_ring);
+  sched.run_until(sched.now() + kMillisecond);
+  EXPECT_EQ(shard.stats().malformed, 1u);
+  EXPECT_EQ(shard.stats().responses, 0u);
+  EXPECT_EQ(shard.stats().gets, 0u);
+
+  // An in-window resp_slot on the same endpoint still answers normally.
+  auto good = proto::encode_mux_request(proto::MuxHeader{ep.endpoint, 1}, req);
+  std::vector<std::byte> good_frame(proto::frame_size(good.size()));
+  proto::encode_frame(good_frame, good);
+  cq->post_write(good_frame, grp.req_ring);
+  sched.run_until(sched.now() + kMillisecond);
+  EXPECT_EQ(shard.stats().gets, 1u);
+  EXPECT_EQ(shard.stats().responses, 1u);
+  EXPECT_EQ(shard.stats().malformed, 1u);
+}
+
+// Failure/reopen cycles (what the chaos family drives) must not grow the
+// shard's connection or endpoint tables: closed mux-group slots and
+// deactivated endpoints are reused, and live groups/endpoints obey caps.
+TEST(ConnScale, MuxReopenCyclesReuseSlotsAndObeyCaps) {
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  const NodeId server_node = fabric.add_node("server").id();
+  const NodeId client_node = fabric.add_node("clients").id();
+
+  server::ShardConfig cfg;
+  cfg.msg_slot_bytes = 256;
+  cfg.mux_ring_slots = 8;
+  cfg.max_connections = 2;
+  cfg.max_mux_endpoints = 2;
+  cfg.store.arena_bytes = 4 << 20;
+  server::Shard shard(sched, fabric, server_node, cfg);
+
+  auto [cq, sq] = fabric.connect(client_node, server_node);
+  std::vector<std::byte> resp_ring(4096);
+  auto* resp_mr = fabric.node(client_node).register_memory(resp_ring);
+
+  // Repeated open/close cycles reuse one conns_ slot and one endpoint slot.
+  std::uint32_t first_group = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto grp = shard.accept_mux_group(sq);
+    ASSERT_TRUE(grp.ok) << i;
+    if (i == 0) first_group = grp.group;
+    EXPECT_EQ(grp.group, first_group) << i;
+    const auto ep = shard.accept_mux_endpoint(grp.group, resp_mr->addr(0), 256, 1, 1);
+    ASSERT_TRUE(ep.ok) << i;
+    EXPECT_EQ(ep.endpoint, 0u) << i;
+    shard.close_mux_group(grp.group);
+  }
+  EXPECT_EQ(shard.connection_count(), 1u);
+
+  // Live-group admission cap: with max_connections=2, a third live group is
+  // refused until one closes.
+  const auto g1 = shard.accept_mux_group(sq);
+  const auto g2 = shard.accept_mux_group(sq);
+  ASSERT_TRUE(g1.ok);
+  ASSERT_TRUE(g2.ok);
+  EXPECT_FALSE(shard.accept_mux_group(sq).ok);
+
+  // Live-endpoint cap: slots freed by a group close become available again.
+  const auto e1 = shard.accept_mux_endpoint(g1.group, resp_mr->addr(0), 256, 1, 1);
+  const auto e2 = shard.accept_mux_endpoint(g2.group, resp_mr->addr(0), 256, 2, 1);
+  ASSERT_TRUE(e1.ok);
+  ASSERT_TRUE(e2.ok);
+  EXPECT_FALSE(shard.accept_mux_endpoint(g2.group, resp_mr->addr(0), 256, 3, 1).ok);
+  shard.close_mux_group(g1.group);
+  EXPECT_TRUE(shard.accept_mux_group(sq).ok);
+  EXPECT_TRUE(shard.accept_mux_endpoint(g2.group, resp_mr->addr(0), 256, 3, 1).ok);
 }
 
 // -------------------------------------------- pipelined comparator guards
