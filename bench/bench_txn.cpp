@@ -1,0 +1,267 @@
+// Multi-key transaction bench (DESIGN.md §11): a TPC-C-like mix of
+// payment-shaped (3-key) and new-order-shaped (6-10 key) transactions over
+// zipfian-0.99 keys, swept across contention levels by shrinking the key
+// universe. Reports per-mode abort-rate and commit-latency curves
+// (NO_WAIT vs WAIT_DIE) and writes BENCH_txn.json (hydradb-obs-v1).
+//
+// Paper-shape claims checked: contention raises the abort rate for both
+// lock policies; WAIT_DIE sustains a lower abort rate than NO_WAIT at high
+// contention (waiting out a younger holder beats dying and redoing the
+// whole lock phase); commit p99 rises with contention.
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/keygen.hpp"
+#include "common/rng.hpp"
+#include "txn/txn.hpp"
+
+namespace {
+
+using namespace hydra;
+
+constexpr int kTxnClients = 12;
+constexpr std::uint32_t kTxnsPerClient = 60;
+
+struct TxnPoint {
+  std::uint64_t records = 0;  ///< key-universe size (smaller = hotter)
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t attempts = 0;  ///< committed + restarted attempts
+  std::uint64_t conflict_aborts = 0;
+  std::uint64_t waits = 0;
+  std::uint64_t restarts = 0;
+  double abort_rate = 0.0;  ///< conflict aborts per lock-phase attempt
+  obs::LatencySummary lat;  ///< commit latency (started -> acked)
+};
+
+/// One sweep point: kTxnClients closed-loop clients, each driving
+/// kTxnsPerClient transactions drawn from the TPC-C-like mix against a
+/// 4-shard cluster whose keys come from a `records`-sized zipfian universe.
+TxnPoint run_point(proto::TxnMode mode, std::uint64_t records, std::uint64_t seed) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 2;
+  opts.shards_per_node = 2;
+  opts.total_shards = 4;
+  opts.client_nodes = 2;
+  opts.clients_per_node = kTxnClients / 2;
+  opts.enable_swat = false;
+  opts.shard_template.txn_lock_words = 4096;  // aliasing-free: conflicts are key conflicts
+  opts.shard_template.store.arena_bytes = 32ull << 20;
+  opts.shard_template.store.min_buckets = 1 << 14;
+  db::HydraCluster cluster(opts);
+
+  for (std::uint64_t r = 0; r < records; ++r) {
+    cluster.direct_load(format_key(r), synth_value(r));
+  }
+
+  txn::TxnOptions topts;
+  topts.mode = mode;
+  topts.max_restarts = 10'000;  // never fail terminally: measure aborts, not give-ups
+  // Hot retry policy: a small restart backoff keeps aborted attempts coming
+  // back while the keys are still hot (the regime where the lock policies
+  // actually differ), and fast wait polling lets a WAIT_DIE older waiter
+  // grab the word the moment the younger holder unlocks.
+  topts.restart_backoff = 10 * kMicrosecond;
+  topts.backoff_growth = 0;  // constant backoff: no adaptive self-throttling
+  topts.wait_backoff = 5 * kMicrosecond;
+  topts.wait_retries = 4'000;
+  auto ids = txn::TxnClient::make_id_source();
+  std::vector<std::unique_ptr<txn::TxnClient>> drivers;
+  for (int c = 0; c < kTxnClients; ++c) {
+    auto d = std::make_unique<txn::TxnClient>(cluster.scheduler(), *cluster.clients()[c],
+                                              topts, ids);
+    d->set_resolver([&cluster](std::uint64_t h) { return cluster.ring().owner(h); });
+    d->set_epoch_source([&cluster] { return cluster.routing_epoch(); });
+    drivers.push_back(std::move(d));
+  }
+
+  // Pre-generate every transaction's op list (trace pre-generation, like
+  // the YCSB path) so key drawing never perturbs issue timing.
+  ScrambledZipfianChooser chooser(records);
+  Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ULL + records);
+  auto draw_unique = [&](std::set<std::uint64_t>& used) {
+    for (int tries = 0; tries < 64; ++tries) {
+      const std::uint64_t r = chooser.next(rng);
+      if (used.insert(r).second) return r;
+    }
+    return chooser.next(rng);  // tiny universe exhausted: allow the repeat
+  };
+  std::vector<std::vector<std::vector<proto::TxnOp>>> plan(kTxnClients);
+  for (int c = 0; c < kTxnClients; ++c) {
+    plan[c].resize(kTxnsPerClient);
+    for (std::uint32_t t = 0; t < kTxnsPerClient; ++t) {
+      auto& ops = plan[c][t];
+      std::set<std::uint64_t> used;
+      if (rng.below(2) == 0) {
+        // Payment-shaped: read the customer row, update two balance rows.
+        ops.push_back({proto::MsgType::kGet, format_key(draw_unique(used)), ""});
+        for (int k = 0; k < 2; ++k) {
+          const std::uint64_t r = draw_unique(used);
+          ops.push_back({proto::MsgType::kPut, format_key(r), synth_value(r + 1)});
+        }
+      } else {
+        // New-order-shaped: read warehouse + district, insert the order and
+        // update 4-7 stock rows.
+        for (int k = 0; k < 2; ++k) {
+          ops.push_back({proto::MsgType::kGet, format_key(draw_unique(used)), ""});
+        }
+        const int stock = 4 + static_cast<int>(rng.below(4));
+        for (int k = 0; k < stock; ++k) {
+          const std::uint64_t r = draw_unique(used);
+          ops.push_back({proto::MsgType::kPut, format_key(r), synth_value(r + 2)});
+        }
+      }
+    }
+  }
+
+  auto& sched = cluster.scheduler();
+  LatencyHistogram lat;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::vector<std::uint32_t> cursor(kTxnClients, 0);
+  std::function<void(int)> issue = [&](int c) {
+    if (cursor[c] >= kTxnsPerClient) return;
+    const Time t0 = sched.now();
+    drivers[c]->run(plan[c][cursor[c]++],
+                    [&, c, t0](Status s, std::vector<std::string>) {
+                      lat.record(sched.now() - t0);
+                      ++done;
+                      failed += s != Status::kOk;
+                      issue(c);
+                    });
+  };
+  for (int c = 0; c < kTxnClients; ++c) issue(c);
+  while (done < static_cast<std::uint64_t>(kTxnClients) * kTxnsPerClient &&
+         sched.step()) {
+  }
+
+  TxnPoint p;
+  p.records = records;
+  p.failed = failed;
+  for (const auto& d : drivers) {
+    const txn::TxnStats& s = d->stats();
+    p.committed += s.committed;
+    p.restarts += s.restarts;
+    p.conflict_aborts += s.died;
+    p.waits += s.waits;
+  }
+  p.attempts = p.committed + p.failed + p.restarts;
+  p.abort_rate = p.attempts > 0
+                     ? static_cast<double>(p.conflict_aborts) / static_cast<double>(p.attempts)
+                     : 0.0;
+  p.lat = obs::summarize(lat);
+  return p;
+}
+
+const char* mode_name(proto::TxnMode m) {
+  return m == proto::TxnMode::kNoWait ? "no_wait" : "wait_die";
+}
+
+void write_json(const std::string& path, const std::vector<std::uint64_t>& universes,
+                const std::vector<TxnPoint>& no_wait, const std::vector<TxnPoint>& wait_die) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto emit_mode = [&](const char* name, const std::vector<TxnPoint>& pts, bool last) {
+    std::fprintf(f, "  \"%s\": {\n    \"points\": [\n", name);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const TxnPoint& p = pts[i];
+      std::fprintf(f,
+                   "      {\"records\": %llu, \"committed\": %llu, \"failed\": %llu, "
+                   "\"attempts\": %llu, \"conflict_aborts\": %llu, \"waits\": %llu, "
+                   "\"restarts\": %llu, \"abort_rate\": %.4f, \"txn_latency\": %s}%s\n",
+                   static_cast<unsigned long long>(p.records),
+                   static_cast<unsigned long long>(p.committed),
+                   static_cast<unsigned long long>(p.failed),
+                   static_cast<unsigned long long>(p.attempts),
+                   static_cast<unsigned long long>(p.conflict_aborts),
+                   static_cast<unsigned long long>(p.waits),
+                   static_cast<unsigned long long>(p.restarts), p.abort_rate,
+                   bench::latency_json(p.lat).c_str(), i + 1 < pts.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }%s\n", last ? "" : ",");
+  };
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"txn_2pl\",\n"
+               "  \"schema\": \"hydradb-obs-v1\",\n"
+               "  \"workload\": \"tpcc-like payment/new-order mix, zipfian-0.99 keys, "
+               "%d closed-loop clients x %u txns\",\n"
+               "  \"contention_axis\": \"shrinking key universe (records); smaller = hotter\",\n",
+               kTxnClients, kTxnsPerClient);
+  std::fprintf(f, "  \"universes\": [");
+  for (std::size_t i = 0; i < universes.size(); ++i) {
+    std::fprintf(f, "%llu%s", static_cast<unsigned long long>(universes[i]),
+                 i + 1 < universes.size() ? ", " : "");
+  }
+  std::fprintf(f, "],\n");
+  emit_mode(mode_name(proto::TxnMode::kNoWait), no_wait, false);
+  emit_mode(mode_name(proto::TxnMode::kWaitDie), wait_die, true);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_txn.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  // Universe sizes from effectively contention-free (10k keys across 12
+  // clients) down to white-hot (48 keys shared by everyone).
+  const std::vector<std::uint64_t> universes = {10'000, 1'000, 100, 16};
+  std::vector<TxnPoint> no_wait, wait_die;
+  std::printf("%-9s %-8s | %9s %9s %9s %9s %11s %11s\n", "mode", "records", "committed",
+              "aborts", "waits", "restarts", "abort_rate", "p99_us");
+  for (const proto::TxnMode mode : {proto::TxnMode::kNoWait, proto::TxnMode::kWaitDie}) {
+    for (const std::uint64_t records : universes) {
+      const TxnPoint p = run_point(mode, records, 1);
+      std::printf("%-9s %-8llu | %9llu %9llu %9llu %9llu %11.4f %11.1f\n",
+                  mode_name(mode), static_cast<unsigned long long>(records),
+                  static_cast<unsigned long long>(p.committed),
+                  static_cast<unsigned long long>(p.conflict_aborts),
+                  static_cast<unsigned long long>(p.waits),
+                  static_cast<unsigned long long>(p.restarts), p.abort_rate,
+                  static_cast<double>(p.lat.p99_ns) / 1000.0);
+      (mode == proto::TxnMode::kNoWait ? no_wait : wait_die).push_back(p);
+    }
+  }
+
+  write_json(json_path, universes, no_wait, wait_die);
+
+  bench::ShapeChecker shape;
+  const TxnPoint& nw_cold = no_wait.front();
+  const TxnPoint& nw_hot = no_wait.back();
+  const TxnPoint& wd_cold = wait_die.front();
+  const TxnPoint& wd_hot = wait_die.back();
+  shape.expect(nw_cold.failed == 0 && nw_hot.failed == 0 && wd_cold.failed == 0 &&
+                   wd_hot.failed == 0,
+               "every transaction eventually commits (no terminal give-ups)");
+  shape.expect(nw_hot.abort_rate > nw_cold.abort_rate,
+               "NO_WAIT: contention raises the abort rate");
+  shape.expect(wd_hot.abort_rate > wd_cold.abort_rate,
+               "WAIT_DIE: contention raises the abort rate");
+  shape.expect(wd_hot.abort_rate < nw_hot.abort_rate,
+               "WAIT_DIE sustains a lower abort rate than NO_WAIT at high contention");
+  shape.expect(wd_hot.waits > 0, "WAIT_DIE actually waits under contention");
+  shape.expect(nw_hot.lat.p99_ns > nw_cold.lat.p99_ns,
+               "NO_WAIT: commit p99 rises with contention");
+  return shape.summarize("txn_2pl");
+}

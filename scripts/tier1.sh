@@ -3,33 +3,66 @@
 # suite. Pass --asan to run the same suite under ASan+UBSan (the `asan`
 # CMake preset, building into build-asan/), or --tsan for ThreadSanitizer
 # (the `tsan` preset, build-tsan/).
+#
+# Pass --txn to run only the transaction-layer suite (ctest label `txn`)
+# with an enlarged seeded-random sweep; --labels <regex> to run any other
+# ctest label subset (unit/chaos/txn/scale, see tests/CMakeLists.txt).
+# Modes compose: `tier1.sh --asan --txn` runs the txn suite under ASan with
+# the sweep scaled down to sanitizer speed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=default
-case "${1:-}" in
-  --asan|--tsan)
-    preset="${1#--}"
-    shift
-    # The chaos sweeps run their full random schedules in the default
-    # preset; under a sanitizer each run is ~10x slower, so scale the
-    # randomized portions down (the scripted runs always execute in full).
-    # This covers migration_test too: its scripted families plus a reduced
-    # random sweep run under both --asan and --tsan.
-    export HYDRA_CHAOS_RANDOM_RUNS="${HYDRA_CHAOS_RANDOM_RUNS:-40}"
-    export HYDRA_MIGRATION_RANDOM_RUNS="${HYDRA_MIGRATION_RANDOM_RUNS:-8}"
-    ;;
-esac
+label_regex=""
+txn_mode=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --asan|--tsan)
+      preset="${1#--}"
+      shift
+      # The chaos sweeps run their full random schedules in the default
+      # preset; under a sanitizer each run is ~10x slower, so scale the
+      # randomized portions down (the scripted runs always execute in full).
+      # This covers migration_test too: its scripted families plus a reduced
+      # random sweep run under both --asan and --tsan.
+      export HYDRA_CHAOS_RANDOM_RUNS="${HYDRA_CHAOS_RANDOM_RUNS:-40}"
+      export HYDRA_MIGRATION_RANDOM_RUNS="${HYDRA_MIGRATION_RANDOM_RUNS:-8}"
+      export HYDRA_TXN_RANDOM_RUNS="${HYDRA_TXN_RANDOM_RUNS:-30}"
+      ;;
+    --txn)
+      txn_mode=1
+      label_regex="txn"
+      shift
+      ;;
+    --labels)
+      label_regex="$2"
+      shift 2
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
+
+if [[ $txn_mode -eq 1 && "$preset" == default ]]; then
+  # Dedicated txn sweep: widen the seeded-random txn-kill-mid-commit family
+  # well past the per-PR acceptance floor of 100 runs.
+  export HYDRA_TXN_RANDOM_RUNS="${HYDRA_TXN_RANDOM_RUNS:-200}"
+fi
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$preset" -j "$(nproc)" "$@"
+ctest_args=()
+if [[ -n "$label_regex" ]]; then
+  ctest_args+=(--label-regex "$label_regex")
+fi
+ctest --preset "$preset" -j "$(nproc)" "${ctest_args[@]}" "$@"
 
 # Under a sanitizer, also smoke the connection-scalability path (DESIGN.md
 # §10) at ~5k muxed clients: enough to exercise the shared-ring demux,
 # credit waits and the reaper with sanitizer instrumentation live, without
 # the cost of the full 100k sweep.
-if [[ "$preset" != default ]]; then
+if [[ "$preset" != default && $txn_mode -eq 0 && -z "$label_regex" ]]; then
   "build-$preset/bench/bench_fig12_scalability" \
     --clients=5000 --mux --json="build-$preset/BENCH_fig12_smoke.json"
 fi

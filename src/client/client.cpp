@@ -114,6 +114,45 @@ void Client::renew_lease(std::string key, OpCallback cb) {
   submit(std::move(op));
 }
 
+// -------------------------------------------------------------- transactions
+
+Client::TxnWire Client::txn_wire(ShardId shard) {
+  TxnWire wire;
+  Conn* conn = connection_to(shard);
+  if (conn == nullptr) return wire;
+  if (conn->wire.mux &&
+      !conn->wire.mux_node->live(shard, conn->wire.mux_generation)) {
+    // Same staleness rule as try_rdma_read: never hand out a QP belonging
+    // to a channel that was reclaimed behind this endpoint's back.
+    salvage_connection(shard);
+    return wire;
+  }
+  if (conn->wire.lock_words == 0) {
+    // Reachable but transactions are off: expose the QP so callers can tell
+    // "arena disabled" (terminal) from "shard unreachable" (retryable).
+    wire.qp = conn->wire.qp;
+    return wire;
+  }
+  wire.qp = conn->wire.qp;
+  wire.lock_rkey = conn->wire.lock_rkey;
+  wire.lock_words = conn->wire.lock_words;
+  wire.ok = true;
+  return wire;
+}
+
+void Client::invalidate_connection(ShardId shard) { salvage_connection(shard); }
+
+void Client::txn_commit(std::string routing_key, std::string payload, OpCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kTxnCommit;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(routing_key);
+  op.req.value = std::move(payload);
+  op.op_cb = std::move(cb);
+  op.issued = now();
+  submit(std::move(op));
+}
+
 // ---------------------------------------------------------------- RDMA read
 
 void Client::try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr,
@@ -502,7 +541,8 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
     issue(shard, conn, std::move(next));
   }
 
-  if (resp.status == Status::kWrongOwner) {
+  if (resp.status == Status::kWrongOwner &&
+      op.req.type != proto::MsgType::kTxnCommit) {
     // The shard fenced this key's range (a migration or promotion raced the
     // request). Drop any pointer into the old owner and re-resolve after a
     // short backoff -- the routing table flips within the seal window.
@@ -551,7 +591,7 @@ void Client::on_timeout(ShardId shard) {
 void Client::complete(PendingOp& op, Status status, std::string_view value) {
   const Duration latency = now() - op.issued;
   if (status != Status::kOk && status != Status::kNotFound &&
-      status != Status::kExists) {
+      status != Status::kExists && status != Status::kTxnConflict) {
     ++stats_.failures;
   }
   switch (op.req.type) {

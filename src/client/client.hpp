@@ -84,6 +84,9 @@ struct ShardConnection {
   fabric::RemoteAddr req_slot{};        ///< base of the request ring
   std::uint32_t req_slot_bytes = 0;     ///< per-slot bytes of that ring
   std::uint32_t arena_rkey = 0;
+  /// Lock-word arena of the shard (DESIGN.md §11); 0/0 = txn disabled.
+  std::uint32_t lock_rkey = 0;
+  std::uint32_t lock_words = 0;
   /// Ring depth the shard granted (<= the window the client requested).
   std::uint32_t window = 1;
   bool send_recv = false;
@@ -134,6 +137,30 @@ class Client : public sim::Actor {
   void update(std::string key, std::string value, OpCallback cb);
   void remove(std::string key, OpCallback cb);
   void renew_lease(std::string key, OpCallback cb);
+
+  // --- transaction support (src/txn, DESIGN.md §11) ----------------------
+  /// One-sided view of a shard's lock-word arena, riding the same QP the
+  /// logical connection uses (the shared channel QP under mux). `ok` is
+  /// false when the shard is unreachable or its txn arena is disabled.
+  struct TxnWire {
+    fabric::QueuePair* qp = nullptr;
+    std::uint32_t lock_rkey = 0;
+    std::uint32_t lock_words = 0;
+    bool ok = false;
+  };
+  /// Establishes (or reuses) the connection to `shard` and returns the
+  /// lock-arena coordinates for one-sided CAS lock traffic.
+  TxnWire txn_wire(ShardId shard);
+  /// Tears the logical connection to `shard` down and retries everything
+  /// in flight on it (txn layer calls this when lock CAS traffic hits a
+  /// dead QP so the next txn_wire() re-establishes).
+  void invalidate_connection(ShardId shard);
+  /// Sends a kTxnCommit carrying an encoded proto::TxnCommit as its value,
+  /// routed by `routing_key` (any key of the commit group -- the shard
+  /// re-validates per-key ownership). Unlike data ops, a kWrongOwner answer
+  /// is terminal: the txn layer must re-plan the whole group, not blindly
+  /// re-route a multi-key commit.
+  void txn_commit(std::string routing_key, std::string payload, OpCallback cb);
 
   [[nodiscard]] ClientId id() const noexcept { return cfg_.id; }
   [[nodiscard]] NodeId node() const noexcept { return node_; }

@@ -46,6 +46,9 @@ class NodeMux : public sim::Actor {
     std::uint32_t slot_bytes = 0;
     std::uint32_t ring_slots = 0;
     std::uint32_t arena_rkey = 0;
+    /// Lock-word arena of the shard (DESIGN.md §11); 0/0 = txn disabled.
+    std::uint32_t lock_rkey = 0;
+    std::uint32_t lock_words = 0;
     /// The shard incarnation the group was opened against (a failover spawns
     /// a fresh primary whose group ids restart); the closer checks it before
     /// telling "the" shard to drop the group.

@@ -42,6 +42,7 @@ enum class Status : std::uint8_t {
   kInvalidArgument, ///< malformed request (e.g. oversized key)
   kRetry,           ///< transient condition, caller should re-issue
   kWrongOwner,      ///< shard no longer owns the key's range (re-resolve route)
+  kTxnConflict,     ///< 2PL conflict: lock held / epoch moved; txn must abort
 };
 
 constexpr std::string_view to_string(Status s) noexcept {
@@ -58,6 +59,7 @@ constexpr std::string_view to_string(Status s) noexcept {
     case Status::kInvalidArgument: return "INVALID_ARGUMENT";
     case Status::kRetry: return "RETRY";
     case Status::kWrongOwner: return "WRONG_OWNER";
+    case Status::kTxnConflict: return "TXN_CONFLICT";
   }
   return "UNKNOWN";
 }

@@ -34,6 +34,11 @@ struct CostModel {
   /// heavier completion path at the initiator (HERD's observation that
   /// one-sided write outperforms two-sided verbs).
   Duration two_sided_extra = 1000;
+  /// Extra target-NIC cost of an atomic verb (CAS / Fetch-and-Add) over a
+  /// plain 8-byte write: the HCA serialises atomics through its internal
+  /// read-modify-write unit (PCIe round trip to host memory plus the
+  /// serialisation slot), which is why atomics lag writes on real HCAs.
+  Duration atomic_extra = 120;
 
   // --- NIC queue-pair scaling penalty (paper §6.3) -----------------------
   // Beyond a threshold the HCA's QP state no longer fits its on-chip cache
@@ -70,10 +75,14 @@ struct CostModel {
   [[nodiscard]] double qp_penalty(std::uint32_t qp_count) const noexcept {
     if (qp_count <= qp_penalty_threshold) return 1.0;
     const double f = 1.0 + qp_penalty_slope * static_cast<double>(qp_count - qp_penalty_threshold);
-    if (qp_count <= qp_extreme_threshold) return std::min(f, qp_penalty_cap);
-    const double g = std::min(f, qp_penalty_cap) +
-                     qp_extreme_slope * static_cast<double>(qp_count - qp_extreme_threshold);
-    return std::min(g, qp_extreme_cap);
+    const double tier1 = std::min(f, qp_penalty_cap);
+    if (qp_count <= qp_extreme_threshold) return tier1;
+    const double g =
+        tier1 + qp_extreme_slope * static_cast<double>(qp_count - qp_extreme_threshold);
+    // The extreme cap can be configured below where tier 1 tops out; clamp
+    // against max(cap, tier1) so the function stays continuous at the second
+    // knee and monotone non-decreasing for every parameterisation.
+    return std::min(g, std::max(qp_extreme_cap, tier1));
   }
 
   /// Per-WQE initiator overhead, discounted when the WQE rides an already

@@ -72,6 +72,12 @@ struct FabricStats {
   std::uint64_t qp_connects = 0;     ///< QP pairs established (incl. reuses)
   std::uint64_t qp_disconnects = 0;  ///< QP pairs reclaimed via disconnect()
   std::uint64_t qp_slot_reuses = 0;  ///< connects served from the free pool
+  std::uint64_t rdma_atomics = 0;    ///< CAS + FAA verbs posted
+  /// Fault-injected atomics. A "torn" atomic *executes* at the target but
+  /// its completion flushes (the initiator cannot learn the outcome); a
+  /// dropped atomic never executes and flushes.
+  std::uint64_t torn_atomics = 0;
+  std::uint64_t dropped_atomics = 0;
 };
 
 /// Fault-injection verdict for one RDMA Write, decided at commit time.

@@ -236,6 +236,158 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
   });
 }
 
+void QueuePair::post_cas(RemoteAddr dst, std::uint64_t compare, std::uint64_t swap,
+                         std::uint64_t wr_id, CompletionFn on_done) {
+  post_atomic(WcOp::kCas, dst, compare, swap, wr_id, std::move(on_done));
+}
+
+void QueuePair::post_faa(RemoteAddr dst, std::uint64_t add,
+                         std::uint64_t wr_id, CompletionFn on_done) {
+  post_atomic(WcOp::kFaa, dst, 0, add, wr_id, std::move(on_done));
+}
+
+void QueuePair::post_atomic(WcOp op, RemoteAddr dst, std::uint64_t compare,
+                            std::uint64_t operand, std::uint64_t wr_id,
+                            CompletionFn on_done) {
+  constexpr std::uint32_t kAtomicBytes = 8;
+  if (!open_) {
+    flush_completion(op, wr_id, kAtomicBytes, std::move(on_done));
+    return;
+  }
+  Fabric& f = *fabric_;
+  sim::Scheduler& sched = f.sched_;
+  const CostModel& cm = f.cost_;
+  ++f.stats_.rdma_atomics;
+
+  const std::uint64_t is_faa = op == WcOp::kFaa ? 1 : 0;
+  if (f.obs_) {
+    f.obs_->trace(sched.now(), local_, obs::TraceKind::kAtomicPosted, obs::kNoShard, is_faa,
+                  dst.rkey);
+  }
+
+  // Same shape as post_write's pipeline: request WQE through the initiator's
+  // send engine, execute at the target NIC, response rides back. The target
+  // additionally pays atomic_extra for the HCA's serialised read-modify-write
+  // unit.
+  Nic& tx = f.node(local_).nic();
+  const double pen_tx = cm.qp_penalty(tx.qp_count);
+  const Time tx_start = std::max(sched.now(), tx.tx_free);
+  tx.tx_free = tx_start + scaled(cm.nic_tx_overhead, pen_tx) + cm.rdma_wire_time(kAtomicBytes);
+  ++tx.tx_ops;
+  tx.tx_bytes += kAtomicBytes;
+
+  const Time arrival = tx.tx_free + cm.rdma_propagation;
+
+  Nic& rx = f.node(remote_).nic();
+  const double pen_rx = cm.qp_penalty(rx.qp_count);
+  Time commit = std::max(arrival, rx.rx_free) + scaled(cm.nic_rx_overhead, pen_rx) +
+                scaled(cm.atomic_extra, pen_rx);
+  rx.rx_free = commit;
+  ++rx.rx_ops;
+  rx.rx_bytes += kAtomicBytes;
+
+  // Atomics obey the same posted-order visibility as writes on this QP.
+  commit = std::max(commit, last_commit_);
+  last_commit_ = commit;
+
+  sched.at(commit, [this, &f, &sched, op, dst, compare, operand, wr_id, is_faa,
+                    on_done = std::move(on_done), gen = generation_]() mutable {
+    const CostModel& cost = f.cost_;
+    if (!open_ || generation_ != gen) {
+      if (on_done) on_done(Completion{op, WcStatus::kFlushed, wr_id, 0});
+      return;
+    }
+    Node& rem = f.node(remote_);
+    if (!rem.alive()) {
+      ++f.stats_.dead_peer_errors;
+      if (f.obs_) {
+        f.obs_->trace(sched.now(), local_, obs::TraceKind::kWriteDeadPeer, obs::kNoShard,
+                      kAtomicBytes);
+      }
+      if (on_done) {
+        sched.after(cost.peer_timeout, [on_done = std::move(on_done), op, wr_id] {
+          on_done(Completion{op, WcStatus::kRemoteDead, wr_id, kAtomicBytes});
+        });
+      }
+      return;
+    }
+    WriteFault fault;
+    if (f.write_fault_) fault = f.write_fault_(local_, remote_, dst, kAtomicBytes);
+    MemoryRegion* mr = rem.find_region(dst.rkey);
+    if (mr == nullptr || !mr->contains(dst.offset, kAtomicBytes)) {
+      ++f.stats_.protection_errors;
+      if (on_done) {
+        sched.after(cost.rdma_propagation, [on_done = std::move(on_done), op, wr_id] {
+          on_done(Completion{op, WcStatus::kProtectionError, wr_id, kAtomicBytes});
+        });
+      }
+      return;
+    }
+    if (fault.kind == WriteFault::Kind::kDrop) {
+      // Dropped atomic: never executes; the initiator's WR flushes after the
+      // retransmission timeout, exactly like a dropped write.
+      ++f.stats_.dropped_atomics;
+      if (f.obs_) {
+        f.obs_->trace(sched.now(), remote_, obs::TraceKind::kAtomicFaulted, obs::kNoShard, 0,
+                      dst.rkey);
+      }
+      if (on_done) {
+        sched.after(cost.peer_timeout, [on_done = std::move(on_done), op, wr_id] {
+          on_done(Completion{op, WcStatus::kFlushed, wr_id, 0});
+        });
+      }
+      return;
+    }
+    // Execute the read-modify-write. The event loop is the serialisation
+    // point, so the load-compare/add-store below is atomic by construction.
+    std::uint64_t old = 0;
+    std::memcpy(&old, mr->base() + dst.offset, kAtomicBytes);
+    std::uint64_t neu = old;
+    bool mutated = false;
+    if (op == WcOp::kCas) {
+      if (old == compare) {
+        neu = operand;
+        mutated = true;
+      }
+    } else {
+      neu = old + operand;
+      mutated = true;
+    }
+    if (mutated) {
+      std::memcpy(mr->base() + dst.offset, &neu, kAtomicBytes);
+      if (mr->write_hook()) mr->write_hook()(dst.offset, kAtomicBytes);
+    }
+    if (fault.kind == WriteFault::Kind::kTorn) {
+      // Torn atomic: the op *executed* at the target (an atomic is
+      // indivisible; there is no partial-word state) but the response to
+      // the initiator is lost, so the WR flushes and the caller cannot
+      // know whether it took effect.
+      ++f.stats_.torn_atomics;
+      if (f.obs_) {
+        f.obs_->trace(sched.now(), remote_, obs::TraceKind::kAtomicFaulted, obs::kNoShard, 1,
+                      dst.rkey);
+      }
+      if (on_done) {
+        sched.after(cost.peer_timeout, [on_done = std::move(on_done), op, wr_id] {
+          on_done(Completion{op, WcStatus::kFlushed, wr_id, 0});
+        });
+      }
+      return;
+    }
+    if (f.obs_) {
+      f.obs_->trace(sched.now(), remote_, obs::TraceKind::kAtomicCommitted, obs::kNoShard,
+                    is_faa, dst.rkey);
+    }
+    if (on_done) {
+      sched.after(cost.rdma_propagation, [on_done = std::move(on_done), op, wr_id, old] {
+        Completion c{op, WcStatus::kSuccess, wr_id, kAtomicBytes};
+        c.old_value = old;
+        on_done(c);
+      });
+    }
+  });
+}
+
 void QueuePair::post_send(std::span<const std::byte> msg,
                           std::uint64_t wr_id, CompletionFn on_done) {
   if (!open_) {

@@ -28,7 +28,7 @@ namespace hydra::fabric {
 
 class Fabric;
 
-enum class WcOp : std::uint8_t { kWrite, kRead, kSend, kRecv };
+enum class WcOp : std::uint8_t { kWrite, kRead, kSend, kRecv, kCas, kFaa };
 
 enum class WcStatus : std::uint8_t {
   kSuccess = 0,
@@ -53,6 +53,9 @@ struct Completion {
   WcStatus status = WcStatus::kSuccess;
   std::uint64_t wr_id = 0;
   std::uint32_t byte_len = 0;
+  /// Atomic verbs only (kCas/kFaa, status kSuccess): the 64-bit value the
+  /// target word held immediately before the atomic executed.
+  std::uint64_t old_value = 0;
 };
 
 using CompletionFn = std::function<void(const Completion&)>;
@@ -92,6 +95,20 @@ class QueuePair {
   void post_read(std::span<std::byte> dst, RemoteAddr src,
                  std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
 
+  /// One-sided 8-byte compare-and-swap on the peer's (rkey, offset): iff the
+  /// target word equals `compare`, it becomes `swap`. The pre-op word comes
+  /// back in Completion::old_value (the CAS succeeded iff old_value ==
+  /// compare). Rides the same posted-order commit pipeline as writes, and
+  /// the fabric write-fault hook applies: a torn atomic *executes* at the
+  /// target but its completion flushes (the initiator cannot learn the
+  /// outcome); a dropped atomic does not execute and flushes.
+  void post_cas(RemoteAddr dst, std::uint64_t compare, std::uint64_t swap,
+                std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
+
+  /// One-sided 8-byte fetch-and-add; same semantics/faulting as post_cas.
+  void post_faa(RemoteAddr dst, std::uint64_t add,
+                std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
+
   /// Two-sided send; consumes a Receive posted on the peer QP.
   void post_send(std::span<const std::byte> msg,
                  std::uint64_t wr_id = 0, CompletionFn on_done = nullptr);
@@ -115,6 +132,11 @@ class QueuePair {
     std::vector<std::byte> data;
     Time commit_time;
   };
+
+  /// Shared pipeline for post_cas/post_faa: for kCas `operand` is the swap
+  /// value, for kFaa the addend (and `compare` is ignored).
+  void post_atomic(WcOp op, RemoteAddr dst, std::uint64_t compare,
+                   std::uint64_t operand, std::uint64_t wr_id, CompletionFn on_done);
 
   void deliver_send(std::vector<std::byte> data, Time commit_time);
   /// Tears the endpoint down: pending receives and RNR-held sends are

@@ -94,6 +94,8 @@ HydraCluster::HydraCluster(ClusterOptions opts)
         out->slot_bytes = res.slot_bytes;
         out->ring_slots = res.ring_slots;
         out->arena_rkey = res.arena_rkey;
+        out->lock_rkey = res.lock_rkey;
+        out->lock_words = res.lock_words;
         out->owner_generation = slot.generation;
         out->qp_generation = cq->generation();
         return true;
@@ -166,6 +168,9 @@ void HydraCluster::export_metrics() {
   reg.counter("fabric.dead_peer_errors").set(fs.dead_peer_errors);
   reg.counter("fabric.torn_writes").set(fs.torn_writes);
   reg.counter("fabric.dropped_writes").set(fs.dropped_writes);
+  reg.counter("fabric.rdma_atomics").set(fs.rdma_atomics);
+  reg.counter("fabric.torn_atomics").set(fs.torn_atomics);
+  reg.counter("fabric.dropped_atomics").set(fs.dropped_atomics);
   reg.counter("fabric.qp_connects").set(fs.qp_connects);
   reg.counter("fabric.qp_disconnects").set(fs.qp_disconnects);
   reg.counter("fabric.qp_slot_reuses").set(fs.qp_slot_reuses);
@@ -195,6 +200,8 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "malformed").set(st->malformed);
     reg.counter(p + "wrong_owner").set(st->wrong_owner);
     reg.counter(p + "forwarded").set(st->forwarded);
+    reg.counter(p + "txn_commits").set(st->txn_commits);
+    reg.counter(p + "txn_conflicts").set(st->txn_conflicts);
     reg.counter(p + "busy_time_ns").set(st->busy_time);
     reg.gauge(p + "generation").set(primaries_[s].generation);
     if (primaries_[s].primary != nullptr &&
@@ -266,6 +273,9 @@ void HydraCluster::spawn_primary(ShardId id, NodeId node,
     // instead of silently served by a shard that lost the range.
     slot.primary->set_owner_filter(
         [this, id](std::uint64_t key_hash) { return shard_owns(id, key_hash); });
+    // Commit-time epoch fence for the transaction layer: a multi-key commit
+    // whose header predates the live routing epoch is refused whole.
+    slot.primary->set_epoch_source([this] { return routing_epoch_; });
   }
   slot.node = node;
   ++slot.generation;
@@ -363,6 +373,8 @@ bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
     out->req_slot = ch->wire.req_ring;
     out->req_slot_bytes = ch->wire.slot_bytes;
     out->arena_rkey = ch->wire.arena_rkey;
+    out->lock_rkey = ch->wire.lock_rkey;
+    out->lock_words = ch->wire.lock_words;
     out->window = res.window;
     out->send_recv = false;
     out->mux = true;
@@ -388,6 +400,8 @@ bool HydraCluster::connect_client(ShardId shard_id, client::Client& c,
   out->req_slot = res.req_slot;
   out->req_slot_bytes = res.slot_bytes;
   out->arena_rkey = res.arena_rkey;
+  out->lock_rkey = res.lock_rkey;
+  out->lock_words = res.lock_words;
   out->window = res.window;
   out->send_recv = false;
   return true;

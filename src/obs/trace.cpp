@@ -44,6 +44,11 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kMigrationAborted: return "migration_aborted";
     case TraceKind::kMigrationRestarted: return "migration_restarted";
     case TraceKind::kFaultInjected: return "fault_injected";
+    case TraceKind::kAtomicPosted: return "atomic_posted";
+    case TraceKind::kAtomicCommitted: return "atomic_committed";
+    case TraceKind::kAtomicFaulted: return "atomic_faulted";
+    case TraceKind::kTxnCommitApplied: return "txn_commit_applied";
+    case TraceKind::kTxnCommitRejected: return "txn_commit_rejected";
   }
   return "unknown";
 }

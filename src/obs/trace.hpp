@@ -67,6 +67,13 @@ enum class TraceKind : std::uint8_t {
   kMigrationRestarted, ///< a flow rebuilt after a mid-migration crash (shard=src)
   // Chaos.
   kFaultInjected,    ///< chaos fault applied (a=chaos::FaultKind, b=index)
+  // One-sided atomics + transactions (DESIGN.md §11). Appended after the
+  // original taxonomy so every pre-existing kind keeps its numeric value.
+  kAtomicPosted,     ///< CAS/FAA posted (a=0 CAS / 1 FAA, b=dst rkey)
+  kAtomicCommitted,  ///< atomic executed at the target (a=0 CAS / 1 FAA, b=rkey)
+  kAtomicFaulted,    ///< chaos-faulted atomic (a=1 executed-but-flushed / 0 dropped, b=rkey)
+  kTxnCommitApplied, ///< multi-key commit applied atomically (a=txn id, b=op count)
+  kTxnCommitRejected,///< commit refused, nothing applied (a=txn id, b=Status)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

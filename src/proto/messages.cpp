@@ -156,4 +156,42 @@ std::optional<RepAck> decode_rep_ack(std::span<const std::byte> payload) {
   return ack;
 }
 
+std::vector<std::byte> encode_txn_commit(const TxnCommit& txn) {
+  std::vector<std::byte> out;
+  std::size_t body = 0;
+  for (const auto& op : txn.ops) body += 16 + op.key.size() + op.value.size();
+  out.reserve(24 + body);
+  append(out, txn.hdr.txn_id);
+  append(out, txn.hdr.mode);
+  append(out, txn.hdr.epoch);
+  append(out, static_cast<std::uint32_t>(txn.ops.size()));
+  for (const auto& op : txn.ops) {
+    append(out, op.op);
+    append_str(out, op.key);
+    append_str(out, op.value);
+  }
+  return out;
+}
+
+std::optional<TxnCommit> decode_txn_commit(std::span<const std::byte> payload) {
+  TxnCommit txn;
+  Reader r(payload);
+  if (!r.read(&txn.hdr.txn_id) || !r.read(&txn.hdr.mode) || !r.read(&txn.hdr.epoch) ||
+      !r.read(&txn.hdr.op_count)) {
+    return std::nullopt;
+  }
+  // Each op costs at least 9 payload bytes (type + two length words), so an
+  // op_count a torn frame could not actually carry is rejected before any
+  // allocation is sized from it.
+  if (static_cast<std::size_t>(txn.hdr.op_count) * 9 > payload.size()) return std::nullopt;
+  txn.ops.resize(txn.hdr.op_count);
+  for (auto& op : txn.ops) {
+    if (!r.read(&op.op) || !r.read_str(&op.key) || !r.read_str(&op.value)) {
+      return std::nullopt;
+    }
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return txn;
+}
+
 }  // namespace hydra::proto

@@ -26,6 +26,7 @@ enum class MsgType : std::uint8_t {
   kResponse,
   kRepRecord,  ///< replication log record (primary -> secondary)
   kRepAck,     ///< cumulative acknowledgement (secondary -> primary)
+  kTxnCommit,  ///< multi-key transactional commit group (DESIGN.md §11)
 };
 
 /// A remote pointer: everything a client needs to RDMA-Read an item
@@ -118,6 +119,42 @@ std::optional<RepRecord> decode_rep_record(std::span<const std::byte> payload);
 std::vector<std::byte> encode_rep_ack(const RepAck& ack);
 std::optional<RepAck> decode_rep_ack(std::span<const std::byte> payload);
 
+// --- transactions (DESIGN.md §11) ------------------------------------------
+
+/// Lock-conflict policy carried in the commit header (and driving the
+/// client's acquire loop): NO_WAIT aborts on any conflict, WAIT_DIE lets an
+/// older transaction (smaller txn_id) wait for a younger holder and kills a
+/// younger requester immediately.
+enum class TxnMode : std::uint8_t { kNoWait = 0, kWaitDie = 1 };
+
+/// Header of a kTxnCommit request's payload (travels in Request::value).
+struct TxnHeader {
+  std::uint64_t txn_id = 0;  ///< also the age stamp: smaller == older
+  TxnMode mode = TxnMode::kNoWait;
+  /// Routing epoch the client locked under; the shard rejects the commit
+  /// (kTxnConflict, nothing applied) when its own epoch has moved on, so a
+  /// commit can never land through a promotion or migration it predates.
+  std::uint64_t epoch = 0;
+  std::uint32_t op_count = 0;
+};
+
+/// One write of a commit group. `op` is kPut or kRemove.
+struct TxnOp {
+  MsgType op = MsgType::kPut;
+  std::string key;
+  std::string value;
+};
+
+/// A shard-local commit group: header + the ops this shard must apply
+/// atomically (all-or-nothing within one handler invocation).
+struct TxnCommit {
+  TxnHeader hdr;
+  std::vector<TxnOp> ops;
+};
+
+std::vector<std::byte> encode_txn_commit(const TxnCommit& txn);
+std::optional<TxnCommit> decode_txn_commit(std::span<const std::byte> payload);
+
 constexpr const char* to_string(MsgType t) noexcept {
   switch (t) {
     case MsgType::kGet: return "GET";
@@ -129,6 +166,7 @@ constexpr const char* to_string(MsgType t) noexcept {
     case MsgType::kResponse: return "RESPONSE";
     case MsgType::kRepRecord: return "REP_RECORD";
     case MsgType::kRepAck: return "REP_ACK";
+    case MsgType::kTxnCommit: return "TXN_COMMIT";
   }
   return "?";
 }

@@ -43,6 +43,10 @@ struct CpuModel {
   /// overhead section 4.1.1 blames for the pipelined model's loss.
   Duration dispatch_cost = 400;
   Duration handoff_sync = 2600;
+  /// Transactional commit group (DESIGN.md §11): header decode plus lock +
+  /// epoch validation across the group; each op then pays the normal
+  /// base_put/base_remove on top.
+  Duration base_txn_commit = 600;
 };
 
 struct ShardConfig {
@@ -70,6 +74,12 @@ struct ShardConfig {
   /// deactivated endpoint slots are free-listed and reused, so repeated
   /// channel failure/reopen cycles never grow the table.
   std::uint32_t max_mux_endpoints = 1u << 20;
+  /// Lock-word arena size for the 2PL transaction layer (DESIGN.md §11):
+  /// keys hash onto `hash_key(key) % txn_lock_words` 64-bit words that
+  /// clients CAS directly. 0 (the default) disables transactions entirely --
+  /// no region is registered, so rkey assignment and event histories are
+  /// byte-identical to a build that predates the feature.
+  std::uint32_t txn_lock_words = 0;
   /// Whether GET responses mint remote pointers (disabled to measure the
   /// "RDMA Write only" rows of Fig 10).
   bool grant_remote_pointers = true;

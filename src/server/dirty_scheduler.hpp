@@ -15,6 +15,7 @@
 // dirty endpoint is swept at least once.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -27,20 +28,42 @@ class DirtyScheduler {
   /// Returns the new endpoint's id.
   std::uint32_t add_endpoint() {
     flags_.push_back(false);
+    dead_.push_back(false);
     return static_cast<std::uint32_t>(flags_.size() - 1);
   }
 
   [[nodiscard]] std::size_t endpoints() const noexcept { return flags_.size(); }
 
   /// Marks an endpoint dirty. Returns true when it was newly marked (the
-  /// caller wakes the poll loop); false for duplicates and out-of-range ids
+  /// caller wakes the poll loop); false for duplicates, out-of-range ids
   /// (a write landing past the registered endpoints is ignored, exactly as
-  /// the pre-refactor bound check did).
+  /// the pre-refactor bound check did) and deregistered endpoints.
   bool mark(std::uint32_t id) {
-    if (id >= flags_.size() || flags_[id]) return false;
+    if (id >= flags_.size() || flags_[id] || dead_[id]) return false;
     flags_[id] = true;
     queue_.push_back(id);
     return true;
+  }
+
+  /// Retires an endpoint (its connection closed): any queued dirty mark is
+  /// withdrawn immediately and later mark() calls are ignored, so a retired
+  /// endpoint can never resurface from the queue. Ids stay dense -- the slot
+  /// is not reassigned until reactivate(). Idempotent; out-of-range ignored.
+  void deregister(std::uint32_t id) {
+    if (id >= flags_.size() || dead_[id]) return;
+    dead_[id] = true;
+    if (flags_[id]) {
+      flags_[id] = false;
+      // O(queue) scan; deregistration is a rare control-plane event while
+      // the queue holds only currently-dirty endpoints.
+      queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+    }
+  }
+
+  /// Re-arms a deregistered endpoint id for a fresh logical connection
+  /// reusing its slot (the mux-group reopen path).
+  void reactivate(std::uint32_t id) {
+    if (id < flags_.size()) dead_[id] = false;
   }
 
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
@@ -57,6 +80,7 @@ class DirtyScheduler {
 
  private:
   std::vector<bool> flags_;          // endpoint id -> queued?
+  std::vector<bool> dead_;           // endpoint id -> deregistered?
   std::deque<std::uint32_t> queue_;  // dirty ids, FIFO sweep order
 };
 

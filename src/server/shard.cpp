@@ -1,6 +1,7 @@
 #include "server/shard.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -25,6 +26,14 @@ Shard::Shard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
   msg_mr_ = fabric_.node(node_).register_memory(msg_region_);
   msg_mr_->set_write_hook(
       guard([this](std::uint64_t offset, std::uint32_t) { on_request_write(offset); }));
+  if (cfg_.txn_lock_words > 0) {
+    // Registered last and only on demand: a txn-off shard performs exactly
+    // the seed's registrations, keeping rkey assignment (and therefore
+    // chaos histories) byte-identical. Words start zero = unlocked, which
+    // also means a promoted primary's arena never inherits a held lock.
+    lock_region_.resize(static_cast<std::size_t>(cfg_.txn_lock_words) * 8);
+    lock_mr_ = fabric_.node(node_).register_memory(lock_region_);
+  }
 }
 
 void Shard::kill() {
@@ -32,6 +41,7 @@ void Shard::kill() {
   // RDMA reads fail with protection errors rather than touching a corpse.
   msg_mr_->revoke();
   arena_mr_->revoke();
+  if (lock_mr_ != nullptr) lock_mr_->revoke();
   for (Connection& conn : conns_) {
     if (conn.mux && conn.ring_mr != nullptr && !conn.closed) conn.ring_mr->revoke();
   }
@@ -61,6 +71,8 @@ Shard::AcceptResult Shard::accept(fabric::QueuePair* server_qp,
   res.slot_bytes = cfg_.msg_slot_bytes;
   res.arena_rkey = arena_mr_->rkey();
   res.window = conns_.back().window;
+  res.lock_rkey = lock_rkey();
+  res.lock_words = lock_word_count();
   res.ok = true;
   return res;
 }
@@ -116,6 +128,7 @@ Shard::MuxGroupResult Shard::accept_mux_group(fabric::QueuePair* qp) {
     c.qp = qp;
     c.closed = false;
     std::fill(c.ring->begin(), c.ring->end(), std::byte{0});
+    dirty_.reactivate(idx);
   } else {
     idx = static_cast<std::uint32_t>(conns_.size());
     Connection conn;
@@ -139,6 +152,8 @@ Shard::MuxGroupResult Shard::accept_mux_group(fabric::QueuePair* qp) {
   res.slot_bytes = cfg_.msg_slot_bytes;
   res.ring_slots = c.ring_slots;
   res.arena_rkey = arena_mr_->rkey();
+  res.lock_rkey = lock_rkey();
+  res.lock_words = lock_word_count();
   res.ok = true;
   return res;
 }
@@ -191,6 +206,10 @@ void Shard::close_mux_group(std::uint32_t group) {
   }
   free_mux_groups_.push_back(group);
   if (live_mux_groups_ > 0) --live_mux_groups_;
+  // Withdraw any queued dirty mark: the revoked ring can never produce a
+  // sweepable frame again, so the retired endpoint must not resurface from
+  // the scheduler. accept_mux_group's reuse path reactivates the id.
+  dirty_.deregister(group);
 }
 
 void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
@@ -198,6 +217,13 @@ void Shard::enable_replication(replication::PrimaryConfig rep_cfg) {
 }
 
 std::uint32_t Shard::arena_rkey() const noexcept { return arena_mr_->rkey(); }
+
+std::uint64_t Shard::lock_word(std::uint32_t idx) const noexcept {
+  if (lock_mr_ == nullptr || idx >= cfg_.txn_lock_words) return 0;
+  std::uint64_t w = 0;
+  std::memcpy(&w, lock_region_.data() + static_cast<std::size_t>(idx) * 8, 8);
+  return w;
+}
 
 void Shard::on_request_write(std::uint64_t offset) {
   const auto block = static_cast<std::uint32_t>(offset / conn_stride());
@@ -426,6 +452,11 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
       ++stats_.renews;
       break;
     }
+    case proto::MsgType::kTxnCommit:
+      // Multi-key commit group: validated and applied all-or-nothing in its
+      // own handler (which also owns the replication barrier).
+      handle_txn_commit(std::move(req), conn_idx, slot, cost, batched, endpoint);
+      return;
     default:
       ++stats_.malformed;
       resp.status = Status::kInvalidArgument;
@@ -485,6 +516,182 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
     send_response(resp, conn_idx, slot, batched, endpoint);
     process_loop();
   });
+}
+
+void Shard::handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
+                              Duration cost, bool batched, std::uint32_t endpoint) {
+  const CpuModel& cpu = cfg_.cpu;
+  proto::Response resp;
+  resp.req_id = req.req_id;
+  cost += cpu.base_txn_commit;
+
+  auto respond = [this, conn_idx, slot, batched, endpoint](proto::Response r, Duration c) {
+    charge(c);
+    schedule_after(c, [this, r = std::move(r), conn_idx, slot, batched, endpoint] {
+      send_response(r, conn_idx, slot, batched, endpoint);
+      process_loop();
+    });
+  };
+
+  const auto* value_bytes = reinterpret_cast<const std::byte*>(req.value.data());
+  auto txn = proto::decode_txn_commit({value_bytes, req.value.size()});
+  if (!txn.has_value() || txn->ops.empty() || lock_mr_ == nullptr) {
+    // Garbage payload, an empty group, or a commit aimed at a shard that
+    // never provisioned lock words: refuse before touching anything.
+    ++stats_.malformed;
+    resp.status = Status::kInvalidArgument;
+    cost += batched ? cpu.post_response_batched : cpu.post_response;
+    respond(std::move(resp), cost);
+    return;
+  }
+
+  const std::uint64_t txn_id = txn->hdr.txn_id;
+  auto reject = [&](Status why) {
+    if (why == Status::kWrongOwner) {
+      ++stats_.wrong_owner;
+    } else {
+      ++stats_.txn_conflicts;
+    }
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kTxnCommitRejected, cfg_.id, txn_id,
+                           static_cast<std::uint64_t>(why));
+    }
+    resp.status = why;
+    cost += batched ? cpu.post_response_batched : cpu.post_response;
+    respond(std::move(resp), cost);
+  };
+
+  // Validation order: epoch fence first (a promotion/migration the client
+  // has not seen invalidates its whole lock set), then per-key ownership,
+  // then every lock word. Nothing applies unless all three pass for the
+  // entire group -- the all-or-nothing half of the invariant.
+  if (epoch_source_ && txn->hdr.epoch != epoch_source_()) {
+    reject(Status::kTxnConflict);
+    return;
+  }
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(txn->ops.size());
+  for (const auto& op : txn->ops) hashes.push_back(hash_key(op.key));
+  if (owner_filter_) {
+    for (const std::uint64_t h : hashes) {
+      if (!owner_filter_(h)) {
+        reject(Status::kWrongOwner);
+        return;
+      }
+    }
+  }
+  const std::uint64_t held = std::uint64_t{1} << 63;
+  for (const std::uint64_t h : hashes) {
+    const auto widx = static_cast<std::uint32_t>(h % cfg_.txn_lock_words);
+    if (lock_word(widx) != (held | txn_id)) {
+      reject(Status::kTxnConflict);
+      return;
+    }
+  }
+
+  // Apply the whole group in this single invocation: the shard is one
+  // logical thread, so no reader or rival commit can interleave. A store
+  // failure mid-group (arena exhaustion) rolls the applied prefix back so
+  // partial application is impossible even then.
+  struct Undo {
+    std::string key;
+    bool existed = false;
+    std::string old_value;
+  };
+  std::vector<Undo> undo;
+  undo.reserve(txn->ops.size());
+  Status fail = Status::kOk;
+  for (const auto& op : txn->ops) {
+    Undo u;
+    u.key = op.key;
+    auto cur = store_->get(op.key, now(), /*grant_lease=*/false);
+    if (cur.ok()) {
+      u.existed = true;
+      u.old_value.assign(cur.value().value);
+    }
+    Status st;
+    if (op.op == proto::MsgType::kRemove) {
+      cost += cpu.base_remove;
+      st = store_->remove(op.key, now());
+      if (st == Status::kNotFound) st = Status::kOk;  // desired end state holds
+    } else {
+      cost += cpu.base_put +
+              static_cast<Duration>(cpu.per_value_byte * static_cast<double>(op.value.size()));
+      st = store_->put(op.key, op.value, now());
+    }
+    if (st != Status::kOk) {
+      fail = st;
+      break;
+    }
+    undo.push_back(std::move(u));
+  }
+  if (fail != Status::kOk) {
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      if (it->existed) {
+        store_->put(it->key, it->old_value, now());
+      } else {
+        store_->remove(it->key, now());
+      }
+    }
+    reject(fail);
+    return;
+  }
+
+  ++stats_.txn_commits;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kTxnCommitApplied, cfg_.id, txn_id,
+                         txn->ops.size());
+  }
+  resp.status = Status::kOk;
+  cost += batched ? cpu.post_response_batched : cpu.post_response;
+  schedule_gc();
+
+  // Dual-ownership catch-up, per op, exactly as the single-key PUT path.
+  if (migration_forward_) {
+    for (std::size_t i = 0; i < txn->ops.size(); ++i) {
+      if (!forward_moving_(hashes[i])) continue;
+      proto::RepRecord fwd;
+      fwd.op = txn->ops[i].op == proto::MsgType::kRemove ? proto::MsgType::kRemove
+                                                         : proto::MsgType::kPut;
+      fwd.op_time = now();
+      fwd.key = txn->ops[i].key;
+      fwd.value = txn->ops[i].value;
+      ++stats_.forwarded;
+      migration_forward_(hashes[i], std::move(fwd));
+    }
+  }
+
+  if (replicator_ != nullptr && replicator_->secondary_count() > 0) {
+    // Every op of the group rides the replication ring before the ack
+    // leaves (group-sized barrier): an acked commit therefore survives a
+    // primary kill in its entirety, never as a partial group.
+    cost += replicator_->post_cost() * txn->ops.size();
+    const bool blocking =
+        replicator_->config().mode == replication::ReplicationMode::kStrictAck;
+    auto barrier = std::make_shared<int>(static_cast<int>(txn->ops.size()) + 1);
+    std::function<void()> arm =
+        guard([this, resp, conn_idx, slot, batched, endpoint, barrier, blocking] {
+          if (--*barrier > 0) return;
+          send_response(resp, conn_idx, slot, batched, endpoint);
+          if (blocking) process_loop();
+        });
+    for (auto& op : txn->ops) {
+      proto::RepRecord rec;
+      rec.op = op.op == proto::MsgType::kRemove ? proto::MsgType::kRemove : proto::MsgType::kPut;
+      rec.op_time = now();
+      rec.key = std::move(op.key);
+      rec.value = std::move(op.value);
+      replicator_->replicate(std::move(rec), arm);
+    }
+    charge(cost);
+    schedule_after(cost, [this, arm, blocking] {
+      arm();
+      if (!blocking) process_loop();
+    });
+    return;
+  }
+
+  respond(std::move(resp), cost);
 }
 
 void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx,

@@ -39,6 +39,8 @@ struct ShardStats {
   std::uint64_t responses = 0;
   std::uint64_t batched_responses = 0;  ///< responses sharing a sweep's doorbell
   std::uint64_t mux_requests = 0;  ///< requests demultiplexed off shared rings
+  std::uint64_t txn_commits = 0;   ///< commit groups applied atomically
+  std::uint64_t txn_conflicts = 0; ///< commit groups refused (lock/epoch)
   Duration busy_time = 0;  ///< virtual CPU time charged to this core
 };
 
@@ -58,6 +60,9 @@ class Shard : public sim::Actor {
     /// slot i lives at req_slot.offset + i * slot_bytes and its response is
     /// written to the client's resp ring at the same slot index.
     std::uint32_t window = 1;
+    /// Lock-word arena (DESIGN.md §11): 0/0 when transactions are disabled.
+    std::uint32_t lock_rkey = 0;
+    std::uint32_t lock_words = 0;
     bool ok = false;
   };
 
@@ -80,6 +85,9 @@ class Shard : public sim::Actor {
     std::uint32_t slot_bytes = 0;
     std::uint32_t ring_slots = 0;  ///< shared ring depth == SRQ credit pool
     std::uint32_t arena_rkey = 0;
+    /// Lock-word arena (DESIGN.md §11): 0/0 when transactions are disabled.
+    std::uint32_t lock_rkey = 0;
+    std::uint32_t lock_words = 0;
     bool ok = false;
   };
   struct MuxEndpointResult {
@@ -140,6 +148,24 @@ class Shard : public sim::Actor {
   /// rkey of the item arena remote pointers reference (what clients RDMA
   /// Read); exposed so tests can assert no read ever targets a stale rkey.
   [[nodiscard]] std::uint32_t arena_rkey() const noexcept;
+
+  // --- transactions (DESIGN.md §11) ----------------------------------------
+  /// Commit-time epoch fence: a kTxnCommit whose header epoch differs from
+  /// `epoch()` is refused with kTxnConflict before anything applies, so a
+  /// commit can never land through a promotion/migration it predates. Null
+  /// (the default) skips the check.
+  using EpochFn = std::function<std::uint64_t()>;
+  void set_epoch_source(EpochFn epoch) { epoch_source_ = std::move(epoch); }
+
+  /// Lock-word arena accessors for invariant scans ("no lock word leaked
+  /// held after recovery"). Count is 0 when transactions are disabled.
+  [[nodiscard]] std::uint32_t lock_word_count() const noexcept {
+    return lock_mr_ != nullptr ? cfg_.txn_lock_words : 0;
+  }
+  [[nodiscard]] std::uint64_t lock_word(std::uint32_t idx) const noexcept;
+  [[nodiscard]] std::uint32_t lock_rkey() const noexcept {
+    return lock_mr_ != nullptr ? lock_mr_->rkey() : 0;
+  }
 
   // --- accessors -----------------------------------------------------------
   [[nodiscard]] ShardId id() const noexcept { return cfg_.id; }
@@ -217,6 +243,11 @@ class Shard : public sim::Actor {
   void sweep_mux_group(std::uint32_t idx);
   void handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
               Duration cost_so_far, bool batched, std::uint32_t endpoint = kNoEndpoint);
+  /// kTxnCommit: validates epoch + ownership + lock words for the whole
+  /// group, then applies every op in this one invocation (all-or-nothing;
+  /// a mid-group store failure rolls the applied prefix back).
+  void handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
+                         Duration cost, bool batched, std::uint32_t endpoint);
   void send_response(const proto::Response& resp, std::uint32_t conn_idx,
                      std::uint32_t slot, bool batched, std::uint32_t endpoint = kNoEndpoint);
   void charge(Duration cost) noexcept { stats_.busy_time += cost; }
@@ -230,6 +261,12 @@ class Shard : public sim::Actor {
 
   std::vector<std::byte> msg_region_;
   fabric::MemoryRegion* msg_mr_;
+
+  /// 2PL lock words clients CAS one-sidedly; registered only when
+  /// cfg_.txn_lock_words > 0 so txn-off runs keep the seed's rkey sequence.
+  std::vector<std::byte> lock_region_;
+  fabric::MemoryRegion* lock_mr_ = nullptr;
+  EpochFn epoch_source_;
 
   std::vector<Connection> conns_;
   /// Maps msg_region_ block index -> conns_ index for legacy connections

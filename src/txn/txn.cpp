@@ -1,0 +1,344 @@
+#include "txn/txn.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "fabric/queue_pair.hpp"
+
+namespace hydra::txn {
+
+namespace {
+
+std::string to_payload(const proto::TxnCommit& txn) {
+  const std::vector<std::byte> enc = proto::encode_txn_commit(txn);
+  return {reinterpret_cast<const char*>(enc.data()), enc.size()};
+}
+
+}  // namespace
+
+TxnClient::TxnClient(sim::Scheduler& sched, client::Client& data, TxnOptions opts,
+                     TxnIdSource ids)
+    : sim::Actor(sched, "txn-client-" + std::to_string(data.id())),
+      data_(data),
+      opts_(opts),
+      ids_(std::move(ids)) {}
+
+void TxnClient::run(std::vector<proto::TxnOp> ops, Callback cb) {
+  ++stats_.started;
+  auto t = std::make_shared<Txn>();
+  t->id = (*ids_)++;
+  t->mode = opts_.mode;
+  t->ops = std::move(ops);
+  t->cb = std::move(cb);
+  txn_ = t;
+  if (t->ops.empty()) {
+    finish(t, Status::kOk);
+    return;
+  }
+  begin_attempt(t);
+}
+
+Duration TxnClient::backoff(const TxnPtr& t) const noexcept {
+  // Grows with the restart count and desynchronises contending clients with
+  // a deterministic per-txn jitter -- no wall clock, no global randomness.
+  const auto growth = static_cast<Duration>(std::min(t->restarts, opts_.backoff_growth));
+  return opts_.restart_backoff * (1 + growth) +
+         static_cast<Duration>(t->id % 13) * kMicrosecond;
+}
+
+void TxnClient::begin_attempt(const TxnPtr& t) {
+  if (t != txn_) return;
+  ++t->attempt;
+  t->epoch = epoch_source_ ? epoch_source_() : 0;
+  t->locks.clear();
+  t->next_lock = 0;
+  t->wire_left = opts_.wire_retries;
+  t->groups.clear();
+  t->reads.assign(
+      static_cast<std::size_t>(std::count_if(
+          t->ops.begin(), t->ops.end(),
+          [](const proto::TxnOp& op) { return op.op == proto::MsgType::kGet; })),
+      std::string());
+  t->reads_pending = 0;
+  t->commits_pending = 0;
+  t->commit_status = Status::kOk;
+
+  // Lock plan: every op's key maps to (owning shard, word index); the plan
+  // is sorted and deduped so two keys sharing a word are locked once and
+  // every contender walks words in the same global order.
+  for (const proto::TxnOp& op : t->ops) {
+    const std::uint64_t h = hash_key(op.key);
+    const ShardId shard = resolver_ ? resolver_(h) : kInvalidShard;
+    if (shard == kInvalidShard) {
+      finish(t, Status::kDisconnected);
+      return;
+    }
+    client::Client::TxnWire wire = data_.txn_wire(shard);
+    if (!wire.ok) {
+      // Unreachable (mid-failover) or txn arena disabled. The arena size is
+      // a deploy-time constant, so a connected wire with lock_words == 0
+      // means transactions are off for good -- fail instead of spinning.
+      if (wire.qp != nullptr && wire.lock_words == 0) {
+        finish(t, Status::kInvalidArgument);
+        return;
+      }
+      ++stats_.wire_errors;
+      restart(t);
+      return;
+    }
+    t->locks.push_back({shard, static_cast<std::uint32_t>(h % wire.lock_words), false});
+    if (op.op != proto::MsgType::kGet) {
+      proto::TxnCommit& g = t->groups[shard];
+      g.hdr.txn_id = t->id;
+      g.hdr.mode = t->mode;
+      g.hdr.epoch = t->epoch;
+      g.ops.push_back(op);
+    }
+  }
+  std::sort(t->locks.begin(), t->locks.end(), [](const Lock& a, const Lock& b) {
+    return a.shard != b.shard ? a.shard < b.shard : a.widx < b.widx;
+  });
+  t->locks.erase(std::unique(t->locks.begin(), t->locks.end(),
+                             [](const Lock& a, const Lock& b) {
+                               return a.shard == b.shard && a.widx == b.widx;
+                             }),
+                 t->locks.end());
+  for (auto& [shard, g] : t->groups) {
+    g.hdr.op_count = static_cast<std::uint32_t>(g.ops.size());
+  }
+  acquire_next(t);
+}
+
+void TxnClient::acquire_next(const TxnPtr& t) {
+  if (t != txn_) return;
+  if (t->next_lock >= t->locks.size()) {
+    read_phase(t);
+    return;
+  }
+  t->wait_left = opts_.wait_retries;
+  post_lock_cas(t, t->next_lock);
+}
+
+void TxnClient::post_lock_cas(const TxnPtr& t, std::size_t idx) {
+  if (t != txn_) return;
+  Lock& lk = t->locks[idx];
+  client::Client::TxnWire wire = data_.txn_wire(lk.shard);
+  if (!wire.ok) {
+    ++stats_.wire_errors;
+    if (--t->wire_left > 0) {
+      schedule_after(backoff(t), [this, t, idx, attempt = t->attempt] {
+        if (t == txn_ && attempt == t->attempt) post_lock_cas(t, idx);
+      });
+    } else {
+      restart(t);
+    }
+    return;
+  }
+  lk.maybe_held = true;  // posted at least once: release on every exit path
+  ++stats_.lock_cas;
+  const std::uint64_t want = kLockHeldBit | t->id;
+  wire.qp->post_cas(
+      {wire.lock_rkey, static_cast<std::uint64_t>(lk.widx) * 8}, 0, want, t->id,
+      guard([this, t, idx, want, attempt = t->attempt](const fabric::Completion& c) {
+        if (t != txn_ || attempt != t->attempt) return;
+        if (c.status != fabric::WcStatus::kSuccess) {
+          // Flushed/torn: the CAS may or may not have executed. The word is
+          // already in the maybe-held set; reconnect and re-post -- a retry
+          // that finds our own id in the word below counts as acquired.
+          ++stats_.wire_errors;
+          data_.invalidate_connection(t->locks[idx].shard);
+          if (--t->wire_left > 0) {
+            schedule_after(backoff(t), [this, t, idx, attempt] {
+              if (t == txn_ && attempt == t->attempt) post_lock_cas(t, idx);
+            });
+          } else {
+            restart(t);
+          }
+          return;
+        }
+        if (c.old_value == 0 || c.old_value == want) {
+          ++t->next_lock;
+          acquire_next(t);
+          return;
+        }
+        on_lock_conflict(t, idx, c.old_value);
+      }));
+}
+
+void TxnClient::on_lock_conflict(const TxnPtr& t, std::size_t idx,
+                                 std::uint64_t old_word) {
+  ++stats_.conflicts;
+  const std::uint64_t holder = old_word & ~kLockHeldBit;
+  if (t->mode == proto::TxnMode::kWaitDie && t->id < holder) {
+    // Older than the holder: wait. The holder is younger, so it can never
+    // wait on us in turn -- it finishes (or dies) and the word frees up.
+    if (probe_) probe_(t->id, holder, false);
+    ++stats_.waits;
+    if (--t->wait_left > 0) {
+      schedule_after(opts_.wait_backoff, [this, t, idx, attempt = t->attempt] {
+        if (t == txn_ && attempt == t->attempt) post_lock_cas(t, idx);
+      });
+      return;
+    }
+    restart(t);  // wait budget spent; not a die -- just try again later
+    return;
+  }
+  // NO_WAIT always dies on conflict; WAIT_DIE dies when younger or same age.
+  if (probe_) probe_(t->id, holder, true);
+  ++stats_.died;
+  restart(t);
+}
+
+void TxnClient::read_phase(const TxnPtr& t) {
+  if (t != txn_) return;
+  std::size_t get_idx = 0;
+  std::vector<std::pair<std::size_t, std::string>> gets;
+  for (const proto::TxnOp& op : t->ops) {
+    if (op.op == proto::MsgType::kGet) gets.emplace_back(get_idx++, op.key);
+  }
+  if (gets.empty()) {
+    commit_phase(t);
+    return;
+  }
+  t->reads_pending = gets.size();
+  for (auto& [slot, key] : gets) {
+    data_.get(key, guard([this, t, slot = slot, attempt = t->attempt](
+                             Status st, std::string_view value) {
+      if (t != txn_ || attempt != t->attempt) return;
+      if (st == Status::kOk) {
+        t->reads[slot].assign(value);
+      } else if (st != Status::kNotFound) {
+        ++stats_.wire_errors;
+        restart(t);
+        return;
+      }
+      if (--t->reads_pending == 0) commit_phase(t);
+    }));
+  }
+}
+
+void TxnClient::commit_phase(const TxnPtr& t) {
+  if (t != txn_) return;
+  // Client-side validate: the epoch this attempt locked (and will stamp its
+  // commits) under must still be live. The shard re-checks at apply time,
+  // so this is an optimisation, not the fence itself.
+  if (epoch_source_ && epoch_source_() != t->epoch) {
+    ++stats_.epoch_restarts;
+    restart(t);
+    return;
+  }
+  if (t->groups.empty()) {  // read-only transaction
+    finish(t, Status::kOk);
+    return;
+  }
+  t->commits_pending = t->groups.size();
+  for (auto& [shard, group] : t->groups) {
+    data_.txn_commit(group.ops.front().key, to_payload(group),
+                     guard([this, t, attempt = t->attempt](Status st) {
+                       if (t != txn_ || attempt != t->attempt) return;
+                       if (st != Status::kOk && t->commit_status == Status::kOk) {
+                         t->commit_status = st;
+                       }
+                       if (--t->commits_pending > 0) return;
+                       if (t->commit_status == Status::kOk) {
+                         finish(t, Status::kOk);
+                       } else {
+                         // Roll forward: re-lock and re-commit the same
+                         // values under the new epoch. Re-applying a group
+                         // that already committed is idempotent, so the
+                         // acked outcome is always all-or-nothing.
+                         ++stats_.commit_rejects;
+                         restart(t);
+                       }
+                     }));
+  }
+}
+
+void TxnClient::restart(const TxnPtr& t) {
+  if (t != txn_) return;
+  ++t->attempt;  // invalidate every in-flight completion of this attempt
+  ++t->restarts;
+  ++stats_.restarts;
+  if (t->restarts > opts_.max_restarts) {
+    finish(t, Status::kTxnConflict);
+    return;
+  }
+  release_locks(t, guard([this, t] {
+    if (t != txn_) return;
+    schedule_after(backoff(t), [this, t] { begin_attempt(t); });
+  }));
+}
+
+void TxnClient::finish(const TxnPtr& t, Status status) {
+  if (t != txn_) return;
+  ++t->attempt;
+  release_locks(t, guard([this, t, status] {
+    if (t != txn_) return;
+    txn_ = nullptr;
+    if (status == Status::kOk) {
+      ++stats_.committed;
+    } else {
+      ++stats_.failed;
+    }
+    if (t->cb) t->cb(status, std::move(t->reads));
+  }));
+}
+
+void TxnClient::release_locks(const TxnPtr& t, std::function<void()> done) {
+  auto job = std::make_shared<ReleaseJob>();
+  job->id = t->id;
+  for (Lock& lk : t->locks) {
+    if (!lk.maybe_held) continue;
+    job->words.push_back({lk.shard, lk.widx, opts_.wire_retries});
+    lk.maybe_held = false;
+  }
+  if (job->words.empty()) {
+    done();
+    return;
+  }
+  job->pending = job->words.size();
+  job->done = std::move(done);
+  for (std::size_t i = 0; i < job->words.size(); ++i) release_one(job, i);
+}
+
+// Per-word release: CAS(held|id -> 0). Success settles the word no matter
+// what it held (anything but our word means it was never ours, or a promoted
+// arena already starts zeroed). Protection/remote-dead means the arena is
+// gone -- also settled, benignly: the next incarnation starts zeroed. Only a
+// flushed CAS retries, through a fresh connection, so a mux-channel death
+// with the shard still alive can never leak a held word.
+void TxnClient::release_one(const std::shared_ptr<ReleaseJob>& job, std::size_t i) {
+  auto settle = [this, job] {
+    if (--job->pending == 0) job->done();
+  };
+  const ReleaseJob::Word& w = job->words[i];
+  client::Client::TxnWire wire = data_.txn_wire(w.shard);
+  if (!wire.ok) {
+    if (--job->words[i].budget > 0) {
+      schedule_after(opts_.restart_backoff, [this, job, i] { release_one(job, i); });
+    } else {
+      ++stats_.unlock_giveups;
+      settle();
+    }
+    return;
+  }
+  ++stats_.unlock_cas;
+  wire.qp->post_cas(
+      {wire.lock_rkey, static_cast<std::uint64_t>(w.widx) * 8},
+      kLockHeldBit | job->id, 0, job->id,
+      guard([this, job, settle, i, shard = w.shard](const fabric::Completion& c) {
+        if (c.status == fabric::WcStatus::kFlushed) {
+          data_.invalidate_connection(shard);
+          if (--job->words[i].budget > 0) {
+            schedule_after(opts_.restart_backoff,
+                           [this, job, i] { release_one(job, i); });
+            return;
+          }
+          ++stats_.unlock_giveups;
+        }
+        settle();
+      }));
+}
+
+}  // namespace hydra::txn

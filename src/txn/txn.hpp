@@ -1,0 +1,181 @@
+// Multi-key transactions over one-sided lock words (DESIGN.md §11).
+//
+// Two-phase locking driven entirely by RDMA atomics: every key maps to one
+// 8-byte lock word in its owning shard's lock arena, and a TxnClient
+// acquires the whole (sorted, deduped) lock set with one-sided CAS before
+// touching any data. Conflict policy is selectable per TxnOptions:
+//
+//   NO_WAIT   -- any lost CAS aborts the attempt immediately;
+//   WAIT_DIE  -- an older requester (smaller txn id) retries the CAS until
+//                the younger holder unlocks; a younger requester dies.
+//
+// Both are deadlock-free (WAIT_DIE by age ordering, NO_WAIT trivially), so
+// a lock word can never be wedged by scheduling alone. After the lock
+// point the client reads its read set through the normal data path (the
+// remote-pointer cache accelerates repeat reads), validates the routing
+// epoch it locked under, and drives one kTxnCommit per shard group; the
+// shard re-validates epoch + ownership + lock words and applies the group
+// all-or-nothing ahead of its replication barrier. A commit rejected by a
+// failover or migration fence is rolled FORWARD: the attempt restarts --
+// re-resolving, re-locking, re-committing the same values idempotently --
+// so an acknowledged transaction is always fully applied on every owning
+// shard, and an unacknowledged one never acknowledges a partial state.
+// Torn lock CAS safety: every word a CAS was ever *posted* against is
+// treated as possibly-held and released on the way out, and a re-posted
+// acquire treats old == (held | own id) as success.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+#include "sim/actor.hpp"
+
+namespace hydra::txn {
+
+/// A held lock word carries this bit plus the holder's txn id.
+inline constexpr std::uint64_t kLockHeldBit = std::uint64_t{1} << 63;
+
+struct TxnOptions {
+  proto::TxnMode mode = proto::TxnMode::kNoWait;
+  /// Attempt restarts (conflict aborts, epoch fences, commit rejects, wire
+  /// errors) before the transaction fails terminally with kTxnConflict.
+  int max_restarts = 64;
+  /// Base backoff between attempts; scaled by a deterministic jitter drawn
+  /// from the txn id so contending clients desynchronise.
+  Duration restart_backoff = 50 * kMicrosecond;
+  /// Backoff grows linearly with the attempt's restart count up to
+  /// 1 + backoff_growth times the base. 0 = constant backoff (the classic
+  /// thrashing NO_WAIT the bench contrasts against WAIT_DIE).
+  int backoff_growth = 16;
+  /// WAIT_DIE: CAS retries an older requester spends waiting on one lock
+  /// before it gives up and restarts the attempt.
+  int wait_retries = 256;
+  Duration wait_backoff = 20 * kMicrosecond;
+  /// Wire-error retries (flushed/torn CAS, dead QP) per attempt and per
+  /// unlock word; each retry re-establishes the connection first.
+  int wire_retries = 64;
+};
+
+struct TxnStats {
+  std::uint64_t started = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t failed = 0;     ///< terminal non-kOk completions
+  std::uint64_t restarts = 0;   ///< attempts after the first
+  std::uint64_t conflicts = 0;  ///< lock CAS lost to a rival holder
+  std::uint64_t died = 0;       ///< conflict aborts (NO_WAIT all, WAIT_DIE younger)
+  std::uint64_t waits = 0;      ///< WAIT_DIE older-waits CAS retries
+  std::uint64_t lock_cas = 0;
+  std::uint64_t unlock_cas = 0;
+  std::uint64_t wire_errors = 0;     ///< CAS completions != kSuccess
+  std::uint64_t commit_rejects = 0;  ///< kTxnCommit answered non-kOk
+  std::uint64_t epoch_restarts = 0;  ///< client-side validate failures
+  std::uint64_t unlock_giveups = 0;  ///< arena unreachable past the budget
+};
+
+/// Drives one transaction at a time through an existing data-plane client.
+class TxnClient : public sim::Actor {
+ public:
+  using Resolver = std::function<ShardId(std::uint64_t key_hash)>;
+  using EpochSource = std::function<std::uint64_t()>;
+  /// Fired on every lock conflict decision: (requester txn id, holder txn
+  /// id, requester aborted). The WAIT_DIE / NO_WAIT property tests hang
+  /// their abort-order assertions off this.
+  using ConflictProbe =
+      std::function<void(std::uint64_t requester, std::uint64_t holder, bool died)>;
+  /// (final status, read results aligned with the kGet ops in op order).
+  using Callback = std::function<void(Status, std::vector<std::string>)>;
+  /// Shared monotonic id source: ids double as WAIT_DIE age stamps, so all
+  /// TxnClients contending on one cluster must share one source.
+  using TxnIdSource = std::shared_ptr<std::uint64_t>;
+
+  static TxnIdSource make_id_source() { return std::make_shared<std::uint64_t>(1); }
+
+  TxnClient(sim::Scheduler& sched, client::Client& data, TxnOptions opts, TxnIdSource ids);
+
+  void set_resolver(Resolver r) { resolver_ = std::move(r); }
+  void set_epoch_source(EpochSource e) { epoch_source_ = std::move(e); }
+  void set_conflict_probe(ConflictProbe p) { probe_ = std::move(p); }
+
+  /// Runs `ops` as one transaction. kGet ops contribute a slot to the
+  /// callback's read vector; kPut/kRemove ops are applied atomically across
+  /// every involved shard. One transaction in flight per TxnClient.
+  void run(std::vector<proto::TxnOp> ops, Callback cb);
+
+  [[nodiscard]] bool idle() const noexcept { return txn_ == nullptr; }
+  [[nodiscard]] const TxnStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Lock {
+    ShardId shard = kInvalidShard;
+    std::uint32_t widx = 0;
+    bool maybe_held = false;  ///< a CAS was posted: release on the way out
+  };
+  struct Txn {
+    std::uint64_t id = 0;
+    proto::TxnMode mode = proto::TxnMode::kNoWait;
+    std::vector<proto::TxnOp> ops;
+    Callback cb;
+    int restarts = 0;
+    /// Bumped at every attempt start; stale completions compare and drop.
+    std::uint64_t attempt = 0;
+    std::uint64_t epoch = 0;
+    std::vector<Lock> locks;
+    std::size_t next_lock = 0;
+    int wait_left = 0;  ///< WAIT_DIE budget for the lock being acquired
+    int wire_left = 0;
+    std::map<ShardId, proto::TxnCommit> groups;
+    std::vector<std::string> reads;
+    std::size_t reads_pending = 0;
+    std::size_t commits_pending = 0;
+    Status commit_status = Status::kOk;
+  };
+  using TxnPtr = std::shared_ptr<Txn>;
+
+  void begin_attempt(const TxnPtr& t);
+  void acquire_next(const TxnPtr& t);
+  void post_lock_cas(const TxnPtr& t, std::size_t idx);
+  void on_lock_conflict(const TxnPtr& t, std::size_t idx, std::uint64_t old_word);
+  void read_phase(const TxnPtr& t);
+  void commit_phase(const TxnPtr& t);
+  /// Releases every possibly-held lock, then restarts the attempt (or fails
+  /// terminally once the restart budget is spent).
+  void restart(const TxnPtr& t);
+  /// Releases every possibly-held lock, then completes the transaction.
+  void finish(const TxnPtr& t, Status status);
+  /// Fire-and-track release of all maybe-held words; `done` runs when every
+  /// word is confirmed released or its arena is confirmed gone. The job is
+  /// detached from the Txn so the next attempt can rebuild its lock plan
+  /// while stale releases drain.
+  struct ReleaseJob {
+    struct Word {
+      ShardId shard = kInvalidShard;
+      std::uint32_t widx = 0;
+      int budget = 0;
+    };
+    std::uint64_t id = 0;
+    std::vector<Word> words;
+    std::size_t pending = 0;
+    std::function<void()> done;
+  };
+  void release_locks(const TxnPtr& t, std::function<void()> done);
+  void release_one(const std::shared_ptr<ReleaseJob>& job, std::size_t i);
+  [[nodiscard]] Duration backoff(const TxnPtr& t) const noexcept;
+
+  client::Client& data_;
+  TxnOptions opts_;
+  TxnIdSource ids_;
+  Resolver resolver_;
+  EpochSource epoch_source_;
+  ConflictProbe probe_;
+  TxnPtr txn_;
+  TxnStats stats_;
+};
+
+}  // namespace hydra::txn

@@ -1,0 +1,592 @@
+#include "txn/txn_chaos.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "hydradb/hydra_cluster.hpp"
+#include "txn/txn.hpp"
+
+namespace hydra::txn {
+
+const char* to_string(TxnFaultKind kind) noexcept {
+  switch (kind) {
+    case TxnFaultKind::kKillPrimary: return "kill-primary";
+    case TxnFaultKind::kKillSecondary: return "kill-secondary";
+    case TxnFaultKind::kKillSwatMember: return "kill-swat-member";
+    case TxnFaultKind::kKillMuxChannel: return "kill-mux-channel";
+    case TxnFaultKind::kTearAtomic: return "tear-atomic";
+    case TxnFaultKind::kDropAtomic: return "drop-atomic";
+    case TxnFaultKind::kSuppressHeartbeats: return "suppress-heartbeats";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Failover (session timeout 2s) + unlock retries need ample slack.
+constexpr Duration kSettle = 6 * kSecond;
+constexpr Time kWorkloadTimeLimit = 120 * kSecond;
+constexpr std::uint64_t kWorkloadStepLimit = 40'000'000;
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+const char* mode_name(proto::TxnMode m) {
+  return m == proto::TxnMode::kWaitDie ? "wait-die" : "no-wait";
+}
+
+/// One transaction of the workload, fully precomputed before the clock
+/// starts so values never depend on execution interleaving.
+struct TxnPlanned {
+  int client = 0;
+  std::uint32_t local_idx = 0;
+  std::uint32_t global_idx = 0;
+  std::vector<proto::TxnOp> ops;
+  Status status = Status::kTimeout;
+  bool completed = false;
+};
+
+}  // namespace
+
+std::vector<TxnSchedule> TxnSchedule::scripted() {
+  std::vector<TxnSchedule> out;
+  for (const proto::TxnMode mode : {proto::TxnMode::kNoWait, proto::TxnMode::kWaitDie}) {
+    const std::string suffix = mode == proto::TxnMode::kWaitDie ? "-wait-die" : "-no-wait";
+    {
+      // Fault-free multi-shard baseline: every txn commits, nothing leaks.
+      TxnSchedule s;
+      s.name = "txn-baseline" + suffix;
+      s.mode = mode;
+      out.push_back(std::move(s));
+    }
+    {
+      // Hot-key contention: the abort-order discipline under fire.
+      TxnSchedule s;
+      s.name = "txn-contention" + suffix;
+      s.mode = mode;
+      s.txn_clients = 4;
+      s.keys_per_txn = 3;
+      s.hot_keys = 8;
+      s.lock_words = 8;  // word collisions guaranteed
+      out.push_back(std::move(s));
+    }
+    {
+      // The headline chaos: the primary dies between lock-acquire and
+      // unlock, while commits are on the wire. Acked txns must survive the
+      // promotion whole; every lock word the corpse held dies with it.
+      TxnSchedule s;
+      s.name = "txn-kill-mid-commit" + suffix;
+      s.mode = mode;
+      s.faults.push_back({.kind = TxnFaultKind::kKillPrimary, .shard = 0,
+                          .at_txn = 8, .delay = 40 * kMicrosecond});
+      out.push_back(std::move(s));
+    }
+  }
+  {
+    // SWAT leadership gap overlapping the primary kill: the death event
+    // pends ~2s until member 1 takes over; txns stall, then roll forward.
+    TxnSchedule s;
+    s.name = "txn-kill-mid-commit-swat-gap";
+    s.swat_members = 3;
+    s.faults.push_back({.kind = TxnFaultKind::kKillPrimary, .shard = 0,
+                        .at_txn = 8, .delay = 40 * kMicrosecond});
+    s.faults.push_back({.kind = TxnFaultKind::kKillSwatMember, .index = 0,
+                        .at_txn = 8, .delay = 1900 * kMillisecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // A replica dies with group commit barriers outstanding: the primary
+    // must quarantine the corpse and still ack -- never wedge a commit.
+    TxnSchedule s;
+    s.name = "txn-kill-secondary-mid-commit";
+    s.replicas = 2;
+    s.faults.push_back({.kind = TxnFaultKind::kKillSecondary, .index = 1,
+                        .at_txn = 8, .delay = 20 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // A dropped lock CAS: the verb never executes, the initiator sees a
+    // flush and must re-post (finding the word still free).
+    TxnSchedule s;
+    s.name = "txn-drop-lock-cas";
+    s.faults.push_back({.kind = TxnFaultKind::kDropAtomic, .shard = 0, .at_txn = 6});
+    out.push_back(std::move(s));
+  }
+  {
+    // A torn lock CAS: the verb executes but the completion flushes, so
+    // the client holds a lock it cannot confirm. The maybe-held set must
+    // treat old == own-word as acquired on retry and release it on abort.
+    TxnSchedule s;
+    s.name = "txn-tear-lock-cas";
+    s.faults.push_back({.kind = TxnFaultKind::kTearAtomic, .shard = 0, .at_txn = 6});
+    out.push_back(std::move(s));
+  }
+  {
+    // An atomic fault landing late in a txn's life -- on the unlock path.
+    // The release loop must retry through a fresh connection until the
+    // word is confirmed clear; a leaked word fails invariant 3.
+    TxnSchedule s;
+    s.name = "txn-drop-unlock-cas";
+    s.faults.push_back({.kind = TxnFaultKind::kDropAtomic, .shard = 0, .at_txn = 6,
+                        .delay = 300 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // The shared mux QP carrying all lock + commit traffic dies abruptly.
+    TxnSchedule s;
+    s.name = "txn-mux-channel-kill";
+    s.mux = true;
+    s.faults.push_back({.kind = TxnFaultKind::kKillMuxChannel, .shard = 0,
+                        .at_txn = 8, .delay = 30 * kMicrosecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // Heartbeat suppression past the session timeout: the primary fences
+    // itself; in-flight txns re-lock against the promoted arena.
+    TxnSchedule s;
+    s.name = "txn-heartbeat-fence";
+    s.faults.push_back({.kind = TxnFaultKind::kSuppressHeartbeats, .shard = 0,
+                        .at_txn = 6, .duration = 3 * kSecond});
+    out.push_back(std::move(s));
+  }
+  {
+    // A live migration overlapping the workload: the epoch fence rejects
+    // commits stamped before the bump and txns re-resolve onto the new
+    // ring -- mid-migration, a group may even split across more shards.
+    TxnSchedule s;
+    s.name = "txn-migrate-mid-txn";
+    s.txns_per_client = 10;
+    s.migrate_at_txn = 6;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TxnSchedule TxnSchedule::random(std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0xD6E8FEB86659FD93ULL + 0x8CB92BA72F3D8DD7ULL);
+  TxnSchedule s;
+  s.name = "txn-random-" + std::to_string(seed);
+  s.mode = rng.below(2) == 0 ? proto::TxnMode::kNoWait : proto::TxnMode::kWaitDie;
+  s.txn_clients = 2 + static_cast<int>(rng.below(3));
+  s.txns_per_client = 6 + static_cast<std::uint32_t>(rng.below(7));
+  s.keys_per_txn = 2 + static_cast<std::uint32_t>(rng.below(4));
+  s.shards = 1 + static_cast<int>(rng.below(3));
+  s.mux = rng.below(3) == 0;
+  const std::uint32_t total = static_cast<std::uint32_t>(s.txn_clients) * s.txns_per_client;
+  auto txn_point = [&] { return static_cast<std::uint32_t>(rng.below(total)); };
+
+  // Safety rules mirroring the failover harness: a live replica must always
+  // remain, so secondary kills force two replicas and only kill #1.
+  const bool kill_secondary = rng.below(4) == 0;
+  s.replicas = kill_secondary ? 2 : 1 + static_cast<int>(rng.below(2));
+  const bool kill_primary = rng.below(2) == 0;
+  const bool kill_swat = kill_primary && rng.below(3) == 0;
+
+  if (rng.below(3) == 0) {
+    // Contention run: shrink the key universe and the lock arena.
+    s.hot_keys = 6 + static_cast<std::uint32_t>(rng.below(8));
+    s.keys_per_txn = std::min(s.keys_per_txn, s.hot_keys);
+    s.lock_words = 8 + static_cast<std::uint32_t>(rng.below(16));
+  }
+  // Zero to two lock-arena atomic faults in every schedule.
+  const int atomics = static_cast<int>(rng.below(3));
+  for (int i = 0; i < atomics; ++i) {
+    s.faults.push_back(
+        {.kind = rng.below(2) == 0 ? TxnFaultKind::kTearAtomic : TxnFaultKind::kDropAtomic,
+         .shard = static_cast<ShardId>(rng.below(static_cast<std::uint64_t>(s.shards))),
+         .at_txn = txn_point(),
+         .delay = static_cast<Duration>(rng.below(400 * kMicrosecond))});
+  }
+  if (kill_secondary) {
+    s.faults.push_back({.kind = TxnFaultKind::kKillSecondary,
+                        .shard = static_cast<ShardId>(rng.below(static_cast<std::uint64_t>(s.shards))),
+                        .index = 1, .at_txn = txn_point(),
+                        .delay = static_cast<Duration>(rng.below(50 * kMicrosecond))});
+  }
+  if (kill_primary) {
+    s.faults.push_back({.kind = TxnFaultKind::kKillPrimary,
+                        .shard = static_cast<ShardId>(rng.below(static_cast<std::uint64_t>(s.shards))),
+                        .at_txn = txn_point(),
+                        .delay = static_cast<Duration>(rng.below(100 * kMicrosecond))});
+  }
+  if (kill_swat) {
+    s.swat_members = 3;
+    s.faults.push_back({.kind = TxnFaultKind::kKillSwatMember, .index = 0,
+                        .at_txn = txn_point(),
+                        .delay = 1500 * kMillisecond + rng.below(kSecond)});
+  }
+  if (s.mux && rng.below(3) == 0) {
+    s.faults.push_back({.kind = TxnFaultKind::kKillMuxChannel,
+                        .shard = static_cast<ShardId>(rng.below(static_cast<std::uint64_t>(s.shards))),
+                        .at_txn = txn_point(),
+                        .delay = static_cast<Duration>(rng.below(50 * kMicrosecond))});
+  }
+  if (rng.below(4) == 0) {
+    s.faults.push_back({.kind = TxnFaultKind::kSuppressHeartbeats,
+                        .shard = static_cast<ShardId>(rng.below(static_cast<std::uint64_t>(s.shards))),
+                        .at_txn = txn_point(),
+                        .duration = kSecond + rng.below(3 * kSecond)});
+  }
+  return s;
+}
+
+TxnRunReport TxnChaosRunner::run(const TxnSchedule& schedule, std::uint64_t seed,
+                                 obs::Plane* plane) {
+  TxnSchedule plan = schedule;
+  const std::uint32_t total_txns =
+      static_cast<std::uint32_t>(plan.txn_clients) * plan.txns_per_client;
+  for (TxnFault& f : plan.faults) f.at_txn = std::min(f.at_txn, total_txns - 1);
+  if (plan.migrate_at_txn != TxnSchedule::kNoMigration) {
+    plan.migrate_at_txn = std::min(plan.migrate_at_txn, total_txns - 1);
+  }
+  if (plan.hot_keys > 0) plan.keys_per_txn = std::min(plan.keys_per_txn, plan.hot_keys);
+
+  TxnRunReport report;
+  std::string& hist = report.history;
+  auto violation = [&](std::string text) {
+    hist += "violation: " + text + "\n";
+    report.violations.push_back(std::move(text));
+  };
+
+  db::ClusterOptions opts;
+  opts.server_nodes = plan.shards;
+  opts.shards_per_node = 1;
+  opts.total_shards = plan.shards;
+  opts.client_nodes = 1;
+  opts.clients_per_node = plan.txn_clients;
+  opts.replicas = plan.replicas;
+  opts.enable_swat = true;
+  opts.swat_members = plan.swat_members;
+  opts.shard_template.store.arena_bytes = 16 << 20;
+  opts.shard_template.store.min_buckets = 1 << 12;
+  opts.shard_template.txn_lock_words = plan.lock_words;
+  opts.client_template.request_timeout = 100 * kMillisecond;
+  opts.client_template.max_retries = 100;
+  opts.mux_connections = plan.mux;
+  opts.obs = plane;
+
+  db::HydraCluster cluster(opts);
+  sim::Scheduler& sched = cluster.scheduler();
+  const std::size_t shards_before = cluster.shard_count();
+
+  appendf(hist, "run schedule=%s seed=%llu txns=%u mode=%s shards=%d replicas=%d hot=%u mux=%d\n",
+          plan.name.c_str(), static_cast<unsigned long long>(seed), total_txns,
+          mode_name(plan.mode), plan.shards, plan.replicas, plan.hot_keys,
+          plan.mux ? 1 : 0);
+
+  // --- atomic wire faults: armed one-shot, matched by lock-arena rkey ------
+  std::vector<TxnFault> armed;
+  cluster.fabric().set_write_fault_hook(
+      [&](NodeId, NodeId, const fabric::RemoteAddr& addr,
+          std::uint32_t size) -> fabric::WriteFault {
+        if (armed.empty() || size != 8) return {};
+        for (auto it = armed.begin(); it != armed.end(); ++it) {
+          auto* sh = cluster.shard(it->shard);
+          if (sh == nullptr || sh->lock_rkey() == 0 || sh->lock_rkey() != addr.rkey) {
+            continue;
+          }
+          fabric::WriteFault wf;
+          wf.kind = it->kind == TxnFaultKind::kTearAtomic
+                        ? fabric::WriteFault::Kind::kTorn
+                        : fabric::WriteFault::Kind::kDrop;
+          appendf(hist, "t=%llu atomic-fault %s rkey=%u\n",
+                  static_cast<unsigned long long>(sched.now()), to_string(it->kind),
+                  addr.rkey);
+          armed.erase(it);
+          return wf;
+        }
+        return {};
+      });
+
+  // --- fault application ----------------------------------------------------
+  auto apply_fault = [&](const TxnFault& f) {
+    appendf(hist, "t=%llu fault %s shard=%u idx=%d\n",
+            static_cast<unsigned long long>(sched.now()), to_string(f.kind),
+            static_cast<unsigned>(f.shard), f.index);
+    switch (f.kind) {
+      case TxnFaultKind::kKillPrimary: {
+        auto* sh = cluster.shard(f.shard);
+        if (sh != nullptr && sh->alive()) cluster.crash_primary(f.shard);
+        break;
+      }
+      case TxnFaultKind::kKillSecondary:
+        cluster.crash_secondary(f.shard, f.index);
+        break;
+      case TxnFaultKind::kKillSwatMember:
+        cluster.kill_swat_member(f.index);
+        break;
+      case TxnFaultKind::kKillMuxChannel:
+        cluster.kill_mux_channel(f.index, f.shard);
+        break;
+      case TxnFaultKind::kTearAtomic:
+      case TxnFaultKind::kDropAtomic:
+        armed.push_back(f);
+        break;
+      case TxnFaultKind::kSuppressHeartbeats:
+        cluster.suppress_heartbeats(f.shard, f.duration);
+        break;
+    }
+  };
+
+  // --- workload plan --------------------------------------------------------
+  // Disjoint mode: txn (c, t) writes keys txn-c<c>-t<t>-k<i>, reads one and
+  // removes one key of the client's previous txn. Every value is a pure
+  // function of (seed, c, t, i), so roll-forward re-commits re-apply
+  // identical bytes and the final-state check is exact.
+  // Hot mode: keys come from a tiny shared universe; values stay unique per
+  // txn so any committed value is traceable to its writer.
+  Xoshiro256 value_rng(seed);
+  std::vector<TxnPlanned> txns;
+  txns.reserve(total_txns);
+  for (int c = 0; c < plan.txn_clients; ++c) {
+    for (std::uint32_t t = 0; t < plan.txns_per_client; ++t) {
+      TxnPlanned p;
+      p.client = c;
+      p.local_idx = t;
+      std::set<std::string> used;
+      for (std::uint32_t k = 0; k < plan.keys_per_txn; ++k) {
+        std::string key;
+        if (plan.hot_keys > 0) {
+          do {
+            key = "hot-" + std::to_string(value_rng.below(plan.hot_keys));
+          } while (!used.insert(key).second);
+        } else {
+          key = "txn-c" + std::to_string(c) + "-t" + std::to_string(t) + "-k" +
+                std::to_string(k);
+        }
+        p.ops.push_back({proto::MsgType::kPut, std::move(key), "v-" + hex16(value_rng())});
+      }
+      if (plan.hot_keys == 0 && t > 0 && plan.keys_per_txn >= 2) {
+        const std::string prev =
+            "txn-c" + std::to_string(c) + "-t" + std::to_string(t - 1) + "-k";
+        p.ops.push_back({proto::MsgType::kGet, prev + "0", ""});
+        p.ops.push_back({proto::MsgType::kRemove, prev + "1", ""});
+      }
+      txns.push_back(std::move(p));
+    }
+  }
+
+  // --- transaction clients --------------------------------------------------
+  TxnOptions topts;
+  topts.mode = plan.mode;
+  topts.max_restarts = 400;
+  topts.restart_backoff = 2 * kMillisecond;
+  topts.wait_retries = 400;
+  topts.wait_backoff = 50 * kMicrosecond;
+  topts.wire_retries = 64;
+
+  auto ids = TxnClient::make_id_source();
+  bool order_violation = false;
+  std::vector<std::unique_ptr<TxnClient>> drivers;
+  for (int c = 0; c < plan.txn_clients; ++c) {
+    auto d = std::make_unique<TxnClient>(sched, *cluster.clients()[static_cast<std::size_t>(c)],
+                                         topts, ids);
+    d->set_resolver([&cluster](std::uint64_t h) { return cluster.ring().owner(h); });
+    d->set_epoch_source([&cluster] { return cluster.routing_epoch(); });
+    d->set_conflict_probe([&](std::uint64_t requester, std::uint64_t holder, bool died) {
+      if (plan.mode == proto::TxnMode::kNoWait && !died) order_violation = true;
+      if (plan.mode == proto::TxnMode::kWaitDie && died && requester < holder) {
+        order_violation = true;
+      }
+    });
+    drivers.push_back(std::move(d));
+  }
+
+  // --- closed-loop issue, one stream per client -----------------------------
+  std::uint32_t global_issue = 0;
+  std::uint32_t completed = 0;
+  std::vector<std::uint32_t> cursor(static_cast<std::size_t>(plan.txn_clients), 0);
+  std::function<void(int)> drive = [&](int c) {
+    const std::uint32_t t = cursor[static_cast<std::size_t>(c)];
+    if (t >= plan.txns_per_client) return;
+    ++cursor[static_cast<std::size_t>(c)];
+    TxnPlanned& p = txns[static_cast<std::size_t>(c) * plan.txns_per_client + t];
+    p.global_idx = global_issue++;
+    appendf(hist, "t=%llu txn=%u client=%d issue ops=%zu\n",
+            static_cast<unsigned long long>(sched.now()), p.global_idx, c, p.ops.size());
+    for (const TxnFault& f : plan.faults) {
+      if (f.at_txn != p.global_idx) continue;
+      const TxnFault* fp = &f;
+      sched.after(f.delay, [&apply_fault, fp] { apply_fault(*fp); });
+    }
+    if (plan.migrate_at_txn == p.global_idx) {
+      const ShardId added = cluster.add_shard_live();
+      appendf(hist, "t=%llu migrate add shard=%u\n",
+              static_cast<unsigned long long>(sched.now()), static_cast<unsigned>(added));
+    }
+    TxnPlanned* rec = &p;  // stable: txns never reallocates after the plan pass
+    drivers[static_cast<std::size_t>(c)]->run(
+        p.ops, [&, rec, c](Status st, std::vector<std::string>) {
+          rec->status = st;
+          rec->completed = true;
+          ++completed;
+          appendf(hist, "t=%llu txn=%u client=%d done status=%s\n",
+                  static_cast<unsigned long long>(sched.now()), rec->global_idx, c,
+                  std::string(to_string(st)).c_str());
+          drive(c);
+        });
+  };
+  for (int c = 0; c < plan.txn_clients; ++c) drive(c);
+
+  std::uint64_t steps = 0;
+  while (completed < total_txns && sched.now() < kWorkloadTimeLimit &&
+         steps < kWorkloadStepLimit) {
+    if (!sched.step()) break;
+    ++steps;
+  }
+  const Time settle_end = sched.now() + kSettle;
+  while (sched.now() < settle_end && sched.step()) {
+  }
+
+  // --- invariant 1: every callback fired ------------------------------------
+  for (const TxnPlanned& p : txns) {
+    if (p.completed) continue;
+    ++report.wedged;
+    violation("txn client=" + std::to_string(p.client) + " local=" +
+              std::to_string(p.local_idx) + " never completed: callback wedged");
+  }
+  for (const TxnPlanned& p : txns) {
+    if (!p.completed) continue;
+    if (p.status == Status::kOk) {
+      ++report.acked;
+    } else {
+      ++report.failed;
+    }
+  }
+
+  // --- invariant 2: acked txns all-or-nothing with exact values -------------
+  if (plan.hot_keys == 0) {
+    // Per-client serial replay of *acked* txns yields the expected final
+    // state; any key a non-acked txn ever touched is tainted (its fate is
+    // legitimately unknown) and excluded.
+    std::map<std::string, std::pair<bool, std::string>> expected;  // present?, value
+    std::set<std::string> tainted;
+    for (const TxnPlanned& p : txns) {
+      for (const proto::TxnOp& op : p.ops) {
+        if (op.op == proto::MsgType::kGet) continue;
+        if (!p.completed || p.status != Status::kOk) {
+          tainted.insert(op.key);
+          continue;
+        }
+        if (op.op == proto::MsgType::kRemove) {
+          expected[op.key] = {false, ""};
+        } else {
+          expected[op.key] = {true, op.value};
+        }
+      }
+    }
+    for (const auto& [key, want] : expected) {
+      if (tainted.count(key) != 0) continue;
+      Status st = Status::kOk;
+      auto got = cluster.get(key, 0, &st);
+      if (want.first) {
+        if (!got.has_value()) {
+          violation("acked key " + key + " unreadable after faults: " +
+                    std::string(to_string(st)));
+        } else if (*got != want.second) {
+          violation("acked key " + key + " returned a different value");
+        }
+      } else if (got.has_value()) {
+        violation("acked remove of " + key + " resurfaced a value");
+      }
+    }
+  } else {
+    // Contention runs overwrite keys concurrently; the exact winner is
+    // schedule-dependent, but any surviving value must trace to some
+    // transaction that actually wrote that key -- no torn or invented data.
+    std::map<std::string, std::set<std::string>> writers;
+    for (const TxnPlanned& p : txns) {
+      for (const proto::TxnOp& op : p.ops) {
+        if (op.op == proto::MsgType::kPut) writers[op.key].insert(op.value);
+      }
+    }
+    for (const auto& [key, values] : writers) {
+      auto got = cluster.get(key, 0, nullptr);
+      if (got.has_value() && values.count(*got) == 0) {
+        violation("hot key " + key + " holds a value no transaction wrote");
+      }
+    }
+  }
+
+  // --- invariant 3: no lock word leaked held --------------------------------
+  for (ShardId s = 0; s < static_cast<ShardId>(cluster.shard_count()); ++s) {
+    auto* sh = cluster.shard(s);
+    if (sh == nullptr || !sh->alive()) continue;
+    for (std::uint32_t w = 0; w < sh->lock_word_count(); ++w) {
+      const std::uint64_t word = sh->lock_word(w);
+      if (word == 0) continue;
+      ++report.lock_leaks;
+      violation("shard " + std::to_string(s) + " lock word " + std::to_string(w) +
+                " leaked held by txn " + std::to_string(word & ~kLockHeldBit));
+    }
+  }
+
+  // --- invariant 4: abort-order discipline ----------------------------------
+  if (order_violation) {
+    violation(plan.mode == proto::TxnMode::kNoWait
+                  ? "NO_WAIT transaction waited on a conflict"
+                  : "WAIT_DIE killed an older transaction for a younger holder");
+  }
+
+  // --- availability + bookkeeping -------------------------------------------
+  report.failovers = cluster.failovers();
+  const Status probe = cluster.put("txn-probe", "alive");
+  appendf(hist, "t=%llu probe-put status=%s\n",
+          static_cast<unsigned long long>(sched.now()),
+          std::string(to_string(probe)).c_str());
+  if (probe != Status::kOk) {
+    violation("probe PUT failed: cluster not writable after faults (" +
+              std::string(to_string(probe)) + ")");
+  }
+  if (plan.migrate_at_txn != TxnSchedule::kNoMigration) {
+    report.migration_completed =
+        cluster.shard_count() > shards_before && !cluster.migration_active();
+    if (!report.migration_completed) violation("migration never committed");
+  }
+  for (const auto& d : drivers) {
+    report.conflicts += d->stats().conflicts;
+    report.died += d->stats().died;
+    report.waits += d->stats().waits;
+    report.restarts += d->stats().restarts;
+  }
+  report.torn_atomics = cluster.fabric().stats().torn_atomics;
+  report.dropped_atomics = cluster.fabric().stats().dropped_atomics;
+
+  appendf(hist,
+          "end t=%llu acked=%llu failed=%llu wedged=%llu failovers=%llu conflicts=%llu "
+          "died=%llu waits=%llu leaks=%llu violations=%zu\n",
+          static_cast<unsigned long long>(sched.now()),
+          static_cast<unsigned long long>(report.acked),
+          static_cast<unsigned long long>(report.failed),
+          static_cast<unsigned long long>(report.wedged),
+          static_cast<unsigned long long>(report.failovers),
+          static_cast<unsigned long long>(report.conflicts),
+          static_cast<unsigned long long>(report.died),
+          static_cast<unsigned long long>(report.waits),
+          static_cast<unsigned long long>(report.lock_leaks),
+          report.violations.size());
+  return report;
+}
+
+}  // namespace hydra::txn

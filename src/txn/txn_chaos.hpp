@@ -1,0 +1,119 @@
+// Chaos harness for the transaction layer (DESIGN.md §11) -- the
+// txn-kill-mid-commit family.
+//
+// A TxnSchedule composes faults -- primary / secondary / SWAT kills, shared
+// mux-QP deaths, torn or dropped lock-arena atomics, heartbeat suppression,
+// a live migration -- fired at parameterized points of a multi-client,
+// multi-shard transactional workload. The TxnChaosRunner executes the
+// workload against a fresh HydraCluster, injects the faults, lets the
+// failover plane settle, and verifies the transactional invariants:
+//
+//   1. every transaction callback eventually fires -- never wedges;
+//   2. an acked transaction is all-or-nothing: every key it wrote reads
+//      back with exactly its value (or its deletion), on every shard it
+//      touched, even after failover or mid-migration re-routing;
+//   3. no lock word is leaked held: post-settle, every live shard's lock
+//      arena is all zeroes;
+//   4. abort-order discipline: NO_WAIT never waits; WAIT_DIE never kills
+//      an older transaction on behalf of a younger holder.
+//
+// Everything flows from (schedule, seed) through the virtual clock, so the
+// report's history string is byte-identical across runs of the same inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+
+namespace hydra::obs {
+class Plane;
+}  // namespace hydra::obs
+
+namespace hydra::txn {
+
+enum class TxnFaultKind : std::uint8_t {
+  kKillPrimary,         ///< crash a shard's primary mid-transaction
+  kKillSecondary,       ///< crash one replica (commit barrier must not wedge)
+  kKillSwatMember,      ///< crash a SWAT member (leadership-gap window)
+  kKillMuxChannel,      ///< abruptly kill the shared mux QP
+  kTearAtomic,          ///< next lock-arena atomic executes but flushes
+  kDropAtomic,          ///< next lock-arena atomic never executes
+  kSuppressHeartbeats,  ///< mute a primary's heartbeats (fencing path)
+};
+
+[[nodiscard]] const char* to_string(TxnFaultKind kind) noexcept;
+
+struct TxnFault {
+  TxnFaultKind kind = TxnFaultKind::kKillPrimary;
+  ShardId shard = 0;
+  int index = 0;  ///< secondary / SWAT-member / client-node index
+  /// Fires `delay` of virtual time after the transaction with this global
+  /// issue index starts -- so kills land between lock-acquire and unlock.
+  std::uint32_t at_txn = 0;
+  Duration delay = 0;
+  Duration duration = 0;  ///< heartbeat suppression length
+};
+
+struct TxnSchedule {
+  static constexpr std::uint32_t kNoMigration = 0xFFFFFFFFU;
+
+  std::string name;
+  proto::TxnMode mode = proto::TxnMode::kNoWait;
+  int txn_clients = 3;
+  std::uint32_t txns_per_client = 8;
+  std::uint32_t keys_per_txn = 4;  ///< fresh keys each txn writes
+  int shards = 2;
+  int replicas = 1;
+  int swat_members = 2;
+  std::uint32_t lock_words = 128;  ///< per-shard lock arena size
+  bool mux = false;                ///< run over QP-multiplexed connections
+  /// 0 = disjoint keys per transaction (exact-value invariant); > 0 = keys
+  /// drawn from a universe this small (contention / abort-order runs).
+  std::uint32_t hot_keys = 0;
+  /// Trigger add_shard_live() when this global txn index issues.
+  std::uint32_t migrate_at_txn = kNoMigration;
+  std::vector<TxnFault> faults;
+
+  /// The scripted families: baselines + contention in both lock modes, the
+  /// txn-kill-mid-commit kills (primary, SWAT gap, secondary), torn and
+  /// dropped lock/unlock atomics, a mux-channel death, and a live
+  /// migration overlapping the workload.
+  static std::vector<TxnSchedule> scripted();
+
+  /// Seeded-random composition over the same fault alphabet.
+  static TxnSchedule random(std::uint64_t seed);
+};
+
+struct TxnRunReport {
+  /// Deterministic textual log; byte-identical across runs of one
+  /// (schedule, seed), with or without an observability plane attached.
+  std::string history;
+  std::vector<std::string> violations;
+  std::uint64_t acked = 0;       ///< transactions completed kOk
+  std::uint64_t failed = 0;      ///< transactions completed non-kOk
+  std::uint64_t wedged = 0;      ///< callbacks that never fired
+  std::uint64_t failovers = 0;
+  std::uint64_t conflicts = 0;   ///< lock CAS conflicts across all clients
+  std::uint64_t died = 0;        ///< conflict aborts
+  std::uint64_t waits = 0;       ///< WAIT_DIE older-waits retries
+  std::uint64_t restarts = 0;
+  std::uint64_t torn_atomics = 0;
+  std::uint64_t dropped_atomics = 0;
+  std::uint64_t lock_leaks = 0;  ///< non-zero words found post-settle
+  bool migration_completed = false;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+class TxnChaosRunner {
+ public:
+  /// Runs `schedule` against a fresh cluster; `seed` drives value payloads
+  /// and any randomized schedule parameters.
+  static TxnRunReport run(const TxnSchedule& schedule, std::uint64_t seed,
+                          obs::Plane* plane = nullptr);
+};
+
+}  // namespace hydra::txn

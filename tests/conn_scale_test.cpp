@@ -2,7 +2,9 @@
 // request rings, lazy channel establishment, idle/failure reclamation, and
 // the index-driven dirty scheduler's O(active)-per-wakeup guarantee with
 // tens of thousands of registered connections.
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,85 @@ TEST(DirtyScheduler, RemarkAfterPopRequeues) {
   EXPECT_TRUE(d.mark(0));
   EXPECT_EQ(d.pop(), 0u);
   EXPECT_TRUE(d.empty());
+}
+
+// Property check: seeded-random add/mark/pop/deregister/reactivate
+// sequences cross-checked step-by-step against a naive reference model.
+// Pins the fairness contract (FIFO sweep order), no lost dirty marks, no
+// duplicate queueing, and no resurrection of a deregistered endpoint.
+TEST(DirtyScheduler, RandomSequencesMatchNaiveModel) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Xoshiro256 rng(seed);
+    server::DirtyScheduler d;
+    std::vector<bool> queued, dead;    // the naive model
+    std::deque<std::uint32_t> order;   // model FIFO of dirty ids
+    std::uint32_t endpoints = 0;
+    for (int step = 0; step < 2000; ++step) {
+      switch (rng.below(10)) {
+        case 0: {  // register
+          ASSERT_EQ(d.add_endpoint(), endpoints) << "seed " << seed;
+          ++endpoints;
+          queued.push_back(false);
+          dead.push_back(false);
+          break;
+        }
+        case 1: {  // deregister (often out of range or already dead)
+          const auto id = static_cast<std::uint32_t>(rng.below(endpoints + 2));
+          d.deregister(id);
+          if (id < endpoints && !dead[id]) {
+            dead[id] = true;
+            if (queued[id]) {
+              queued[id] = false;
+              order.erase(std::find(order.begin(), order.end(), id));
+            }
+          }
+          break;
+        }
+        case 2: {  // reactivate
+          const auto id = static_cast<std::uint32_t>(rng.below(endpoints + 2));
+          d.reactivate(id);
+          if (id < endpoints) dead[id] = false;
+          break;
+        }
+        case 3:
+        case 4: {  // sweep one
+          if (order.empty()) {
+            ASSERT_TRUE(d.empty()) << "seed " << seed << " step " << step;
+            break;
+          }
+          const std::uint32_t want = order.front();
+          order.pop_front();
+          queued[want] = false;
+          ASSERT_FALSE(d.empty()) << "seed " << seed << " step " << step;
+          ASSERT_EQ(d.pop(), want) << "seed " << seed << " step " << step;
+          break;
+        }
+        default: {  // mark (the hot path; ids sometimes out of range)
+          const auto id = static_cast<std::uint32_t>(rng.below(endpoints + 2));
+          const bool expect_newly = id < endpoints && !queued[id] && !dead[id];
+          ASSERT_EQ(d.mark(id), expect_newly)
+              << "seed " << seed << " step " << step << " id " << id;
+          if (expect_newly) {
+            queued[id] = true;
+            order.push_back(id);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(d.active(), order.size()) << "seed " << seed << " step " << step;
+      ASSERT_EQ(d.empty(), order.empty()) << "seed " << seed << " step " << step;
+    }
+    // Drain: every queued mark must surface exactly once, in FIFO order,
+    // and nothing dead may come out.
+    while (!order.empty()) {
+      const std::uint32_t want = order.front();
+      order.pop_front();
+      EXPECT_FALSE(dead[want]) << "seed " << seed;
+      ASSERT_FALSE(d.empty()) << "seed " << seed;
+      ASSERT_EQ(d.pop(), want) << "seed " << seed;
+    }
+    EXPECT_TRUE(d.empty()) << "seed " << seed;
+  }
 }
 
 // --------------------------------------------------------- mux end to end

@@ -434,6 +434,40 @@ TEST(CostModel, QpPenaltyExactBoundaries) {
   EXPECT_LT(cm.qp_penalty(extreme_cap_at - 1), cm.qp_extreme_cap);
 }
 
+// The whole curve must be monotone non-decreasing -- in particular across
+// both knees (tier-1 threshold and the extreme/ICM-thrash threshold), where
+// the regression this pins lived: the old clamp let the penalty *drop* when
+// crossing qp_extreme_threshold.
+TEST(CostModel, QpPenaltyMonotoneNonDecreasingAcrossBothKnees) {
+  CostModel cm;
+  double prev = cm.qp_penalty(0);
+  for (std::uint32_t qp = 1; qp <= cm.qp_extreme_threshold + 8000; ++qp) {
+    const double cur = cm.qp_penalty(qp);
+    ASSERT_GE(cur, prev) << "penalty decreased at qp_count " << qp;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, cm.qp_extreme_cap);  // sweep reached saturation
+}
+
+// Adversarial configuration: qp_extreme_cap below the tier-1 cap. The
+// penalty must stay continuous and flat (never dip) past the extreme knee
+// -- min(g, qp_extreme_cap) alone would have ordered a price *cut* for
+// opening more QPs.
+TEST(CostModel, QpPenaltyInvertedCapsNeverDip) {
+  CostModel cm;
+  cm.qp_extreme_cap = cm.qp_penalty_cap / 2.0;
+  double prev = cm.qp_penalty(0);
+  for (std::uint32_t qp = 1; qp <= cm.qp_extreme_threshold + 1000; ++qp) {
+    const double cur = cm.qp_penalty(qp);
+    ASSERT_GE(cur, prev) << "penalty decreased at qp_count " << qp;
+    prev = cur;
+  }
+  // Continuity at the extreme knee: one QP past it costs exactly the same
+  // as at it (the inverted cap pins tier-2 to the tier-1 plateau).
+  EXPECT_DOUBLE_EQ(cm.qp_penalty(cm.qp_extreme_threshold + 1),
+                   cm.qp_penalty(cm.qp_extreme_threshold));
+}
+
 // ------------------------------------------------------------ disconnect
 
 TEST_F(FabricTest, DisconnectReleasesQpCountAndPenaltyRecedes) {
