@@ -1,0 +1,198 @@
+// Hot-key replication plane (DESIGN.md §12): promotion-on vs promotion-off
+// at identical seeds, over the two skewed request distributions (zipfian-0.99
+// and hotspot). Promotion must cut the p99 GET latency AND flatten the
+// per-server-node load imbalance (max/mean NIC tx ops), because reads of the
+// hottest keys spread across the followers hosting promoted copies.
+// Writes BENCH_hotkey.json (hydradb-obs-v1).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hydra;
+
+constexpr std::uint64_t kRecords = 8'000;
+constexpr std::uint64_t kOperations = 40'000;
+constexpr std::uint64_t kSeed = 12345;
+
+struct PlanePoint {
+  std::string dist;
+  bool promotion = false;
+  double p99_get_us = 0.0;
+  double mops = 0.0;
+  double load_ratio = 0.0;  ///< max/mean tx_ops across server nodes
+  std::uint64_t replica_hits = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t invalidations = 0;
+};
+
+db::ClusterOptions plane_options(bool promotion_on) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 3;
+  opts.shards_per_node = 1;
+  opts.client_nodes = 5;
+  opts.clients_per_node = 10;
+  opts.replicas = 2;
+  opts.enable_swat = false;  // HA idle during throughput measurements
+  opts.client_rdma_read = true;
+  opts.shard_template.grant_remote_pointers = true;
+  // Short leases force frequent renewals -- the message-path traffic that
+  // carries promotion advertisements to clients holding cached pointers.
+  opts.shard_template.store.min_lease = 20 * kMillisecond;
+  opts.shard_template.store.max_lease = 50 * kMillisecond;
+  opts.shard_template.store.arena_bytes = 32ull << 20;
+  opts.shard_template.store.min_buckets = 1 << 14;
+  if (promotion_on) {
+    opts.shard_template.hotkey_top_k = 8;
+    opts.shard_template.hotkey_tracker_capacity = 64;
+    opts.shard_template.hotkey_promote_min_hits = 8;
+    opts.shard_template.hotkey_scan_interval = 25 * kMicrosecond;
+  }
+  return opts;
+}
+
+ycsb::WorkloadSpec plane_spec(Distribution dist) {
+  ycsb::WorkloadSpec spec;
+  // GET-heavy: the plane targets read skew. Writes to promoted keys are
+  // covered by the invalidation families in hotkey_test/chaos; mixing them
+  // in here would let update-retry tails mask the read-path p99 signal.
+  spec.get_fraction = 1.0;
+  spec.distribution = dist;
+  spec.record_count = kRecords;
+  spec.operations = kOperations;
+  spec.seed = kSeed;
+  if (dist == Distribution::kHotspot) {
+    // Concentrate 90% of requests on 16 records so the hot set is small
+    // enough to promote (the YCSB default 20% hot set has no hot *keys*).
+    spec.hotspot_data_fraction = 0.002;
+    spec.hotspot_opn_fraction = 0.9;
+  }
+  return spec;
+}
+
+PlanePoint run_point(Distribution dist, bool promotion_on) {
+  db::HydraCluster cluster(plane_options(promotion_on));
+  ycsb::RunOptions ropts;
+  ropts.warmup_ops_per_client = 200;  // fill pointer caches; let promotions land
+  const auto r = ycsb::run_workload(cluster, plane_spec(dist), ropts);
+
+  PlanePoint p;
+  p.dist = to_string(dist);
+  p.promotion = promotion_on;
+  p.p99_get_us = static_cast<double>(r.p99_get) / 1000.0;
+  p.mops = r.throughput_mops;
+
+  // Server-side load balance: a one-sided read is served by the target
+  // node's NIC send engine, so per-node tx_ops captures where reads (and
+  // responses) actually burn capacity. max/mean == 1.0 is perfectly flat.
+  std::uint64_t total = 0, peak = 0;
+  for (const NodeId n : cluster.server_nodes()) {
+    const std::uint64_t tx = cluster.fabric().node(n).nic().tx_ops;
+    total += tx;
+    peak = std::max(peak, tx);
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(cluster.server_nodes().size());
+  p.load_ratio = mean > 0.0 ? static_cast<double>(peak) / mean : 0.0;
+
+  for (const auto* cl : cluster.clients()) p.replica_hits += cl->stats().replica_hits;
+  for (ShardId s = 0; s < static_cast<ShardId>(cluster.shard_count()); ++s) {
+    const auto* sh = cluster.shard(s);
+    if (sh == nullptr) continue;
+    p.promotions += sh->stats().hotkey_promotions;
+    p.invalidations += sh->stats().hotkey_invalidations;
+  }
+  return p;
+}
+
+void write_json(const std::string& path, const std::vector<PlanePoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"hotkey_plane\",\n"
+               "  \"schema\": \"hydradb-obs-v1\",\n"
+               "  \"workload\": \"100%%GET, %llu records, %llu ops, 50 closed-loop "
+               "clients, seed %llu; identical seeds promotion-on vs promotion-off\",\n"
+               "  \"load_ratio\": \"max/mean NIC tx ops across the 3 server nodes "
+               "(1.0 = perfectly flat)\",\n"
+               "  \"points\": [\n",
+               static_cast<unsigned long long>(kRecords),
+               static_cast<unsigned long long>(kOperations),
+               static_cast<unsigned long long>(kSeed));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PlanePoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"dist\": \"%s\", \"promotion\": %s, \"p99_get_us\": %.2f, "
+                 "\"mops\": %.3f, \"load_ratio\": %.3f, \"replica_hits\": %llu, "
+                 "\"promotions\": %llu, \"invalidations\": %llu}%s\n",
+                 p.dist.c_str(), p.promotion ? "true" : "false", p.p99_get_us, p.mops,
+                 p.load_ratio, static_cast<unsigned long long>(p.replica_hits),
+                 static_cast<unsigned long long>(p.promotions),
+                 static_cast<unsigned long long>(p.invalidations),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_hotkey.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::vector<PlanePoint> points;
+  std::printf("%-9s %-10s | %10s %8s %11s %13s %11s %14s\n", "dist", "promotion",
+              "p99_us", "mops", "load_ratio", "replica_hits", "promotions",
+              "invalidations");
+  for (const Distribution dist : {Distribution::kZipfian, Distribution::kHotspot}) {
+    for (const bool on : {false, true}) {
+      const PlanePoint p = run_point(dist, on);
+      std::printf("%-9s %-10s | %10.2f %8.3f %11.3f %13llu %11llu %14llu\n",
+                  p.dist.c_str(), on ? "on" : "off", p.p99_get_us, p.mops, p.load_ratio,
+                  static_cast<unsigned long long>(p.replica_hits),
+                  static_cast<unsigned long long>(p.promotions),
+                  static_cast<unsigned long long>(p.invalidations));
+      points.push_back(p);
+    }
+  }
+
+  write_json(json_path, points);
+
+  bench::ShapeChecker shape;
+  const PlanePoint& z_off = points[0];
+  const PlanePoint& z_on = points[1];
+  const PlanePoint& h_off = points[2];
+  const PlanePoint& h_on = points[3];
+  shape.expect(z_off.replica_hits == 0 && z_off.promotions == 0 &&
+                   h_off.replica_hits == 0 && h_off.promotions == 0,
+               "promotion-off runs never touch the plane (top_k=0 disables it)");
+  shape.expect(z_on.promotions > 0 && z_on.replica_hits > 0,
+               "zipfian-0.99 promotes hot keys and serves replica reads");
+  shape.expect(h_on.promotions > 0 && h_on.replica_hits > 0,
+               "hotspot promotes hot keys and serves replica reads");
+  shape.expect(z_on.p99_get_us < z_off.p99_get_us,
+               "promotion cuts zipfian p99 GET latency");
+  shape.expect(h_on.p99_get_us < h_off.p99_get_us,
+               "promotion cuts hotspot p99 GET latency");
+  shape.expect(z_on.load_ratio < z_off.load_ratio,
+               "promotion flattens zipfian per-node load imbalance (max/mean)");
+  shape.expect(h_on.load_ratio < h_off.load_ratio,
+               "promotion flattens hotspot per-node load imbalance (max/mean)");
+  return shape.summarize("hotkey_plane");
+}

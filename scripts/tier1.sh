@@ -5,8 +5,10 @@
 # (the `tsan` preset, build-tsan/).
 #
 # Pass --txn to run only the transaction-layer suite (ctest label `txn`)
-# with an enlarged seeded-random sweep; --labels <regex> to run any other
-# ctest label subset (unit/chaos/txn/scale, see tests/CMakeLists.txt).
+# with an enlarged seeded-random sweep; --hotkey for the hot-key replication
+# plane suite (ctest label `hotkey`, DESIGN.md §12) likewise widened;
+# --labels <regex> to run any other ctest label subset
+# (unit/chaos/txn/scale/hotkey, see tests/CMakeLists.txt).
 # Modes compose: `tier1.sh --asan --txn` runs the txn suite under ASan with
 # the sweep scaled down to sanitizer speed.
 set -euo pipefail
@@ -15,6 +17,7 @@ cd "$(dirname "$0")/.."
 preset=default
 label_regex=""
 txn_mode=0
+hotkey_mode=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --asan|--tsan)
@@ -28,10 +31,16 @@ while [[ $# -gt 0 ]]; do
       export HYDRA_CHAOS_RANDOM_RUNS="${HYDRA_CHAOS_RANDOM_RUNS:-40}"
       export HYDRA_MIGRATION_RANDOM_RUNS="${HYDRA_MIGRATION_RANDOM_RUNS:-8}"
       export HYDRA_TXN_RANDOM_RUNS="${HYDRA_TXN_RANDOM_RUNS:-30}"
+      export HYDRA_HOTKEY_RANDOM_RUNS="${HYDRA_HOTKEY_RANDOM_RUNS:-8}"
       ;;
     --txn)
       txn_mode=1
       label_regex="txn"
+      shift
+      ;;
+    --hotkey)
+      hotkey_mode=1
+      label_regex="hotkey"
       shift
       ;;
     --labels)
@@ -48,6 +57,11 @@ if [[ $txn_mode -eq 1 && "$preset" == default ]]; then
   # Dedicated txn sweep: widen the seeded-random txn-kill-mid-commit family
   # well past the per-PR acceptance floor of 100 runs.
   export HYDRA_TXN_RANDOM_RUNS="${HYDRA_TXN_RANDOM_RUNS:-200}"
+fi
+if [[ $hotkey_mode -eq 1 && "$preset" == default ]]; then
+  # Dedicated hot-key sweep: widen the seeded-random promotion/invalidation
+  # chaos family well past the default 6 in-suite runs.
+  export HYDRA_HOTKEY_RANDOM_RUNS="${HYDRA_HOTKEY_RANDOM_RUNS:-60}"
 fi
 
 cmake --preset "$preset"

@@ -1,0 +1,107 @@
+// Chaos harness for the skew-aware hot-key replication plane (DESIGN.md
+// §12) -- the hotkey family.
+//
+// A HotKeySchedule composes faults -- primary kills while promoted copies
+// are live, destination-replica kills mid-promotion copy, heartbeat
+// suppression (fencing + epoch bump), shared mux-QP deaths -- fired at
+// parameterized points of a skewed multi-client GET/PUT workload that keeps
+// the promotion plane hot. The HotKeyChaosRunner executes the workload
+// against a fresh HydraCluster, injects the faults, lets the failover plane
+// settle, and verifies:
+//
+//   1. no stale read, ever: a GET acked kOk returns a value at least as new
+//      as the latest PUT on that key acked before the GET was issued --
+//      whether it was served by the primary, a promoted follower copy, or
+//      the message path, and across write-invalidation and kEpochPublished;
+//   2. operation callbacks always eventually fire -- never wedge;
+//   3. the cluster stays writable after the faults (probe PUT).
+//
+// Everything flows from (schedule, seed) through the virtual clock, so the
+// report's history string is byte-identical across runs of the same inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hydra::obs {
+class Plane;
+}  // namespace hydra::obs
+
+namespace hydra::chaos {
+
+enum class HotKeyFaultKind : std::uint8_t {
+  kKillPrimary,         ///< crash the hot key's primary (copies may be live)
+  kKillSecondary,       ///< crash a promotion destination (mid-copy window)
+  kKillSwatMember,      ///< crash a SWAT member (leadership-gap window)
+  kKillMuxChannel,      ///< abruptly kill the shared mux QP
+  kSuppressHeartbeats,  ///< mute heartbeats: fence + epoch bump demotion
+};
+
+[[nodiscard]] const char* to_string(HotKeyFaultKind kind) noexcept;
+
+struct HotKeyFault {
+  HotKeyFaultKind kind = HotKeyFaultKind::kKillPrimary;
+  /// Kill faults target the shard owning the hottest key (resolved at fire
+  /// time, since key->shard placement is a hash artifact).
+  int index = 0;  ///< secondary index / SWAT member / client-node index
+  /// Fires `delay` of virtual time after the operation with this global
+  /// issue index starts.
+  std::uint32_t at_op = 0;
+  Duration delay = 0;
+  Duration duration = 0;  ///< heartbeat suppression length
+};
+
+struct HotKeySchedule {
+  std::string name;
+  int clients = 3;             ///< closed-loop clients (client 0 also writes)
+  std::uint32_t ops_per_client = 150;
+  std::uint32_t universe = 8;  ///< hot-key universe size (hk-0 .. hk-N-1)
+  std::uint32_t hot_percent = 70;  ///< share of reads hitting hk-0
+  std::uint32_t write_every = 0;   ///< client 0 PUTs every N ops (0 = never)
+  int server_nodes = 3;
+  int replicas = 2;
+  int swat_members = 2;
+  bool mux = false;  ///< run over QP-multiplexed connections
+  std::vector<HotKeyFault> faults;
+
+  /// The scripted families: fault-free promotion baseline, write-invalidate
+  /// vs concurrent replica reads, destination killed mid-promotion copy,
+  /// primary killed with copies live, a fencing epoch bump demoting live
+  /// promotions, and a mux-channel death under replica reads.
+  static std::vector<HotKeySchedule> scripted();
+
+  /// Seeded-random composition over the same fault alphabet.
+  static HotKeySchedule random(std::uint64_t seed);
+};
+
+struct HotKeyRunReport {
+  /// Deterministic textual log; byte-identical across runs of one
+  /// (schedule, seed), with or without an observability plane attached.
+  std::string history;
+  std::vector<std::string> violations;
+  std::uint64_t gets_acked = 0;
+  std::uint64_t puts_acked = 0;
+  std::uint64_t wedged = 0;
+  std::uint64_t stale_reads = 0;  ///< invariant-1 violations (also listed)
+  std::uint64_t failovers = 0;
+  // Plane activity, summed over live shards / all clients post-settle.
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t replica_hits = 0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+class HotKeyChaosRunner {
+ public:
+  /// Runs `schedule` against a fresh cluster; `seed` drives value payloads
+  /// and any randomized schedule parameters.
+  static HotKeyRunReport run(const HotKeySchedule& schedule, std::uint64_t seed,
+                             obs::Plane* plane = nullptr);
+};
+
+}  // namespace hydra::chaos

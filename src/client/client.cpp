@@ -41,18 +41,42 @@ void Client::get(std::string key, GetCallback cb) {
 
   if (cfg_.use_rdma_read) {
     const std::uint64_t h = hash_key(op.req.key);
-    proto::RemotePtr ptr;
-    if (cache_->get(h, &ptr)) {
-      if (ptr.epoch != current_epoch()) {
+    CachedPtr entry;
+    if (cache_->get(h, &entry)) {
+      const std::uint64_t epoch = current_epoch();
+      if (entry.primary.epoch != epoch) {
         // The routing epoch moved past this pointer's lease (failover
         // promotion or migration commit): its rkey may reference memory a
         // fenced primary no longer owns, so it must never be read again.
         cache_->erase(h);
         ++stats_.epoch_invalidations;
-      } else if (ptr.lease_expiry > now() + cfg_.lease_safety_margin) {
+        if (epoch != last_swept_epoch_) {
+          // First stale hit under the new epoch: sweep the whole cache of
+          // entries leased under superseded epochs. They used to linger --
+          // skipped on every lookup but never erased -- holding slots
+          // hostage until eviction pressure happened to land on them.
+          last_swept_epoch_ = epoch;
+          stats_.stale_evicted += cache_->erase_if(
+              [epoch](std::uint64_t, const CachedPtr& v) {
+                return v.primary.epoch != epoch;
+              });
+        }
+      } else if (entry.primary.lease_expiry > now() + cfg_.lease_safety_margin) {
         // Strict >: a lease expiring exactly at the assumed read-completion
         // time (now + margin) counts as expired and takes the message path.
-        try_rdma_read(h, ptr, std::move(op));
+        if (replica_connector_ && entry.replica_count > 0) {
+          // Promoted key: spread one-sided reads round-robin across the
+          // primary and its advertised follower copies (DESIGN.md §12).
+          const std::uint32_t fan =
+              std::min<std::uint32_t>(entry.replica_count,
+                                      proto::kMaxReplicaPtrs) + 1;
+          const auto pick = static_cast<std::uint32_t>(replica_rr_++ % fan);
+          if (pick > 0) {
+            try_replica_read(h, entry, pick - 1, std::move(op));
+            return;
+          }
+        }
+        try_rdma_read(h, entry.primary, std::move(op));
         return;
       }
     }
@@ -201,6 +225,60 @@ void Client::try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr,
           }
           // Outdated or reclaimed: invalidate and fall back to a GET
           // message to fetch the latest version (paper section 4.2.3).
+          ++stats_.invalid_hits;
+          cache_->erase(key_hash);
+          submit(std::move(*op_holder));
+        });
+      }));
+}
+
+void Client::try_replica_read(std::uint64_t key_hash, const CachedPtr& entry,
+                              std::uint32_t replica_idx, PendingOp op) {
+  const proto::ReplicaPtr rep = entry.replicas[replica_idx];
+  ReplicaWire wire = replica_connector_(rep.node);
+  if (wire.qp == nullptr) {
+    // No channel to the follower right now (node dead, mux saturated):
+    // fall back to the primary copy rather than the message path -- the
+    // primary pointer is still lease-valid.
+    try_rdma_read(key_hash, entry.primary, std::move(op));
+    return;
+  }
+  auto buf = std::make_shared<std::vector<std::byte>>(rep.total_len);
+  auto op_holder = std::make_shared<PendingOp>(std::move(op));
+  wire.qp->post_read(
+      *buf, fabric::RemoteAddr{rep.rkey, rep.offset}, next_req_id_++,
+      guard([this, buf, op_holder, key_hash, rep, prim = entry.primary,
+             release = std::move(wire.release)](const fabric::Completion& wc) {
+        // Release the channel pin before anything else: the reaper must not
+        // stay blocked if the completion path re-submits or errors out.
+        if (release) release();
+        if (wc.status != fabric::WcStatus::kSuccess) {
+          cache_->erase(key_hash);
+          ++stats_.ptr_misses;
+          submit(std::move(*op_holder));
+          return;
+        }
+        schedule_after(cfg_.decode_cost, [this, buf, op_holder, key_hash, rep,
+                                          prim] {
+          const core::ItemValidity validity =
+              core::validate_item(buf->data(), buf->size(), op_holder->req.key);
+          if (validity == core::ItemValidity::kValid) {
+            ++stats_.ptr_hits;
+            ++stats_.replica_hits;
+            ++stats_.gets;
+            core::ItemView item(buf->data());
+            stats_.get_latency.record(now() - op_holder->issued);
+            if (fabric_.obs() != nullptr) {
+              fabric_.obs()->trace(now(), node_, obs::TraceKind::kReplicaReadHit,
+                                   prim.shard, key_hash, rep.node);
+            }
+            maybe_auto_renew(op_holder->req.key, prim);
+            if (op_holder->get_cb) op_holder->get_cb(Status::kOk, item.value());
+            return;
+          }
+          // Dead guardian or mismatch: the copy was invalidated by a write
+          // or demotion. Drop the whole entry (primary included -- the next
+          // GET response re-advertises whatever is still promoted).
           ++stats_.invalid_hits;
           cache_->erase(key_hash);
           submit(std::move(*op_holder));
@@ -529,9 +607,18 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
   // stamped with the epoch it was leased under so a later epoch bump
   // invalidates it before the next one-sided read.
   if (cfg_.use_rdma_read && resp.remote_ptr.valid()) {
-    proto::RemotePtr ptr = resp.remote_ptr;
-    ptr.epoch = current_epoch();
-    cache_->put(hash_key(op.req.key), ptr);
+    CachedPtr entry;
+    entry.primary = resp.remote_ptr;
+    entry.primary.epoch = current_epoch();
+    // Hot-key promotion set: the shard advertises follower copies alongside
+    // the primary pointer; cache them so subsequent one-sided GETs can fan
+    // out. An empty set (the common case) leaves replica_count == 0.
+    for (const auto& rp : resp.replicas) {
+      if (entry.replica_count >= proto::kMaxReplicaPtrs) break;
+      if (!rp.valid()) continue;
+      entry.replicas[entry.replica_count++] = rp;
+    }
+    cache_->put(hash_key(op.req.key), entry);
   }
 
   // Refill the ring from the overflow queue before running the callback.

@@ -12,6 +12,7 @@
 // paper's closed-loop one-request-at-a-time wire behaviour.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -59,9 +60,16 @@ struct ClientStats {
   std::uint64_t ptr_hits = 0;      ///< GETs served by a valid RDMA Read
   std::uint64_t invalid_hits = 0;  ///< RDMA Read found dead/mismatched item
   std::uint64_t ptr_misses = 0;    ///< GET without a usable cached pointer
+  /// Replica-read hits: ptr_hits served from a promoted follower copy
+  /// rather than the primary's arena (DESIGN.md §12).
+  std::uint64_t replica_hits = 0;
   /// Cached pointers discarded because the routing epoch advanced past the
   /// epoch they were leased under (failover or migration invalidation).
   std::uint64_t epoch_invalidations = 0;
+  /// Stale-epoch entries reclaimed by the cache-wide sweep that follows the
+  /// first stale hit after an epoch advance (they used to linger, skipped
+  /// but never erased, until eviction pressure found them).
+  std::uint64_t stale_evicted = 0;
   /// kWrongOwner answers that sent the op back through the resolver.
   std::uint64_t wrong_owner_redirects = 0;
   std::uint64_t renews_sent = 0;
@@ -76,6 +84,17 @@ struct ClientStats {
   std::uint64_t ooo_responses = 0;
   LatencyHistogram get_latency;
   LatencyHistogram put_latency;
+};
+
+/// One pointer-cache entry: the primary's remote pointer plus any promoted
+/// follower copies advertised with it (DESIGN.md §12). Fixed-size and
+/// trivially copyable so the lock-free cache's seqlock protection applies;
+/// the round-robin cursor spreading reads across the fan-out lives in the
+/// Client, never in the shared entry.
+struct CachedPtr {
+  proto::RemotePtr primary;
+  std::array<proto::ReplicaPtr, proto::kMaxReplicaPtrs> replicas{};
+  std::uint32_t replica_count = 0;
 };
 
 /// Everything the harness hands back when a client connects to a shard.
@@ -101,7 +120,7 @@ struct ShardConnection {
 
 class Client : public sim::Actor {
  public:
-  using RemotePtrCache = core::LockFreeCache<proto::RemotePtr>;
+  using RemotePtrCache = core::LockFreeCache<CachedPtr>;
   /// key hash -> owning shard (consistent-hash ring lookup).
   using Resolver = std::function<ShardId(std::uint64_t key_hash)>;
   /// Builds a fresh connection to a shard's *current* primary. The client
@@ -126,9 +145,21 @@ class Client : public sim::Actor {
   Client(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node, ClientConfig cfg,
          std::shared_ptr<RemotePtrCache> pointer_cache = nullptr);
 
+  /// Acquired per one-sided replica read: the QP to post on plus a release
+  /// hook fired when the read completes (under mux it pins the shared read
+  /// channel against the idle reaper for the read's lifetime). A null qp
+  /// means no path to that follower right now -- the read falls back to the
+  /// primary.
+  struct ReplicaWire {
+    fabric::QueuePair* qp = nullptr;
+    std::function<void()> release;
+  };
+  using ReplicaConnector = std::function<ReplicaWire(NodeId node)>;
+
   void set_resolver(Resolver r) { resolver_ = std::move(r); }
   void set_connector(Connector c) { connector_ = std::move(c); }
   void set_epoch_source(EpochSource e) { epoch_source_ = std::move(e); }
+  void set_replica_connector(ReplicaConnector c) { replica_connector_ = std::move(c); }
 
   // --- data-plane operations (asynchronous, callbacks in virtual time) ----
   void get(std::string key, GetCallback cb);
@@ -227,6 +258,11 @@ class Client : public sim::Actor {
   void on_timeout(ShardId shard);
   void complete(PendingOp& op, Status status, std::string_view value);
   void try_rdma_read(std::uint64_t key_hash, const proto::RemotePtr& ptr, PendingOp op);
+  /// One-sided read of a promoted follower copy; validation failure (the
+  /// copy was invalidated or its slot reused) falls back to the message
+  /// path, a missing route falls back to the primary read.
+  void try_replica_read(std::uint64_t key_hash, const CachedPtr& entry,
+                        std::uint32_t replica_idx, PendingOp op);
   void maybe_auto_renew(const std::string& key, const proto::RemotePtr& ptr);
   [[nodiscard]] std::uint64_t current_epoch() const {
     return epoch_source_ ? epoch_source_() : 0;
@@ -239,6 +275,11 @@ class Client : public sim::Actor {
   Resolver resolver_;
   Connector connector_;
   EpochSource epoch_source_;
+  ReplicaConnector replica_connector_;
+  /// Round-robin cursor over {primary, replicas} for promoted keys.
+  std::uint64_t replica_rr_ = 0;
+  /// Last epoch the cache-wide stale sweep ran under (see get()).
+  std::uint64_t last_swept_epoch_ = 0;
 
   std::vector<std::byte> resp_region_;
   fabric::MemoryRegion* resp_mr_;

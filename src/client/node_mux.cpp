@@ -88,6 +88,38 @@ void NodeMux::recycle(Channel& ch, std::uint32_t slot) {
   if (ch.in_flight > 0) --ch.in_flight;
 }
 
+fabric::QueuePair* NodeMux::begin_replica_read(NodeId node) {
+  auto it = read_channels_.find(node);
+  if (it == read_channels_.end() || !it->second.open) {
+    if (!read_opener_) return nullptr;
+    fabric::QueuePair* qp = read_opener_(node);
+    if (qp == nullptr) return nullptr;
+    ReadChannel& ch = read_channels_[node];
+    ch.qp = qp;
+    ch.qp_generation = qp->generation();
+    ch.open = true;
+    ch.read_refs = 0;
+    ++stats_.read_channels_opened;
+    it = read_channels_.find(node);
+    if (!reaper_armed_) {
+      reaper_armed_ = true;
+      schedule_after(cfg_.reap_interval, [this] { reap_loop(); });
+    }
+  }
+  ReadChannel& ch = it->second;
+  ch.last_activity = now();
+  ++ch.read_refs;
+  return ch.qp;
+}
+
+void NodeMux::end_replica_read(NodeId node) {
+  auto it = read_channels_.find(node);
+  if (it == read_channels_.end()) return;
+  ReadChannel& ch = it->second;
+  if (ch.read_refs > 0) --ch.read_refs;
+  ch.last_activity = now();
+}
+
 void NodeMux::report_failure(ShardId shard, std::uint64_t generation) {
   auto it = channels_.find(shard);
   if (it == channels_.end() || !it->second.open || it->second.generation != generation) {
@@ -128,6 +160,25 @@ void NodeMux::reap_loop() {
     } else {
       any_open = true;
     }
+  }
+  for (auto& [node, ch] : read_channels_) {
+    if (!ch.open) continue;
+    if (now() - ch.last_activity < cfg_.idle_timeout) {
+      any_open = true;
+      continue;
+    }
+    if (ch.read_refs > 0) {
+      // Idle past the timeout but a replica read is still in flight on
+      // this QP. Reclaiming now would flush the read mid-air (the race
+      // this refcount exists to close): defer until the pin drops.
+      ++stats_.read_reap_deferred;
+      any_open = true;
+      continue;
+    }
+    ch.open = false;
+    if (read_closer_) read_closer_(node, ch.qp, ch.qp_generation);
+    ch.qp = nullptr;
+    ++stats_.reclaimed_read_idle;
   }
   if (any_open) {
     schedule_after(cfg_.reap_interval, [this] { reap_loop(); });

@@ -33,6 +33,11 @@ struct NodeMuxStats {
   std::uint64_t reclaimed_idle = 0;
   std::uint64_t reclaimed_failure = 0;
   std::uint64_t credit_waits = 0;  ///< acquires that parked on a full ring
+  std::uint64_t read_channels_opened = 0;
+  std::uint64_t reclaimed_read_idle = 0;
+  /// Reap passes that found a read channel idle past the timeout but pinned
+  /// by an in-flight replica read, and left it alone.
+  std::uint64_t read_reap_deferred = 0;
 };
 
 class NodeMux : public sim::Actor {
@@ -74,6 +79,23 @@ class NodeMux : public sim::Actor {
     std::deque<std::function<void(Channel*, std::uint32_t)>> waiters;
   };
 
+  /// One-sided read channel to a *node* (not a shard): hot-key replica
+  /// reads (DESIGN.md §12) target follower promo slabs on whichever nodes
+  /// host the copies, so they get their own lazily opened QPs, reaped on
+  /// idle like mux channels -- but never while a read is in flight.
+  struct ReadChannel {
+    fabric::QueuePair* qp = nullptr;
+    /// QP incarnation at open time; the closer checks it so a pooled slot
+    /// reused for a later connection is never disconnected by mistake.
+    std::uint32_t qp_generation = 0;
+    bool open = false;
+    /// One-sided replica reads posted but not yet completed. The idle
+    /// reaper defers reclamation while this is non-zero: a read posted
+    /// just before the reap tick would otherwise be flushed mid-flight.
+    std::uint32_t read_refs = 0;
+    Time last_activity = 0;
+  };
+
   /// Establishes the shared QP + mux group for a shard; false if the shard
   /// is currently unreachable.
   using Opener = std::function<bool(ShardId shard, MuxWire* out)>;
@@ -82,11 +104,18 @@ class NodeMux : public sim::Actor {
   /// acquire() continuation: the channel and a claimed ring slot, or
   /// (nullptr, 0) when the channel died before a credit freed up.
   using SlotCallback = std::function<void(Channel*, std::uint32_t slot)>;
+  /// Connects a one-sided read QP to `node`; nullptr when unreachable.
+  using ReadOpener = std::function<fabric::QueuePair*(NodeId node)>;
+  /// Disconnects a read QP iff its generation still matches `qp_generation`.
+  using ReadCloser =
+      std::function<void(NodeId node, fabric::QueuePair* qp, std::uint32_t qp_generation)>;
 
   NodeMux(sim::Scheduler& sched, NodeId node, NodeMuxConfig cfg);
 
   void set_opener(Opener o) { opener_ = std::move(o); }
   void set_closer(Closer c) { closer_ = std::move(c); }
+  void set_read_opener(ReadOpener o) { read_opener_ = std::move(o); }
+  void set_read_closer(ReadCloser c) { read_closer_ = std::move(c); }
   void set_obs(obs::Plane* obs) noexcept { obs_ = obs; }
 
   /// Returns the (lazily opened) channel to `shard`; nullptr when the
@@ -121,6 +150,20 @@ class NodeMux : public sim::Actor {
   /// returned this way can never strand the waiter queue.
   void recycle(Channel& ch, std::uint32_t slot);
 
+  /// Pins (lazily opening) the read channel to `node` for one one-sided
+  /// replica read and returns its QP; nullptr when the opener fails. The
+  /// caller must balance with exactly one end_replica_read(node) once the
+  /// read completes (success or failure) -- the pin is what keeps the idle
+  /// reaper from reclaiming the QP under the in-flight read.
+  fabric::QueuePair* begin_replica_read(NodeId node);
+  void end_replica_read(NodeId node);
+
+  /// Test/chaos hook: the read channel to `node`, or nullptr if never opened.
+  [[nodiscard]] ReadChannel* peek_read_channel(NodeId node) {
+    auto it = read_channels_.find(node);
+    return it == read_channels_.end() ? nullptr : &it->second;
+  }
+
   /// A client timed out on this channel: the shared QP is presumed dead.
   /// Tears the channel down (all endpoints re-establish lazily and
   /// retransmit). No-op when `generation` is stale.
@@ -137,8 +180,11 @@ class NodeMux : public sim::Actor {
   NodeMuxConfig cfg_;
   Opener opener_;
   Closer closer_;
+  ReadOpener read_opener_;
+  ReadCloser read_closer_;
   obs::Plane* obs_ = nullptr;
   std::map<ShardId, Channel> channels_;
+  std::map<NodeId, ReadChannel> read_channels_;
   bool reaper_armed_ = false;
   NodeMuxStats stats_;
 };

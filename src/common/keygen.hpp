@@ -45,13 +45,17 @@ class ZipfianChooser : public KeyChooser {
   [[nodiscard]] std::uint64_t record_count() const noexcept override { return count_; }
 
   static constexpr double kDefaultTheta = 0.99;
+  /// theta within this distance of 1.0 switches to the harmonic-limit
+  /// inversion: the Gray et al. exponent 1/(1-theta) blows up at 1.
+  static constexpr double kHarmonicEpsilon = 1e-6;
 
  private:
   std::uint64_t count_;
   double theta_;
-  double alpha_;
+  bool harmonic_ = false;  ///< theta ~= 1: invert via count^u instead of alpha
+  double alpha_ = 0.0;
   double zetan_;
-  double eta_;
+  double eta_ = 0.0;
   double zeta2theta_;
 };
 
@@ -76,14 +80,43 @@ std::string format_key(std::uint64_t index, std::size_t key_len = 16);
 /// Deterministically synthesizes the value payload for record `i`.
 std::string synth_value(std::uint64_t index, std::size_t value_len = 32);
 
-enum class Distribution : std::uint8_t { kUniform, kZipfian };
+/// Hotspot choice: `opn_fraction` of operations land uniformly inside the
+/// hot set (the first `data_fraction` of the records), the rest uniformly
+/// over the cold remainder (YCSB `hotspot` request distribution).
+class HotspotChooser final : public KeyChooser {
+ public:
+  HotspotChooser(std::uint64_t count, double data_fraction = kDefaultDataFraction,
+                 double opn_fraction = kDefaultOpnFraction);
+  std::uint64_t next(Xoshiro256& rng) override;
+  [[nodiscard]] std::uint64_t record_count() const noexcept override { return count_; }
+  [[nodiscard]] std::uint64_t hot_count() const noexcept { return hot_count_; }
+
+  static constexpr double kDefaultDataFraction = 0.2;
+  static constexpr double kDefaultOpnFraction = 0.8;
+
+ private:
+  std::uint64_t count_;
+  std::uint64_t hot_count_;
+  double opn_fraction_;
+};
+
+enum class Distribution : std::uint8_t { kUniform, kZipfian, kHotspot };
 
 constexpr const char* to_string(Distribution d) noexcept {
-  return d == Distribution::kUniform ? "uniform" : "zipfian";
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipfian";
+    case Distribution::kHotspot: return "hotspot";
+  }
+  return "?";
 }
 
-/// Factory matching the paper's two request distributions.
-std::unique_ptr<KeyChooser> make_chooser(Distribution d, std::uint64_t count,
-                                         double theta = ZipfianChooser::kDefaultTheta);
+/// Factory matching the request distributions. The hotspot fractions are
+/// ignored for uniform/zipfian.
+std::unique_ptr<KeyChooser> make_chooser(
+    Distribution d, std::uint64_t count,
+    double theta = ZipfianChooser::kDefaultTheta,
+    double hotspot_data_fraction = HotspotChooser::kDefaultDataFraction,
+    double hotspot_opn_fraction = HotspotChooser::kDefaultOpnFraction);
 
 }  // namespace hydra

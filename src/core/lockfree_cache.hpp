@@ -106,6 +106,38 @@ class LockFreeCache {
     }
   }
 
+  /// Sweeps every occupied slot and erases entries for which
+  /// `pred(key, value)` returns true; returns how many were dropped. Linear
+  /// in capacity -- meant for rare maintenance (e.g. evicting pointers
+  /// stamped with a superseded routing epoch), never the data path. Entries
+  /// mid-write by a concurrent writer are skipped (they are being refreshed,
+  /// so the writer owns their fate).
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::size_t erased = 0;
+    for (Slot& s : slots_) {
+      const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
+      if (v1 & 1u) continue;  // writer active; skip
+      const std::uint64_t k = s.key.load(std::memory_order_acquire);
+      if (k == 0) continue;
+      Value copy = load_value(s);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.version.load(std::memory_order_acquire) != v1 ||
+          s.key.load(std::memory_order_relaxed) != k) {
+        continue;  // torn read; the concurrent writer decides
+      }
+      if (!pred(k, copy)) continue;
+      begin_write(s);
+      if (s.key.load(std::memory_order_relaxed) == k) {
+        s.key.store(0, std::memory_order_relaxed);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        ++erased;
+      }
+      end_write(s);
+    }
+    return erased;
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
   [[nodiscard]] std::size_t size() const noexcept {
     return size_.load(std::memory_order_relaxed);

@@ -117,6 +117,22 @@ HydraCluster::HydraCluster(ClusterOptions opts)
           fabric_.disconnect(wire.qp);
         }
       });
+      // One-sided read channels for hot-key replica reads: plain QPs to the
+      // follower's node (no mux group -- the reads target a registered promo
+      // slab, not a shard's request ring), reaped on idle unless pinned.
+      mux->set_read_opener([this, node](NodeId target) -> fabric::QueuePair* {
+        auto [cq, sq] = fabric_.connect(node, target);
+        (void)sq;
+        return cq;
+      });
+      mux->set_read_closer(
+          [this](NodeId, fabric::QueuePair* qp, std::uint32_t qp_generation) {
+            // The fabric pool may already have reused this slot for a newer
+            // connection; only tear down the incarnation we actually opened.
+            if (qp != nullptr && qp->open() && qp->generation() == qp_generation) {
+              fabric_.disconnect(qp);
+            }
+          });
       node_muxes_[node] = std::move(mux);
     }
   }
@@ -203,6 +219,10 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "txn_commits").set(st->txn_commits);
     reg.counter(p + "txn_conflicts").set(st->txn_conflicts);
     reg.counter(p + "busy_time_ns").set(st->busy_time);
+    reg.counter(p + "hotkey_promotions").set(st->hotkey_promotions);
+    reg.counter(p + "hotkey_demotions").set(st->hotkey_demotions);
+    reg.counter(p + "hotkey_invalidations").set(st->hotkey_invalidations);
+    reg.counter(p + "hotkey_advertised").set(st->hotkey_advertised);
     reg.gauge(p + "generation").set(primaries_[s].generation);
     if (primaries_[s].primary != nullptr &&
         primaries_[s].primary->replicator() != nullptr) {
@@ -226,6 +246,8 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "ptr_hits").set(cs.ptr_hits);
     reg.counter(p + "ptr_misses").set(cs.ptr_misses);
     reg.counter(p + "epoch_invalidations").set(cs.epoch_invalidations);
+    reg.counter(p + "stale_evicted").set(cs.stale_evicted);
+    reg.counter(p + "replica_hits").set(cs.replica_hits);
     reg.counter(p + "wrong_owner_redirects").set(cs.wrong_owner_redirects);
     reg.counter(p + "timeouts").set(cs.timeouts);
     reg.counter(p + "retries").set(cs.retries);
@@ -240,6 +262,9 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "reclaimed_idle").set(ms.reclaimed_idle);
     reg.counter(p + "reclaimed_failure").set(ms.reclaimed_failure);
     reg.counter(p + "credit_waits").set(ms.credit_waits);
+    reg.counter(p + "read_channels_opened").set(ms.read_channels_opened);
+    reg.counter(p + "reclaimed_read_idle").set(ms.reclaimed_read_idle);
+    reg.counter(p + "read_reap_deferred").set(ms.read_reap_deferred);
   }
   reg.gauge("cluster.routing_epoch").set(static_cast<std::int64_t>(routing_epoch_));
   reg.counter("cluster.failovers").set(failovers());
@@ -331,6 +356,36 @@ void HydraCluster::wire_client(client::Client& c) {
                          std::uint32_t resp_bytes, std::uint32_t window,
                          client::ShardConnection* out) {
     return connect_client(shard, self, resp_slot, resp_bytes, window, out);
+  });
+  // Channels for one-sided reads of promoted hot-key copies on follower
+  // nodes. In mux mode the node's mux pool owns them (pinned while a read
+  // is in flight so the idle reaper cannot reclaim the QP under it); in
+  // direct mode the cluster keeps one cached QP per node pair.
+  c.set_replica_connector([this, &c](NodeId target) {
+    client::Client::ReplicaWire wire;
+    if (opts_.mux_connections) {
+      auto it = node_muxes_.find(c.node());
+      if (it == node_muxes_.end()) return wire;
+      client::NodeMux* mux = it->second.get();
+      wire.qp = mux->begin_replica_read(target);
+      if (wire.qp != nullptr) {
+        wire.release = [mux, target] { mux->end_replica_read(target); };
+      }
+      return wire;
+    }
+    const auto key = std::make_pair(c.node(), target);
+    auto it = read_qps_.find(key);
+    if (it != read_qps_.end() && (it->second == nullptr || !it->second->open())) {
+      read_qps_.erase(it);  // died under chaos; reconnect below
+      it = read_qps_.end();
+    }
+    if (it == read_qps_.end()) {
+      auto [cq, sq] = fabric_.connect(c.node(), target);
+      (void)sq;
+      it = read_qps_.emplace(key, cq).first;
+    }
+    wire.qp = it->second;
+    return wire;
   });
 }
 

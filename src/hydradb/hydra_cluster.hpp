@@ -12,6 +12,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "client/client.hpp"
@@ -97,6 +98,9 @@ class HydraCluster {
   [[nodiscard]] std::vector<client::Client*>& clients() noexcept { return client_ptrs_; }
   [[nodiscard]] std::vector<replication::SecondaryShard*> secondaries_of(ShardId id);
   [[nodiscard]] const cluster::ConsistentHashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const std::vector<NodeId>& server_nodes() const noexcept {
+    return server_node_ids_;
+  }
 
   /// The shard a key routes to (what clients resolve through the ring).
   [[nodiscard]] ShardId owner_of(std::string_view key) const;
@@ -228,6 +232,9 @@ class HydraCluster {
   std::map<NodeId, std::shared_ptr<client::Client::RemotePtrCache>> node_caches_;
   /// Per-client-node shared QP channel pools (mux_connections mode).
   std::map<NodeId, std::unique_ptr<client::NodeMux>> node_muxes_;
+  /// Cached one-sided read QPs for hot-key replica reads when muxing is
+  /// off: one per (client node, target node), reopened if the pair dies.
+  std::map<std::pair<NodeId, NodeId>, fabric::QueuePair*> read_qps_;
   /// Crashed actors: kept allocated so in-flight fabric ops referencing
   /// their (revoked) regions never touch freed memory.
   std::vector<std::unique_ptr<sim::Actor>> graveyard_;

@@ -49,6 +49,10 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kAtomicFaulted: return "atomic_faulted";
     case TraceKind::kTxnCommitApplied: return "txn_commit_applied";
     case TraceKind::kTxnCommitRejected: return "txn_commit_rejected";
+    case TraceKind::kHotKeyPromoted: return "hotkey_promoted";
+    case TraceKind::kHotKeyDemoted: return "hotkey_demoted";
+    case TraceKind::kHotKeyInvalidated: return "hotkey_invalidated";
+    case TraceKind::kReplicaReadHit: return "replica_read_hit";
   }
   return "unknown";
 }

@@ -74,6 +74,11 @@ enum class TraceKind : std::uint8_t {
   kAtomicFaulted,    ///< chaos-faulted atomic (a=1 executed-but-flushed / 0 dropped, b=rkey)
   kTxnCommitApplied, ///< multi-key commit applied atomically (a=txn id, b=op count)
   kTxnCommitRejected,///< commit refused, nothing applied (a=txn id, b=Status)
+  // Hot-key replication plane (DESIGN.md §12). Appended last, same rule.
+  kHotKeyPromoted,    ///< key copied to followers + advertised (a=key hash, b=replica count)
+  kHotKeyDemoted,     ///< promotion withdrawn (a=key hash, b=0 write / 1 epoch / 2 capacity)
+  kHotKeyInvalidated, ///< follower copy guardian killed pre-ack (a=key hash, b=node)
+  kReplicaReadHit,    ///< client one-sided read served from a promoted copy (a=key hash, b=node)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -1,5 +1,6 @@
 #include "proto/messages.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace hydra::proto {
@@ -103,6 +104,20 @@ std::vector<std::byte> encode_response(const Response& resp) {
   append(out, resp.remote_ptr.version);
   append(out, resp.remote_ptr.shard);
   append_str(out, resp.value);
+  // Promotion advertisement: emitted only when present, so a response with
+  // no promoted replicas is byte-identical to the pre-promotion layout.
+  if (!resp.replicas.empty()) {
+    append(out, static_cast<std::uint8_t>(
+                    std::min(resp.replicas.size(), kMaxReplicaPtrs)));
+    std::size_t emitted = 0;
+    for (const auto& rep : resp.replicas) {
+      if (emitted++ == kMaxReplicaPtrs) break;
+      append(out, rep.node);
+      append(out, rep.rkey);
+      append(out, rep.offset);
+      append(out, rep.total_len);
+    }
+  }
   return out;
 }
 
@@ -113,9 +128,22 @@ std::optional<Response> decode_response(std::span<const std::byte> payload) {
       !r.read(&resp.remote_ptr.rkey) || !r.read(&resp.remote_ptr.offset) ||
       !r.read(&resp.remote_ptr.total_len) || !r.read(&resp.remote_ptr.lease_expiry) ||
       !r.read(&resp.remote_ptr.version) || !r.read(&resp.remote_ptr.shard) ||
-      !r.read_str(&resp.value) || !r.exhausted()) {
+      !r.read_str(&resp.value)) {
     return std::nullopt;
   }
+  if (!r.exhausted()) {
+    // Trailing replica-advertisement block (absent on the legacy layout).
+    std::uint8_t count = 0;
+    if (!r.read(&count) || count == 0 || count > kMaxReplicaPtrs) return std::nullopt;
+    resp.replicas.resize(count);
+    for (auto& rep : resp.replicas) {
+      if (!r.read(&rep.node) || !r.read(&rep.rkey) || !r.read(&rep.offset) ||
+          !r.read(&rep.total_len)) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (!r.exhausted()) return std::nullopt;
   return resp;
 }
 

@@ -56,12 +56,34 @@ struct Request {
   std::string value;
 };
 
+/// A readable replica of a hot key's item, promoted to a replication
+/// follower's promo slab (DESIGN.md §12). Carries everything the client
+/// needs to RDMA-Read the copy from the follower's memory; version/lease
+/// are shared with the primary pointer it rides along with.
+struct ReplicaPtr {
+  NodeId node = kInvalidNode;  ///< follower node hosting the copy
+  std::uint32_t rkey = 0;      ///< promo-slab memory region
+  std::uint64_t offset = 0;    ///< slot offset within the slab MR
+  std::uint32_t total_len = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return total_len != 0; }
+};
+
+/// Upper bound on advertised replicas per key (and per response). Keeps the
+/// client's cached fan-out entry trivially copyable and fixed-size.
+inline constexpr std::size_t kMaxReplicaPtrs = 4;
+
 struct Response {
   std::uint64_t req_id = 0;
   Status status = Status::kOk;
   std::uint64_t version = 0;
   RemotePtr remote_ptr;  ///< granted on successful GETs
   std::string value;
+  /// Promotion advertisement: replicas the client may spread one-sided
+  /// reads across. Encoded as a trailing optional block -- responses with
+  /// no promoted replicas are byte-identical to the pre-promotion wire
+  /// format.
+  std::vector<ReplicaPtr> replicas;
 };
 
 /// One record in the replication log stream (section 5.2). `op` is kPut or

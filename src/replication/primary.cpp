@@ -57,6 +57,15 @@ std::size_t ReplicationPrimary::secondary_count() const noexcept {
   return live;
 }
 
+void ReplicationPrimary::for_each_live_link(
+    const std::function<void(SecondaryShard&, fabric::QueuePair&)>& fn) {
+  for (const auto& link : links_) {
+    if (link->dead || link->secondary == nullptr || !link->secondary->alive()) continue;
+    if (link->qp == nullptr) continue;
+    fn(*link->secondary, *link->qp);
+  }
+}
+
 std::vector<std::uint32_t> ReplicationPrimary::ack_rkeys() const {
   std::vector<std::uint32_t> keys;
   for (const auto& link : links_) {

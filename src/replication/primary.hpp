@@ -88,6 +88,12 @@ class ReplicationPrimary {
   /// the chaos harness aim write faults at ack traffic specifically.
   [[nodiscard]] std::vector<std::uint32_t> ack_rkeys() const;
 
+  /// Visits every live (non-quarantined, still-alive) link: the follower
+  /// set the hot-key plane may promote readable copies to, together with
+  /// the primary-side QP those copies are written through.
+  void for_each_live_link(
+      const std::function<void(SecondaryShard&, fabric::QueuePair&)>& fn);
+
   [[nodiscard]] std::uint64_t resends() const noexcept { return resends_; }
   [[nodiscard]] std::uint64_t acks_received() const noexcept { return acks_received_; }
   [[nodiscard]] std::uint64_t backlogged() const noexcept { return backlogged_; }

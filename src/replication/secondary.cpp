@@ -26,6 +26,15 @@ void SecondaryShard::attach_primary(fabric::QueuePair* qp_to_primary,
   ack_slot_ = ack_slot;
 }
 
+fabric::MemoryRegion* SecondaryShard::promo_slab(std::uint32_t slot_bytes,
+                                                 std::uint32_t slots) {
+  if (promo_mr_ == nullptr) {
+    promo_.assign(static_cast<std::size_t>(slot_bytes) * slots, std::byte{0});
+    promo_mr_ = fabric_.node(node_).register_memory(promo_);
+  }
+  return promo_mr_;
+}
+
 void SecondaryShard::drain_ring() {
   if (store_ == nullptr) return;
   while (true) {
@@ -47,10 +56,15 @@ std::unique_ptr<core::KVStore> SecondaryShard::release_store() {
 
 void SecondaryShard::kill() {
   ring_mr_->revoke();
+  if (promo_mr_ != nullptr) promo_mr_->revoke();
   sim::Actor::kill();
 }
 
 void SecondaryShard::reset_stream() {
+  // Promoted copies belong to the old primary's promotion set; zero the
+  // slab so a stale client pointer can never validate against them (the
+  // guardian word is gone along with everything else).
+  std::fill(promo_.begin(), promo_.end(), std::byte{0});
   std::fill(ring_.begin(), ring_.end(), std::byte{0});
   cursor_ = RingCursor{cfg_.ring_bytes, 0};
   applied_seq_ = 0;

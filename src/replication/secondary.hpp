@@ -44,6 +44,13 @@ class SecondaryShard : public sim::Actor {
 
   [[nodiscard]] NodeId node() const noexcept { return node_; }
   [[nodiscard]] fabric::MemoryRegion* ring_mr() noexcept { return ring_mr_; }
+
+  /// Hot-key promo slab (DESIGN.md §12): `slots` fixed-size item slots the
+  /// primary RDMA-Writes promoted copies into and clients RDMA-Read from.
+  /// Registered lazily on first call -- a cluster that never promotes keeps
+  /// its rkey sequence (and thus its event history) byte-identical to a
+  /// pre-promotion build. Geometry is fixed by the first call.
+  fabric::MemoryRegion* promo_slab(std::uint32_t slot_bytes, std::uint32_t slots);
   [[nodiscard]] std::uint64_t applied_seq() const noexcept { return applied_seq_; }
   [[nodiscard]] std::uint64_t applied_records() const noexcept { return applied_records_; }
   [[nodiscard]] std::uint64_t discarded_records() const noexcept { return discarded_; }
@@ -83,6 +90,9 @@ class SecondaryShard : public sim::Actor {
   std::unique_ptr<core::KVStore> store_;
   std::vector<std::byte> ring_;
   fabric::MemoryRegion* ring_mr_;
+  /// Hot-key promo slab; empty/null until promo_slab() is first called.
+  std::vector<std::byte> promo_;
+  fabric::MemoryRegion* promo_mr_ = nullptr;
   RingCursor cursor_;
 
   fabric::QueuePair* qp_to_primary_ = nullptr;

@@ -80,6 +80,25 @@ struct ShardConfig {
   /// no region is registered, so rkey assignment and event histories are
   /// byte-identical to a build that predates the feature.
   std::uint32_t txn_lock_words = 0;
+  /// Hot-key replication plane (DESIGN.md §12): the primary tracks per-key
+  /// GET frequency, copies the top `hotkey_top_k` keys' items into its
+  /// replication followers' promo slabs and advertises the copies on GET
+  /// responses so clients spread one-sided reads across primary + followers.
+  /// 0 (the default) disables the plane entirely -- no tracker, no slab
+  /// registration, no scan timer -- so rkey assignment and event histories
+  /// are byte-identical to a build that predates the feature (same contract
+  /// as txn_lock_words above).
+  std::uint32_t hotkey_top_k = 0;
+  /// Space-saving sketch capacity (distinct keys tracked per interval).
+  std::uint32_t hotkey_tracker_capacity = 64;
+  /// Minimum per-interval hits before a key qualifies for promotion.
+  std::uint32_t hotkey_promote_min_hits = 16;
+  /// Promotion scan cadence: each tick promotes the interval's top-k and
+  /// restarts the counting window.
+  Duration hotkey_scan_interval = 2 * kMillisecond;
+  /// Follower promo-slab slot size; bounds the largest promotable item
+  /// (header + key + value + guardian, see core/item.hpp).
+  std::uint32_t hotkey_slot_bytes = 256;
   /// Whether GET responses mint remote pointers (disabled to measure the
   /// "RDMA Write only" rows of Fig 10).
   bool grant_remote_pointers = true;

@@ -1,0 +1,86 @@
+// Hot-key frequency tracking (DESIGN.md §12).
+//
+// A small space-saving top-k sketch (Metwally et al., "Efficient computation
+// of frequent and top-k elements in data streams"): a bounded key -> counter
+// map; when a new key arrives into a full sketch it *replaces* the
+// minimum-count entry and inherits its count + 1, so genuinely hot keys can
+// never be starved out by a long tail of singletons. The shard records every
+// GET into the sketch and periodically promotes the top-k survivors.
+//
+// Deterministic: ties broken by insertion order (std::map iteration order is
+// keyed on the key string), no clocks, no randomness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hydra::server {
+
+class HotKeyTracker {
+ public:
+  explicit HotKeyTracker(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Records one access. O(log capacity) on hit, O(capacity) on replacement
+  /// (bounded by the sketch size, never by the keyspace).
+  void record(std::string_view key) {
+    ++total_;
+    if (auto it = counts_.find(key); it != counts_.end()) {
+      ++it->second;
+      return;
+    }
+    if (counts_.size() < capacity_) {
+      counts_.emplace(std::string(key), 1);
+      return;
+    }
+    // Space-saving replacement: evict the minimum-count entry; the newcomer
+    // inherits min+1 (an upper bound on its true count).
+    auto min_it = counts_.begin();
+    for (auto it = std::next(counts_.begin()); it != counts_.end(); ++it) {
+      if (it->second < min_it->second) min_it = it;
+    }
+    const std::uint64_t inherited = min_it->second + 1;
+    counts_.erase(min_it);
+    counts_.emplace(std::string(key), inherited);
+  }
+
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;
+  };
+
+  /// The k highest-count keys with count >= min_hits, hottest first. Ties
+  /// broken lexicographically for determinism.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k, std::uint64_t min_hits = 1) const {
+    std::vector<Entry> out;
+    out.reserve(counts_.size());
+    for (const auto& [key, count] : counts_) {
+      if (count >= min_hits) out.push_back({key, count});
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.count != b.count ? a.count > b.count : a.key < b.key;
+    });
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+  /// Restarts the counting window (promotion decisions are per-interval, so
+  /// a key that cooled off stops being advertised within one scan period).
+  void clear() {
+    counts_.clear();
+    total_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::string, std::uint64_t, std::less<>> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hydra::server

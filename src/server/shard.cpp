@@ -7,6 +7,7 @@
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
+#include "core/item.hpp"
 #include "obs/plane.hpp"
 
 namespace hydra::server {
@@ -33,6 +34,15 @@ Shard::Shard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
     // also means a promoted primary's arena never inherits a held lock.
     lock_region_.resize(static_cast<std::size_t>(cfg_.txn_lock_words) * 8);
     lock_mr_ = fabric_.node(node_).register_memory(lock_region_);
+  }
+  if (cfg_.hotkey_top_k > 0) {
+    // Hot-key plane (DESIGN.md §12). The tracker is the only allocation;
+    // follower promo slabs register lazily on first promotion, so a shard
+    // that never promotes performs exactly the pre-feature registrations.
+    hotkey_ = std::make_unique<HotKeyTracker>(cfg_.hotkey_tracker_capacity);
+    dead_word_.resize(sizeof(std::uint64_t));
+    const std::uint64_t dead = core::kGuardianDead;
+    std::memcpy(dead_word_.data(), &dead, sizeof(dead));
   }
 }
 
@@ -408,6 +418,7 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
         }
       }
       ++stats_.gets;
+      if (hotkey_ != nullptr && r.ok()) hotkey_note_get(req.key, resp.version, resp);
       break;
     }
     case proto::MsgType::kInsert:
@@ -447,6 +458,11 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
           resp.remote_ptr.lease_expiry = r.value().lease_expiry;
           resp.remote_ptr.version = r.value().version;
           resp.remote_ptr.shard = cfg_.id;
+          // Renewals are the hot-key tracker's only visibility into
+          // one-sided read traffic (RDMA GETs never reach this handler), so
+          // they count as reads -- and the refreshed cache entry must carry
+          // the current promotion set, not silently wipe it.
+          if (hotkey_ != nullptr) hotkey_note_get(req.key, r.value().version, resp);
         }
       }
       ++stats_.renews;
@@ -480,6 +496,14 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
     migration_forward_(key_hash, std::move(fwd));
   }
 
+  // Hot-key invalidation: a write to a promoted key must flip every follower
+  // copy's guardian to DEAD *before* the ack leaves, or a client could read
+  // the superseded value from a follower after observing the write
+  // acknowledged. The kill completions therefore join the ack barrier.
+  std::shared_ptr<Promotion> promo;
+  if (hotkey_ != nullptr && replicate) promo = take_promotion_for_write(req.key);
+  const int kills = promo != nullptr ? static_cast<int>(promo->targets.size()) : 0;
+
   if (replicate && replicator_ != nullptr && replicator_->secondary_count() > 0) {
     cost += replicator_->post_cost();
     proto::RepRecord rec;
@@ -495,18 +519,37 @@ void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slo
     // the shard cannot move on until the secondary acknowledged.
     const bool blocking =
         replicator_->config().mode == replication::ReplicationMode::kStrictAck;
-    auto barrier = std::make_shared<int>(2);
+    auto barrier = std::make_shared<int>(2 + kills);
     std::function<void()> arm =
         guard([this, resp, conn_idx, slot, batched, endpoint, barrier, blocking] {
           if (--*barrier > 0) return;
           send_response(resp, conn_idx, slot, batched, endpoint);
           if (blocking) process_loop();
         });
+    if (promo != nullptr) post_promotion_kills(promo, arm);
     replicator_->replicate(std::move(rec), arm);
     charge(cost);
     schedule_after(cost, [this, arm, blocking] {
       arm();
       if (!blocking) process_loop();
+    });
+    return;
+  }
+
+  if (kills > 0) {
+    // No replication stream to wait on, but the advertised copies still
+    // must die before the ack: same barrier shape, CPU + kill completions.
+    auto barrier = std::make_shared<int>(1 + kills);
+    std::function<void()> arm =
+        guard([this, resp, conn_idx, slot, batched, endpoint, barrier] {
+          if (--*barrier > 0) return;
+          send_response(resp, conn_idx, slot, batched, endpoint);
+        });
+    post_promotion_kills(promo, arm);
+    charge(cost);
+    schedule_after(cost, [this, arm] {
+      arm();
+      process_loop();
     });
     return;
   }
@@ -661,6 +704,20 @@ void Shard::handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::u
     }
   }
 
+  // Hot-key invalidation across the whole group: every promoted key the
+  // commit touched loses its follower copies before the commit ack leaves
+  // (same pre-ack guardian-kill rule as the single-key write path).
+  std::vector<std::shared_ptr<Promotion>> promos;
+  int kills = 0;
+  if (hotkey_ != nullptr) {
+    for (const auto& op : txn->ops) {
+      if (auto p = take_promotion_for_write(op.key)) {
+        kills += static_cast<int>(p->targets.size());
+        promos.push_back(std::move(p));
+      }
+    }
+  }
+
   if (replicator_ != nullptr && replicator_->secondary_count() > 0) {
     // Every op of the group rides the replication ring before the ack
     // leaves (group-sized barrier): an acked commit therefore survives a
@@ -668,13 +725,14 @@ void Shard::handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::u
     cost += replicator_->post_cost() * txn->ops.size();
     const bool blocking =
         replicator_->config().mode == replication::ReplicationMode::kStrictAck;
-    auto barrier = std::make_shared<int>(static_cast<int>(txn->ops.size()) + 1);
+    auto barrier = std::make_shared<int>(static_cast<int>(txn->ops.size()) + 1 + kills);
     std::function<void()> arm =
         guard([this, resp, conn_idx, slot, batched, endpoint, barrier, blocking] {
           if (--*barrier > 0) return;
           send_response(resp, conn_idx, slot, batched, endpoint);
           if (blocking) process_loop();
         });
+    for (const auto& p : promos) post_promotion_kills(p, arm);
     for (auto& op : txn->ops) {
       proto::RepRecord rec;
       rec.op = op.op == proto::MsgType::kRemove ? proto::MsgType::kRemove : proto::MsgType::kPut;
@@ -687,6 +745,22 @@ void Shard::handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::u
     schedule_after(cost, [this, arm, blocking] {
       arm();
       if (!blocking) process_loop();
+    });
+    return;
+  }
+
+  if (kills > 0) {
+    auto barrier = std::make_shared<int>(1 + kills);
+    std::function<void()> arm =
+        guard([this, resp, conn_idx, slot, batched, endpoint, barrier] {
+          if (--*barrier > 0) return;
+          send_response(resp, conn_idx, slot, batched, endpoint);
+        });
+    for (const auto& p : promos) post_promotion_kills(p, arm);
+    charge(cost);
+    schedule_after(cost, [this, arm] {
+      arm();
+      process_loop();
     });
     return;
   }
@@ -738,6 +812,284 @@ void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx,
   conn.qp->post_write(frame, dst, 0, nullptr, batched);
   ++stats_.responses;
   if (batched) ++stats_.batched_responses;
+}
+
+// --- hot-key replication plane (DESIGN.md §12) -----------------------------
+
+void Shard::hotkey_note_get(const std::string& key, std::uint64_t version,
+                            proto::Response& resp) {
+  // Lazy epoch demotion: a routing-epoch advance (a promotion elsewhere, a
+  // migration commit) retires every advertisement minted under the old
+  // ownership map before anything else is advertised under the new one.
+  if (epoch_source_) {
+    const std::uint64_t e = epoch_source_();
+    if (e != hotkey_epoch_seen_) {
+      hotkey_epoch_seen_ = e;
+      demote_all(/*reason=*/1);
+    }
+  }
+  hotkey_->record(key);
+  if (!hotkey_scan_armed_) {
+    hotkey_scan_armed_ = true;
+    schedule_after(cfg_.hotkey_scan_interval, [this] { hotkey_scan(); });
+  }
+  if (!cfg_.grant_remote_pointers) return;
+  const auto it = promotions_.find(key);
+  if (it == promotions_.end() || !it->second->live || it->second->version != version) return;
+  resp.replicas = it->second->replicas;
+  ++stats_.hotkey_advertised;
+}
+
+void Shard::hotkey_scan() {
+  hotkey_scan_armed_ = false;
+  if (epoch_source_) {
+    const std::uint64_t e = epoch_source_();
+    if (e != hotkey_epoch_seen_) {
+      hotkey_epoch_seen_ = e;
+      demote_all(/*reason=*/1);
+    }
+  }
+  const bool had_traffic = hotkey_->total() > 0;
+  const auto top = hotkey_->top(cfg_.hotkey_top_k, cfg_.hotkey_promote_min_hits);
+  hotkey_->clear();
+
+  // Demote promotions that cooled off this interval: stop advertising,
+  // poison the copies, then free their slots. The kill is not optional:
+  // clients hold the advertisement until their lease runs out, so after a
+  // kill-free demotion a write would find no promotion to invalidate and
+  // ack while a straggler still reads the superseded value off a follower.
+  std::vector<std::shared_ptr<Promotion>> cooled;
+  for (const auto& [key, p] : promotions_) {
+    bool still_hot = false;
+    for (const auto& e : top) {
+      if (e.key == key) {
+        still_hot = true;
+        break;
+      }
+    }
+    if (!still_hot) cooled.push_back(p);
+  }
+  for (const auto& p : cooled) retire_promotion(p, /*reason=*/2);
+
+  for (const auto& e : top) {
+    if (promotions_.count(e.key) != 0) continue;
+    promote_key(e.key);
+  }
+
+  if (had_traffic || !promotions_.empty()) {
+    hotkey_scan_armed_ = true;
+    schedule_after(cfg_.hotkey_scan_interval, [this] { hotkey_scan(); });
+  }
+}
+
+void Shard::promote_key(const std::string& key) {
+  if (replicator_ == nullptr) return;
+  // Claim a slab slot (same index on every follower).
+  std::uint32_t slot;
+  if (!free_promo_slots_.empty()) {
+    slot = free_promo_slots_.back();
+    free_promo_slots_.pop_back();
+  } else if (promo_slots_used_ < cfg_.hotkey_top_k) {
+    slot = promo_slots_used_++;
+  } else {
+    return;  // slab full; retry next interval once something demotes
+  }
+  auto reclaim = [this, slot] { free_promo_slots_.push_back(slot); };
+
+  auto r = store_->get(key, now(), /*grant_lease=*/false);
+  if (!r.ok()) {
+    reclaim();
+    return;
+  }
+  const core::GetView& view = r.value();
+  const std::size_t len = core::item_size(key.size(), view.value.size());
+  if (len > cfg_.hotkey_slot_bytes) {
+    reclaim();
+    return;  // item does not fit a slab slot; never promotable
+  }
+
+  auto p = std::make_shared<Promotion>();
+  p->key = key;
+  p->key_hash = hash_key(key);
+  p->slot = slot;
+  p->version = view.version;
+  p->image.assign(len, std::byte{0});
+  core::ItemView(p->image.data())
+      .initialize(key, view.value, view.version, view.lease_expiry);
+
+  replicator_->for_each_live_link(
+      [&](replication::SecondaryShard& sec, fabric::QueuePair& qp) {
+        if (p->targets.size() >= proto::kMaxReplicaPtrs) return;
+        fabric::MemoryRegion* mr =
+            sec.promo_slab(cfg_.hotkey_slot_bytes, cfg_.hotkey_top_k);
+        Promotion::Target t;
+        t.sec = &sec;
+        t.qp = &qp;
+        t.node = sec.node();
+        t.rkey = mr->rkey();
+        t.offset = static_cast<std::uint64_t>(slot) * cfg_.hotkey_slot_bytes;
+        p->targets.push_back(t);
+      });
+  if (p->targets.empty()) {
+    reclaim();
+    return;  // no live followers to host a copy
+  }
+
+  promotions_.emplace(key, p);
+  for (const auto& t : p->targets) {
+    ++p->pending;
+    t.qp->post_write(
+        p->image, fabric::RemoteAddr{t.rkey, t.offset}, 0,
+        guard([this, p](const fabric::Completion& wc) {
+          if (wc.status != fabric::WcStatus::kSuccess) {
+            // Follower died (or its channel tore) mid-copy: abort the whole
+            // promotion -- a partial copy set must never be advertised.
+            if (!p->retired) retire_promotion(p, /*reason=*/2);
+            promotion_op_done(p);
+            return;
+          }
+          promotion_op_done(p);
+          if (p->retired || p->pending != 0 || p->live) return;
+          // Every copy landed: go live and start advertising.
+          p->live = true;
+          p->replicas.reserve(p->targets.size());
+          for (const auto& tgt : p->targets) {
+            proto::ReplicaPtr rp;
+            rp.node = tgt.node;
+            rp.rkey = tgt.rkey;
+            rp.offset = tgt.offset;
+            rp.total_len = static_cast<std::uint32_t>(p->image.size());
+            p->replicas.push_back(rp);
+          }
+          ++stats_.hotkey_promotions;
+          if (fabric_.obs() != nullptr) {
+            fabric_.obs()->trace(now(), node_, obs::TraceKind::kHotKeyPromoted, cfg_.id,
+                                 p->key_hash, p->replicas.size());
+          }
+        }));
+  }
+}
+
+void Shard::demote_all(std::uint64_t reason) {
+  std::vector<std::shared_ptr<Promotion>> all;
+  all.reserve(promotions_.size());
+  for (const auto& [key, p] : promotions_) all.push_back(p);
+  for (const auto& p : all) retire_promotion(p, reason);
+}
+
+void Shard::retire_promotion(const std::shared_ptr<Promotion>& p, std::uint64_t reason) {
+  if (p->retired) return;
+  const bool advertised = p->live && !p->targets.empty();
+  p->retired = true;
+  p->live = false;
+  ++stats_.hotkey_demotions;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kHotKeyDemoted, cfg_.id, p->key_hash,
+                         reason);
+  }
+  if (advertised) {
+    // Clients keep the advertisement until their lease expires, so the
+    // copies must fail closed before the slot can be reused -- otherwise a
+    // post-demotion write finds no promotion to invalidate and acks while a
+    // follower still serves the superseded value. The promotion stays in
+    // promotions_ (dying, never advertised again) until the last kill
+    // drains through promotion_op_done, so a racing write can still find it
+    // and join the kill barrier.
+    post_promotion_kills(p, [] {});
+    return;
+  }
+  if (p->pending == 0) release_promo_slot(p);
+}
+
+std::shared_ptr<Shard::Promotion> Shard::take_promotion_for_write(const std::string& key) {
+  const auto it = promotions_.find(key);
+  if (it == promotions_.end()) return nullptr;
+  std::shared_ptr<Promotion> p = it->second;
+  if (p->retired) {
+    // A cooldown/epoch demotion already posted guardian kills that are
+    // still in flight. The write still must not ack before the copies are
+    // dead: the caller posts one more (idempotent) kill per target, whose
+    // completion orders after the in-flight one on the same QP.
+    return p->targets.empty() ? nullptr : p;
+  }
+  const bool was_live = p->live;
+  p->retired = true;
+  p->live = false;
+  ++stats_.hotkey_demotions;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kHotKeyDemoted, cfg_.id, p->key_hash,
+                         /*reason=*/0);
+  }
+  if (!was_live || p->targets.empty()) {
+    // Never advertised (copy still in flight or aborted): no client can
+    // hold a pointer to the copies, so no kill gates the ack. The slot
+    // frees when the last in-flight copy lands.
+    if (p->pending == 0) release_promo_slot(p);
+    return nullptr;
+  }
+  return p;  // caller posts guardian kills before acking
+}
+
+void Shard::post_promotion_kills(const std::shared_ptr<Promotion>& p,
+                                 const std::function<void()>& settle) {
+  for (std::size_t i = 0; i < p->targets.size(); ++i) {
+    ++p->pending;
+    ++stats_.hotkey_invalidations;
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kHotKeyInvalidated, cfg_.id,
+                           p->key_hash, p->targets[i].node);
+    }
+    post_one_kill(p, i, 1, settle);
+  }
+}
+
+void Shard::post_one_kill(const std::shared_ptr<Promotion>& p, std::size_t target_idx,
+                          int attempt, std::function<void()> settle) {
+  constexpr int kMaxKillAttempts = 8;
+  const Promotion::Target& t = p->targets[target_idx];
+  // The guardian word lives in the image's last 8 bytes; flipping it to
+  // DEAD makes every client-side validate_item() of the copy fail closed.
+  const fabric::RemoteAddr dst{t.rkey,
+                               t.offset + p->image.size() - sizeof(std::uint64_t)};
+  t.qp->post_write(
+      dead_word_, dst, 0,
+      guard([this, p, target_idx, attempt,
+             settle = std::move(settle)](const fabric::Completion& wc) mutable {
+        const Promotion::Target& tgt = p->targets[target_idx];
+        const bool follower_dead = tgt.sec == nullptr || !tgt.sec->alive();
+        if (wc.status == fabric::WcStatus::kSuccess || follower_dead ||
+            attempt >= kMaxKillAttempts) {
+          // Success, or the follower is a corpse (its promo slab's
+          // registration is revoked, so any client read faults instead of
+          // returning the copy -- the invalidation goal holds vacuously).
+          if (wc.status != fabric::WcStatus::kSuccess && !follower_dead &&
+              attempt >= kMaxKillAttempts) {
+            HYDRA_WARN("hotkey: guardian kill refused to land after %d attempts "
+                       "(status %d) toward node %llu",
+                       attempt, static_cast<int>(wc.status),
+                       static_cast<unsigned long long>(tgt.node));
+          }
+          settle();
+          promotion_op_done(p);
+          return;
+        }
+        post_one_kill(p, target_idx, attempt + 1, std::move(settle));
+      }));
+}
+
+void Shard::promotion_op_done(const std::shared_ptr<Promotion>& p) {
+  if (p->pending > 0) --p->pending;
+  if (p->retired && p->pending == 0) release_promo_slot(p);
+}
+
+void Shard::release_promo_slot(const std::shared_ptr<Promotion>& p) {
+  if (p->slot_released) return;
+  p->slot_released = true;
+  free_promo_slots_.push_back(p->slot);
+  // Dying promotions linger in the map until their kills drain (so racing
+  // writes can join the kill barrier); drop the entry now that it is inert.
+  const auto it = promotions_.find(p->key);
+  if (it != promotions_.end() && it->second == p) promotions_.erase(it);
 }
 
 void Shard::schedule_gc() {

@@ -17,6 +17,9 @@
 #include <optional>
 #include <vector>
 
+#include <map>
+#include <string>
+
 #include "core/store.hpp"
 #include "fabric/fabric.hpp"
 #include "proto/frame.hpp"
@@ -24,6 +27,7 @@
 #include "replication/primary.hpp"
 #include "server/config.hpp"
 #include "server/dirty_scheduler.hpp"
+#include "server/hotkey.hpp"
 #include "sim/actor.hpp"
 
 namespace hydra::server {
@@ -41,6 +45,11 @@ struct ShardStats {
   std::uint64_t mux_requests = 0;  ///< requests demultiplexed off shared rings
   std::uint64_t txn_commits = 0;   ///< commit groups applied atomically
   std::uint64_t txn_conflicts = 0; ///< commit groups refused (lock/epoch)
+  // Hot-key replication plane (DESIGN.md §12).
+  std::uint64_t hotkey_promotions = 0;    ///< keys that went live on followers
+  std::uint64_t hotkey_demotions = 0;     ///< promotions withdrawn (any reason)
+  std::uint64_t hotkey_invalidations = 0; ///< guardian-kill writes posted pre-ack
+  std::uint64_t hotkey_advertised = 0;    ///< GET responses carrying replica ptrs
   Duration busy_time = 0;  ///< virtual CPU time charged to this core
 };
 
@@ -253,6 +262,60 @@ class Shard : public sim::Actor {
   void charge(Duration cost) noexcept { stats_.busy_time += cost; }
   void schedule_gc();
 
+  // --- hot-key replication plane (DESIGN.md §12) ---------------------------
+  /// One promoted key: the slab slot it occupies on every follower, the
+  /// advertisement clients receive, and the copy/kill writes still in
+  /// flight. Held by shared_ptr so completion lambdas outlive retirement.
+  struct Promotion {
+    std::string key;
+    std::uint64_t key_hash = 0;
+    std::uint32_t slot = 0;       ///< slab slot index (same on every follower)
+    std::uint64_t version = 0;    ///< item version the copies carry
+    bool live = false;            ///< advertised to clients
+    bool retired = false;         ///< withdrawn; terminal
+    bool slot_released = false;
+    int pending = 0;              ///< in-flight one-sided copy/kill writes
+    std::vector<std::byte> image; ///< the item image written to followers
+    std::vector<proto::ReplicaPtr> replicas;  ///< what GETs advertise
+    /// Copy/kill destinations captured at promotion time -- kills must reach
+    /// every follower that ever held the copy, even one quarantined since.
+    struct Target {
+      replication::SecondaryShard* sec = nullptr;
+      fabric::QueuePair* qp = nullptr;
+      NodeId node = kInvalidNode;
+      std::uint32_t rkey = 0;
+      std::uint64_t offset = 0;
+    };
+    std::vector<Target> targets;
+  };
+
+  /// GET-path hook: records the access, lazily arms the scan timer, demotes
+  /// on an observed epoch advance, and fills `resp` with the key's live
+  /// advertisement (if any).
+  void hotkey_note_get(const std::string& key, std::uint64_t version,
+                       proto::Response& resp);
+  /// Periodic scan: demote cooled keys, promote the interval's top-k.
+  void hotkey_scan();
+  void promote_key(const std::string& key);
+  /// Withdraws every promotion (routing epoch advanced / shard dying).
+  /// `reason` follows kHotKeyDemoted's b argument.
+  void demote_all(std::uint64_t reason);
+  /// Write-path demotion: retires `key`'s promotion and returns it when
+  /// guardian kills must gate the ack (it was live); nullptr otherwise.
+  std::shared_ptr<Promotion> take_promotion_for_write(const std::string& key);
+  /// Posts one guardian-kill write per recorded target; `settle` fires once
+  /// per target (success, peer death, or retry exhaustion) -- the ack
+  /// barrier counts each target once.
+  void post_promotion_kills(const std::shared_ptr<Promotion>& p,
+                            const std::function<void()>& settle);
+  void post_one_kill(const std::shared_ptr<Promotion>& p, std::size_t target_idx,
+                     int attempt, std::function<void()> settle);
+  /// Copy/kill completion bookkeeping: frees the slab slot when the last
+  /// in-flight write of a retired promotion lands.
+  void promotion_op_done(const std::shared_ptr<Promotion>& p);
+  void release_promo_slot(const std::shared_ptr<Promotion>& p);
+  void retire_promotion(const std::shared_ptr<Promotion>& p, std::uint64_t reason);
+
   fabric::Fabric& fabric_;
   NodeId node_;
   ShardConfig cfg_;
@@ -292,6 +355,19 @@ class Shard : public sim::Actor {
   KeyPredicate owner_filter_;
   KeyPredicate forward_moving_;
   MigrationForward migration_forward_;
+
+  /// Hot-key plane state; hotkey_ is null when cfg_.hotkey_top_k == 0 and
+  /// every hook below is gated on it, so a promotion-off shard runs the
+  /// exact pre-feature code path.
+  std::unique_ptr<HotKeyTracker> hotkey_;
+  std::map<std::string, std::shared_ptr<Promotion>, std::less<>> promotions_;
+  std::vector<std::uint32_t> free_promo_slots_;
+  std::uint32_t promo_slots_used_ = 0;
+  bool hotkey_scan_armed_ = false;
+  std::uint64_t hotkey_epoch_seen_ = 0;
+  /// 8-byte kGuardianDead image the kill writes snapshot from.
+  std::vector<std::byte> dead_word_;
+
   ShardStats stats_;
 };
 

@@ -8,8 +8,15 @@ namespace hydra::ycsb {
 
 std::string WorkloadSpec::name() const {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%d%%GET/%s", static_cast<int>(get_fraction * 100),
-                to_string(distribution));
+  if (distribution == Distribution::kHotspot) {
+    std::snprintf(buf, sizeof(buf), "%d%%GET/hotspot(%d/%d)",
+                  static_cast<int>(get_fraction * 100),
+                  static_cast<int>(hotspot_data_fraction * 100),
+                  static_cast<int>(hotspot_opn_fraction * 100));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%d%%GET/%s", static_cast<int>(get_fraction * 100),
+                  to_string(distribution));
+  }
   return buf;
 }
 
@@ -34,7 +41,8 @@ std::vector<WorkloadSpec> paper_workloads(std::uint64_t record_count,
 std::vector<TraceOp> generate_trace(const WorkloadSpec& spec, int client_index,
                                     std::uint64_t ops_for_client) {
   Xoshiro256 rng(mix64(spec.seed * 1000003ULL + static_cast<std::uint64_t>(client_index)));
-  auto chooser = make_chooser(spec.distribution, spec.record_count, spec.zipf_theta);
+  auto chooser = make_chooser(spec.distribution, spec.record_count, spec.zipf_theta,
+                              spec.hotspot_data_fraction, spec.hotspot_opn_fraction);
   std::vector<TraceOp> trace;
   trace.reserve(ops_for_client);
   for (std::uint64_t i = 0; i < ops_for_client; ++i) {

@@ -23,6 +23,11 @@ struct WorkloadSpec {
   std::size_t key_len = 16;            ///< paper: 16-byte keys
   std::size_t value_len = 32;          ///< paper: 32-byte values
   double zipf_theta = ZipfianChooser::kDefaultTheta;
+  /// Hotspot distribution shape (ignored unless distribution == kHotspot):
+  /// `hotspot_opn_fraction` of operations hit the first
+  /// `hotspot_data_fraction` of the records.
+  double hotspot_data_fraction = HotspotChooser::kDefaultDataFraction;
+  double hotspot_opn_fraction = HotspotChooser::kDefaultOpnFraction;
   std::uint64_t seed = 1;
 
   [[nodiscard]] std::string name() const;

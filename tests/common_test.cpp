@@ -259,13 +259,88 @@ TEST(Keygen, ZipfianSameSeedSameSequence) {
   EXPECT_TRUE(diverged) << "different seeds produced identical sequences";
 }
 
+// Regression pins for the two data-path edge cases the hot-key work flushed
+// out. A single-record universe used to feed eta a division by
+// 1 - zeta(2)/zeta(1) <= 0 (NaN ranks), and theta == 1.0 used to raise the
+// Gray et al. inversion to the power 1/(1-theta) = inf. Both must now draw
+// valid in-range indices forever.
+TEST(Keygen, SingleRecordChooserAlwaysReturnsZero) {
+  ZipfianChooser z(1);
+  ZipfianChooser zh(1, 1.0);  // both degenerate paths at once
+  ScrambledZipfianChooser s(1);
+  HotspotChooser h(1);
+  Xoshiro256 rng(23);
+  EXPECT_EQ(z.record_count(), 1u);
+  EXPECT_EQ(s.record_count(), 1u);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(z.next(rng), 0u);
+    EXPECT_EQ(zh.next(rng), 0u);
+    EXPECT_EQ(s.next(rng), 0u);
+    EXPECT_EQ(h.next(rng), 0u);
+  }
+}
+
+TEST(Keygen, ThetaNearOneTakesHarmonicBranchAndStaysSkewed) {
+  constexpr std::uint64_t kRanks = 10000;
+  // theta == 1.0 exactly, and a value inside the epsilon window around it;
+  // both must route through the harmonic-limit inversion (count^u) rather
+  // than the alpha = 1/(1-theta) exponent.
+  for (const double theta : {1.0, 1.0 - 1e-9}) {
+    ZipfianChooser chooser(kRanks, theta);
+    Xoshiro256 rng(29);
+    std::vector<int> counts(kRanks, 0);
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+      const std::uint64_t r = chooser.next(rng);
+      ASSERT_LT(r, kRanks) << "theta " << theta;  // no NaN/inf casts
+      ++counts[r];
+    }
+    // Harmonic zeta(10000) ~ 9.79, so P(rank 0) = 1/zeta ~ 10.2%.
+    EXPECT_GT(counts[0], static_cast<int>(kDraws * 0.07)) << "theta " << theta;
+    // Popularity still decays across the head of the curve.
+    EXPECT_GT(counts[0], counts[1]) << "theta " << theta;
+    EXPECT_GT(counts[1], counts[4]) << "theta " << theta;
+  }
+  // Just OUTSIDE the epsilon window the Gray inversion must still hold up
+  // numerically (alpha ~ 1e5): every draw in range, head still hottest.
+  ZipfianChooser edge(kRanks, 1.0 - 1e-5);
+  Xoshiro256 rng(31);
+  int rank0 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t r = edge.next(rng);
+    ASSERT_LT(r, kRanks);
+    rank0 += (r == 0);
+  }
+  EXPECT_GT(rank0, 50000 * 0.07);
+}
+
+TEST(Keygen, HotspotRespectsFractions) {
+  constexpr std::uint64_t kCount = 1000;
+  HotspotChooser chooser(kCount, 0.2, 0.8);
+  EXPECT_EQ(chooser.hot_count(), 200u);
+  Xoshiro256 rng(37);
+  int hot = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t r = chooser.next(rng);
+    ASSERT_LT(r, kCount);
+    hot += (r < chooser.hot_count());
+  }
+  const double hot_share = static_cast<double>(hot) / kDraws;
+  EXPECT_GT(hot_share, 0.75);
+  EXPECT_LT(hot_share, 0.85);
+}
+
 TEST(Keygen, FactoryMatchesDistributionEnum) {
   auto u = make_chooser(Distribution::kUniform, 10);
   auto z = make_chooser(Distribution::kZipfian, 10);
+  auto h = make_chooser(Distribution::kHotspot, 10);
   EXPECT_EQ(u->record_count(), 10u);
   EXPECT_EQ(z->record_count(), 10u);
+  EXPECT_EQ(h->record_count(), 10u);
   EXPECT_STREQ(to_string(Distribution::kUniform), "uniform");
   EXPECT_STREQ(to_string(Distribution::kZipfian), "zipfian");
+  EXPECT_STREQ(to_string(Distribution::kHotspot), "hotspot");
 }
 
 // ---------------------------------------------------------------- histogram

@@ -421,6 +421,66 @@ TEST(ConnScale, CloserIgnoresReusedQpSlot) {
   EXPECT_EQ(*cluster.get("k2"), "v2");
 }
 
+// -------------------------------------------- read-channel reap deferral
+
+// The reaper bug this pins: an idle-past-timeout read channel used to be
+// reclaimable even while a just-issued one-sided replica read was in flight
+// on its QP -- the disconnect flushed the read mid-air. The fix refcounts
+// in-flight replica reads (begin/end_replica_read) and defers the reap
+// while the pin is held, however long the channel idles.
+TEST(ConnScale, ReadChannelReapDeferredWhilePinned) {
+  sim::Scheduler sched;
+  fabric::Fabric fabric{sched};
+  const NodeId a = fabric.add_node("reader").id();
+  const NodeId b = fabric.add_node("target").id();
+
+  client::NodeMuxConfig mcfg;  // defaults: 10 ms idle, 5 ms reap interval
+  client::NodeMux mux(sched, a, mcfg);
+  int opens = 0;
+  int closes = 0;
+  mux.set_read_opener([&](NodeId target) -> fabric::QueuePair* {
+    ++opens;
+    auto [cq, sq] = fabric.connect(a, target);
+    (void)sq;
+    return cq;
+  });
+  mux.set_read_closer([&](NodeId, fabric::QueuePair* qp, std::uint32_t gen) {
+    ++closes;
+    if (qp != nullptr && qp->open() && qp->generation() == gen) {
+      fabric.disconnect(qp);
+    }
+  });
+
+  fabric::QueuePair* qp = mux.begin_replica_read(b);
+  ASSERT_NE(qp, nullptr);
+  EXPECT_EQ(opens, 1);
+
+  // The pin outlives many reap ticks past the idle timeout: the reaper must
+  // defer every time, and the QP must stay open for the in-flight read.
+  sched.run_for(100 * kMillisecond);
+  EXPECT_EQ(closes, 0);
+  EXPECT_TRUE(qp->open());
+  ASSERT_NE(mux.peek_read_channel(b), nullptr);
+  EXPECT_TRUE(mux.peek_read_channel(b)->open);
+  EXPECT_GE(mux.stats().read_reap_deferred, 1u);
+  EXPECT_EQ(mux.stats().reclaimed_read_idle, 0u);
+
+  // Unpin (the read completed): the next idle window reclaims the channel
+  // and returns the QP to the fabric pool.
+  mux.end_replica_read(b);
+  sched.run_for(100 * kMillisecond);
+  EXPECT_EQ(closes, 1);
+  EXPECT_FALSE(mux.peek_read_channel(b)->open);
+  EXPECT_EQ(mux.stats().reclaimed_read_idle, 1u);
+
+  // The next replica read re-establishes lazily.
+  fabric::QueuePair* qp2 = mux.begin_replica_read(b);
+  ASSERT_NE(qp2, nullptr);
+  EXPECT_TRUE(qp2->open());
+  EXPECT_EQ(opens, 2);
+  mux.end_replica_read(b);
+}
+
 // ------------------------------------------------- O(active) wakeup bound
 
 // 50'000 registered connections, ONE of them dirty: the wakeup must sweep

@@ -210,6 +210,98 @@ TEST(Messages, InvalidRemotePtrIsNotValid) {
   EXPECT_FALSE(ptr.valid());
 }
 
+TEST(Messages, ResponseRoundTripWithReplicaAdvertisement) {
+  Response resp;
+  resp.req_id = 7;
+  resp.status = Status::kOk;
+  resp.remote_ptr.rkey = 11;
+  resp.remote_ptr.total_len = 64;
+  resp.value = "v";
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ReplicaPtr rep;
+    rep.node = 10 + i;
+    rep.rkey = 100 + static_cast<std::uint32_t>(i);
+    rep.offset = 0x1000 * (i + 1);
+    rep.total_len = 64;
+    resp.replicas.push_back(rep);
+  }
+  const auto back = decode_response(encode_response(resp));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->replicas.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back->replicas[i].node, 10 + i);
+    EXPECT_EQ(back->replicas[i].rkey, 100 + i);
+    EXPECT_EQ(back->replicas[i].offset, 0x1000 * (i + 1));
+    EXPECT_EQ(back->replicas[i].total_len, 64u);
+    EXPECT_TRUE(back->replicas[i].valid());
+  }
+}
+
+TEST(Messages, EmptyReplicaSetKeepsLegacyResponseLayout) {
+  // The advertisement block is trailing-optional: a response with no
+  // promoted replicas must encode byte-for-byte like the pre-promotion
+  // protocol, so promotion-off clusters produce identical histories.
+  Response resp;
+  resp.req_id = 3;
+  resp.status = Status::kOk;
+  resp.value = "legacy";
+  const auto without = encode_response(resp);
+  ReplicaPtr rep;
+  rep.node = 1;
+  rep.rkey = 2;
+  rep.total_len = 32;
+  resp.replicas.push_back(rep);
+  const auto with = encode_response(resp);
+  EXPECT_GT(with.size(), without.size());
+  // Prefix-compatible: the legacy fields encode first and unchanged.
+  EXPECT_TRUE(std::equal(without.begin(), without.end(), with.begin()));
+  const auto back = decode_response(without);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->replicas.empty());
+}
+
+TEST(Messages, ReplicaBlockRejectsBadCounts) {
+  Response resp;
+  resp.req_id = 5;
+  resp.status = Status::kOk;
+  ReplicaPtr rep;
+  rep.node = 1;
+  rep.rkey = 2;
+  rep.total_len = 16;
+  resp.replicas.push_back(rep);
+  auto payload = encode_response(resp);
+  // The count byte sits right after the value string; locate it from the
+  // back: count (1) + one ReplicaPtr record (4 + 4 + 8 + 4).
+  const std::size_t count_at = payload.size() - 1 - 20;
+  ASSERT_EQ(std::to_integer<std::uint8_t>(payload[count_at]), 1u);
+  auto zero = payload;
+  zero[count_at] = std::byte{0};  // present-but-empty block is malformed
+  EXPECT_FALSE(decode_response(zero).has_value());
+  auto over = payload;
+  over[count_at] = std::byte{kMaxReplicaPtrs + 1};  // count > records present
+  EXPECT_FALSE(decode_response(over).has_value());
+  // A truncated replica record must not decode either.
+  auto cut = payload;
+  cut.resize(payload.size() - 3);
+  EXPECT_FALSE(decode_response(cut).has_value());
+}
+
+TEST(Messages, EncoderCapsReplicaFanout) {
+  Response resp;
+  resp.req_id = 9;
+  resp.status = Status::kOk;
+  for (std::uint64_t i = 0; i < kMaxReplicaPtrs + 3; ++i) {
+    ReplicaPtr rep;
+    rep.node = i;
+    rep.rkey = 1;
+    rep.total_len = 8;
+    resp.replicas.push_back(rep);
+  }
+  const auto back = decode_response(encode_response(resp));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->replicas.size(), kMaxReplicaPtrs);
+}
+
 TEST(Messages, RepRecordRoundTrip) {
   RepRecord rec;
   rec.seq = 777;

@@ -294,7 +294,7 @@ TEST(ClientUnit, RenewLeaseRefreshesCachedPointer) {
   cluster.put("k", "v");
   ASSERT_TRUE(cluster.get("k").has_value());  // pointer cached
   auto* c = cluster.clients()[0];
-  proto::RemotePtr before;
+  client::CachedPtr before;
   ASSERT_TRUE(c->pointer_cache().get(hash_key("k"), &before));
 
   // Renew later; the refreshed pointer must carry a longer lease.
@@ -303,9 +303,9 @@ TEST(ClientUnit, RenewLeaseRefreshesCachedPointer) {
   c->renew_lease("k", [&](Status s) { status = s; });
   cluster.run_for(10 * kMillisecond);
   EXPECT_EQ(status, Status::kOk);
-  proto::RemotePtr after;
+  client::CachedPtr after;
   ASSERT_TRUE(c->pointer_cache().get(hash_key("k"), &after));
-  EXPECT_GT(after.lease_expiry, before.lease_expiry);
+  EXPECT_GT(after.primary.lease_expiry, before.primary.lease_expiry);
 }
 
 // Boundary audit of the lease check guarding one-sided reads. The client
@@ -324,8 +324,9 @@ TEST(ClientUnit, LeaseExpiringExactlyAtMarginTakesMessagePath) {
   // --- one tick inside the boundary: the read is allowed -------------------
   cluster.put("k", "v");
   ASSERT_TRUE(cluster.get("k").has_value());  // mints + caches the pointer
-  proto::RemotePtr ptr;
-  ASSERT_TRUE(c->pointer_cache().get(hash_key("k"), &ptr));
+  client::CachedPtr cached;
+  ASSERT_TRUE(c->pointer_cache().get(hash_key("k"), &cached));
+  const proto::RemotePtr ptr = cached.primary;
   ASSERT_GT(ptr.lease_expiry, cluster.scheduler().now() + margin);
 
   cluster.scheduler().run_until(ptr.lease_expiry - margin - 1);
@@ -337,8 +338,9 @@ TEST(ClientUnit, LeaseExpiringExactlyAtMarginTakesMessagePath) {
   // --- exactly at the boundary: the read is forbidden ----------------------
   cluster.put("k2", "v2");
   ASSERT_TRUE(cluster.get("k2").has_value());
-  proto::RemotePtr ptr2;
-  ASSERT_TRUE(c->pointer_cache().get(hash_key("k2"), &ptr2));
+  client::CachedPtr cached2;
+  ASSERT_TRUE(c->pointer_cache().get(hash_key("k2"), &cached2));
+  const proto::RemotePtr ptr2 = cached2.primary;
   ASSERT_GT(ptr2.lease_expiry, cluster.scheduler().now() + margin);
 
   cluster.scheduler().run_until(ptr2.lease_expiry - margin);
