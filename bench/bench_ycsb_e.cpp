@@ -1,0 +1,168 @@
+// YCSB-E (DESIGN.md §13): 95% range scans / 5% inserts over the ordered
+// index, scan throughput and p99 scan latency as a function of scan length
+// (1 / 16 / 64), with the one-sided leaf-read continuation path on vs off
+// at identical seeds. Longer scans must cost more tail latency; the
+// one-sided path must actually serve continuations and shed message-path
+// batches when enabled. Writes BENCH_ycsbE.json (hydradb-obs-v1).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hydra;
+
+constexpr std::uint64_t kRecords = 8'000;
+constexpr std::uint64_t kOperations = 12'000;
+constexpr std::uint64_t kSeed = 2468;
+
+struct ScanPoint {
+  std::uint64_t scan_len = 1;  ///< max entries per scan (drawn uniform [1, len])
+  bool leaf_reads = false;
+  double mops = 0.0;
+  double avg_scan_us = 0.0;
+  double p99_scan_us = 0.0;
+  std::uint64_t scans = 0;
+  std::uint64_t scan_entries = 0;
+  std::uint64_t leaf_read_count = 0;
+  std::uint64_t leaf_fallbacks = 0;
+  std::uint64_t scan_batches = 0;  ///< message-path kScan ops
+};
+
+db::ClusterOptions scan_options(bool leaf_reads) {
+  db::ClusterOptions opts;
+  opts.server_nodes = 3;
+  opts.shards_per_node = 1;
+  opts.client_nodes = 5;
+  opts.clients_per_node = 10;
+  opts.enable_swat = false;  // HA idle during throughput measurements
+  opts.ordered_index = true;
+  opts.client_template.scan_leaf_reads = leaf_reads;
+  // Batch small enough that scans of >= 16 keys need continuation rounds;
+  // that is the traffic the one-sided leaf path exists to absorb.
+  opts.client_template.scan_batch = 8;
+  opts.shard_template.store.arena_bytes = 32ull << 20;
+  opts.shard_template.store.min_buckets = 1 << 14;
+  return opts;
+}
+
+ScanPoint run_point(std::uint64_t scan_len, bool leaf_reads) {
+  db::HydraCluster cluster(scan_options(leaf_reads));
+  const auto spec = ycsb::ycsb_e(kRecords, kOperations, scan_len, kSeed);
+  ycsb::RunOptions ropts;
+  ropts.warmup_ops_per_client = 50;
+  const auto r = ycsb::run_workload(cluster, spec, ropts);
+
+  ScanPoint p;
+  p.scan_len = scan_len;
+  p.leaf_reads = leaf_reads;
+  p.mops = r.throughput_mops;
+  p.avg_scan_us = r.avg_scan_us;
+  p.p99_scan_us = static_cast<double>(r.p99_scan) / 1000.0;
+  p.scans = r.scans;
+  p.scan_entries = r.scan_entries;
+  p.leaf_read_count = r.scan_leaf_reads;
+  p.leaf_fallbacks = r.scan_leaf_fallbacks;
+  for (const auto* cl : cluster.clients()) p.scan_batches += cl->stats().scan_batches;
+  return p;
+}
+
+void write_json(const std::string& path, const std::vector<ScanPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"ycsb_e\",\n"
+               "  \"schema\": \"hydradb-obs-v1\",\n"
+               "  \"workload\": \"YCSB-E 95%%SCAN/5%%INSERT zipfian, %llu records, "
+               "%llu ops, 50 closed-loop clients, seed %llu; identical seeds "
+               "leaf-reads on vs off per scan length\",\n"
+               "  \"points\": [\n",
+               static_cast<unsigned long long>(kRecords),
+               static_cast<unsigned long long>(kOperations),
+               static_cast<unsigned long long>(kSeed));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScanPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"scan_len\": %llu, \"leaf_reads\": %s, \"mops\": %.3f, "
+                 "\"avg_scan_us\": %.2f, \"p99_scan_us\": %.2f, \"scans\": %llu, "
+                 "\"scan_entries\": %llu, \"leaf_read_count\": %llu, "
+                 "\"leaf_fallbacks\": %llu, \"scan_batches\": %llu}%s\n",
+                 static_cast<unsigned long long>(p.scan_len),
+                 p.leaf_reads ? "true" : "false", p.mops, p.avg_scan_us, p.p99_scan_us,
+                 static_cast<unsigned long long>(p.scans),
+                 static_cast<unsigned long long>(p.scan_entries),
+                 static_cast<unsigned long long>(p.leaf_read_count),
+                 static_cast<unsigned long long>(p.leaf_fallbacks),
+                 static_cast<unsigned long long>(p.scan_batches),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_ycsbE.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::vector<ScanPoint> points;
+  std::printf("%-9s %-10s | %8s %12s %12s %8s %9s %11s %10s %9s\n", "scan_len",
+              "leaf-reads", "mops", "avg_scan_us", "p99_scan_us", "scans", "entries",
+              "leaf_reads", "fallbacks", "batches");
+  for (const std::uint64_t len : {1ULL, 16ULL, 64ULL}) {
+    for (const bool leaf : {false, true}) {
+      const ScanPoint p = run_point(len, leaf);
+      std::printf("%-9llu %-10s | %8.3f %12.2f %12.2f %8llu %9llu %11llu %10llu %9llu\n",
+                  static_cast<unsigned long long>(p.scan_len), leaf ? "on" : "off",
+                  p.mops, p.avg_scan_us, p.p99_scan_us,
+                  static_cast<unsigned long long>(p.scans),
+                  static_cast<unsigned long long>(p.scan_entries),
+                  static_cast<unsigned long long>(p.leaf_read_count),
+                  static_cast<unsigned long long>(p.leaf_fallbacks),
+                  static_cast<unsigned long long>(p.scan_batches));
+      points.push_back(p);
+    }
+  }
+
+  write_json(json_path, points);
+
+  bench::ShapeChecker shape;
+  const ScanPoint& l1_off = points[0];
+  const ScanPoint& l1_on = points[1];
+  const ScanPoint& l16_off = points[2];
+  const ScanPoint& l16_on = points[3];
+  const ScanPoint& l64_off = points[4];
+  const ScanPoint& l64_on = points[5];
+  shape.expect(l1_off.leaf_read_count == 0 && l16_off.leaf_read_count == 0 &&
+                   l64_off.leaf_read_count == 0,
+               "leaf-reads-off runs never issue one-sided leaf reads");
+  shape.expect(l1_off.scans > 0 && l1_off.scans == l1_on.scans &&
+                   l16_off.scans == l16_on.scans && l64_off.scans == l64_on.scans,
+               "identical seeds complete identical scan counts on vs off");
+  shape.expect(l16_off.scan_entries > l1_off.scan_entries &&
+                   l64_off.scan_entries > l16_off.scan_entries,
+               "longer scan lengths return more entries");
+  shape.expect(l64_off.p99_scan_us > l1_off.p99_scan_us &&
+                   l64_on.p99_scan_us > l1_on.p99_scan_us,
+               "p99 scan latency grows with scan length");
+  shape.expect(l16_on.leaf_read_count > 0 && l64_on.leaf_read_count > 0,
+               "multi-batch scans ride one-sided leaf-page continuations");
+  shape.expect(l64_on.scan_batches < l64_off.scan_batches,
+               "one-sided continuations shed message-path scan batches (len 64)");
+  return shape.summarize("ycsb_e");
+}

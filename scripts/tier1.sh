@@ -7,8 +7,10 @@
 # Pass --txn to run only the transaction-layer suite (ctest label `txn`)
 # with an enlarged seeded-random sweep; --hotkey for the hot-key replication
 # plane suite (ctest label `hotkey`, DESIGN.md §12) likewise widened;
-# --labels <regex> to run any other ctest label subset
-# (unit/chaos/txn/scale/hotkey, see tests/CMakeLists.txt).
+# --scan for the ordered-index + range-scan suite (ctest label `scan`,
+# DESIGN.md §13) with both the index model check and the scan-mid-migration
+# sweep enlarged; --labels <regex> to run any other ctest label subset
+# (unit/chaos/txn/scale/hotkey/scan, see tests/CMakeLists.txt).
 # Modes compose: `tier1.sh --asan --txn` runs the txn suite under ASan with
 # the sweep scaled down to sanitizer speed.
 set -euo pipefail
@@ -18,6 +20,7 @@ preset=default
 label_regex=""
 txn_mode=0
 hotkey_mode=0
+scan_mode=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --asan|--tsan)
@@ -32,6 +35,8 @@ while [[ $# -gt 0 ]]; do
       export HYDRA_MIGRATION_RANDOM_RUNS="${HYDRA_MIGRATION_RANDOM_RUNS:-8}"
       export HYDRA_TXN_RANDOM_RUNS="${HYDRA_TXN_RANDOM_RUNS:-30}"
       export HYDRA_HOTKEY_RANDOM_RUNS="${HYDRA_HOTKEY_RANDOM_RUNS:-8}"
+      export HYDRA_SCAN_RANDOM_RUNS="${HYDRA_SCAN_RANDOM_RUNS:-8}"
+      export HYDRA_INDEX_RANDOM_RUNS="${HYDRA_INDEX_RANDOM_RUNS:-60}"
       ;;
     --txn)
       txn_mode=1
@@ -41,6 +46,11 @@ while [[ $# -gt 0 ]]; do
     --hotkey)
       hotkey_mode=1
       label_regex="hotkey"
+      shift
+      ;;
+    --scan)
+      scan_mode=1
+      label_regex="scan"
       shift
       ;;
     --labels)
@@ -62,6 +72,13 @@ if [[ $hotkey_mode -eq 1 && "$preset" == default ]]; then
   # Dedicated hot-key sweep: widen the seeded-random promotion/invalidation
   # chaos family well past the default 6 in-suite runs.
   export HYDRA_HOTKEY_RANDOM_RUNS="${HYDRA_HOTKEY_RANDOM_RUNS:-60}"
+fi
+if [[ $scan_mode -eq 1 && "$preset" == default ]]; then
+  # Dedicated scan sweep: widen the scan-mid-migration chaos family past the
+  # default 25 in-suite runs, and the index model check past its 200-seed
+  # acceptance floor.
+  export HYDRA_SCAN_RANDOM_RUNS="${HYDRA_SCAN_RANDOM_RUNS:-100}"
+  export HYDRA_INDEX_RANDOM_RUNS="${HYDRA_INDEX_RANDOM_RUNS:-500}"
 fi
 
 cmake --preset "$preset"

@@ -138,6 +138,52 @@ void Client::renew_lease(std::string key, OpCallback cb) {
   submit(std::move(op));
 }
 
+// --------------------------------------------------------------- range scans
+
+void Client::scan_shard(ShardId shard, std::string start_key, const proto::ScanReq& sreq,
+                        ScanRespCallback cb) {
+  PendingOp op;
+  op.req.type = proto::MsgType::kScan;
+  op.req.client = cfg_.id;
+  op.req.key = std::move(start_key);
+  const auto payload = proto::encode_scan_req(sreq);
+  op.req.value.assign(reinterpret_cast<const char*>(payload.data()), payload.size());
+  op.scan_cb = std::move(cb);
+  op.target = shard;
+  op.issued = now();
+  submit(std::move(op));
+}
+
+void Client::leaf_read(NodeId node, fabric::RemoteAddr addr, std::uint32_t len,
+                       LeafReadCallback cb) {
+  if (!replica_connector_) {
+    if (cb) cb(Status::kDisconnected, {});
+    return;
+  }
+  ReplicaWire wire = replica_connector_(node);
+  if (wire.qp == nullptr) {
+    if (cb) cb(Status::kDisconnected, {});
+    return;
+  }
+  auto buf = std::make_shared<std::vector<std::byte>>(len);
+  auto cb_holder = std::make_shared<LeafReadCallback>(std::move(cb));
+  wire.qp->post_read(
+      *buf, addr, next_req_id_++,
+      guard([this, buf, cb_holder, release = std::move(wire.release)](
+                const fabric::Completion& wc) {
+        // Release the channel pin first, exactly like try_replica_read: the
+        // idle reaper must not stay blocked if the scan path errors out.
+        if (release) release();
+        if (wc.status != fabric::WcStatus::kSuccess) {
+          (*cb_holder)(Status::kDisconnected, {});
+          return;
+        }
+        schedule_after(cfg_.decode_cost, [buf, cb_holder] {
+          (*cb_holder)(Status::kOk, std::move(*buf));
+        });
+      }));
+}
+
 // -------------------------------------------------------------- transactions
 
 Client::TxnWire Client::txn_wire(ShardId shard) {
@@ -359,11 +405,14 @@ void Client::drop_connection(ShardId shard) {
 }
 
 void Client::submit(PendingOp op) {
-  if (!resolver_) {
+  // Scans carry an explicit destination: their key is a range position, so
+  // hash-routing it through the resolver would be meaningless.
+  const bool routed = op.req.type != proto::MsgType::kScan;
+  if (routed && !resolver_) {
     complete(op, Status::kDisconnected, {});
     return;
   }
-  const ShardId shard = resolver_(hash_key(op.req.key));
+  const ShardId shard = routed ? resolver_(hash_key(op.req.key)) : op.target;
   if (shard == kInvalidShard) {
     complete(op, Status::kDisconnected, {});
     return;
@@ -629,7 +678,10 @@ void Client::handle_response(ShardId shard, Conn& conn, const proto::Response& r
   }
 
   if (resp.status == Status::kWrongOwner &&
-      op.req.type != proto::MsgType::kTxnCommit) {
+      op.req.type != proto::MsgType::kTxnCommit &&
+      op.req.type != proto::MsgType::kScan) {
+    // (kScan and kTxnCommit treat kWrongOwner as terminal: the caller must
+    // re-plan against the new epoch, not blindly re-route.)
     // The shard fenced this key's range (a migration or promotion raced the
     // request). Drop any pointer into the old owner and re-resolve after a
     // short backoff -- the routing table flips within the seal window.
@@ -687,6 +739,24 @@ void Client::complete(PendingOp& op, Status status, std::string_view value) {
       stats_.get_latency.record(latency);
       if (op.get_cb) op.get_cb(status, value);
       return;
+    case proto::MsgType::kScan: {
+      ++stats_.scan_batches;
+      if (!op.scan_cb) return;
+      proto::ScanResp body;
+      if (status == Status::kOk) {
+        const auto* bytes = reinterpret_cast<const std::byte*>(value.data());
+        auto decoded = proto::decode_scan_resp({bytes, value.size()});
+        if (!decoded.has_value()) {
+          op.scan_cb(Status::kInvalidArgument, body);
+          return;
+        }
+        stats_.scan_entries += decoded->entries.size();
+        op.scan_cb(Status::kOk, *decoded);
+        return;
+      }
+      op.scan_cb(status, body);
+      return;
+    }
     case proto::MsgType::kInsert:
     case proto::MsgType::kUpdate:
     case proto::MsgType::kPut:

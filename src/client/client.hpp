@@ -51,6 +51,15 @@ struct ClientConfig {
   int max_retries = 8;
   /// Do not RDMA-read when the lease has less than this margin remaining.
   Duration lease_safety_margin = 50 * kMicrosecond;
+  /// Range scans (DESIGN.md §13): follow shard-advertised leaf-page hints
+  /// with one-sided RDMA Reads (off = every continuation rides the message
+  /// path; the paper's "RDMA Write only" analogue for scans).
+  bool scan_leaf_reads = true;
+  /// Entries requested per kScan batch (the shard additionally caps this).
+  std::uint32_t scan_batch = 32;
+  /// Cursor-level restarts (epoch bumps, drained shards) before a scan
+  /// gives up with kTimeout.
+  int max_scan_restarts = 32;
 };
 
 struct ClientStats {
@@ -82,8 +91,16 @@ struct ClientStats {
   /// Responses that completed a request other than the oldest in-flight one
   /// on their connection (only possible with window > 1).
   std::uint64_t ooo_responses = 0;
+  // Range scans (DESIGN.md §13).
+  std::uint64_t scans = 0;          ///< ScanCursor scans completed (any status)
+  std::uint64_t scan_batches = 0;   ///< kScan message batches completed
+  std::uint64_t scan_entries = 0;   ///< entries returned across all batches
+  std::uint64_t scan_leaf_reads = 0;      ///< continuations served one-sidedly
+  std::uint64_t scan_leaf_fallbacks = 0;  ///< leaf pages that failed validation
+  std::uint64_t scan_restarts = 0;        ///< cursor re-resolves (epoch/ownership)
   LatencyHistogram get_latency;
   LatencyHistogram put_latency;
+  LatencyHistogram scan_latency;  ///< full ScanCursor completion latency
 };
 
 /// One pointer-cache entry: the primary's remote pointer plus any promoted
@@ -135,6 +152,16 @@ class Client : public sim::Actor {
 
   using GetCallback = std::function<void(Status, std::string_view value)>;
   using OpCallback = std::function<void(Status)>;
+  /// Per-batch scan answer: the decoded kScanResp (entries + done + leaf
+  /// hint), or an empty one on error.
+  using ScanRespCallback = std::function<void(Status, const proto::ScanResp&)>;
+  /// Raw one-sided leaf-page read; the buffer is the registered mirror page.
+  using LeafReadCallback = std::function<void(Status, std::vector<std::byte>)>;
+  /// Cross-shard merged scan result (ScanCursor, DESIGN.md §13).
+  using ScanEntries = std::vector<std::pair<std::string, std::string>>;
+  using ScanResultFn = std::function<void(Status, ScanEntries)>;
+  /// Live shard set for cross-shard scan fan-out (retired shards excluded).
+  using ShardLister = std::function<std::vector<ShardId>()>;
   /// Current routing epoch (monotonic; bumped by failover promotions and
   /// migration commits). Pulled synchronously before every one-sided read,
   /// so there is no window where a pointer leased under epoch N can be
@@ -160,6 +187,7 @@ class Client : public sim::Actor {
   void set_connector(Connector c) { connector_ = std::move(c); }
   void set_epoch_source(EpochSource e) { epoch_source_ = std::move(e); }
   void set_replica_connector(ReplicaConnector c) { replica_connector_ = std::move(c); }
+  void set_shard_lister(ShardLister l) { shard_lister_ = std::move(l); }
 
   // --- data-plane operations (asynchronous, callbacks in virtual time) ----
   void get(std::string key, GetCallback cb);
@@ -168,6 +196,21 @@ class Client : public sim::Actor {
   void update(std::string key, std::string value, OpCallback cb);
   void remove(std::string key, OpCallback cb);
   void renew_lease(std::string key, OpCallback cb);
+
+  // --- range scans (src/index, DESIGN.md §13) ----------------------------
+  /// Ordered cross-shard scan: merges per-shard streams into ascending key
+  /// order, surviving routing-epoch advances (failover, live migration)
+  /// without dropping or duplicating keys. At most `limit` entries.
+  void scan(std::string start_key, std::uint32_t limit, ScanResultFn cb);
+  /// One kScan batch against an *explicit* shard (scans are range-routed by
+  /// the cursor, not hash-routed by the resolver). kWrongOwner is terminal
+  /// here, like kTxnCommit: the cursor must re-resolve the shard set.
+  void scan_shard(ShardId shard, std::string start_key, const proto::ScanReq& sreq,
+                  ScanRespCallback cb);
+  /// One-sided RDMA Read of a shard's mirrored leaf page (rides the replica
+  /// read channels). kDisconnected when no path to `node` exists right now.
+  void leaf_read(NodeId node, fabric::RemoteAddr addr, std::uint32_t len,
+                 LeafReadCallback cb);
 
   // --- transaction support (src/txn, DESIGN.md §11) ----------------------
   /// One-sided view of a shard's lock-word arena, riding the same QP the
@@ -198,12 +241,21 @@ class Client : public sim::Actor {
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   [[nodiscard]] ClientStats& mutable_stats() noexcept { return stats_; }
   [[nodiscard]] RemotePtrCache& pointer_cache() noexcept { return *cache_; }
+  [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] fabric::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] std::uint64_t routing_epoch() const { return current_epoch(); }
+  [[nodiscard]] std::vector<ShardId> shard_list() const {
+    return shard_lister_ ? shard_lister_() : std::vector<ShardId>{};
+  }
 
  private:
   struct PendingOp {
     proto::Request req;
     GetCallback get_cb;
     OpCallback op_cb;
+    ScanRespCallback scan_cb;
+    /// kScan only: explicit destination shard (scans bypass the resolver).
+    ShardId target = kInvalidShard;
     Time issued = 0;
     int retries = 0;
   };
@@ -276,6 +328,7 @@ class Client : public sim::Actor {
   Connector connector_;
   EpochSource epoch_source_;
   ReplicaConnector replica_connector_;
+  ShardLister shard_lister_;
   /// Round-robin cursor over {primary, replicas} for promoted keys.
   std::uint64_t replica_rr_ = 0;
   /// Last epoch the cache-wide stale sweep ran under (see get()).

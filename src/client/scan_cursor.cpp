@@ -1,0 +1,249 @@
+#include "client/scan_cursor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "index/leaf_page.hpp"
+#include "obs/plane.hpp"
+
+namespace hydra::client {
+
+void Client::scan(std::string start_key, std::uint32_t limit, ScanResultFn cb) {
+  ScanCursor::start(*this, std::move(start_key), limit, std::move(cb));
+}
+
+void ScanCursor::start(Client& client, std::string start_key, std::uint32_t limit,
+                       Client::ScanResultFn cb) {
+  auto cursor = std::shared_ptr<ScanCursor>(
+      new ScanCursor(client, std::move(start_key), limit, std::move(cb)));
+  cursor->self_ = cursor;
+  cursor->begin();
+}
+
+ScanCursor::ScanCursor(Client& client, std::string start_key, std::uint32_t limit,
+                       Client::ScanResultFn cb)
+    : client_(client),
+      start_(std::move(start_key)),
+      limit_(limit),
+      cb_(std::move(cb)),
+      started_(client.now()) {}
+
+void ScanCursor::begin() {
+  if (limit_ == 0) {
+    finish(Status::kOk);
+    return;
+  }
+  epoch_ = client_.routing_epoch();
+  const std::vector<ShardId> shards = client_.shard_list();
+  if (shards.empty()) {
+    finish(Status::kDisconnected);
+    return;
+  }
+  streams_.clear();
+  streams_.reserve(shards.size());
+  for (const ShardId shard : shards) {
+    Stream s;
+    s.shard = shard;
+    // After a restart, every stream resumes strictly past the last key the
+    // *merge* emitted -- buffered-but-unemitted entries were discarded and
+    // will be re-fetched, which is what makes restarts drop/dup-free.
+    s.resume = emitted_any_ ? last_emitted_ : start_;
+    s.exclusive = emitted_any_;
+    streams_.push_back(std::move(s));
+  }
+  pump();
+}
+
+void ScanCursor::restart() {
+  if (finished_) return;
+  ++client_.mutable_stats().scan_restarts;
+  if (++restarts_ > client_.config().max_scan_restarts) {
+    finish(Status::kTimeout);
+    return;
+  }
+  ++generation_;
+  begin();
+}
+
+void ScanCursor::pump() {
+  if (finished_) return;
+  while (true) {
+    if (out_.size() >= limit_) {
+      finish(Status::kOk);
+      return;
+    }
+    // Phase 1: every unfinished, unbuffered stream must be fetching. The
+    // merge may not emit while any of them is outstanding -- it could still
+    // produce the global minimum.
+    bool waiting = false;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      Stream& s = streams_[i];
+      if (s.done || !s.buffer.empty()) continue;
+      if (!s.inflight) fetch(i);
+      waiting = true;
+    }
+    if (waiting) return;
+    // Phase 2: all streams are done or buffered; emit the smallest head.
+    std::size_t best = streams_.size();
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (streams_[i].buffer.empty()) continue;
+      if (best == streams_.size() ||
+          streams_[i].buffer.front().first < streams_[best].buffer.front().first) {
+        best = i;
+      }
+    }
+    if (best == streams_.size()) {
+      finish(Status::kOk);  // every shard exhausted before `limit`
+      return;
+    }
+    auto kv = std::move(streams_[best].buffer.front());
+    streams_[best].buffer.pop_front();
+    // Strictly-ascending emit: a key at or below the last emitted one is a
+    // dual-ownership duplicate (the migration copy window briefly exposes
+    // moved keys on source and destination alike) -- drop it.
+    if (emitted_any_ && kv.first <= last_emitted_) continue;
+    last_emitted_ = kv.first;
+    emitted_any_ = true;
+    out_.push_back(std::move(kv));
+  }
+}
+
+void ScanCursor::fetch(std::size_t idx) {
+  Stream& s = streams_[idx];
+  s.inflight = true;
+  const std::uint64_t gen = generation_;
+  auto self = shared_from_this();
+
+  if (client_.config().scan_leaf_reads && s.hint.valid()) {
+    // Single-shot hint: consume it now so a validation failure naturally
+    // falls back to the message path on the next fetch.
+    const proto::ScanLeafHint hint = s.hint;
+    s.hint = proto::ScanLeafHint{};
+    client_.leaf_read(hint.node, fabric::RemoteAddr{hint.rkey, hint.offset}, hint.len,
+                      [this, self, idx, gen, hint](Status st, std::vector<std::byte> page) {
+                        on_leaf_page(idx, gen, hint, st, std::move(page));
+                      });
+    return;
+  }
+
+  proto::ScanReq sreq;
+  sreq.epoch = epoch_;
+  const std::uint32_t need =
+      limit_ - static_cast<std::uint32_t>(std::min<std::size_t>(out_.size(), limit_));
+  sreq.limit = std::max<std::uint32_t>(1, std::min(client_.config().scan_batch, need));
+  sreq.flags = s.exclusive ? proto::kScanFlagExclusive : std::uint8_t{0};
+  client_.scan_shard(s.shard, s.resume, sreq,
+                     [this, self, idx, gen](Status st, const proto::ScanResp& resp) {
+                       on_batch(idx, gen, st, resp);
+                     });
+}
+
+void ScanCursor::on_batch(std::size_t idx, std::uint64_t gen, Status st,
+                          const proto::ScanResp& resp) {
+  if (finished_ || gen != generation_) return;
+  Stream& s = streams_[idx];
+  s.inflight = false;
+  if (st == Status::kWrongOwner || st == Status::kTimeout || st == Status::kDisconnected) {
+    // Epoch fence, a mid-scan failover, or a drained shard: the whole shard
+    // set may have changed; re-resolve and resume from the merge position.
+    restart();
+    return;
+  }
+  if (st != Status::kOk) {
+    finish(st);
+    return;
+  }
+  if (resp.entries.empty() && !resp.done) {
+    // A live shard never answers "not done" with zero entries; treat the
+    // contradiction like a lost response rather than spinning on it.
+    restart();
+    return;
+  }
+  for (const auto& [key, value] : resp.entries) {
+    s.resume = key;
+    s.exclusive = true;
+    s.buffer.emplace_back(key, value);
+  }
+  s.done = resp.done;
+  if (!resp.done && resp.hint.valid()) s.hint = resp.hint;
+  pump();
+}
+
+void ScanCursor::on_leaf_page(std::size_t idx, std::uint64_t gen,
+                              proto::ScanLeafHint hint, Status st,
+                              std::vector<std::byte> page) {
+  if (finished_ || gen != generation_) return;
+  Stream& s = streams_[idx];
+  s.inflight = false;
+  ClientStats& stats = client_.mutable_stats();
+  obs::Plane* obs = client_.fabric().obs();
+
+  auto fall_back = [&] {
+    // The page failed to arrive or to validate (torn read, version moved,
+    // stale epoch, slot reused for another leaf): the hint was consumed, so
+    // pump() re-fetches this position through the message path.
+    ++stats.scan_leaf_fallbacks;
+    if (obs != nullptr) {
+      obs->trace(client_.now(), client_.node(), obs::TraceKind::kScanLeafFallback,
+                 s.shard, hint.leaf_id, 0);
+    }
+    pump();
+  };
+
+  if (st != Status::kOk) {
+    fall_back();
+    return;
+  }
+  const auto decoded = index::decode_leaf_page({page.data(), page.size()});
+  if (!decoded.has_value() || decoded->leaf_id != hint.leaf_id ||
+      decoded->leaf_version != hint.leaf_version || decoded->epoch != epoch_) {
+    fall_back();
+    return;
+  }
+  // Structural re-check: entries must be strictly ascending (a checksum
+  // collision shield; also what lets the merge trust the buffered order).
+  std::vector<std::pair<std::string, std::string>> fresh;
+  std::string_view prev{};
+  bool first = true;
+  for (const auto& [key, value] : decoded->entries) {
+    if (!first && key <= prev) {
+      fall_back();
+      return;
+    }
+    prev = key;
+    first = false;
+    if (key > s.resume) fresh.emplace_back(key, value);
+  }
+  if (fresh.empty() && !decoded->last) {
+    // Deletions emptied our window into this leaf; let the message path
+    // walk to the successor (guaranteed progress, unlike re-reading).
+    pump();
+    return;
+  }
+  ++stats.scan_leaf_reads;
+  stats.scan_entries += fresh.size();
+  if (obs != nullptr) {
+    obs->trace(client_.now(), client_.node(), obs::TraceKind::kScanLeafRead, s.shard,
+               hint.leaf_id, fresh.size());
+  }
+  for (auto& [key, value] : fresh) {
+    s.resume = key;
+    s.exclusive = true;
+    s.buffer.emplace_back(std::move(key), std::move(value));
+  }
+  if (decoded->last) s.done = true;
+  pump();
+}
+
+void ScanCursor::finish(Status st) {
+  if (finished_) return;
+  finished_ = true;
+  ClientStats& stats = client_.mutable_stats();
+  ++stats.scans;
+  stats.scan_latency.record(client_.now() - started_);
+  auto cb = std::move(cb_);
+  const auto self = std::move(self_);  // keep *this alive through the callback
+  if (cb) cb(st, std::move(out_));
+}
+
+}  // namespace hydra::client

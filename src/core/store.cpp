@@ -8,7 +8,11 @@
 namespace hydra::core {
 
 KVStore::KVStore(StoreConfig cfg)
-    : config_(cfg), arena_(cfg.arena_bytes), table_(arena_, cfg.min_buckets) {}
+    : config_(cfg), arena_(cfg.arena_bytes), table_(arena_, cfg.min_buckets) {
+  if (config_.ordered_index) {
+    index_ = std::make_unique<index::OrderedIndex>(config_.index_fanout);
+  }
+}
 
 Duration KVStore::lease_term(std::uint32_t access_count) const noexcept {
   // Doubling schedule: count 1 -> min, 2..3 -> 2*min, 4..7 -> 4*min, ...
@@ -72,6 +76,7 @@ Status KVStore::insert(std::string_view key, std::string_view value, Time now) {
   if (offset == kNullOffset) return Status::kOutOfMemory;
   switch (table_.insert(hash, key, offset)) {
     case CompactHashTable::InsertResult::kInserted:
+      if (index_) index_->insert_or_assign(key, offset);
       ++stats_.inserts;
       return Status::kOk;
     case CompactHashTable::InsertResult::kDuplicate:
@@ -109,6 +114,7 @@ Status KVStore::update(std::string_view key, std::string_view value, Time now) {
 
   retire(old_offset, now);
   table_.replace(hash, key, new_offset);
+  if (index_) index_->insert_or_assign(key, new_offset);
   ++stats_.updates;
   return Status::kOk;
 }
@@ -124,6 +130,7 @@ Status KVStore::remove(std::string_view key, Time now) {
   const std::uint64_t offset = table_.erase(hash, key);
   if (offset == kNullOffset) return Status::kNotFound;
   retire(offset, now);
+  if (index_) index_->erase(key);
   ++stats_.removes;
   return Status::kOk;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <span>
 #include <string_view>
@@ -17,6 +18,7 @@
 #include "core/arena.hpp"
 #include "core/hash_table.hpp"
 #include "core/item.hpp"
+#include "index/btree.hpp"
 
 namespace hydra::core {
 
@@ -29,6 +31,11 @@ struct StoreConfig {
   Duration max_lease = 64 * kSecond;
   std::size_t max_key_len = 64 * 1024;
   std::size_t max_val_len = 4ull << 20;
+  /// Maintain a B+-tree over the user keys for ordered range scans
+  /// (DESIGN.md §13). Default off: with the index disabled the store (and
+  /// every layer above it) behaves byte-identically to pre-index builds.
+  bool ordered_index = false;
+  std::size_t index_fanout = 32;
 };
 
 struct StoreStats {
@@ -89,6 +96,17 @@ class KVStore {
   [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
 
+  /// The ordered index, or nullptr when `StoreConfig::ordered_index` is off.
+  [[nodiscard]] index::OrderedIndex* index() noexcept { return index_.get(); }
+  [[nodiscard]] const index::OrderedIndex* index() const noexcept { return index_.get(); }
+
+  /// Value of the live item at `offset`. Only valid for offsets the table /
+  /// ordered index currently hold (live items are never moved; updates swap
+  /// in a fresh item and retire the old offset).
+  [[nodiscard]] std::string_view value_at(std::uint64_t offset) {
+    return ItemView(arena_.at(offset)).value();
+  }
+
   /// Popularity-scaled lease term: 1s for cold keys doubling up to 64s.
   [[nodiscard]] Duration lease_term(std::uint32_t access_count) const noexcept;
 
@@ -122,6 +140,7 @@ class KVStore {
   CompactHashTable table_;
   StoreStats stats_;
   std::priority_queue<Deferred, std::vector<Deferred>, std::greater<>> deferred_;
+  std::unique_ptr<index::OrderedIndex> index_;
 };
 
 }  // namespace hydra::core

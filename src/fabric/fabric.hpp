@@ -78,6 +78,7 @@ struct FabricStats {
   /// dropped atomic never executes and flushes.
   std::uint64_t torn_atomics = 0;
   std::uint64_t dropped_atomics = 0;
+  std::uint64_t torn_reads = 0;  ///< fault-injected corrupted read snapshots
 };
 
 /// Fault-injection verdict for one RDMA Write, decided at commit time.
@@ -94,6 +95,22 @@ struct WriteFault {
 
 /// Chaos hook consulted once per RDMA Write as it commits to the target.
 using WriteFaultHook = std::function<WriteFault(
+    NodeId src, NodeId dst, const RemoteAddr& addr, std::uint32_t size)>;
+
+/// Fault-injection verdict for one RDMA Read, decided when the target
+/// snapshot is taken. `kTorn` delivers the first `torn_bytes` intact and
+/// garbles the rest, completing kSuccess: it models the crash/rebind window
+/// in which a reader races a concurrent overwrite of the target region, so
+/// the *reader-side* validation (page checksums, guardian words) is what
+/// must catch it.
+struct ReadFault {
+  enum class Kind : std::uint8_t { kDeliver, kTorn };
+  Kind kind = Kind::kDeliver;
+  std::uint32_t torn_bytes = 8;
+};
+
+/// Chaos hook consulted once per RDMA Read as its target snapshot is taken.
+using ReadFaultHook = std::function<ReadFault(
     NodeId src, NodeId dst, const RemoteAddr& addr, std::uint32_t size)>;
 
 class Fabric {
@@ -142,6 +159,10 @@ class Fabric {
   /// writes deterministically.
   void set_write_fault_hook(WriteFaultHook hook) { write_fault_ = std::move(hook); }
 
+  /// Installs (or clears, with nullptr) the chaos read-fault hook, consulted
+  /// when an RDMA Read snapshots its target bytes.
+  void set_read_fault_hook(ReadFaultHook hook) { read_fault_ = std::move(hook); }
+
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
 
   /// Attaches (or detaches, with nullptr) an observability plane. The plane
@@ -157,6 +178,7 @@ class Fabric {
   CostModel cost_;
   FabricStats stats_;
   WriteFaultHook write_fault_;
+  ReadFaultHook read_fault_;
   obs::Plane* obs_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<QueuePair>> qps_;

@@ -207,6 +207,21 @@ void QueuePair::post_read(std::span<std::byte> dst, RemoteAddr src,
       return;
     }
     snapshot->assign(mr->base() + src.offset, mr->base() + src.offset + size);
+    if (f.read_fault_) {
+      const ReadFault rf = f.read_fault_(local_, remote_, src, size);
+      if (rf.kind == ReadFault::Kind::kTorn) {
+        // Delivered as kSuccess with the bytes past the torn prefix garbled:
+        // only the reader's own validation (checksums, guardians) can tell.
+        ++f.stats_.torn_reads;
+        for (std::size_t i = rf.torn_bytes; i < snapshot->size(); ++i) {
+          (*snapshot)[i] ^= std::byte{0xA5};
+        }
+        if (f.obs_) {
+          f.obs_->trace(f.sched_.now(), local_, obs::TraceKind::kReadFaulted,
+                        obs::kNoShard, rf.torn_bytes, src.rkey);
+        }
+      }
+    }
   });
 
   const Time completion_time =

@@ -14,6 +14,10 @@ constexpr std::uint64_t kSyncStepLimit = 50'000'000;  // safety net for sync hel
 
 HydraCluster::HydraCluster(ClusterOptions opts)
     : opts_(std::move(opts)), fabric_(sched_, opts_.cost) {
+  // Ordered-index opt-in fans out through the shard template so primaries,
+  // secondaries (whose stores may be promoted), and migration-spawned shards
+  // all agree on whether the index exists.
+  if (opts_.ordered_index) opts_.shard_template.store.ordered_index = true;
   fabric_.set_obs(opts_.obs);
   if (opts_.obs != nullptr) {
     opts_.obs->add_exporter(this, [this] { export_metrics(); });
@@ -185,6 +189,7 @@ void HydraCluster::export_metrics() {
   reg.counter("fabric.torn_writes").set(fs.torn_writes);
   reg.counter("fabric.dropped_writes").set(fs.dropped_writes);
   reg.counter("fabric.rdma_atomics").set(fs.rdma_atomics);
+  reg.counter("fabric.torn_reads").set(fs.torn_reads);
   reg.counter("fabric.torn_atomics").set(fs.torn_atomics);
   reg.counter("fabric.dropped_atomics").set(fs.dropped_atomics);
   reg.counter("fabric.qp_connects").set(fs.qp_connects);
@@ -223,6 +228,11 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "hotkey_demotions").set(st->hotkey_demotions);
     reg.counter(p + "hotkey_invalidations").set(st->hotkey_invalidations);
     reg.counter(p + "hotkey_advertised").set(st->hotkey_advertised);
+    reg.counter(p + "scans").set(st->scans);
+    reg.counter(p + "scan_entries").set(st->scan_entries);
+    reg.counter(p + "scan_token_rejects").set(st->scan_token_rejects);
+    reg.counter(p + "scan_leaf_refreshes").set(st->scan_leaf_refreshes);
+    reg.counter(p + "scan_leaf_oversize").set(st->scan_leaf_oversize);
     reg.gauge(p + "generation").set(primaries_[s].generation);
     if (primaries_[s].primary != nullptr &&
         primaries_[s].primary->replicator() != nullptr) {
@@ -252,8 +262,15 @@ void HydraCluster::export_metrics() {
     reg.counter(p + "timeouts").set(cs.timeouts);
     reg.counter(p + "retries").set(cs.retries);
     reg.counter(p + "failures").set(cs.failures);
+    reg.counter(p + "scans").set(cs.scans);
+    reg.counter(p + "scan_batches").set(cs.scan_batches);
+    reg.counter(p + "scan_entries").set(cs.scan_entries);
+    reg.counter(p + "scan_leaf_reads").set(cs.scan_leaf_reads);
+    reg.counter(p + "scan_leaf_fallbacks").set(cs.scan_leaf_fallbacks);
+    reg.counter(p + "scan_restarts").set(cs.scan_restarts);
     reg.histogram(p + "get_latency") = cs.get_latency;
     reg.histogram(p + "put_latency") = cs.put_latency;
+    reg.histogram(p + "scan_latency") = cs.scan_latency;
   }
   for (const auto& [node, mux] : node_muxes_) {
     const client::NodeMuxStats& ms = mux->stats();
@@ -357,6 +374,11 @@ void HydraCluster::wire_client(client::Client& c) {
                          client::ShardConnection* out) {
     return connect_client(shard, self, resp_slot, resp_bytes, window, out);
   });
+  // Scan fan-out targets the *ring members*: a mid-migration destination is
+  // deliberately excluded until commit (its copy is partial; every key it
+  // holds is still owned -- and scannable -- at the source), and the commit's
+  // epoch bump restarts live cursors against the updated set.
+  c.set_shard_lister([this] { return ring_.shards(); });
   // Channels for one-sided reads of promoted hot-key copies on follower
   // nodes. In mux mode the node's mux pool owns them (pinned while a read
   // is in flight so the idle reaper cannot reclaim the QP under it); in
@@ -552,6 +574,20 @@ std::optional<std::string> HydraCluster::get(std::string key, int client_idx,
   if (status_out != nullptr) *status_out = status.value_or(Status::kTimeout);
   if (!status.has_value() || *status != Status::kOk) return std::nullopt;
   return value;
+}
+
+Status HydraCluster::scan(std::string start_key, std::uint32_t limit,
+                          std::vector<std::pair<std::string, std::string>>* out,
+                          int client_idx) {
+  std::optional<Status> status;
+  client_ptrs_[static_cast<std::size_t>(client_idx)]->scan(
+      std::move(start_key), limit,
+      [&](Status s, client::Client::ScanEntries entries) {
+        status = s;
+        if (out != nullptr) *out = std::move(entries);
+      });
+  drive_until(sched_, [&] { return status.has_value(); });
+  return status.value_or(Status::kTimeout);
 }
 
 void HydraCluster::direct_load(std::string_view key, std::string_view value) {

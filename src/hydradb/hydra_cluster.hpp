@@ -64,6 +64,11 @@ struct ClusterOptions {
   /// scalability mode. Off = the legacy one-QP-per-client wiring.
   bool mux_connections = false;
   client::NodeMuxConfig mux;
+  /// Ordered index + range scans (DESIGN.md §13). Forces
+  /// shard_template.store.ordered_index on for every spawned shard (and
+  /// secondary) so kScan and the one-sided leaf mirror work cluster-wide.
+  /// Off (the default) keeps histories byte-identical to pre-feature builds.
+  bool ordered_index = false;
 
   server::ShardConfig shard_template;
   client::ClientConfig client_template;
@@ -112,6 +117,11 @@ class HydraCluster {
   Status remove(std::string key, int client_idx = 0);
   std::optional<std::string> get(std::string key, int client_idx = 0,
                                  Status* status_out = nullptr);
+  /// Ordered cross-shard range scan (requires options().ordered_index): up
+  /// to `limit` entries starting at `start_key`, merged ascending across
+  /// every live shard. Drives the simulator until the cursor completes.
+  Status scan(std::string start_key, std::uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* out, int client_idx = 0);
 
   /// Preloads records directly into the owning shards' stores (and their
   /// secondaries), bypassing the network -- the paper pre-generates and

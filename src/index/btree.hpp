@@ -1,0 +1,96 @@
+// Per-shard ordered index (DESIGN.md §13): an in-memory B+-tree keyed on the
+// user key whose leaf entries point at KVStore arena items by offset. The
+// KVStore maintains it inline on every mutation (insert/update/remove), so
+// every write path -- message handlers, txn apply/undo, replication replay,
+// migration merge + scrub, direct loads -- keeps it consistent for free.
+//
+// Leaves carry a monotonically increasing id and a version counter bumped on
+// every entry mutation (including splits/merges/borrows), which is what the
+// shard's one-sided leaf-page mirror keys its staleness check on: a mirrored
+// page whose (id, version) no longer matches the live leaf is re-serialized
+// before being advertised to clients.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hydra::index {
+
+class OrderedIndex {
+ public:
+  struct Entry {
+    std::string key;
+    std::uint64_t offset = 0;  ///< arena offset of the live KVStore item
+  };
+
+  /// A read-only view of one leaf, stable until the next tree mutation.
+  struct LeafRef {
+    std::uint64_t id = 0;
+    std::uint64_t version = 0;
+    bool last = false;  ///< no leaf follows in the chain
+    const std::vector<Entry>* entries = nullptr;
+  };
+
+  /// `fanout` bounds both leaf entries and inner-node children; the minimum
+  /// fill is fanout/2. Small fanouts (4..8) are for tests that want to force
+  /// deep trees and frequent splits/merges.
+  explicit OrderedIndex(std::size_t fanout = 32);
+  ~OrderedIndex();
+
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  /// Inserts `key` or reassigns its offset. Returns true when the key is new.
+  bool insert_or_assign(std::string_view key, std::uint64_t offset);
+
+  /// Removes `key`; returns false when absent.
+  bool erase(std::string_view key);
+
+  [[nodiscard]] std::optional<std::uint64_t> find(std::string_view key) const;
+
+  /// In-order walk starting at the first key >= `from` (or > `from` when
+  /// `exclusive`); stops when `fn` returns false.
+  void scan(std::string_view from, bool exclusive,
+            const std::function<bool(std::string_view key, std::uint64_t offset)>& fn) const;
+
+  /// The leaf holding the first entry >= `from` (> when `exclusive`);
+  /// nullopt when no such entry exists.
+  [[nodiscard]] std::optional<LeafRef> leaf_for(std::string_view from, bool exclusive) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  [[nodiscard]] std::size_t fanout() const noexcept { return fanout_; }
+
+  /// Structural self-check: key order within and across leaves, separator
+  /// bounds, uniform leaf depth, fill bounds on non-root nodes, leaf-chain
+  /// integrity (next/prev consistent, in key order), size consistency.
+  /// Returns an empty string when every invariant holds, else a description
+  /// of the first violation found.
+  [[nodiscard]] std::string check_invariants() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Inner;
+
+  Leaf* leaf_lower_bound(std::string_view key) const;
+  void destroy(Node* n);
+
+  // Insert/erase recursion helpers (defined in btree.cpp).
+  struct SplitResult;
+  bool insert_rec(Node* n, std::string_view key, std::uint64_t offset,
+                  std::optional<SplitResult>& split);
+  bool erase_rec(Node* n, std::string_view key);
+  void rebalance_child(Inner* parent, std::size_t ci);
+
+  std::size_t fanout_;
+  std::size_t size_ = 0;
+  Node* root_ = nullptr;
+  std::uint64_t next_leaf_id_ = 1;
+};
+
+}  // namespace hydra::index

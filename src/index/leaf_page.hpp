@@ -1,0 +1,48 @@
+// One-sided-traversable leaf page layout (DESIGN.md §13). The shard
+// serializes B+-tree leaves into a small MR-registered mirror region;
+// clients RDMA-Read a whole page and validate it locally: magic, FNV-1a
+// checksum over the encoded prefix, (leaf_id, leaf_version) against the
+// hint that advertised the page, and the routing epoch stamped at
+// serialization time. Any mismatch (torn read, slot reuse, stale mirror,
+// epoch advance) falls back to the message path, which is always correct.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hydra::index {
+
+inline constexpr std::uint32_t kLeafPageMagic = 0x484C4631;  // "HLF1"
+inline constexpr std::size_t kLeafPageHeaderBytes = 48;
+inline constexpr std::uint32_t kLeafPageFlagLast = 1;  ///< no leaf follows on this shard
+
+struct LeafPage {
+  std::uint64_t leaf_id = 0;
+  std::uint64_t leaf_version = 0;
+  std::uint64_t epoch = 0;  ///< routing epoch at serialization time
+  bool last = false;
+  std::vector<std::pair<std::string, std::string>> entries;  ///< (key, value), sorted
+};
+
+/// Encoded size for the given entries, header included.
+[[nodiscard]] std::size_t leaf_page_bytes(
+    const std::vector<std::pair<std::string_view, std::string_view>>& entries);
+
+/// Serializes a page into `out` (which may be larger; the slack past the
+/// encoded prefix is ignored by the decoder). Returns false when `out` is
+/// too small or an entry overflows the length fields.
+bool encode_leaf_page(std::span<std::byte> out, std::uint64_t leaf_id,
+                      std::uint64_t leaf_version, std::uint64_t epoch, bool last,
+                      const std::vector<std::pair<std::string_view, std::string_view>>& entries);
+
+/// Hardened decode: every length is bounds-checked against the declared
+/// payload, the checksum must match, and the entry region must be consumed
+/// exactly. Returns nullopt on any inconsistency -- never a wild read.
+[[nodiscard]] std::optional<LeafPage> decode_leaf_page(std::span<const std::byte> bytes);
+
+}  // namespace hydra::index

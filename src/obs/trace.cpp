@@ -53,6 +53,11 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kHotKeyDemoted: return "hotkey_demoted";
     case TraceKind::kHotKeyInvalidated: return "hotkey_invalidated";
     case TraceKind::kReplicaReadHit: return "replica_read_hit";
+    case TraceKind::kReadFaulted: return "read_faulted";
+    case TraceKind::kScanHandled: return "scan_handled";
+    case TraceKind::kScanTokenRejected: return "scan_token_rejected";
+    case TraceKind::kScanLeafRead: return "scan_leaf_read";
+    case TraceKind::kScanLeafFallback: return "scan_leaf_fallback";
   }
   return "unknown";
 }

@@ -79,6 +79,12 @@ enum class TraceKind : std::uint8_t {
   kHotKeyDemoted,     ///< promotion withdrawn (a=key hash, b=0 write / 1 epoch / 2 capacity)
   kHotKeyInvalidated, ///< follower copy guardian killed pre-ack (a=key hash, b=node)
   kReplicaReadHit,    ///< client one-sided read served from a promoted copy (a=key hash, b=node)
+  // Ordered index + range scans (DESIGN.md §13). Appended last, same rule.
+  kReadFaulted,       ///< chaos-torn RDMA Read snapshot (a=intact prefix bytes, b=rkey)
+  kScanHandled,       ///< shard served a kScan batch (a=entries, b=done flag)
+  kScanTokenRejected, ///< continuation-token epoch mismatch (a=token epoch, b=live epoch)
+  kScanLeafRead,      ///< client consumed a mirrored leaf page one-sidedly (a=leaf id, b=entries)
+  kScanLeafFallback,  ///< leaf-page validation failed; message path took over (a=leaf id)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -222,4 +222,79 @@ std::optional<TxnCommit> decode_txn_commit(std::span<const std::byte> payload) {
   return txn;
 }
 
+std::vector<std::byte> encode_scan_req(const ScanReq& req) {
+  std::vector<std::byte> out;
+  out.reserve(13);
+  append(out, req.epoch);
+  append(out, req.limit);
+  append(out, req.flags);
+  return out;
+}
+
+std::optional<ScanReq> decode_scan_req(std::span<const std::byte> payload) {
+  ScanReq req;
+  Reader r(payload);
+  if (!r.read(&req.epoch) || !r.read(&req.limit) || !r.read(&req.flags) ||
+      !r.exhausted()) {
+    return std::nullopt;
+  }
+  if ((req.flags & ~kScanFlagExclusive) != 0) return std::nullopt;
+  return req;
+}
+
+std::vector<std::byte> encode_scan_resp(const ScanResp& resp) {
+  std::vector<std::byte> out;
+  std::size_t body = 0;
+  for (const auto& [k, v] : resp.entries) body += 8 + k.size() + v.size();
+  out.reserve(16 + body);
+  append(out, resp.epoch);
+  append(out, static_cast<std::uint8_t>(resp.done ? 1 : 0));
+  append(out, static_cast<std::uint32_t>(resp.entries.size()));
+  for (const auto& [k, v] : resp.entries) {
+    append_str(out, k);
+    append_str(out, v);
+  }
+  // Continuation-leaf hint: emitted only when present, so batches without
+  // one keep the shorter layout.
+  if (resp.hint.valid()) {
+    append(out, static_cast<std::uint8_t>(1));
+    append(out, resp.hint.node);
+    append(out, resp.hint.rkey);
+    append(out, resp.hint.offset);
+    append(out, resp.hint.len);
+    append(out, resp.hint.leaf_id);
+    append(out, resp.hint.leaf_version);
+  }
+  return out;
+}
+
+std::optional<ScanResp> decode_scan_resp(std::span<const std::byte> payload) {
+  ScanResp resp;
+  Reader r(payload);
+  std::uint8_t done = 0;
+  std::uint32_t count = 0;
+  if (!r.read(&resp.epoch) || !r.read(&done) || !r.read(&count)) return std::nullopt;
+  if (done > 1) return std::nullopt;
+  resp.done = done != 0;
+  // Each entry costs at least its two length words; reject counts the frame
+  // could not carry before sizing any allocation from them.
+  if (static_cast<std::size_t>(count) * 8 > payload.size()) return std::nullopt;
+  resp.entries.resize(count);
+  for (auto& [k, v] : resp.entries) {
+    if (!r.read_str(&k) || !r.read_str(&v)) return std::nullopt;
+  }
+  if (!r.exhausted()) {
+    std::uint8_t present = 0;
+    if (!r.read(&present) || present != 1) return std::nullopt;
+    if (!r.read(&resp.hint.node) || !r.read(&resp.hint.rkey) ||
+        !r.read(&resp.hint.offset) || !r.read(&resp.hint.len) ||
+        !r.read(&resp.hint.leaf_id) || !r.read(&resp.hint.leaf_version)) {
+      return std::nullopt;
+    }
+    if (!resp.hint.valid()) return std::nullopt;
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return resp;
+}
+
 }  // namespace hydra::proto

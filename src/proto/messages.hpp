@@ -10,6 +10,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -27,6 +28,7 @@ enum class MsgType : std::uint8_t {
   kRepRecord,  ///< replication log record (primary -> secondary)
   kRepAck,     ///< cumulative acknowledgement (secondary -> primary)
   kTxnCommit,  ///< multi-key transactional commit group (DESIGN.md §11)
+  kScan,       ///< ordered range-scan batch against one shard (DESIGN.md §13)
 };
 
 /// A remote pointer: everything a client needs to RDMA-Read an item
@@ -177,6 +179,54 @@ struct TxnCommit {
 std::vector<std::byte> encode_txn_commit(const TxnCommit& txn);
 std::optional<TxnCommit> decode_txn_commit(std::span<const std::byte> payload);
 
+// --- ordered range scans (DESIGN.md §13) ------------------------------------
+
+/// Resume-key semantics for a scan request: set on every continuation so the
+/// last key the client already consumed is not returned again.
+inline constexpr std::uint8_t kScanFlagExclusive = 1;
+
+/// Body of a kScan request (travels in Request::value; the start/resume key
+/// travels in Request::key). Together (epoch, key, flags) form the
+/// continuation token: the shard rejects the request with kWrongOwner when
+/// `epoch` is not its live routing epoch, so a token can never read through
+/// a migration or promotion it predates.
+struct ScanReq {
+  std::uint64_t epoch = 0;
+  std::uint32_t limit = 0;  ///< max entries the client still wants
+  std::uint8_t flags = 0;   ///< kScanFlagExclusive
+};
+
+/// Advertisement of a mirrored leaf page the client may RDMA-Read to
+/// continue the scan one-sidedly. (leaf_id, leaf_version) must match the
+/// page header after the read -- a mismatch means the mirror slot was
+/// reused or refreshed underneath the reader and the client falls back to
+/// the message path.
+struct ScanLeafHint {
+  NodeId node = kInvalidNode;
+  std::uint32_t rkey = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  std::uint64_t leaf_id = 0;
+  std::uint64_t leaf_version = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return rkey != 0 && len != 0; }
+};
+
+/// Body of a kScan response (travels in Response::value).
+struct ScanResp {
+  std::uint64_t epoch = 0;
+  bool done = false;  ///< no entries past this batch remain on this shard
+  std::vector<std::pair<std::string, std::string>> entries;  ///< sorted (key, value)
+  /// Optional trailing block: mirror page holding the continuation leaf.
+  ScanLeafHint hint;
+};
+
+std::vector<std::byte> encode_scan_req(const ScanReq& req);
+std::optional<ScanReq> decode_scan_req(std::span<const std::byte> payload);
+
+std::vector<std::byte> encode_scan_resp(const ScanResp& resp);
+std::optional<ScanResp> decode_scan_resp(std::span<const std::byte> payload);
+
 constexpr const char* to_string(MsgType t) noexcept {
   switch (t) {
     case MsgType::kGet: return "GET";
@@ -189,6 +239,7 @@ constexpr const char* to_string(MsgType t) noexcept {
     case MsgType::kRepRecord: return "REP_RECORD";
     case MsgType::kRepAck: return "REP_ACK";
     case MsgType::kTxnCommit: return "TXN_COMMIT";
+    case MsgType::kScan: return "SCAN";
   }
   return "?";
 }

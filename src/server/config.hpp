@@ -47,6 +47,12 @@ struct CpuModel {
   /// epoch validation across the group; each op then pays the normal
   /// base_put/base_remove on top.
   Duration base_txn_commit = 600;
+  /// Range-scan batch (DESIGN.md §13): token decode + tree descent, then a
+  /// per-entry copy-out cost on top (values additionally pay per_value_byte).
+  Duration base_scan = 500;
+  Duration per_scan_entry = 120;
+  /// Re-serializing one leaf into the one-sided mirror (checksum + copies).
+  Duration leaf_refresh = 400;
 };
 
 struct ShardConfig {
@@ -99,6 +105,18 @@ struct ShardConfig {
   /// Follower promo-slab slot size; bounds the largest promotable item
   /// (header + key + value + guardian, see core/item.hpp).
   std::uint32_t hotkey_slot_bytes = 256;
+  /// One-sided scan mirror (DESIGN.md §13): number of leaf pages the shard
+  /// keeps serialized in an MR-registered region so clients can RDMA-Read
+  /// scan continuations. Only meaningful when `store.ordered_index` is on
+  /// (the region is registered iff both hold); with the index off (the
+  /// default) no region is registered and no scan code runs, so rkey
+  /// assignment and event histories are byte-identical to a build that
+  /// predates the feature (same contract as txn_lock_words above).
+  std::uint32_t scan_mirror_pages = 64;
+  std::uint32_t scan_mirror_page_bytes = 4096;
+  /// Cap on entries returned per kScan batch (responses are additionally
+  /// bounded by the connection's response-slot byte budget).
+  std::uint32_t scan_max_batch = 32;
   /// Whether GET responses mint remote pointers (disabled to measure the
   /// "RDMA Write only" rows of Fig 10).
   bool grant_remote_pointers = true;

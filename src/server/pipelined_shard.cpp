@@ -157,6 +157,11 @@ void PipelinedShard::execute(proto::Request req, std::uint32_t conn_idx, std::si
       resp.status = store_->remove(req.key, now());
       ++stats_.removes;
       break;
+    case proto::MsgType::kScan:
+      // The pipelined comparator exists to reproduce Fig 5's point-op loss;
+      // range scans are out of its scope. Well-formed, just unsupported.
+      resp.status = Status::kInvalidArgument;
+      break;
     default:
       resp.status = Status::kInvalidArgument;
       ++stats_.malformed;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <span>
 #include <string>
 #include <utility>
 
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "core/item.hpp"
+#include "index/leaf_page.hpp"
 #include "obs/plane.hpp"
 
 namespace hydra::server {
@@ -44,6 +46,16 @@ Shard::Shard(sim::Scheduler& sched, fabric::Fabric& fabric, NodeId node,
     const std::uint64_t dead = core::kGuardianDead;
     std::memcpy(dead_word_.data(), &dead, sizeof(dead));
   }
+  if (cfg_.scan_mirror_pages > 0 && store_->config().ordered_index) {
+    // One-sided scan-leaf mirror (DESIGN.md §13). Gated on the ordered
+    // index so index-off runs perform exactly the seed's registrations --
+    // rkey assignment and event histories stay byte-identical (same
+    // contract as txn_lock_words above).
+    leaf_region_.resize(static_cast<std::size_t>(cfg_.scan_mirror_pages) *
+                        cfg_.scan_mirror_page_bytes);
+    leaf_mr_ = fabric_.node(node_).register_memory(leaf_region_);
+    mirror_slots_.resize(cfg_.scan_mirror_pages);
+  }
 }
 
 void Shard::kill() {
@@ -52,6 +64,7 @@ void Shard::kill() {
   msg_mr_->revoke();
   arena_mr_->revoke();
   if (lock_mr_ != nullptr) lock_mr_->revoke();
+  if (leaf_mr_ != nullptr) leaf_mr_->revoke();
   for (Connection& conn : conns_) {
     if (conn.mux && conn.ring_mr != nullptr && !conn.closed) conn.ring_mr->revoke();
   }
@@ -375,6 +388,13 @@ void Shard::sweep_mux_group(std::uint32_t idx) {
 
 void Shard::handle(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
                    Duration cost_so_far, bool batched, std::uint32_t endpoint) {
+  if (req.type == proto::MsgType::kScan) {
+    // Scans dispatch before the per-key owner filter: the request's key is a
+    // range position, not an owned key, and the handler runs its own epoch
+    // fence against the continuation token.
+    handle_scan(std::move(req), conn_idx, slot, cost_so_far, batched, endpoint);
+    return;
+  }
   const CpuModel& cpu = cfg_.cpu;
   proto::Response resp;
   resp.req_id = req.req_id;
@@ -766,6 +786,155 @@ void Shard::handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::u
   }
 
   respond(std::move(resp), cost);
+}
+
+void Shard::handle_scan(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
+                        Duration cost, bool batched, std::uint32_t endpoint) {
+  const CpuModel& cpu = cfg_.cpu;
+  proto::Response resp;
+  resp.req_id = req.req_id;
+  cost += cpu.base_scan;
+
+  auto respond = [this, conn_idx, slot, batched, endpoint](proto::Response r, Duration c) {
+    charge(c);
+    schedule_after(c, [this, r = std::move(r), conn_idx, slot, batched, endpoint] {
+      send_response(r, conn_idx, slot, batched, endpoint);
+      process_loop();
+    });
+  };
+
+  const auto* value_bytes = reinterpret_cast<const std::byte*>(req.value.data());
+  const auto sreq = proto::decode_scan_req({value_bytes, req.value.size()});
+  index::OrderedIndex* idx = store_->index();
+  if (!sreq.has_value() || idx == nullptr) {
+    // Garbage payload or a scan aimed at a shard without an ordered index:
+    // refuse before touching anything (mirrors the kTxnCommit discipline).
+    ++stats_.malformed;
+    resp.status = Status::kInvalidArgument;
+    cost += batched ? cpu.post_response_batched : cpu.post_response;
+    respond(std::move(resp), cost);
+    return;
+  }
+
+  // Epoch fence: a continuation token minted under an older routing epoch may
+  // straddle a migration seal or a promotion; the client must re-resolve and
+  // resume rather than trust a stale shard set.
+  const std::uint64_t live_epoch = epoch_source_ ? epoch_source_() : 0;
+  if (sreq->epoch != live_epoch) {
+    ++stats_.scan_token_rejects;
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kScanTokenRejected, cfg_.id,
+                           sreq->epoch, live_epoch);
+    }
+    resp.status = Status::kWrongOwner;
+    cost += batched ? cpu.post_response_batched : cpu.post_response;
+    respond(std::move(resp), cost);
+    return;
+  }
+
+  // The batch must fit the requester's response slot -- leave margin for the
+  // response envelope + frame so send_response never degrades a scan.
+  std::uint32_t resp_bytes = conns_[conn_idx].resp_bytes;
+  if (endpoint != kNoEndpoint && endpoint < endpoints_.size()) {
+    resp_bytes = endpoints_[endpoint].resp_bytes;
+  }
+  const std::size_t budget = resp_bytes > 192 ? resp_bytes - 192 : 0;
+  const std::uint32_t limit =
+      std::min(std::max<std::uint32_t>(sreq->limit, 1), cfg_.scan_max_batch);
+  const bool exclusive = (sreq->flags & proto::kScanFlagExclusive) != 0;
+
+  proto::ScanResp body;
+  body.epoch = live_epoch;
+  std::size_t bytes_used = 0;
+  std::uint64_t payload_bytes = 0;
+  bool more = false;
+  idx->scan(req.key, exclusive, [&](std::string_view k, std::uint64_t off) {
+    const std::string_view v = store_->value_at(off);
+    const std::size_t entry_bytes = 8 + k.size() + v.size();
+    // Always admit the first entry even past the byte budget: a zero-entry
+    // not-done response would make the client re-issue the same token forever.
+    if (body.entries.size() >= limit ||
+        (!body.entries.empty() && bytes_used + entry_bytes > budget)) {
+      more = true;
+      return false;
+    }
+    body.entries.emplace_back(std::string(k), std::string(v));
+    bytes_used += entry_bytes;
+    payload_bytes += v.size();
+    return true;
+  });
+  body.done = !more;
+  cost += cpu.per_scan_entry * static_cast<Duration>(body.entries.size()) +
+          static_cast<Duration>(cpu.per_value_byte * static_cast<double>(payload_bytes));
+
+  // When the batch stops mid-range, hand the client a one-sided hint for the
+  // leaf holding the continuation so short follow-ups can skip the shard CPU.
+  if (!body.done && leaf_mr_ != nullptr && !body.entries.empty()) {
+    if (auto leaf = idx->leaf_for(body.entries.back().first, /*exclusive=*/true)) {
+      if (auto hint = refresh_leaf_mirror(*leaf, live_epoch, cost)) body.hint = *hint;
+    }
+  }
+
+  ++stats_.scans;
+  stats_.scan_entries += body.entries.size();
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(now(), node_, obs::TraceKind::kScanHandled, cfg_.id,
+                         body.entries.size(), body.done ? 1 : 0);
+  }
+  const auto enc = proto::encode_scan_resp(body);
+  resp.status = Status::kOk;
+  resp.value.assign(reinterpret_cast<const char*>(enc.data()), enc.size());
+  cost += batched ? cpu.post_response_batched : cpu.post_response;
+  respond(std::move(resp), cost);
+}
+
+std::optional<proto::ScanLeafHint> Shard::refresh_leaf_mirror(
+    const index::OrderedIndex::LeafRef& leaf, std::uint64_t epoch, Duration& cost) {
+  if (leaf_mr_ == nullptr || mirror_slots_.empty()) return std::nullopt;
+  std::vector<std::pair<std::string_view, std::string_view>> kv;
+  kv.reserve(leaf.entries->size());
+  for (const auto& e : *leaf.entries) kv.emplace_back(e.key, store_->value_at(e.offset));
+  if (index::leaf_page_bytes(kv) > cfg_.scan_mirror_page_bytes) {
+    ++stats_.scan_leaf_oversize;
+    return std::nullopt;
+  }
+
+  std::uint32_t mslot;
+  const auto it = mirror_slot_of_.find(leaf.id);
+  if (it != mirror_slot_of_.end()) {
+    mslot = it->second;
+  } else {
+    // Round-robin eviction keeps the mirror O(pages) regardless of tree size;
+    // a stale victim page simply fails its version check client-side.
+    mslot = mirror_clock_++ % static_cast<std::uint32_t>(mirror_slots_.size());
+    if (mirror_slots_[mslot].used) mirror_slot_of_.erase(mirror_slots_[mslot].leaf_id);
+    mirror_slot_of_[leaf.id] = mslot;
+    mirror_slots_[mslot] = MirrorSlot{};
+  }
+  MirrorSlot& ms = mirror_slots_[mslot];
+  if (!ms.used || ms.leaf_version != leaf.version || ms.epoch != epoch) {
+    const std::size_t off =
+        static_cast<std::size_t>(mslot) * cfg_.scan_mirror_page_bytes;
+    std::span<std::byte> page{leaf_region_.data() + off, cfg_.scan_mirror_page_bytes};
+    if (!index::encode_leaf_page(page, leaf.id, leaf.version, epoch, leaf.last, kv)) {
+      return std::nullopt;
+    }
+    ms.used = true;
+    ms.leaf_id = leaf.id;
+    ms.leaf_version = leaf.version;
+    ms.epoch = epoch;
+    ++stats_.scan_leaf_refreshes;
+    cost += cfg_.cpu.leaf_refresh;
+  }
+
+  proto::ScanLeafHint hint;
+  hint.node = node_;
+  hint.rkey = leaf_mr_->rkey();
+  hint.offset = static_cast<std::uint64_t>(mslot) * cfg_.scan_mirror_page_bytes;
+  hint.len = cfg_.scan_mirror_page_bytes;
+  hint.leaf_id = leaf.id;
+  hint.leaf_version = leaf.version;
+  return hint;
 }
 
 void Shard::send_response(const proto::Response& resp, std::uint32_t conn_idx,

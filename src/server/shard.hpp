@@ -50,6 +50,12 @@ struct ShardStats {
   std::uint64_t hotkey_demotions = 0;     ///< promotions withdrawn (any reason)
   std::uint64_t hotkey_invalidations = 0; ///< guardian-kill writes posted pre-ack
   std::uint64_t hotkey_advertised = 0;    ///< GET responses carrying replica ptrs
+  // Ordered index + range scans (DESIGN.md §13).
+  std::uint64_t scans = 0;                ///< kScan batches served
+  std::uint64_t scan_entries = 0;         ///< entries returned across batches
+  std::uint64_t scan_token_rejects = 0;   ///< continuation tokens refused (epoch)
+  std::uint64_t scan_leaf_refreshes = 0;  ///< leaf pages (re)serialized to the mirror
+  std::uint64_t scan_leaf_oversize = 0;   ///< leaves too big for a mirror page
   Duration busy_time = 0;  ///< virtual CPU time charged to this core
 };
 
@@ -158,6 +164,13 @@ class Shard : public sim::Actor {
   /// Read); exposed so tests can assert no read ever targets a stale rkey.
   [[nodiscard]] std::uint32_t arena_rkey() const noexcept;
 
+  /// rkey of the one-sided scan-leaf mirror (DESIGN.md §13); 0 when the
+  /// ordered index or the mirror is disabled. Exposed so chaos can target
+  /// torn-read injection at leaf pages specifically.
+  [[nodiscard]] std::uint32_t scan_leaf_rkey() const noexcept {
+    return leaf_mr_ != nullptr ? leaf_mr_->rkey() : 0;
+  }
+
   // --- transactions (DESIGN.md §11) ----------------------------------------
   /// Commit-time epoch fence: a kTxnCommit whose header epoch differs from
   /// `epoch()` is refused with kTxnConflict before anything applies, so a
@@ -257,6 +270,17 @@ class Shard : public sim::Actor {
   /// a mid-group store failure rolls the applied prefix back).
   void handle_txn_commit(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
                          Duration cost, bool batched, std::uint32_t endpoint);
+  /// kScan: validates the continuation token's epoch against the live
+  /// routing epoch, walks the ordered index from the resume key, and -- when
+  /// more entries remain -- refreshes + advertises the continuation leaf's
+  /// mirror page for one-sided pickup.
+  void handle_scan(proto::Request req, std::uint32_t conn_idx, std::uint32_t slot,
+                   Duration cost, bool batched, std::uint32_t endpoint);
+  /// (Re)serializes `leaf` into the mirror when its cached (id, version,
+  /// epoch) stamp is stale; returns the advertisement, or nullopt when the
+  /// mirror is off or the leaf outgrows a page.
+  std::optional<proto::ScanLeafHint> refresh_leaf_mirror(
+      const index::OrderedIndex::LeafRef& leaf, std::uint64_t epoch, Duration& cost);
   void send_response(const proto::Response& resp, std::uint32_t conn_idx,
                      std::uint32_t slot, bool batched, std::uint32_t endpoint = kNoEndpoint);
   void charge(Duration cost) noexcept { stats_.busy_time += cost; }
@@ -330,6 +354,22 @@ class Shard : public sim::Actor {
   std::vector<std::byte> lock_region_;
   fabric::MemoryRegion* lock_mr_ = nullptr;
   EpochFn epoch_source_;
+
+  /// One-sided scan-leaf mirror (DESIGN.md §13): fixed page slots holding
+  /// serialized B+-tree leaves. Registered only when the ordered index and
+  /// cfg_.scan_mirror_pages are both on, so index-off runs keep the seed's
+  /// rkey sequence.
+  struct MirrorSlot {
+    std::uint64_t leaf_id = 0;
+    std::uint64_t leaf_version = 0;
+    std::uint64_t epoch = 0;
+    bool used = false;
+  };
+  std::vector<std::byte> leaf_region_;
+  fabric::MemoryRegion* leaf_mr_ = nullptr;
+  std::vector<MirrorSlot> mirror_slots_;
+  std::map<std::uint64_t, std::uint32_t> mirror_slot_of_;  ///< leaf id -> slot
+  std::uint32_t mirror_clock_ = 0;  ///< round-robin eviction cursor
 
   std::vector<Connection> conns_;
   /// Maps msg_region_ block index -> conns_ index for legacy connections

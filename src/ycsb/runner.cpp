@@ -35,7 +35,10 @@ class Driver {
   void issue_next() {
     const TraceOp& op = trace_[pos_++];
     std::string key = format_key(op.record, spec_.key_len);
-    if (op.is_get) {
+    if (op.is_scan) {
+      client_.scan(std::move(key), static_cast<std::uint32_t>(op.scan_len),
+                   [this](Status, client::Client::ScanEntries) { on_done(); });
+    } else if (op.is_get) {
       client_.get(std::move(key), [this](Status, std::string_view) { on_done(); });
     } else {
       client_.update(std::move(key), synth_value(op.record ^ pos_, spec_.value_len),
@@ -120,16 +123,23 @@ RunResult run_workload(db::HydraCluster& cluster, const WorkloadSpec& spec,
   result.elapsed = end - start;
   LatencyHistogram get_hist;
   LatencyHistogram put_hist;
+  LatencyHistogram scan_hist;
   for (auto* c : clients) {
     const auto& s = c->stats();
-    result.operations += s.gets + s.puts + s.removes;
+    result.operations += s.gets + s.puts + s.removes + s.scans;
     result.ptr_hits += s.ptr_hits;
     result.invalid_hits += s.invalid_hits;
     result.ptr_misses += s.ptr_misses;
     result.timeouts += s.timeouts;
     result.failures += s.failures;
+    result.scans += s.scans;
+    result.scan_entries += s.scan_entries;
+    result.scan_leaf_reads += s.scan_leaf_reads;
+    result.scan_leaf_fallbacks += s.scan_leaf_fallbacks;
+    result.scan_restarts += s.scan_restarts;
     get_hist.merge(s.get_latency);
     put_hist.merge(s.put_latency);
+    scan_hist.merge(s.scan_latency);
   }
   if (result.elapsed > 0) {
     result.throughput_mops =
@@ -138,6 +148,8 @@ RunResult run_workload(db::HydraCluster& cluster, const WorkloadSpec& spec,
   result.avg_get_us = get_hist.mean() / 1000.0;
   result.avg_update_us = put_hist.mean() / 1000.0;
   result.p99_get = get_hist.percentile(99);
+  result.avg_scan_us = scan_hist.mean() / 1000.0;
+  result.p99_scan = scan_hist.percentile(99);
   return result;
 }
 

@@ -24,6 +24,14 @@ struct RunResult {
   std::uint64_t ptr_misses = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t failures = 0;
+  // Range scans (YCSB-E, DESIGN.md §13).
+  std::uint64_t scans = 0;          ///< cursor-level scans completed
+  std::uint64_t scan_entries = 0;   ///< entries returned across all scans
+  double avg_scan_us = 0.0;
+  Duration p99_scan = 0;
+  std::uint64_t scan_leaf_reads = 0;
+  std::uint64_t scan_leaf_fallbacks = 0;
+  std::uint64_t scan_restarts = 0;
 };
 
 struct RunOptions {

@@ -1,5 +1,6 @@
 #include "ycsb/workload.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/hash.hpp"
@@ -8,7 +9,11 @@ namespace hydra::ycsb {
 
 std::string WorkloadSpec::name() const {
   char buf[64];
-  if (distribution == Distribution::kHotspot) {
+  if (scan_fraction > 0.0) {
+    std::snprintf(buf, sizeof(buf), "%d%%SCAN(max%llu)/%s",
+                  static_cast<int>(scan_fraction * 100),
+                  static_cast<unsigned long long>(max_scan_len), to_string(distribution));
+  } else if (distribution == Distribution::kHotspot) {
     std::snprintf(buf, sizeof(buf), "%d%%GET/hotspot(%d/%d)",
                   static_cast<int>(get_fraction * 100),
                   static_cast<int>(hotspot_data_fraction * 100),
@@ -38,6 +43,19 @@ std::vector<WorkloadSpec> paper_workloads(std::uint64_t record_count,
   return out;
 }
 
+WorkloadSpec ycsb_e(std::uint64_t record_count, std::uint64_t operations,
+                    std::uint64_t max_scan_len, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.get_fraction = 0.0;  // non-scan remainder = updates
+  spec.scan_fraction = 0.95;
+  spec.max_scan_len = max_scan_len > 0 ? max_scan_len : 1;
+  spec.distribution = Distribution::kZipfian;
+  spec.record_count = record_count;
+  spec.operations = operations;
+  spec.seed = seed;
+  return spec;
+}
+
 std::vector<TraceOp> generate_trace(const WorkloadSpec& spec, int client_index,
                                     std::uint64_t ops_for_client) {
   Xoshiro256 rng(mix64(spec.seed * 1000003ULL + static_cast<std::uint64_t>(client_index)));
@@ -48,7 +66,18 @@ std::vector<TraceOp> generate_trace(const WorkloadSpec& spec, int client_index,
   for (std::uint64_t i = 0; i < ops_for_client; ++i) {
     TraceOp op;
     op.record = chooser->next(rng);
-    op.is_get = rng.uniform() < spec.get_fraction;
+    // Guard the scan draw behind scan_fraction > 0: a scan-free spec must
+    // consume exactly the pre-feature RNG sequence (byte-identical traces).
+    if (spec.scan_fraction > 0.0 && rng.uniform() < spec.scan_fraction) {
+      op.is_scan = true;
+      op.is_get = false;
+      op.scan_len = std::min<std::uint64_t>(
+          spec.max_scan_len,
+          1 + static_cast<std::uint64_t>(rng.uniform() *
+                                         static_cast<double>(spec.max_scan_len)));
+    } else {
+      op.is_get = rng.uniform() < spec.get_fraction;
+    }
     trace.push_back(op);
   }
   return trace;

@@ -17,6 +17,13 @@ namespace hydra::ycsb {
 struct WorkloadSpec {
   /// Fraction of operations that are GETs; the remainder are UPDATEs.
   double get_fraction = 1.0;
+  /// Fraction of operations that are range SCANs (YCSB-E, DESIGN.md §13):
+  /// start key drawn from `distribution`, length uniform in
+  /// [1, max_scan_len]. The remaining (1 - scan_fraction) ops split between
+  /// GET/UPDATE by get_fraction as usual. 0 (the default) draws exactly the
+  /// pre-feature RNG sequence, so existing traces stay byte-identical.
+  double scan_fraction = 0.0;
+  std::uint64_t max_scan_len = 1;
   Distribution distribution = Distribution::kZipfian;
   std::uint64_t record_count = 60'000;
   std::uint64_t operations = 120'000;  ///< total, split across clients
@@ -37,9 +44,16 @@ struct WorkloadSpec {
 std::vector<WorkloadSpec> paper_workloads(std::uint64_t record_count,
                                           std::uint64_t operations);
 
+/// YCSB-E: 95% short range scans (zipfian start keys, uniform lengths in
+/// [1, max_scan_len]), 5% updates.
+WorkloadSpec ycsb_e(std::uint64_t record_count, std::uint64_t operations,
+                    std::uint64_t max_scan_len, std::uint64_t seed = 500);
+
 struct TraceOp {
   std::uint64_t record;
   bool is_get;
+  bool is_scan = false;
+  std::uint64_t scan_len = 1;  ///< entries requested when is_scan
 };
 
 /// Pre-generates the request trace for one client (deterministic in

@@ -351,5 +351,157 @@ TEST(Messages, LengthFieldLyingAboutSizeRejected) {
   EXPECT_FALSE(decode_request(payload).has_value());
 }
 
+// --- ordered range scans (DESIGN.md §13) ------------------------------------
+
+TEST(Messages, ScanReqRoundTrip) {
+  for (const std::uint8_t flags : {std::uint8_t{0}, kScanFlagExclusive}) {
+    ScanReq req;
+    req.epoch = 0xFEEDFACECAFEBEEFULL;
+    req.limit = 321;
+    req.flags = flags;
+    const auto back = decode_scan_req(encode_scan_req(req));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->epoch, req.epoch);
+    EXPECT_EQ(back->limit, 321u);
+    EXPECT_EQ(back->flags, flags);
+  }
+}
+
+TEST(Messages, ScanReqHardened) {
+  ScanReq req;
+  req.epoch = 7;
+  req.limit = 5;
+  req.flags = kScanFlagExclusive;
+  auto payload = encode_scan_req(req);
+  // Truncation at every boundary.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    auto truncated = payload;
+    truncated.resize(cut);
+    EXPECT_FALSE(decode_scan_req(truncated).has_value()) << "cut=" << cut;
+  }
+  // Trailing garbage (exhaustion check).
+  auto padded = payload;
+  padded.push_back(std::byte{0});
+  EXPECT_FALSE(decode_scan_req(padded).has_value());
+  // Undefined flag bits: a newer/corrupt client must be rejected, not
+  // silently half-understood.
+  auto flagged = payload;
+  flagged[8 + 4] = std::byte{0x80};
+  EXPECT_FALSE(decode_scan_req(flagged).has_value());
+}
+
+ScanResp sample_scan_resp(bool with_hint) {
+  ScanResp resp;
+  resp.epoch = 12;
+  resp.done = false;
+  resp.entries = {{"a-key", "a-value"}, {"b-key", ""}, {"c", "ccc"}};
+  if (with_hint) {
+    resp.hint.node = 3;
+    resp.hint.rkey = 77;
+    resp.hint.offset = 8192;
+    resp.hint.len = 4096;
+    resp.hint.leaf_id = 19;
+    resp.hint.leaf_version = 6;
+  }
+  return resp;
+}
+
+TEST(Messages, ScanRespRoundTrip) {
+  for (const bool with_hint : {false, true}) {
+    const ScanResp resp = sample_scan_resp(with_hint);
+    const auto back = decode_scan_resp(encode_scan_resp(resp));
+    ASSERT_TRUE(back.has_value()) << "hint=" << with_hint;
+    EXPECT_EQ(back->epoch, 12u);
+    EXPECT_FALSE(back->done);
+    ASSERT_EQ(back->entries.size(), 3u);
+    EXPECT_EQ(back->entries[0].first, "a-key");
+    EXPECT_EQ(back->entries[0].second, "a-value");
+    EXPECT_EQ(back->entries[1].second, "");
+    EXPECT_EQ(back->hint.valid(), with_hint);
+    if (with_hint) {
+      EXPECT_EQ(back->hint.node, 3u);
+      EXPECT_EQ(back->hint.rkey, 77u);
+      EXPECT_EQ(back->hint.offset, 8192u);
+      EXPECT_EQ(back->hint.len, 4096u);
+      EXPECT_EQ(back->hint.leaf_id, 19u);
+      EXPECT_EQ(back->hint.leaf_version, 6u);
+    }
+  }
+}
+
+TEST(Messages, ScanRespEmptyDoneRoundTrip) {
+  ScanResp resp;
+  resp.epoch = 1;
+  resp.done = true;
+  const auto back = decode_scan_resp(encode_scan_resp(resp));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->done);
+  EXPECT_TRUE(back->entries.empty());
+  EXPECT_FALSE(back->hint.valid());
+}
+
+TEST(Messages, ScanRespTruncationRejected) {
+  const std::size_t hint_off = encode_scan_resp(sample_scan_resp(false)).size();
+  for (const bool with_hint : {false, true}) {
+    const auto payload = encode_scan_resp(sample_scan_resp(with_hint));
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      auto truncated = payload;
+      truncated.resize(cut);
+      if (with_hint && cut == hint_off) {
+        // Cutting exactly the optional trailing hint block yields a valid
+        // hint-less batch -- indistinguishable by design; the frame-level
+        // checksum is what guards against real truncation there.
+        const auto back = decode_scan_resp(truncated);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_FALSE(back->hint.valid());
+        continue;
+      }
+      EXPECT_FALSE(decode_scan_resp(truncated).has_value())
+          << "hint=" << with_hint << " cut=" << cut;
+    }
+    auto padded = payload;
+    padded.push_back(std::byte{2});
+    EXPECT_FALSE(decode_scan_resp(padded).has_value()) << "hint=" << with_hint;
+  }
+}
+
+TEST(Messages, ScanRespOpCountCorruptionRejected) {
+  auto payload = encode_scan_resp(sample_scan_resp(false));
+  // Entry count lives after epoch (8) + done (1). A count the frame cannot
+  // carry must be rejected before any allocation is sized from it.
+  const std::uint32_t huge = 0x40000000;
+  std::memcpy(payload.data() + 9, &huge, 4);
+  EXPECT_FALSE(decode_scan_resp(payload).has_value());
+  // Off-by-small lies are caught by the walk, not just the bound check.
+  const std::uint32_t plus_one = 4;
+  std::memcpy(payload.data() + 9, &plus_one, 4);
+  EXPECT_FALSE(decode_scan_resp(payload).has_value());
+}
+
+TEST(Messages, ScanRespDoneCorruptionRejected) {
+  auto payload = encode_scan_resp(sample_scan_resp(false));
+  payload[8] = std::byte{2};  // done must be exactly 0 or 1
+  EXPECT_FALSE(decode_scan_resp(payload).has_value());
+}
+
+TEST(Messages, ScanRespHintCorruptionRejected) {
+  const ScanResp resp = sample_scan_resp(true);
+  auto payload = encode_scan_resp(resp);
+  const std::size_t hint_off = encode_scan_resp(sample_scan_resp(false)).size();
+  // Presence byte must be exactly 1.
+  for (const std::uint8_t presence : {std::uint8_t{0}, std::uint8_t{2}}) {
+    auto forged = payload;
+    forged[hint_off] = std::byte{presence};
+    EXPECT_FALSE(decode_scan_resp(forged).has_value())
+        << "presence=" << int(presence);
+  }
+  // A structurally complete hint that is semantically invalid (rkey == 0)
+  // must be rejected too -- clients never see a non-actionable hint.
+  auto forged = payload;
+  const std::uint32_t zero = 0;
+  std::memcpy(forged.data() + hint_off + 1 + 4, &zero, 4);  // rkey
+  EXPECT_FALSE(decode_scan_resp(forged).has_value());
+}
+
 }  // namespace
 }  // namespace hydra::proto
