@@ -1,12 +1,21 @@
-// Recovery latency of the failover plane: primary loss -> SWAT promotion ->
+// Recovery latency of the failover plane: primary loss -> promotion ->
 // first successful client write, measured on the virtual clock.
 //
-// Paper shape: detection is dominated by the coordinator session timeout
-// (2s here); promotion plus client re-routing add only a small fraction on
-// top, and neither the replica count nor the failure flavour (hard crash
-// versus a fenced partition) changes the picture materially.
+// Paper shape (legacy rows): detection is dominated by the coordinator
+// session timeout (2s here); promotion plus client re-routing add only a
+// small fraction on top, and neither the replica count nor the failure
+// flavour (hard crash versus a fenced partition) changes the picture
+// materially.
+//
+// --fast-failover adds rows with the RDMA permission-revocation agreement
+// plane enabled (DESIGN.md 14): replicas detect the silent primary by
+// missed pulses, fence it by revoking its ring rkeys, and agree on a
+// successor with a one-sided CAS ballot -- promotion lands in microseconds
+// instead of seconds, and the before/after comparison is written to
+// BENCH_failover.json (hydradb-obs-v1).
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,9 +26,11 @@ namespace {
 
 struct Row {
   std::string label;
+  bool fast = false;           // fast-failover agreement plane enabled
   double promote_s = 0;        // crash -> failovers() observed
   double first_write_s = 0;    // crash -> first acked post-failover PUT
   double trace_promote_s = -1; // fault -> kPromotionDone, from trace alone
+  double gap_hist_us = -1;     // cluster.failover_gap_us histogram max
   std::string obs_json;        // full hydradb-obs-v1 snapshot (--metrics-out)
 };
 
@@ -28,12 +39,20 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace hydra;
   std::string metrics_out;
+  std::string json_path = "BENCH_failover.json";
+  bool fast_rows = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (arg == "--fast-failover") {
+      fast_rows = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::string("--json=").size());
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     }
   }
 
@@ -45,13 +64,20 @@ int main(int argc, char** argv) {
     int replicas;
     replication::ReplicationMode mode;
     bool partition;  // fence via suppressed heartbeats instead of a crash
+    bool fast;       // enable the revocation/ballot agreement plane
   };
-  const Config configs[] = {
-      {"crash-relaxed-1r", 1, replication::ReplicationMode::kLogRelaxed, false},
-      {"crash-relaxed-2r", 2, replication::ReplicationMode::kLogRelaxed, false},
-      {"crash-strict-1r", 1, replication::ReplicationMode::kStrictAck, false},
-      {"partition-relaxed-1r", 1, replication::ReplicationMode::kLogRelaxed, true},
+  std::vector<Config> configs = {
+      {"crash-relaxed-1r", 1, replication::ReplicationMode::kLogRelaxed, false, false},
+      {"crash-relaxed-2r", 2, replication::ReplicationMode::kLogRelaxed, false, false},
+      {"crash-strict-1r", 1, replication::ReplicationMode::kStrictAck, false, false},
+      {"partition-relaxed-1r", 1, replication::ReplicationMode::kLogRelaxed, true, false},
   };
+  if (fast_rows) {
+    configs.push_back(
+        {"fast-relaxed-2r", 2, replication::ReplicationMode::kLogRelaxed, false, true});
+    configs.push_back(
+        {"fast-strict-2r", 2, replication::ReplicationMode::kStrictAck, false, true});
+  }
 
   for (const auto& cfg : configs) {
     db::ClusterOptions opts;
@@ -63,6 +89,7 @@ int main(int argc, char** argv) {
     opts.replicas = cfg.replicas;
     opts.replication.mode = cfg.mode;
     opts.enable_swat = true;
+    opts.fast_failover = cfg.fast;
     opts.client_template.request_timeout = 100 * kMillisecond;
     opts.client_template.max_retries = 100;
     // The obs plane is always attached: by the determinism contract
@@ -94,6 +121,7 @@ int main(int argc, char** argv) {
 
     Row row;
     row.label = cfg.label;
+    row.fast = cfg.fast;
     row.promote_s = static_cast<double>(promoted_at - crash_at) / kSecond;
     row.first_write_s = static_cast<double>(first_write_at - crash_at) / kSecond;
 
@@ -106,6 +134,12 @@ int main(int argc, char** argv) {
     const auto done = q.first(obs::TraceKind::kPromotionDone);
     if (fault && done) {
       row.trace_promote_s = static_cast<double>(done->at - fault->at) / kSecond;
+    }
+    // Promotion also stamps the crash-to-promotion gap into the obs
+    // histogram (partition rows never stamp crashed_at, so theirs is empty).
+    const auto& gap_hist = plane.metrics().histogram("cluster.failover_gap_us");
+    if (gap_hist.count() > 0) {
+      row.gap_hist_us = static_cast<double>(gap_hist.max());
     }
     if (!metrics_out.empty()) {
       row.obs_json = plane.json(cluster.scheduler().now());
@@ -128,7 +162,7 @@ int main(int argc, char** argv) {
   std::printf("%-24s %12s %14s %12s\n", "scenario", "promotion", "first write",
               "from-trace");
   for (const Row& r : rows) {
-    std::printf("%-24s %11.3fs %13.3fs %11.3fs\n", r.label.c_str(), r.promote_s,
+    std::printf("%-24s %11.6fs %13.6fs %11.6fs\n", r.label.c_str(), r.promote_s,
                 r.first_write_s, r.trace_promote_s);
   }
 
@@ -143,8 +177,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::fprintf(f,
-                   "    {\"label\": \"%s\", \"promotion_s\": %.3f, "
-                   "\"first_write_s\": %.3f, \"trace_promotion_s\": %.3f,\n"
+                   "    {\"label\": \"%s\", \"promotion_s\": %.6f, "
+                   "\"first_write_s\": %.6f, \"trace_promotion_s\": %.6f,\n"
                    "     \"obs\": %s}%s\n",
                    r.label.c_str(), r.promote_s, r.first_write_s, r.trace_promote_s,
                    r.obs_json.c_str(), i + 1 < rows.size() ? "," : "");
@@ -154,11 +188,55 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", metrics_out.c_str());
   }
 
+  if (fast_rows) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_chaos_recovery: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"failover_gap\",\n");
+    std::fprintf(f, "  \"schema\": \"hydradb-obs-v1\",\n");
+    std::fprintf(f,
+                 "  \"workload\": \"200 preload PUTs, 1 shard; kill (or fence) the "
+                 "primary, measure crash->promotion->first acked write on the "
+                 "virtual clock; legacy rows promote via the 2s coordinator "
+                 "session timeout, fast rows via pulse-miss suspicion + rkey "
+                 "revocation + CAS ballot\",\n");
+    std::fprintf(f,
+                 "  \"gap_hist_us\": \"max of the cluster.failover_gap_us obs "
+                 "histogram (-1 when the fault never stamped a crash)\",\n");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"fast_failover\": %s, "
+                   "\"promotion_s\": %.6f, \"first_write_s\": %.6f, "
+                   "\"trace_promotion_s\": %.6f, \"gap_hist_us\": %.1f}%s\n",
+                   r.label.c_str(), r.fast ? "true" : "false", r.promote_s,
+                   r.first_write_s, r.trace_promote_s, r.gap_hist_us,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   for (const Row& r : rows) {
-    shape.expect(r.promote_s > session_s,
-                 r.label + ": detection cannot beat the session timeout");
-    shape.expect(r.promote_s < session_s + 2.0,
-                 r.label + ": promotion lands within ~2s of the timeout");
+    if (r.fast) {
+      // The whole point of the agreement plane: promotion no longer waits
+      // for the session timeout -- the gap collapses to microseconds.
+      shape.expect(r.promote_s < 0.001,
+                   r.label + ": fast failover promotes within 1ms virtual");
+      shape.expect(r.gap_hist_us >= 0 && r.gap_hist_us < 1000.0,
+                   r.label + ": failover_gap_us histogram stays under 1ms");
+    } else {
+      shape.expect(r.promote_s > session_s,
+                   r.label + ": detection cannot beat the session timeout");
+      shape.expect(r.promote_s < session_s + 2.0,
+                   r.label + ": promotion lands within ~2s of the timeout");
+    }
     shape.expect(r.first_write_s - r.promote_s < 1.0,
                  r.label + ": client re-routes within 1s of promotion");
   }
@@ -167,5 +245,10 @@ int main(int argc, char** argv) {
                "two replicas do not slow down promotion");
   shape.expect(rows[3].promote_s < rows[0].promote_s + 2.0,
                "a fenced partition recovers like a crash (+heartbeat slack)");
+  if (fast_rows) {
+    // Before/after: the revocation plane beats heartbeat promotion by >1000x.
+    shape.expect(rows[4].promote_s * 1000.0 < rows[1].promote_s,
+                 "fast failover is at least 1000x faster than session timeout");
+  }
   return shape.summarize("chaos_recovery");
 }

@@ -9,8 +9,10 @@
 # plane suite (ctest label `hotkey`, DESIGN.md §12) likewise widened;
 # --scan for the ordered-index + range-scan suite (ctest label `scan`,
 # DESIGN.md §13) with both the index model check and the scan-mid-migration
-# sweep enlarged; --labels <regex> to run any other ctest label subset
-# (unit/chaos/txn/scale/hotkey/scan, see tests/CMakeLists.txt).
+# sweep enlarged; --failover for the fast-failover agreement plane suite
+# (ctest label `failover`, DESIGN.md §14) with its seeded-random sweep
+# widened; --labels <regex> to run any other ctest label subset
+# (unit/chaos/txn/scale/hotkey/scan/failover, see tests/CMakeLists.txt).
 # Modes compose: `tier1.sh --asan --txn` runs the txn suite under ASan with
 # the sweep scaled down to sanitizer speed.
 set -euo pipefail
@@ -21,6 +23,7 @@ label_regex=""
 txn_mode=0
 hotkey_mode=0
 scan_mode=0
+failover_mode=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --asan|--tsan)
@@ -37,6 +40,7 @@ while [[ $# -gt 0 ]]; do
       export HYDRA_HOTKEY_RANDOM_RUNS="${HYDRA_HOTKEY_RANDOM_RUNS:-8}"
       export HYDRA_SCAN_RANDOM_RUNS="${HYDRA_SCAN_RANDOM_RUNS:-8}"
       export HYDRA_INDEX_RANDOM_RUNS="${HYDRA_INDEX_RANDOM_RUNS:-60}"
+      export HYDRA_FAILOVER_RANDOM_RUNS="${HYDRA_FAILOVER_RANDOM_RUNS:-8}"
       ;;
     --txn)
       txn_mode=1
@@ -51,6 +55,11 @@ while [[ $# -gt 0 ]]; do
     --scan)
       scan_mode=1
       label_regex="scan"
+      shift
+      ;;
+    --failover)
+      failover_mode=1
+      label_regex="failover"
       shift
       ;;
     --labels)
@@ -79,6 +88,11 @@ if [[ $scan_mode -eq 1 && "$preset" == default ]]; then
   # acceptance floor.
   export HYDRA_SCAN_RANDOM_RUNS="${HYDRA_SCAN_RANDOM_RUNS:-100}"
   export HYDRA_INDEX_RANDOM_RUNS="${HYDRA_INDEX_RANDOM_RUNS:-500}"
+fi
+if [[ $failover_mode -eq 1 && "$preset" == default ]]; then
+  # Dedicated failover-agreement sweep: widen the seeded-random kill/torn
+  # revocation/split-ballot chaos family past the default 40 in-suite runs.
+  export HYDRA_FAILOVER_RANDOM_RUNS="${HYDRA_FAILOVER_RANDOM_RUNS:-60}"
 fi
 
 cmake --preset "$preset"

@@ -25,6 +25,8 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kSuppressHeartbeats: return "suppress-heartbeats";
     case FaultKind::kFailApply: return "fail-apply";
     case FaultKind::kKillMuxChannel: return "kill-mux-channel";
+    case FaultKind::kTearRevocation: return "tear-revocation";
+    case FaultKind::kDropRevocation: return "drop-revocation";
   }
   return "unknown";
 }
@@ -392,6 +394,12 @@ RunReport ChaosRunner::run(const ChaosSchedule& schedule, std::uint64_t seed,
         // in flight on the channel flushes without committing; endpoints
         // discover the corpse by timeout and re-establish lazily.
         cluster.kill_mux_channel(f.index, f.shard);
+        break;
+      case FaultKind::kTearRevocation:
+      case FaultKind::kDropRevocation:
+        // Revocation wire faults only make sense against the fast-failover
+        // agreement plane; FailoverChaosRunner arms them. The legacy runner
+        // never schedules them -- ignore rather than crash on a stray plan.
         break;
     }
   };

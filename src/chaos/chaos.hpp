@@ -41,6 +41,8 @@ enum class FaultKind : std::uint8_t {
   kSuppressHeartbeats,  ///< mute a primary's coordinator heartbeats
   kFailApply,           ///< inject replica apply failures (forces rollback)
   kKillMuxChannel,      ///< abruptly kill a client node's shared mux QP
+  kTearRevocation,      ///< next rkey revocation applies but loses its confirm
+  kDropRevocation,      ///< next rkey revocation is lost entirely (forces retry)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;

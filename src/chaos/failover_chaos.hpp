@@ -1,0 +1,93 @@
+// Chaos scenarios for the fast-failover plane (DESIGN.md §14).
+//
+// A FailoverSchedule runs the closed-loop PUT workload against a cluster
+// with ClusterOptions::fast_failover enabled and injects the fault points
+// the agreement protocol must survive: the primary killed mid-ring-write,
+// torn and dropped permission-revocation verbs, both replicas suspecting at
+// once (split CAS ballots), a SWAT-member kill mid-round, and the whole
+// dance composed with a live add-migration. The runner verifies the chaos
+// invariants plus the failover-specific ones:
+//
+//   1. every acked PUT is readable (with its exact value) after the round;
+//   2. operation callbacks always eventually fire or fail -- never wedge;
+//   3. at most one primary per epoch: routing epochs publish strictly
+//      monotonically and each of the victim shard's epochs pairs with
+//      exactly one promotion;
+//   4. when the fast path is expected to win, the crash-to-promotion gap
+//      stays under one millisecond of virtual time (versus ~2.45 s for the
+//      legacy session-timeout path, which stays armed as the fallback).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+
+namespace hydra::obs {
+class Plane;
+}  // namespace hydra::obs
+
+namespace hydra::chaos {
+
+struct FailoverSchedule {
+  std::string name;
+  std::uint32_t ops = 40;  ///< acked-PUT workload length
+  replication::ReplicationMode mode = replication::ReplicationMode::kLogRelaxed;
+  int replicas = 2;
+  int swat_members = 2;
+  /// False when the scheduled faults are designed to exhaust the revocation
+  /// retry budget: the round aborts, the legacy session-timeout path
+  /// promotes, and the <1 ms gap bound is waived for the run.
+  bool expect_fast = true;
+  /// Compose with a live add-migration triggered when op `migrate_at_op`
+  /// issues (the subject shard's id is 1; the victim stays shard 0).
+  bool migrate = false;
+  std::uint32_t migrate_at_op = 6;
+  /// Reuses the chaos Fault mechanics. kTearRevocation / kDropRevocation
+  /// faults arm `max(1, index)` one-shot wire faults against subsequent
+  /// revoke verbs, consumed in order.
+  std::vector<Fault> faults;
+
+  /// The scripted families the issue names: primary kill mid-ring-write
+  /// (relaxed and strict), torn revocation, dropped revocation, a
+  /// revocation storm that forces the legacy fallback, split ballots with
+  /// three suspecting replicas, SWAT leader killed mid-round, heartbeat
+  /// suppression interplay, and the migration composition.
+  static std::vector<FailoverSchedule> scripted();
+
+  /// Seeded-random composition over the same fault alphabet.
+  static FailoverSchedule random(std::uint64_t seed);
+};
+
+struct FailoverReport {
+  /// Deterministic textual log; byte-identical across runs of the same
+  /// (schedule, seed), with or without an external observability plane.
+  std::string history;
+  std::vector<std::string> violations;
+  std::uint64_t failovers = 0;        ///< legacy + fast promotions
+  std::uint64_t fast_promotions = 0;  ///< rounds that won the ballot and promoted
+  std::uint64_t rounds_started = 0;   ///< suspicion rounds opened (≥2 = a race)
+  std::uint64_t rounds_aborted = 0;
+  std::uint64_t ballots_lost = 0;     ///< CAS ballots that saw another winner
+  std::uint64_t revocations = 0;  ///< revoke verbs that applied at the owner
+  std::uint64_t acked_puts = 0;
+  std::uint64_t wedged_ops = 0;
+  /// Virtual time from the first primary kill to that shard's promotion
+  /// completing (0 when no primary was killed or no promotion happened).
+  Duration failover_gap = 0;
+
+  [[nodiscard]] bool passed() const noexcept { return violations.empty(); }
+};
+
+class FailoverChaosRunner {
+ public:
+  /// Runs `schedule` against a fresh fast-failover cluster; `seed` drives the
+  /// value payloads. `plane` (optional) substitutes for the runner's internal
+  /// observability plane -- the trace-driven invariants read whichever plane
+  /// is attached, and the history is byte-identical either way.
+  static FailoverReport run(const FailoverSchedule& schedule, std::uint64_t seed,
+                            obs::Plane* plane = nullptr);
+};
+
+}  // namespace hydra::chaos

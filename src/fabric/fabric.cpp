@@ -71,6 +71,44 @@ void Fabric::disconnect(QueuePair* qp) {
   }
 }
 
+void Fabric::revoke_rkey(NodeId owner, std::uint32_t rkey, Duration latency,
+                         std::function<void(bool confirmed)> on_done) {
+  sched_.after(latency, [this, owner, rkey, on_done = std::move(on_done)] {
+    Node& n = *nodes_[owner];
+    MemoryRegion* mr = n.alive() ? n.find_region(rkey) : nullptr;
+    if (mr == nullptr) {
+      // Dead owner or unknown rkey: nothing to revoke, nothing to confirm.
+      if (on_done) on_done(false);
+      return;
+    }
+    const RevokeFault fault = revoke_fault_ ? revoke_fault_(owner, rkey) : RevokeFault{};
+    const bool applied = fault.kind != RevokeFault::Kind::kDrop;
+    const bool confirmed = fault.kind == RevokeFault::Kind::kDeliver;
+    if (applied) {
+      if (!mr->revoked()) ++stats_.rkey_revocations;
+      mr->revoke();
+    }
+    if (fault.kind != RevokeFault::Kind::kDeliver) ++stats_.revoke_faults;
+    if (obs_ != nullptr) {
+      obs_->trace(sched_.now(), owner, obs::TraceKind::kRkeyRevoked, obs::kNoShard, rkey,
+                  static_cast<std::uint64_t>(fault.kind));
+    }
+    if (on_done) on_done(confirmed);
+  });
+}
+
+MemoryRegion* Fabric::reregister_mr(NodeId owner, MemoryRegion* old) {
+  if (old == nullptr) return nullptr;
+  if (!old->revoked()) old->revoke();
+  MemoryRegion* fresh = nodes_[owner]->register_memory(old->slice(0, old->length()));
+  ++stats_.rkey_reregistrations;
+  if (obs_ != nullptr) {
+    obs_->trace(sched_.now(), owner, obs::TraceKind::kRkeyReregistered, obs::kNoShard,
+                fresh->rkey(), old->rkey());
+  }
+  return fresh;
+}
+
 std::pair<TcpConn*, TcpConn*> Fabric::tcp_connect(NodeId a, NodeId b) {
   const auto id = static_cast<std::uint32_t>(tcp_conns_.size());
   tcp_conns_.push_back(std::make_unique<TcpConn>(*this, id, a, b));

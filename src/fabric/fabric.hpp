@@ -79,6 +79,10 @@ struct FabricStats {
   std::uint64_t torn_atomics = 0;
   std::uint64_t dropped_atomics = 0;
   std::uint64_t torn_reads = 0;  ///< fault-injected corrupted read snapshots
+  /// MR-permission verbs (fail-stop fencing, DESIGN.md §14).
+  std::uint64_t rkey_revocations = 0;     ///< revoke_rkey verbs that applied
+  std::uint64_t rkey_reregistrations = 0; ///< reregister_mr fresh-rkey grants
+  std::uint64_t revoke_faults = 0;        ///< fault-injected torn/dropped revocations
 };
 
 /// Fault-injection verdict for one RDMA Write, decided at commit time.
@@ -112,6 +116,18 @@ struct ReadFault {
 /// Chaos hook consulted once per RDMA Read as its target snapshot is taken.
 using ReadFaultHook = std::function<ReadFault(
     NodeId src, NodeId dst, const RemoteAddr& addr, std::uint32_t size)>;
+
+/// Fault-injection verdict for one MR-permission revocation. `kTorn` applies
+/// the revocation but loses the confirmation (the initiator must retry a
+/// verb that already took effect -- revoking a revoked region is
+/// idempotent); `kDrop` neither applies nor confirms.
+struct RevokeFault {
+  enum class Kind : std::uint8_t { kDeliver, kTorn, kDrop };
+  Kind kind = Kind::kDeliver;
+};
+
+/// Chaos hook consulted once per revoke_rkey verb as it reaches the owner.
+using RevokeFaultHook = std::function<RevokeFault(NodeId owner, std::uint32_t rkey)>;
 
 class Fabric {
  public:
@@ -163,6 +179,27 @@ class Fabric {
   /// when an RDMA Read snapshots its target bytes.
   void set_read_fault_hook(ReadFaultHook hook) { read_fault_ = std::move(hook); }
 
+  /// Installs (or clears, with nullptr) the chaos revocation-fault hook,
+  /// consulted once per revoke_rkey verb as it reaches the region owner.
+  void set_revoke_fault_hook(RevokeFaultHook hook) { revoke_fault_ = std::move(hook); }
+
+  /// MR-permission verb (fail-stop fencing, DESIGN.md §14): after `latency`,
+  /// revokes remote access to `rkey` on `owner` so in-flight and future
+  /// one-sided ops against it complete kProtectionError -- the fenced writer
+  /// physically cannot land another byte. `on_done(confirmed)` fires on the
+  /// virtual clock: false means the verb could not be confirmed (dead owner,
+  /// unknown rkey, or an injected torn/dropped delivery) and the caller
+  /// should retry -- the verb is idempotent, so confirming an
+  /// already-revoked region reports success.
+  void revoke_rkey(NodeId owner, std::uint32_t rkey, Duration latency,
+                   std::function<void(bool confirmed)> on_done);
+
+  /// Re-registers a revoked region's bytes under a fresh rkey (what a new
+  /// lease holder does after fencing its predecessor). The old region stays
+  /// mapped -- in-flight ops addressing the dead rkey keep failing cleanly --
+  /// and the caller must re-install any write hook on the returned region.
+  MemoryRegion* reregister_mr(NodeId owner, MemoryRegion* old);
+
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
 
   /// Attaches (or detaches, with nullptr) an observability plane. The plane
@@ -179,6 +216,7 @@ class Fabric {
   FabricStats stats_;
   WriteFaultHook write_fault_;
   ReadFaultHook read_fault_;
+  RevokeFaultHook revoke_fault_;
   obs::Plane* obs_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<QueuePair>> qps_;

@@ -1,5 +1,6 @@
 #include "hydradb/hydra_cluster.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -18,6 +19,11 @@ HydraCluster::HydraCluster(ClusterOptions opts)
   // secondaries (whose stores may be promoted), and migration-spawned shards
   // all agree on whether the index exists.
   if (opts_.ordered_index) opts_.shard_template.store.ordered_index = true;
+  // Fast-failover opt-in fans into the replication template: a positive
+  // pulse interval is what makes primaries register (and pulse) the
+  // replicas' failover arenas. Off, nothing new is registered and histories
+  // stay byte-identical to legacy builds.
+  if (opts_.fast_failover) opts_.replication.pulse_interval = opts_.fast.pulse_interval;
   fabric_.set_obs(opts_.obs);
   if (opts_.obs != nullptr) {
     opts_.obs->add_exporter(this, [this] { export_metrics(); });
@@ -38,6 +44,10 @@ HydraCluster::HydraCluster(ClusterOptions opts)
   // Persistent znode carrying the routing epoch; promotions set_data() it,
   // which would silently fail if nothing ever created the node.
   coordinator_->create("/routing/version", "0");
+
+  // Created before the shard loop so every initial secondary gets its
+  // suspicion deadline armed at attach time.
+  if (opts_.fast_failover) fast_ = std::make_unique<FastFailover>(*this, opts_.fast);
 
   // --- shards ---------------------------------------------------------------
   const int total_shards = opts_.total_shards > 0
@@ -64,6 +74,7 @@ HydraCluster::HydraCluster(ClusterOptions opts)
       sec_cfg.store = opts_.shard_template.store;
       auto secondary = std::make_unique<replication::SecondaryShard>(sched_, fabric_, sec_node, sec_cfg);
       primaries_[id].primary->replicator()->add_secondary(*secondary);
+      if (fast_ != nullptr) fast_->attach_secondary(id, *secondary);
       primaries_[id].secondaries.push_back(std::move(secondary));
     }
   }
@@ -195,6 +206,9 @@ void HydraCluster::export_metrics() {
   reg.counter("fabric.qp_connects").set(fs.qp_connects);
   reg.counter("fabric.qp_disconnects").set(fs.qp_disconnects);
   reg.counter("fabric.qp_slot_reuses").set(fs.qp_slot_reuses);
+  reg.counter("fabric.rkey_revocations").set(fs.rkey_revocations);
+  reg.counter("fabric.rkey_reregistrations").set(fs.rkey_reregistrations);
+  reg.counter("fabric.revoke_faults").set(fs.revoke_faults);
   for (std::size_t n = 0; n < fabric_.node_count(); ++n) {
     const fabric::Nic& nic = fabric_.node(static_cast<NodeId>(n)).nic();
     const std::string p = "node." + std::to_string(n) + ".";
@@ -285,6 +299,12 @@ void HydraCluster::export_metrics() {
   }
   reg.gauge("cluster.routing_epoch").set(static_cast<std::int64_t>(routing_epoch_));
   reg.counter("cluster.failovers").set(failovers());
+  if (fast_ != nullptr) {
+    reg.counter("cluster.fast.promotions").set(fast_->promotions());
+    reg.counter("cluster.fast.rounds_started").set(fast_->rounds_started());
+    reg.counter("cluster.fast.rounds_aborted").set(fast_->rounds_aborted());
+    reg.counter("cluster.fast.ballots_lost").set(fast_->ballots_lost());
+  }
   if (migration_ != nullptr) {
     const MigrationStats& ms = migration_->stats();
     reg.counter("cluster.migration.started").set(ms.started);
@@ -310,6 +330,19 @@ void HydraCluster::spawn_primary(ShardId id, NodeId node,
     slot.primary =
         std::make_unique<server::Shard>(sched_, fabric_, node, cfg, std::move(store));
     slot.primary->enable_replication(opts_.replication);
+    if (opts_.fast_failover && slot.primary->replicator() != nullptr) {
+      // Self-fencing on revocation: the first kProtectionError from a live
+      // replica means the failover plane revoked our rkeys. The handler runs
+      // before the fenced link's owed completions settle, so killing the
+      // shard here guarantees no acknowledgement ever escapes a fenced
+      // primary (clients recover via timeout + retry against the successor).
+      server::Shard* raw = slot.primary.get();
+      slot.primary->replicator()->set_fence_handler([this, id, raw] {
+        if (!raw->alive()) return;
+        HYDRA_WARN("shard %u: replica revoked our ring rkey; self-fencing", id);
+        raw->kill();
+      });
+    }
     // Epoch fencing at the message path: every request is checked against
     // the *live* ring, so a client routed by stale metadata is redirected
     // instead of silently served by a shard that lost the range.
@@ -610,6 +643,7 @@ void HydraCluster::crash_primary(ShardId id) {
   if (opts_.obs != nullptr) {
     opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kCrashInjected, id, 0, 0);
   }
+  slot.crashed_at = sched_.now();
   slot.primary->kill();  // heartbeats stop; session expires; SWAT reacts
 }
 
@@ -646,10 +680,18 @@ void HydraCluster::suppress_heartbeats(ShardId id, Duration d) {
 }
 
 std::uint64_t HydraCluster::failovers() const noexcept {
-  return swat_ ? swat_->failovers() : 0;
+  return (swat_ ? swat_->failovers() : 0) + (fast_ ? fast_->promotions() : 0);
 }
 
-bool HydraCluster::promote_secondary(ShardId id) {
+bool HydraCluster::primary_healthy(ShardId id) const noexcept {
+  if (id >= primaries_.size()) return false;
+  const ShardSlot& slot = primaries_[id];
+  return slot.primary != nullptr && slot.primary->alive() &&
+         coordinator_->session_alive(slot.session);
+}
+
+bool HydraCluster::promote_secondary(ShardId id,
+                                     replication::SecondaryShard* preferred) {
   if (id >= primaries_.size()) return false;
   ShardSlot& slot = primaries_[id];
   // A retired shard's znode deletion is expected teardown, not a death to
@@ -697,6 +739,16 @@ bool HydraCluster::promote_secondary(ShardId id) {
     HYDRA_WARN("shard %u lost its primary and has no live secondary to promote", id);
     return false;
   }
+  // A ballot winner (fast failover) promotes itself specifically; rotate it
+  // to the front. If it died since the ballot, fall back to slot order.
+  if (preferred != nullptr) {
+    for (auto it = slot.secondaries.begin(); it != slot.secondaries.end(); ++it) {
+      if (it->get() == preferred) {
+        std::rotate(slot.secondaries.begin(), it, it + 1);
+        break;
+      }
+    }
+  }
   auto secondary = std::move(slot.secondaries.front());
   slot.secondaries.erase(slot.secondaries.begin());
   const NodeId new_node = secondary->node();
@@ -709,6 +761,7 @@ bool HydraCluster::promote_secondary(ShardId id) {
   HYDRA_INFO("SWAT: promoting secondary on node %u to primary of shard %u", new_node, id);
   // The dead primary's buffers stay allocated (its regions are revoked, so
   // in-flight remote ops fail cleanly instead of scribbling on a corpse).
+  server::Shard* fallen = slot.primary.get();
   graveyard_.push_back(std::move(slot.primary));
   spawn_primary(id, new_node, std::move(store));
 
@@ -731,6 +784,19 @@ bool HydraCluster::promote_secondary(ShardId id) {
     opts_.obs->trace(sched_.now(), kInvalidNode, obs::TraceKind::kPromotionDone, id,
                      new_node);
   }
+  // The fallen primary's hot-key promotion set dies with its epoch, exactly
+  // as a migration epoch demotes: the re-attached secondaries' slabs were
+  // zeroed by reset_stream above, and this records the withdrawal (b=1)
+  // after the epoch publish so trace order pins epoch -> demotion.
+  if (fallen != nullptr) fallen->withdraw_promotions(/*reason=*/1);
+  if (slot.crashed_at != 0) {
+    if (opts_.obs != nullptr) {
+      opts_.obs->metrics()
+          .histogram("cluster.failover_gap_us")
+          .record((sched_.now() - slot.crashed_at) / 1000);
+    }
+    slot.crashed_at = 0;
+  }
   return true;
 }
 
@@ -752,6 +818,7 @@ void HydraCluster::spawn_secondary(ShardId id) {
   auto secondary =
       std::make_unique<replication::SecondaryShard>(sched_, fabric_, sec_node, sec_cfg);
   slot.primary->replicator()->add_secondary(*secondary);
+  if (fast_ != nullptr) fast_->attach_secondary(id, *secondary);
   // Bootstrap state transfer: copy the primary's current contents before any
   // new log records replay on top (all within this event, so nothing can
   // slip in between). Acked writes the replica never saw thus survive the

@@ -18,6 +18,7 @@
 #include "client/client.hpp"
 #include "cluster/coordinator.hpp"
 #include "cluster/ring.hpp"
+#include "hydradb/fast_failover.hpp"
 #include "hydradb/migration.hpp"
 #include "fabric/fabric.hpp"
 #include "obs/plane.hpp"
@@ -69,6 +70,13 @@ struct ClusterOptions {
   /// secondary) so kScan and the one-sided leaf mirror work cluster-wide.
   /// Off (the default) keeps histories byte-identical to pre-feature builds.
   bool ordered_index = false;
+  /// Fast failover (DESIGN.md §14): microsecond-scale crash promotion via
+  /// ring-write suspicion deadlines, RDMA permission-revocation fencing and
+  /// one-sided CAS ballots, with SWAT's session-timeout promotion demoted to
+  /// the fallback. Off (the default) registers no arenas, writes no pulses
+  /// and runs no rounds -- histories stay byte-identical to legacy builds.
+  bool fast_failover = false;
+  FastFailoverConfig fast;
 
   server::ShardConfig shard_template;
   client::ClientConfig client_template;
@@ -158,6 +166,17 @@ class HydraCluster {
   /// on every successful promotion.
   [[nodiscard]] std::uint64_t routing_epoch() const noexcept { return routing_epoch_; }
   [[nodiscard]] SwatTeam* swat() noexcept { return swat_.get(); }
+  [[nodiscard]] FastFailover* fast_failover() noexcept { return fast_.get(); }
+  /// True while a fast-failover agreement round for `id` is in flight; SWAT
+  /// consults this to defer legacy timeout promotion (double-promotion guard).
+  [[nodiscard]] bool fast_round_active(ShardId id) const noexcept {
+    return fast_ != nullptr && fast_->round_active(id);
+  }
+  /// True when `id` currently has a live primary whose coordinator session
+  /// is also alive -- i.e. nothing about the shard needs reacting to. SWAT
+  /// uses this to discard death events a fast promotion already resolved
+  /// (the re-registered znode may still be in flight at redrain time).
+  [[nodiscard]] bool primary_healthy(ShardId id) const noexcept;
   [[nodiscard]] std::uint32_t shard_generation(ShardId id) const noexcept {
     return id < primaries_.size() ? primaries_[id].generation : 0;
   }
@@ -192,6 +211,7 @@ class HydraCluster {
  private:
   friend class SwatTeam;
   friend class MigrationManager;
+  friend class FastFailover;
 
   struct ShardSlot {
     std::unique_ptr<server::Shard> primary;
@@ -201,6 +221,10 @@ class HydraCluster {
     cluster::SessionId session = 0;
     std::uint32_t generation = 0;
     Time heartbeat_muted_until = 0;  ///< chaos: skip heartbeats until then
+    /// When crash_primary last killed this slot's primary; promotion stamps
+    /// the crash-to-recovery gap into the failover_gap histogram and clears
+    /// it. 0 = no unrecovered crash.
+    Time crashed_at = 0;
     /// Drained out of the cluster: never promoted, never reconnected.
     bool retired = false;
   };
@@ -216,9 +240,11 @@ class HydraCluster {
   bool connect_client(ShardId shard, client::Client& c, fabric::RemoteAddr resp_slot,
                       std::uint32_t resp_bytes, std::uint32_t window,
                       client::ShardConnection* out);
-  /// Invoked by SWAT. Returns false when there is nothing to do (primary
-  /// still alive -- duplicate event) or nothing to promote.
-  bool promote_secondary(ShardId id);
+  /// Invoked by SWAT (legacy timeout path) and FastFailover (agreement
+  /// rounds, which pass the ballot-winning replica as `preferred`). Returns
+  /// false when there is nothing to do (primary still alive -- duplicate
+  /// event) or nothing to promote.
+  bool promote_secondary(ShardId id, replication::SecondaryShard* preferred = nullptr);
   /// Epoch-fencing predicate every primary's owner filter consults: the
   /// *live* ring owns the key and no migration seal excludes it.
   [[nodiscard]] bool shard_owns(ShardId id, std::uint64_t key_hash) const;
@@ -234,6 +260,7 @@ class HydraCluster {
   std::unique_ptr<cluster::Coordinator> coordinator_;
   std::unique_ptr<SwatTeam> swat_;
   std::unique_ptr<MigrationManager> migration_;
+  std::unique_ptr<FastFailover> fast_;
   cluster::ConsistentHashRing ring_;
   std::vector<ShardSlot> primaries_;
   std::uint64_t routing_epoch_ = 0;

@@ -6,6 +6,27 @@
 #include "hydradb/hydra_cluster.hpp"
 
 namespace hydra::db {
+namespace {
+
+/// Extracts the shard id from "/shards/<id>/primary". The path comes out of
+/// the coordinator tree, which any session can populate -- parse it like
+/// untrusted input instead of letting std::stoul throw on garbage.
+/// kInvalidShard on malformed input.
+ShardId parse_shard_path(const std::string& path) {
+  constexpr std::string_view kPrefix = "/shards/";
+  if (path.compare(0, kPrefix.size(), kPrefix) != 0) return kInvalidShard;
+  const std::size_t start = kPrefix.size();
+  const std::size_t end = path.find('/', start);
+  const std::string num =
+      path.substr(start, end == std::string::npos ? std::string::npos : end - start);
+  if (num.empty() || num.size() > 9 ||
+      num.find_first_not_of("0123456789") != std::string::npos) {
+    return kInvalidShard;
+  }
+  return static_cast<ShardId>(std::stoul(num));
+}
+
+}  // namespace
 
 SwatTeam::SwatTeam(HydraCluster& cluster, int members) : cluster_(cluster) {
   for (int i = 0; i < members; ++i) {
@@ -28,21 +49,11 @@ int SwatTeam::leader() const {
 }
 
 bool SwatTeam::handle_primary_death(const std::string& path) {
-  // Extract the shard id from "/shards/<id>/primary". The path comes out of
-  // the coordinator tree, which any session can populate -- parse it like
-  // untrusted input instead of letting std::stoul throw on garbage.
-  constexpr std::string_view kPrefix = "/shards/";
-  if (path.compare(0, kPrefix.size(), kPrefix) != 0) return false;
-  const std::size_t start = kPrefix.size();
-  const std::size_t end = path.find('/', start);
-  const std::string num =
-      path.substr(start, end == std::string::npos ? std::string::npos : end - start);
-  if (num.empty() || num.size() > 9 ||
-      num.find_first_not_of("0123456789") != std::string::npos) {
+  const ShardId id = parse_shard_path(path);
+  if (id == kInvalidShard) {
     HYDRA_WARN("SWAT: ignoring malformed shard znode path '%s'", path.c_str());
     return false;
   }
-  const ShardId id = static_cast<ShardId>(std::stoul(num));
   HYDRA_INFO("SWAT: detected death of shard %u primary, reacting", id);
   if (cluster_.obs() != nullptr) {
     cluster_.obs()->trace(cluster_.scheduler().now(), kInvalidNode,
@@ -59,6 +70,24 @@ void SwatTeam::drain_pending() {
   for (const auto& path : pending) {
     // A successful promotion re-registers the znode; skip those.
     if (cluster_.coordinator().exists(path)) continue;
+    // Double-promotion guard (DESIGN.md §14): while a fast-failover
+    // agreement round runs for this shard -- e.g. the session expired *mid
+    // round* -- the legacy timeout promotion must not race it. Keep the
+    // event pending; the round's completion re-drains us, at which point a
+    // successful fast promotion makes this a duplicate event and an aborted
+    // round falls back to the path below.
+    const ShardId id = parse_shard_path(path);
+    if (id != kInvalidShard && cluster_.fast_round_active(id)) {
+      pending_.insert(path);
+      continue;
+    }
+    // A fast round that won while this event sat deferred re-registers the
+    // znode, but that create is a coordinator op with latency and the
+    // round-end redrain can run before it lands -- the exists() probe above
+    // would miss it. The shard itself is the ground truth: a live primary
+    // with a live session means the death this event reported is already
+    // handled, so the event is stale and dropped rather than re-queued.
+    if (id != kInvalidShard && cluster_.primary_healthy(id)) continue;
     handle_primary_death(path);
   }
 }

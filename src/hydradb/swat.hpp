@@ -40,6 +40,13 @@ class SwatTeam {
   /// Primary-death events observed but not yet acted on by any leader.
   [[nodiscard]] std::size_t pending_deaths() const noexcept { return pending_.size(); }
 
+  /// Re-drains the pending-death set. Called by the fast-failover plane when
+  /// an agreement round ends: any legacy promotion deferred by the
+  /// double-promotion guard either no-ops (the round promoted; the znode is
+  /// re-registered or the new primary is alive) or proceeds as the fallback
+  /// (the round aborted).
+  void redrain() { drain_pending(); }
+
  private:
   class Member : public sim::Actor {
    public:

@@ -58,6 +58,12 @@ const char* to_string(TraceKind kind) noexcept {
     case TraceKind::kScanTokenRejected: return "scan_token_rejected";
     case TraceKind::kScanLeafRead: return "scan_leaf_read";
     case TraceKind::kScanLeafFallback: return "scan_leaf_fallback";
+    case TraceKind::kSuspicionRaised: return "suspicion_raised";
+    case TraceKind::kRkeyRevoked: return "rkey_revoked";
+    case TraceKind::kRkeyReregistered: return "rkey_reregistered";
+    case TraceKind::kBallotCast: return "ballot_cast";
+    case TraceKind::kBallotWon: return "ballot_won";
+    case TraceKind::kBallotLost: return "ballot_lost";
   }
   return "unknown";
 }

@@ -51,7 +51,7 @@ enum class TraceKind : std::uint8_t {
   // Failover lifecycle.
   kCrashInjected,        ///< a=0 primary, 1 secondary, 2 SWAT member; b=index
   kHeartbeatSuppressed,  ///< a=suppression duration (ns)
-  kFenced,               ///< a=1 heartbeat self-fence, 2 promotion-time fence
+  kFenced,               ///< a=1 heartbeat self-fence, 2 promotion-time fence, 3 replica revoked our rkey
   kPrimaryDeathObserved, ///< SWAT recorded a primary-death znode deletion
   kPromotionStart,       ///< SWAT began promoting a replica
   kEpochPublished,       ///< routing epoch bumped + written to /routing/version (a=epoch)
@@ -85,6 +85,14 @@ enum class TraceKind : std::uint8_t {
   kScanTokenRejected, ///< continuation-token epoch mismatch (a=token epoch, b=live epoch)
   kScanLeafRead,      ///< client consumed a mirrored leaf page one-sidedly (a=leaf id, b=entries)
   kScanLeafFallback,  ///< leaf-page validation failed; message path took over (a=leaf id)
+  // Fast failover: RDMA permission-revocation fencing + one-sided CAS ballot
+  // agreement (DESIGN.md §14). Appended last, same rule.
+  kSuspicionRaised,   ///< replica missed the primary's ring-write deadline (a=silent ns)
+  kRkeyRevoked,       ///< MR write permission revoked (a=rkey, b=0 ok / 1 torn / 2 dropped)
+  kRkeyReregistered,  ///< region re-registered under a fresh rkey (a=new rkey, b=old rkey)
+  kBallotCast,        ///< promotion ballot CAS posted (a=candidate token, b=arena rkey)
+  kBallotWon,         ///< ballot CAS saw zero: the candidate owns the round (a=token)
+  kBallotLost,        ///< ballot CAS lost the race (a=token, b=winning token)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind) noexcept;

@@ -1,6 +1,7 @@
 #include "replication/primary.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hpp"
 #include "obs/plane.hpp"
@@ -37,7 +38,14 @@ void ReplicationPrimary::add_secondary(SecondaryShard& secondary) {
   link->ack_mr->set_write_hook(
       owner_.guard([this, raw](std::uint64_t, std::uint32_t) { on_ack(*raw); }));
   secondary.attach_primary(secondary_qp, link->ack_mr->addr(0));
+  if (cfg_.pulse_interval > 0) {
+    // Fast failover on: learn the replica's (lazily registered) failover
+    // arena and start pulsing. Off, no arena is ever registered, keeping
+    // rkey sequences -- and therefore histories -- byte-identical.
+    link->arena_rkey = secondary.failover_arena()->rkey();
+  }
   links_.push_back(std::move(link));
+  if (cfg_.pulse_interval > 0) arm_pulse_timer();
 }
 
 void ReplicationPrimary::remove_secondary(SecondaryShard& secondary) {
@@ -221,6 +229,15 @@ void ReplicationPrimary::on_write_error(Link& link, std::vector<std::byte> frame
     quarantine(link);
     return;
   }
+  if (status == fabric::WcStatus::kProtectionError) {
+    // A *live* replica completed our write kProtectionError: it revoked the
+    // rkey, i.e. the failover plane fenced this primary (DESIGN.md §14). A
+    // revoked rkey never heals, so retrying would just burn the retransmit
+    // budget before quarantining anyway -- settle now and tell the owner.
+    if (settle) link.backlog_completions.push_back(std::move(settle));
+    fenced_by_replica(link);
+    return;
+  }
   if (attempt >= kMaxWriteAttempts) {
     HYDRA_WARN("replication: frame at offset %llu refused to land after %d attempts "
                "(status %d); quarantining link to %s",
@@ -401,6 +418,62 @@ void ReplicationPrimary::on_ack_timer(Link& link) {
     solicit_ack(link);
   }
   arm_ack_timer(link);
+}
+
+void ReplicationPrimary::fenced_by_replica(Link& link) {
+  ++fence_errors_;
+  if (fabric_.obs() != nullptr) {
+    fabric_.obs()->trace(owner_.now(), node_, obs::TraceKind::kFenced, obs::kNoShard,
+                         /*a=*/3,
+                         link.secondary != nullptr ? link.secondary->node() : kInvalidNode);
+  }
+  // The handler runs *before* quarantine so a self-fencing owner (which
+  // kills the shard) makes owner_.alive() false and the quarantine sweep
+  // skips settling owed completions -- no acknowledgement ever escapes a
+  // fenced primary. Without a handler (standalone engine tests) quarantine
+  // settles the waiters as usual.
+  if (fence_handler_) fence_handler_();
+  quarantine(link);
+}
+
+void ReplicationPrimary::arm_pulse_timer() {
+  if (pulse_armed_ || cfg_.pulse_interval == 0) return;
+  pulse_armed_ = true;
+  owner_.schedule_after(cfg_.pulse_interval, [this] { on_pulse_timer(); });
+}
+
+void ReplicationPrimary::on_pulse_timer() {
+  pulse_armed_ = false;
+  // Liveness pulse (DESIGN.md §14): an incrementing word RDMA-Written into
+  // each live secondary's failover arena. The arena write hook resets the
+  // replica's suspicion deadline, so a healthy primary is never suspected
+  // even when the workload leaves its rings idle.
+  ++pulse_seq_;
+  std::memcpy(pulse_buf_.data(), &pulse_seq_, sizeof(pulse_seq_));
+  bool any_pulsed = false;
+  for (auto& link : links_) {
+    if (link->dead || link->arena_rkey == 0) continue;
+    any_pulsed = true;
+    Link* raw = link.get();
+    raw->qp->post_write(
+        std::span<const std::byte>(pulse_buf_),
+        fabric::RemoteAddr{raw->arena_rkey, SecondaryShard::kPulseOffset}, 0,
+        owner_.guard([this, raw](const fabric::Completion& wc) {
+          if (raw->dead) return;
+          if (wc.status == fabric::WcStatus::kSuccess) {
+            raw->last_progress = owner_.now();
+            return;
+          }
+          if (raw->secondary == nullptr || !raw->secondary->alive()) {
+            quarantine(*raw);
+            return;
+          }
+          if (wc.status == fabric::WcStatus::kProtectionError) fenced_by_replica(*raw);
+          // kFlushed/kRemoteDead against a still-live replica: transient
+          // fault-injection loss; the next pulse re-covers it.
+        }));
+  }
+  if (any_pulsed) arm_pulse_timer();
 }
 
 }  // namespace hydra::replication

@@ -50,6 +50,14 @@ struct PrimaryConfig {
   /// recovery path for torn/lost acks and the liveness probe for stalled
   /// replicas; 0 disables it.
   Duration ack_timeout = 1 * kMillisecond;
+  /// Fast-failover liveness pulses (DESIGN.md §14): while positive, the
+  /// primary RDMA-Writes an incrementing heartbeat word into each live
+  /// secondary's failover arena every pulse_interval, so replicas can run
+  /// ring-write suspicion deadlines in the hundreds of microseconds instead
+  /// of leaning on the multi-second coordinator session timeout. 0 (the
+  /// default) disables pulsing -- no pulse writes, no arena registration --
+  /// keeping histories byte-identical to heartbeat-only builds.
+  Duration pulse_interval = 0;
 };
 
 class ReplicationPrimary {
@@ -101,6 +109,19 @@ class ReplicationPrimary {
   [[nodiscard]] std::uint64_t ack_probes() const noexcept { return ack_probes_; }
   [[nodiscard]] std::uint64_t quarantined() const noexcept { return quarantined_; }
   [[nodiscard]] std::uint64_t write_retries() const noexcept { return write_retries_; }
+  /// Ring (or pulse) writes that completed kProtectionError against a live
+  /// replica: the replica revoked our rkey, i.e. the failover plane fenced
+  /// this primary (DESIGN.md §14).
+  [[nodiscard]] std::uint64_t fence_errors() const noexcept { return fence_errors_; }
+
+  /// Installs the owner's reaction to being fenced by a replica (a revoked
+  /// ring rkey surfacing as kProtectionError). Runs *before* the fenced
+  /// link's owed completions would settle, so a self-fencing handler (which
+  /// kills the owning shard) guarantees no acknowledgement escapes a fenced
+  /// primary.
+  void set_fence_handler(std::function<void()> handler) {
+    fence_handler_ = std::move(handler);
+  }
 
  private:
   struct PendingRecord {
@@ -112,6 +133,9 @@ class ReplicationPrimary {
     SecondaryShard* secondary = nullptr;
     fabric::QueuePair* qp = nullptr;  // primary-side endpoint
     std::uint32_t ring_rkey = 0;
+    /// Failover-arena rkey on the secondary (pulse word target); 0 when
+    /// pulsing is off.
+    std::uint32_t arena_rkey = 0;
     RingCursor cursor;
     std::uint64_t used_bytes = 0;
     std::uint64_t acked_seq = 0;
@@ -153,6 +177,11 @@ class ReplicationPrimary {
   void solicit_ack(Link& link);
   void arm_ack_timer(Link& link);
   void on_ack_timer(Link& link);
+  /// A live replica completed our write kProtectionError: it revoked the
+  /// rkey to fence us. Notifies the owner, then quarantines the link.
+  void fenced_by_replica(Link& link);
+  void arm_pulse_timer();
+  void on_pulse_timer();
 
   sim::Actor& owner_;
   fabric::Fabric& fabric_;
@@ -169,6 +198,12 @@ class ReplicationPrimary {
   std::uint64_t ack_probes_ = 0;
   std::uint64_t quarantined_ = 0;
   std::uint64_t write_retries_ = 0;
+  std::uint64_t fence_errors_ = 0;
+  std::function<void()> fence_handler_;
+  bool pulse_armed_ = false;
+  std::uint64_t pulse_seq_ = 0;
+  /// Pulse payload buffer (outlives any in-flight pulse write).
+  std::vector<std::byte> pulse_buf_ = std::vector<std::byte>(8);
 };
 
 }  // namespace hydra::replication

@@ -35,6 +35,53 @@ fabric::MemoryRegion* SecondaryShard::promo_slab(std::uint32_t slot_bytes,
   return promo_mr_;
 }
 
+fabric::MemoryRegion* SecondaryShard::failover_arena() {
+  if (arena_mr_ == nullptr) {
+    arena_.assign(kFailoverArenaBytes, std::byte{0});
+    arena_mr_ = fabric_.node(node_).register_memory(arena_);
+    arena_mr_->set_write_hook(
+        guard([this](std::uint64_t, std::uint32_t) { note_liveness(); }));
+  }
+  return arena_mr_;
+}
+
+void SecondaryShard::enable_suspicion(Duration deadline,
+                                      std::function<void(SecondaryShard&)> on_suspect) {
+  suspicion_deadline_ = deadline;
+  on_suspect_ = std::move(on_suspect);
+  last_signal_ = now();
+  suspected_ = false;
+  arm_suspicion_tick();
+}
+
+void SecondaryShard::note_liveness() {
+  last_signal_ = now();
+}
+
+void SecondaryShard::arm_suspicion_tick() {
+  if (suspicion_tick_armed_ || suspicion_deadline_ == 0) return;
+  suspicion_tick_armed_ = true;
+  // Half-deadline ticks bound detection latency at 1.5x the deadline while
+  // keeping the tick volume modest.
+  schedule_after(suspicion_deadline_ / 2, [this] { suspicion_tick(); });
+}
+
+void SecondaryShard::suspicion_tick() {
+  suspicion_tick_armed_ = false;
+  if (suspected_) return;  // one-shot until reset_stream() re-arms
+  const Duration silent = now() - last_signal_;
+  if (silent >= suspicion_deadline_) {
+    suspected_ = true;
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kSuspicionRaised,
+                           cfg_.primary_shard, static_cast<std::uint64_t>(silent));
+    }
+    if (on_suspect_) on_suspect_(*this);
+    return;  // ticking resumes when a new primary attaches
+  }
+  arm_suspicion_tick();
+}
+
 void SecondaryShard::drain_ring() {
   if (store_ == nullptr) return;
   while (true) {
@@ -57,6 +104,7 @@ std::unique_ptr<core::KVStore> SecondaryShard::release_store() {
 void SecondaryShard::kill() {
   ring_mr_->revoke();
   if (promo_mr_ != nullptr) promo_mr_->revoke();
+  if (arena_mr_ != nullptr) arena_mr_->revoke();
   sim::Actor::kill();
 }
 
@@ -70,9 +118,25 @@ void SecondaryShard::reset_stream() {
   applied_seq_ = 0;
   first_failed_seq_ = 0;
   polling_ = false;
+  // Fast failover: a revocation round fenced the old primary by revoking
+  // this ring's rkey. The new primary needs a writable ring, so re-register
+  // under a fresh rkey -- in-flight ops against the dead rkey keep failing
+  // cleanly -- and re-install the consumption hook.
+  if (ring_mr_->revoked()) {
+    ring_mr_ = fabric_.reregister_mr(node_, ring_mr_);
+    ring_mr_->set_write_hook(
+        guard([this](std::uint64_t, std::uint32_t) { on_ring_write(); }));
+  }
+  // New primary, fresh suspicion epoch: clear the pulse/ballot words and
+  // resume deadline ticking.
+  std::fill(arena_.begin(), arena_.end(), std::byte{0});
+  last_signal_ = now();
+  suspected_ = false;
+  arm_suspicion_tick();
 }
 
 void SecondaryShard::on_ring_write() {
+  note_liveness();
   if (polling_) return;  // the loop is awake; it will reach the new frame
   polling_ = true;
   schedule_after(cfg_.poll_backoff, [this] { poll_loop(); });

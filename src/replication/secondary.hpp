@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,25 @@ class SecondaryShard : public sim::Actor {
   /// its rkey sequence (and thus its event history) byte-identical to a
   /// pre-promotion build. Geometry is fixed by the first call.
   fabric::MemoryRegion* promo_slab(std::uint32_t slot_bytes, std::uint32_t slots);
+
+  /// Failover arena layout (DESIGN.md §14): one 8-byte pulse word the
+  /// primary RDMA-Writes liveness heartbeats into, then one 8-byte ballot
+  /// word promotion candidates CAS their tokens into.
+  static constexpr std::uint64_t kPulseOffset = 0;
+  static constexpr std::uint64_t kBallotOffset = 8;
+  static constexpr std::uint32_t kFailoverArenaBytes = 16;
+
+  /// Fast-failover arena (DESIGN.md §14). Registered lazily on first call --
+  /// same rkey-determinism rule as promo_slab(): a cluster that never turns
+  /// fast failover on registers nothing and keeps histories byte-identical.
+  fabric::MemoryRegion* failover_arena();
+
+  /// Arms the ring-write suspicion deadline: if neither a ring write nor an
+  /// arena pulse lands for `deadline`, `on_suspect` fires exactly once (the
+  /// flag re-arms on reset_stream(), i.e. on attachment to a new primary).
+  void enable_suspicion(Duration deadline, std::function<void(SecondaryShard&)> on_suspect);
+  [[nodiscard]] bool suspected() const noexcept { return suspected_; }
+
   [[nodiscard]] std::uint64_t applied_seq() const noexcept { return applied_seq_; }
   [[nodiscard]] std::uint64_t applied_records() const noexcept { return applied_records_; }
   [[nodiscard]] std::uint64_t discarded_records() const noexcept { return discarded_; }
@@ -79,6 +99,10 @@ class SecondaryShard : public sim::Actor {
 
  private:
   void on_ring_write();
+  /// Any primary-originated write landed: reset the suspicion deadline.
+  void note_liveness();
+  void suspicion_tick();
+  void arm_suspicion_tick();
   void poll_loop();
   /// Processes one complete frame at the cursor; returns CPU charged.
   Duration consume_frame(std::span<std::byte> frame);
@@ -93,7 +117,17 @@ class SecondaryShard : public sim::Actor {
   /// Hot-key promo slab; empty/null until promo_slab() is first called.
   std::vector<std::byte> promo_;
   fabric::MemoryRegion* promo_mr_ = nullptr;
+  /// Fast-failover arena; empty/null until failover_arena() is first called.
+  std::vector<std::byte> arena_;
+  fabric::MemoryRegion* arena_mr_ = nullptr;
   RingCursor cursor_;
+
+  /// Suspicion state (fast failover); deadline 0 = disarmed.
+  Duration suspicion_deadline_ = 0;
+  std::function<void(SecondaryShard&)> on_suspect_;
+  Time last_signal_ = 0;
+  bool suspected_ = false;
+  bool suspicion_tick_armed_ = false;
 
   fabric::QueuePair* qp_to_primary_ = nullptr;
   fabric::RemoteAddr ack_slot_{};

@@ -1139,6 +1139,20 @@ void Shard::promote_key(const std::string& key) {
   }
 }
 
+void Shard::withdraw_promotions(std::uint64_t reason) {
+  for (const auto& [key, p] : promotions_) {
+    if (p->retired) continue;  // already traced its own demotion
+    p->retired = true;
+    p->live = false;
+    ++stats_.hotkey_demotions;
+    if (fabric_.obs() != nullptr) {
+      fabric_.obs()->trace(now(), node_, obs::TraceKind::kHotKeyDemoted, cfg_.id,
+                           p->key_hash, reason);
+    }
+  }
+  promotions_.clear();
+}
+
 void Shard::demote_all(std::uint64_t reason) {
   std::vector<std::shared_ptr<Promotion>> all;
   all.reserve(promotions_.size());

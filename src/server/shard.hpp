@@ -164,6 +164,13 @@ class Shard : public sim::Actor {
   /// Read); exposed so tests can assert no read ever targets a stale rkey.
   [[nodiscard]] std::uint32_t arena_rkey() const noexcept;
 
+  /// Post-failover accounting for a shard that is already dead: records the
+  /// withdrawal of its whole hot-key promotion set (kHotKeyDemoted with the
+  /// given reason) without posting guardian kills -- the successor's stream
+  /// attach has zeroed every follower slab, so the copies cannot validate
+  /// anyway. Safe to call on a killed actor; idempotent.
+  void withdraw_promotions(std::uint64_t reason);
+
   /// rkey of the one-sided scan-leaf mirror (DESIGN.md §13); 0 when the
   /// ordered index or the mirror is disabled. Exposed so chaos can target
   /// torn-read injection at leaf pages specifically.

@@ -357,6 +357,49 @@ TEST(FailoverTimeline, NoRdmaReadAgainstFencedPrimaryRkey) {
       << stale_reads << " one-sided reads posted against the fenced rkey";
 }
 
+// Bugfix (DESIGN.md §14 double-promotion guard): the primary's coordinator
+// session can expire while a fast-failover agreement round is still running
+// -- here the round is stretched across the 2s session timeout with a huge
+// revocation latency. SWAT's watch fires mid-round; acting on it would race
+// the round's own promotion and publish two epochs for one death. The
+// pending event must stay deferred until the round ends, at which point the
+// fast promotion has re-registered the znode and the legacy path no-ops.
+TEST(Failover, SessionExpiryMidAgreementRoundDoesNotDoublePromote) {
+  obs::Plane plane;
+  auto opts = ha_options();
+  opts.obs = &plane;
+  opts.fast_failover = true;
+  // Stretch the round well past the session sweep that reaps the dead
+  // primary's znode (~2.5s): suspicion fires shortly after the crash, the
+  // single revocation then takes 2.6s to confirm. Pulses are slowed to 5ms
+  // so 8s of pulse traffic cannot evict the ballot records this test reads
+  // from the bounded per-node trace rings.
+  opts.fast.revoke_latency = 2600 * kMillisecond;
+  opts.fast.pulse_interval = 5 * kMillisecond;
+  db::HydraCluster cluster(opts);
+  ASSERT_EQ(cluster.put("k", "v"), Status::kOk);
+  cluster.run_for(10 * kMillisecond);
+
+  cluster.crash_primary(0);
+  cluster.run_for(8 * kSecond);  // round end (~2.6s) + post-expiry slack
+
+  // Exactly one promotion, one epoch -- and SWAT never acted on the death
+  // itself (the deferred event found the znode re-registered on redrain).
+  EXPECT_EQ(cluster.failovers(), 1u);
+  EXPECT_EQ(cluster.routing_epoch(), 1u);
+  const auto q = plane.query();
+  EXPECT_EQ(q.count(obs::TraceKind::kPromotionDone, 0), 1u);
+  EXPECT_EQ(q.count(obs::TraceKind::kEpochPublished, 0), 1u);
+  EXPECT_EQ(q.count(obs::TraceKind::kPrimaryDeathObserved), 0u);
+  // The round really did span the session expiry: the ballot was cast after
+  // the coordinator reaped the znode (seq order pins the overlap).
+  const auto ballot = q.first(obs::TraceKind::kBallotCast);
+  ASSERT_TRUE(ballot.has_value());
+  EXPECT_GT(ballot->at, 2 * kSecond);
+  EXPECT_EQ(*cluster.get("k"), "v");
+  EXPECT_EQ(cluster.put("k2", "v2"), Status::kOk);
+}
+
 TEST(Failover, MultipleIndependentShardFailovers) {
   auto opts = ha_options();
   opts.server_nodes = 3;
